@@ -1,0 +1,77 @@
+//! Binomial distribution helpers used by the analytical models.
+
+/// `P[Binomial(n, q) = x]`, computed with a numerically stable
+/// multiplicative recurrence (adequate for the `n ≤ 255` packet counts of
+/// the protocol).
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]`.
+pub fn binomial_pmf(n: usize, q: f64, x: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "probability out of range");
+    if x > n {
+        return 0.0;
+    }
+    if q == 0.0 {
+        return if x == 0 { 1.0 } else { 0.0 };
+    }
+    if q == 1.0 {
+        return if x == n { 1.0 } else { 0.0 };
+    }
+    // Work in log space to avoid under/overflow for large n.
+    let mut log_p = 0.0f64;
+    for i in 0..x {
+        log_p += ((n - i) as f64).ln() - ((i + 1) as f64).ln();
+    }
+    log_p += x as f64 * q.ln() + (n - x) as f64 * (1.0 - q).ln();
+    log_p.exp()
+}
+
+/// The full pmf vector `P[Binomial(n, q) = 0..=n]`.
+pub fn binomial_pmf_vec(n: usize, q: f64) -> Vec<f64> {
+    (0..=n).map(|x| binomial_pmf(n, q, x)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for n in [1usize, 5, 32, 255] {
+            for q in [0.0, 0.1, 0.5, 0.9, 1.0] {
+                let total: f64 = binomial_pmf_vec(n, q).iter().sum();
+                assert!((total - 1.0).abs() < 1e-9, "n={n} q={q} sum={total}");
+            }
+        }
+    }
+
+    #[test]
+    fn known_values() {
+        // Bin(2, 0.5): 0.25, 0.5, 0.25.
+        assert!((binomial_pmf(2, 0.5, 0) - 0.25).abs() < 1e-12);
+        assert!((binomial_pmf(2, 0.5, 1) - 0.5).abs() < 1e-12);
+        assert!((binomial_pmf(2, 0.5, 2) - 0.25).abs() < 1e-12);
+        assert_eq!(binomial_pmf(2, 0.5, 3), 0.0);
+    }
+
+    #[test]
+    fn degenerate_probabilities() {
+        assert_eq!(binomial_pmf(10, 0.0, 0), 1.0);
+        assert_eq!(binomial_pmf(10, 0.0, 1), 0.0);
+        assert_eq!(binomial_pmf(10, 1.0, 10), 1.0);
+        assert_eq!(binomial_pmf(10, 1.0, 9), 0.0);
+    }
+
+    #[test]
+    fn mean_matches() {
+        let n = 48;
+        let q = 0.7;
+        let mean: f64 = binomial_pmf_vec(n, q)
+            .iter()
+            .enumerate()
+            .map(|(x, p)| x as f64 * p)
+            .sum();
+        assert!((mean - n as f64 * q).abs() < 1e-9);
+    }
+}

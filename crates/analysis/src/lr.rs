@@ -1,0 +1,215 @@
+//! Expected data-packet transmissions for ACK-based LR-Seluge
+//! (Theorem-2-style upper bound on real LR-Seluge).
+//!
+//! Round structure: the sender first transmits all `n` encoded packets;
+//! receiver `i` then needs `d_i = max(0, k' − received_i)` more. In every
+//! subsequent round the sender transmits `m = max_i d_i` packets that are
+//! useful to every still-deficient receiver (possible while packets
+//! remain; the idealization is what makes this an upper bound the real
+//! SNACK-driven protocol stays below). The page completes when all
+//! deficits are zero.
+
+use crate::binomial::binomial_pmf_vec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Exact expected transmissions for a single receiver.
+///
+/// `E[T] = n + E[R(D)]` where `D = max(0, k' − Binomial(n, 1−p))` and the
+/// per-round recursion `R(d) = d + Σ_x P[Bin(d,1−p)=x]·R(d−x)` solves in
+/// closed form for the self-referential `x = 0` term.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ p < 1` and `k' ≤ n`.
+pub fn ack_lr_exact_single(k_prime: usize, n: usize, p: f64) -> f64 {
+    assert!((0.0..1.0).contains(&p), "loss probability out of range");
+    assert!(k_prime <= n, "k' must not exceed n");
+    let q = 1.0 - p;
+    // R(d): expected further transmissions with deficit d.
+    let mut r = vec![0.0f64; k_prime + 1];
+    for d in 1..=k_prime {
+        let pmf = binomial_pmf_vec(d, q);
+        let mut rhs = d as f64;
+        for (x, prob) in pmf.iter().enumerate().skip(1) {
+            rhs += prob * r[d - x];
+        }
+        // R(d) = rhs + pmf[0] * R(d)  =>  R(d) = rhs / (1 - p^d).
+        r[d] = rhs / (1.0 - pmf[0]);
+    }
+    // First round: n transmissions, then the residual deficit.
+    let pmf_n = binomial_pmf_vec(n, q);
+    let mut e = n as f64;
+    for (x, prob) in pmf_n.iter().enumerate() {
+        let d = k_prime.saturating_sub(x);
+        e += prob * r[d];
+    }
+    e
+}
+
+/// Model-evaluation method for the `N`-receiver expectation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AckLrModel {
+    /// Exact single-receiver recursion (only valid for `N = 1`).
+    Exact,
+    /// Monte-Carlo evaluation of the round process with this many trials.
+    MonteCarlo {
+        /// Number of simulated pages.
+        trials: u32,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+/// Expected data-packet transmissions to deliver one erasure-coded page
+/// (`n` packets, threshold `k'`) to `N` receivers with i.i.d. loss `p`.
+///
+/// Uses the exact recursion for `N = 1` and Monte-Carlo evaluation of
+/// the same round process otherwise (receiver deficits are coupled
+/// through the shared `max` round size, which has no closed form).
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ p < 1`, `k' ≤ n`, and `N ≥ 1`.
+pub fn ack_lr_expected_data_packets(
+    k_prime: usize,
+    n: usize,
+    p: f64,
+    n_receivers: usize,
+    model: AckLrModel,
+) -> f64 {
+    assert!((0.0..1.0).contains(&p), "loss probability out of range");
+    assert!(k_prime <= n, "k' must not exceed n");
+    assert!(n_receivers >= 1, "need at least one receiver");
+    match model {
+        AckLrModel::Exact => {
+            assert_eq!(n_receivers, 1, "exact recursion only covers N = 1");
+            ack_lr_exact_single(k_prime, n, p)
+        }
+        AckLrModel::MonteCarlo { trials, seed } => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut total = 0u64;
+            for _ in 0..trials {
+                total += simulate_round_process(k_prime, n, p, n_receivers, &mut rng);
+            }
+            total as f64 / trials as f64
+        }
+    }
+}
+
+/// One realization of the round process; returns total transmissions.
+fn simulate_round_process(
+    k_prime: usize,
+    n: usize,
+    p: f64,
+    n_receivers: usize,
+    rng: &mut StdRng,
+) -> u64 {
+    let q = 1.0 - p;
+    let mut deficits: Vec<usize> = (0..n_receivers)
+        .map(|_| {
+            let received = sample_binomial(n, q, rng);
+            k_prime.saturating_sub(received)
+        })
+        .collect();
+    let mut total = n as u64;
+    loop {
+        let m = *deficits.iter().max().expect("non-empty");
+        if m == 0 {
+            return total;
+        }
+        total += m as u64;
+        for d in deficits.iter_mut() {
+            if *d > 0 {
+                let got = sample_binomial(m, q, rng);
+                *d = d.saturating_sub(got);
+            }
+        }
+    }
+}
+
+fn sample_binomial(n: usize, q: f64, rng: &mut StdRng) -> usize {
+    (0..n).filter(|_| rng.gen_bool(q)).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MC: AckLrModel = AckLrModel::MonteCarlo { trials: 6_000, seed: 7 };
+
+    #[test]
+    fn lossless_single_receiver_costs_n() {
+        // p = 0: round 1 delivers everything; total = n.
+        assert!((ack_lr_exact_single(32, 48, 0.0) - 48.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_matches_monte_carlo_single_receiver() {
+        for p in [0.1, 0.3, 0.5] {
+            let exact = ack_lr_exact_single(32, 48, p);
+            let mc = ack_lr_expected_data_packets(
+                32, 48, p, 1,
+                AckLrModel::MonteCarlo { trials: 20_000, seed: 7 },
+            );
+            assert!(
+                (exact - mc).abs() / exact < 0.02,
+                "p={p}: exact {exact} vs MC {mc}"
+            );
+        }
+    }
+
+    #[test]
+    fn one_round_regime_below_one_third() {
+        // n = 1.5 k': while n(1-p) comfortably exceeds k', total ≈ n.
+        let e = ack_lr_expected_data_packets(32, 48, 0.2, 20, MC);
+        assert!(e < 52.0, "expected ≈ one round, got {e}");
+        // Past the knee, a second round is usually needed.
+        let e2 = ack_lr_expected_data_packets(32, 48, 0.4, 20, MC);
+        assert!(e2 > 56.0, "expected a second round, got {e2}");
+    }
+
+    #[test]
+    fn paper_knee_between_03_and_04() {
+        // The jump the paper points out between p = 0.3 and p = 0.4.
+        let e03 = ack_lr_expected_data_packets(32, 48, 0.3, 20, MC);
+        let e04 = ack_lr_expected_data_packets(32, 48, 0.4, 20, MC);
+        let e02 = ack_lr_expected_data_packets(32, 48, 0.2, 20, MC);
+        let e03_rel = e03 - e02;
+        let e04_rel = e04 - e03;
+        assert!(
+            e04_rel > 1.3 * e03_rel.max(0.5),
+            "knee missing: Δ(0.2→0.3)={e03_rel:.1}, Δ(0.3→0.4)={e04_rel:.1}"
+        );
+    }
+
+    #[test]
+    fn monotone_in_receivers_and_loss() {
+        let base = ack_lr_expected_data_packets(32, 48, 0.2, 5, MC);
+        let more_rx = ack_lr_expected_data_packets(32, 48, 0.2, 25, MC);
+        let more_loss = ack_lr_expected_data_packets(32, 48, 0.45, 5, MC);
+        assert!(more_rx >= base - 0.5);
+        assert!(more_loss > base);
+    }
+
+    #[test]
+    fn upper_bounds_are_less_sensitive_to_n_receivers_than_seluge() {
+        // The paper's Fig. 3(b) observation: LR grows much slower in N.
+        let lr_small = ack_lr_expected_data_packets(32, 48, 0.2, 2, MC);
+        let lr_large = ack_lr_expected_data_packets(32, 48, 0.2, 40, MC);
+        let s_small = crate::seluge_expected_data_packets(32, 2, 0.2);
+        let s_large = crate::seluge_expected_data_packets(32, 40, 0.2);
+        let lr_growth = lr_large / lr_small;
+        let s_growth = s_large / s_small;
+        assert!(
+            lr_growth < s_growth,
+            "LR growth {lr_growth:.2} should undercut Seluge growth {s_growth:.2}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "k' must not exceed n")]
+    fn invalid_parameters_panic() {
+        let _ = ack_lr_exact_single(10, 5, 0.1);
+    }
+}

@@ -1,0 +1,121 @@
+//! Expected data-packet transmissions for Seluge (Theorem-1-style).
+//!
+//! Under ARQ broadcast, packet `j` of a page must be received by all `N`
+//! receivers; with i.i.d. loss probability `p` the number of
+//! transmissions of one packet is the maximum of `N` geometric random
+//! variables, so
+//!
+//! ```text
+//! E[T_page] = k · Σ_{t ≥ 0} ( 1 − Π_i (1 − p_i^t) )
+//! ```
+//!
+//! (the `t = 0` term is 1 and accounts for the mandatory first
+//! transmission). This models the data traffic; SNACK/advertisement
+//! overhead is evaluated by simulation (§VI).
+
+/// Expected data-packet transmissions to deliver one `k`-packet page to
+/// `N` receivers with uniform loss probability `p`.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1)`.
+pub fn seluge_expected_data_packets(k: usize, n_receivers: usize, p: f64) -> f64 {
+    seluge_expected_heterogeneous(k, &vec![p; n_receivers])
+}
+
+/// Heterogeneous-loss generalization: receiver `i` loses each packet
+/// independently with probability `loss[i]`.
+///
+/// # Panics
+///
+/// Panics if any probability is outside `[0, 1)`.
+pub fn seluge_expected_heterogeneous(k: usize, loss: &[f64]) -> f64 {
+    assert!(
+        loss.iter().all(|p| (0.0..1.0).contains(p)),
+        "loss probabilities must be in [0, 1)"
+    );
+    if loss.is_empty() {
+        return k as f64;
+    }
+    let mut sum = 0.0f64;
+    let mut t = 0u32;
+    loop {
+        // P[max_i Geom_i > t] = 1 - prod_i (1 - p_i^t).
+        let term = 1.0 - loss.iter().map(|p| 1.0 - p.powi(t as i32)).product::<f64>();
+        sum += term;
+        t += 1;
+        if term < 1e-12 || t > 10_000 {
+            break;
+        }
+    }
+    k as f64 * sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn lossless_is_exactly_k() {
+        assert!((seluge_expected_data_packets(32, 20, 0.0) - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_receiver_is_geometric_mean() {
+        // E[Geom(1-p)] = 1/(1-p) per packet.
+        let p = 0.3;
+        let e = seluge_expected_data_packets(1, 1, p);
+        assert!((e - 1.0 / (1.0 - p)).abs() < 1e-9, "{e}");
+    }
+
+    #[test]
+    fn monotone_in_p_and_n() {
+        let base = seluge_expected_data_packets(32, 10, 0.1);
+        assert!(seluge_expected_data_packets(32, 10, 0.3) > base);
+        assert!(seluge_expected_data_packets(32, 30, 0.1) > base);
+        assert!(seluge_expected_data_packets(64, 10, 0.1) > base);
+    }
+
+    #[test]
+    fn matches_monte_carlo() {
+        let (k, n_rx, p) = (8usize, 5usize, 0.25f64);
+        let analytical = seluge_expected_data_packets(k, n_rx, p);
+        let mut rng = StdRng::seed_from_u64(1);
+        let trials = 20_000;
+        let mut total = 0u64;
+        for _ in 0..trials {
+            for _ in 0..k {
+                // Transmissions until all receivers got this packet.
+                let mut missing = n_rx;
+                while missing > 0 {
+                    total += 1;
+                    let mut still = 0;
+                    for _ in 0..missing {
+                        if rng.gen_bool(p) {
+                            still += 1;
+                        }
+                    }
+                    missing = still;
+                }
+            }
+        }
+        let mc = total as f64 / trials as f64;
+        assert!(
+            (mc - analytical).abs() / analytical < 0.02,
+            "MC {mc} vs analytical {analytical}"
+        );
+    }
+
+    #[test]
+    fn heterogeneous_reduces_to_uniform() {
+        let a = seluge_expected_data_packets(16, 4, 0.2);
+        let b = seluge_expected_heterogeneous(16, &[0.2; 4]);
+        assert!((a - b).abs() < 1e-12);
+        // A single terrible receiver dominates.
+        let c = seluge_expected_heterogeneous(16, &[0.01, 0.01, 0.6]);
+        let d = seluge_expected_heterogeneous(16, &[0.6]);
+        assert!(c >= d);
+    }
+}

@@ -1,0 +1,104 @@
+//! Design-choice ablations.
+//!
+//! 1. **Scheduler** — LR-Seluge with the greedy round-robin tracking
+//!    table (§IV-D-3) vs the same protocol with the Deluge/Seluge
+//!    union-of-bit-vectors rule. Isolates how much of LR-Seluge's win
+//!    comes from the scheduler rather than from erasure coding alone.
+//! 2. **Erasure code** — Reed-Solomon (`k' = k`) vs the XOR code
+//!    (`k' = k + ε`): the reception-overhead cost of XOR-only decoding.
+
+use lr_seluge::{CodeKind, Deployment, GreedyRoundRobinPolicy, LrSelugeParams};
+use lrs_bench::runner::test_image;
+use lrs_bench::{write_csv, Table};
+use lrs_deluge::policy::UnionPolicy;
+use lrs_netsim::medium::MediumConfig;
+use lrs_netsim::node::{NodeId, PacketKind, Protocol};
+use lrs_netsim::sim::{SimConfig, Simulator};
+use lrs_netsim::time::Duration;
+use lrs_netsim::topology::Topology;
+
+fn run_with<P, F>(params: LrSelugeParams, p_loss: f64, seed: u64, make_policy: F) -> (f64, f64, f64)
+where
+    P: lrs_deluge::policy::TxPolicy,
+    F: Fn() -> P,
+    lrs_deluge::engine::DisseminationNode<lr_seluge::LrScheme, P>: Protocol,
+{
+    let image = test_image(params.image_len);
+    let deployment = Deployment::new(&image, params, b"ablation");
+    let cfg = SimConfig {
+        medium: MediumConfig {
+            app_loss: p_loss,
+            ..MediumConfig::default()
+        },
+    };
+    let mut sim = Simulator::new(Topology::star(21), cfg, seed, |id| {
+        deployment.node_with_policy(id, NodeId(0), make_policy())
+    });
+    let report = sim.run(Duration::from_secs(100_000));
+    assert!(report.all_complete, "run stalled");
+    (
+        sim.metrics().tx_packets(PacketKind::Data) as f64,
+        sim.metrics().total_tx_bytes() as f64,
+        report.latency.expect("complete").as_secs_f64(),
+    )
+}
+
+fn avg3(mut f: impl FnMut(u64) -> (f64, f64, f64)) -> (f64, f64, f64) {
+    let mut acc = (0.0, 0.0, 0.0);
+    for seed in 1..=3 {
+        let r = f(seed);
+        acc = (acc.0 + r.0 / 3.0, acc.1 + r.1 / 3.0, acc.2 + r.2 / 3.0);
+    }
+    acc
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let params = LrSelugeParams {
+        image_len: if quick { 4 * 1024 } else { 20 * 1024 },
+        ..LrSelugeParams::default()
+    };
+
+    // --- Ablation 1: scheduler ---------------------------------------
+    println!("Ablation 1: greedy round-robin scheduler vs union rule (N = 20)\n");
+    let mut t = Table::new(vec!["p", "policy", "data_pkts", "total_kbytes", "latency_s"]);
+    for p in [0.1, 0.3] {
+        let greedy = avg3(|s| run_with(params, p, s, GreedyRoundRobinPolicy::new));
+        let union = avg3(|s| run_with(params, p, s, UnionPolicy::new));
+        for (name, m) in [("greedy", greedy), ("union", union)] {
+            t.row(vec![
+                format!("{p}"),
+                name.to_string(),
+                format!("{:.0}", m.0),
+                format!("{:.1}", m.1 / 1024.0),
+                format!("{:.1}", m.2),
+            ]);
+        }
+        println!(
+            "p = {p}: scheduler saves {:.1} % data packets",
+            100.0 * (1.0 - greedy.0 / union.0)
+        );
+    }
+    println!("\n{}", t.render());
+    println!("wrote {}\n", write_csv("ablation_scheduler", &t));
+
+    // --- Ablation 2: erasure code ------------------------------------
+    println!("Ablation 2: Reed-Solomon (k' = k) vs sparse XOR (k' = k + 4)\n");
+    let mut t2 = Table::new(vec!["p", "code", "k_prime", "data_pkts", "total_kbytes", "latency_s"]);
+    for p in [0.1, 0.3] {
+        for kind in [CodeKind::ReedSolomon, CodeKind::SparseXor, CodeKind::Lt] {
+            let kp = LrSelugeParams { code_kind: kind, ..params };
+            let m = avg3(|s| run_with(kp, p, s, GreedyRoundRobinPolicy::new));
+            t2.row(vec![
+                format!("{p}"),
+                format!("{kind:?}"),
+                format!("{}", kp.k_prime()),
+                format!("{:.0}", m.0),
+                format!("{:.1}", m.1 / 1024.0),
+                format!("{:.1}", m.2),
+            ]);
+        }
+    }
+    println!("{}", t2.render());
+    println!("wrote {}", write_csv("ablation_code", &t2));
+}

@@ -1,0 +1,282 @@
+//! Attack-resilience experiments (§III adversary model, §IV-E defences).
+//!
+//! 1. **Bogus-data flood** against LR-Seluge: every forged packet is
+//!    rejected on arrival, no node ever stores a wrong byte, and
+//!    dissemination completes; the same flood against plain Deluge
+//!    corrupts images.
+//! 2. **Forged-signature flood**: the message-specific puzzle absorbs
+//!    the flood — each node still performs exactly one expensive
+//!    signature verification.
+//! 3. **Denial-of-receipt** by a compromised insider: without the
+//!    §IV-E budget the victim keeps serving; with the per-neighbor
+//!    budget its extra transmissions are capped.
+
+use lr_seluge::{Deployment, LrSelugeParams};
+use lrs_bench::runner::test_image;
+use lrs_bench::{write_csv, Table};
+use lrs_deluge::attack::{AttackKind, Attacker, MaybeAdversary};
+use lrs_deluge::engine::{DisseminationNode, EngineConfig, Scheme};
+use lrs_deluge::image::{DelugeImage, DelugeScheme, ImageParams};
+use lrs_deluge::policy::UnionPolicy;
+use lrs_netsim::medium::MediumConfig;
+use lrs_netsim::node::NodeId;
+use lrs_netsim::sim::{SimConfig, Simulator};
+use lrs_netsim::time::Duration;
+use lrs_netsim::topology::Topology;
+
+const N_HONEST: usize = 10;
+
+fn params(image_len: usize) -> LrSelugeParams {
+    LrSelugeParams {
+        image_len,
+        puzzle_strength: 10,
+        ..LrSelugeParams::default()
+    }
+}
+
+/// Runs LR-Seluge with one attacker node; returns
+/// (all honest complete, wrong images, auth rejects, injected).
+fn run_lr_under_attack(
+    image_len: usize,
+    kind: AttackKind,
+    interval: Duration,
+    budget: Option<u32>,
+    seed: u64,
+) -> (bool, usize, u64, u64, u64) {
+    let p = params(image_len);
+    let image = test_image(image_len);
+    let engine = EngineConfig {
+        per_neighbor_item_budget: budget,
+        ..EngineConfig::default()
+    };
+    let deployment = Deployment::new(&image, p, b"attack keys").with_engine_config(engine);
+    let insider_key = deployment.cluster_key().clone();
+    let attacker_id = NodeId((N_HONEST + 1) as u32);
+    let mut sim = Simulator::new(
+        Topology::star(N_HONEST + 2),
+        SimConfig {
+            medium: MediumConfig::default(),
+        },
+        seed,
+        |id| {
+            if id == attacker_id {
+                let a = match &kind {
+                    AttackKind::DenialOfReceipt { .. } => {
+                        Attacker::insider(kind.clone(), interval, p.version, insider_key.clone())
+                    }
+                    other => Attacker::outsider(other.clone(), interval, p.version),
+                };
+                MaybeAdversary::Attacker(a)
+            } else {
+                MaybeAdversary::Honest(deployment.node(id, NodeId(0)))
+            }
+        },
+    );
+    eprintln!("[attack] running scenario...");
+    let report = sim.run(Duration::from_secs(20_000));
+    let mut wrong = 0usize;
+    let mut rejects = 0u64;
+    let mut sig_verifs = 0u64;
+    for i in 1..=N_HONEST as u32 {
+        let node = sim.node(NodeId(i)).honest().expect("honest node");
+        match node.scheme().image() {
+            Some(got) if got == image => {}
+            _ => wrong += 1,
+        }
+        let st = node.stats();
+        rejects += st.auth_rejects + st.mac_rejects + st.out_of_order_drops;
+        sig_verifs += node.scheme().cost().signature_verifications;
+    }
+    let injected = sim.node(attacker_id).attacker().expect("attacker").injected;
+    (report.all_complete, wrong, rejects, sig_verifs, injected)
+}
+
+/// The same bogus-data flood against plain Deluge.
+fn run_deluge_under_attack(image_len: usize, interval: Duration, seed: u64) -> (bool, usize, u64) {
+    let ip = ImageParams {
+        version: 1,
+        image_len,
+        packets_per_page: 32,
+        payload_len: 72,
+    };
+    let image = test_image(image_len);
+    let deluge_image = DelugeImage::new(image.clone(), ip);
+    let key = lrs_crypto::cluster::ClusterKey::derive(b"attack keys", 0);
+    let engine = EngineConfig {
+        authenticate_control: false,
+        ..EngineConfig::default()
+    };
+    let attacker_id = NodeId((N_HONEST + 1) as u32);
+    let mut sim = Simulator::new(
+        Topology::star(N_HONEST + 2),
+        SimConfig {
+            medium: MediumConfig::default(),
+        },
+        seed,
+        |id| {
+            if id == attacker_id {
+                MaybeAdversary::Attacker(Attacker::outsider(
+                    AttackKind::BogusData {
+                        payload_len: ip.payload_len,
+                        index_space: ip.packets_per_page,
+                    },
+                    interval,
+                    1,
+                ))
+            } else {
+                let scheme = if id == NodeId(0) {
+                    DelugeScheme::base(&deluge_image)
+                } else {
+                    DelugeScheme::receiver(ip)
+                };
+                MaybeAdversary::Honest(DisseminationNode::new(
+                    scheme,
+                    UnionPolicy::new(),
+                    key.clone(),
+                    engine,
+                ))
+            }
+        },
+    );
+    eprintln!("[attack] running scenario...");
+    let report = sim.run(Duration::from_secs(20_000));
+    let mut wrong = 0usize;
+    for i in 1..=N_HONEST as u32 {
+        let node = sim.node(NodeId(i)).honest().expect("honest node");
+        match node.scheme().image() {
+            Some(got) if got == image => {}
+            _ => wrong += 1,
+        }
+    }
+    let injected = sim.node(attacker_id).attacker().expect("attacker").injected;
+    (report.all_complete, wrong, injected)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let image_len = if quick { 4 * 1024 } else { 20 * 1024 };
+    let p = params(image_len);
+
+    println!("Attack resilience, one-hop, N = {N_HONEST} honest receivers + 1 attacker\n");
+    let mut t = Table::new(vec![
+        "experiment", "scheme", "injected", "complete", "wrong_images", "rejects",
+        "sig_verifs",
+    ]);
+
+    // 1. Bogus-data flood, increasing intensity.
+    for interval_ms in [800u64, 300, 120] {
+        let (ok, wrong, rejects, sig_verifs, injected) = run_lr_under_attack(
+            image_len,
+            AttackKind::BogusData {
+                payload_len: p.payload_len,
+                index_space: p.n,
+            },
+            Duration::from_millis(interval_ms),
+            None,
+            1,
+        );
+        t.row(vec![
+            format!("bogus-data @{interval_ms}ms"),
+            "lr-seluge".to_string(),
+            format!("{injected}"),
+            format!("{ok}"),
+            format!("{wrong}"),
+            format!("{rejects}"),
+            format!("{sig_verifs}"),
+        ]);
+        assert_eq!(wrong, 0, "LR-Seluge must never store forged data");
+    }
+    let (ok, wrong, injected) = run_deluge_under_attack(image_len, Duration::from_millis(300), 1);
+    t.row(vec![
+        "bogus-data @300ms".to_string(),
+        "deluge (insecure)".to_string(),
+        format!("{injected}"),
+        format!("{ok}"),
+        format!("{wrong}"),
+        "-".to_string(),
+        "-".to_string(),
+    ]);
+
+    // 2. Forged-signature flood.
+    let (ok, wrong, rejects, sig_verifs, injected) = run_lr_under_attack(
+        image_len,
+        AttackKind::ForgedSignature {
+            body_len: lr_seluge::LrArtifacts::signature_body_len(),
+        },
+        Duration::from_millis(400),
+        None,
+        2,
+    );
+    t.row(vec![
+        "forged-signature @400ms".to_string(),
+        "lr-seluge".to_string(),
+        format!("{injected}"),
+        format!("{ok}"),
+        format!("{wrong}"),
+        format!("{rejects}"),
+        format!("{sig_verifs}"),
+    ]);
+    assert_eq!(
+        sig_verifs, N_HONEST as u64,
+        "puzzle must limit each node to one expensive verification"
+    );
+
+    // 3. Denial-of-receipt: victim transmissions with and without budget.
+    println!("Denial-of-receipt (insider SNACK flood at the base station):");
+    let mut dor = Table::new(vec!["budget", "victim_data_pkts", "budget_rejections"]);
+    for budget in [None, Some(3 * p.n as u32)] {
+        let victim_stats = run_denial_of_receipt(image_len, budget);
+        dor.row(vec![
+            budget.map_or("none".to_string(), |b| b.to_string()),
+            format!("{}", victim_stats.0),
+            format!("{}", victim_stats.1),
+        ]);
+    }
+    println!("{}", dor.render());
+
+    println!("{}", t.render());
+    println!("wrote {}", write_csv("attack", &t));
+}
+
+/// Runs the insider denial-of-receipt attack; returns the victim base
+/// station's (data packets sent, budget rejections).
+fn run_denial_of_receipt(image_len: usize, budget: Option<u32>) -> (u64, u64) {
+    let p = params(image_len);
+    let image = test_image(image_len);
+    let engine = EngineConfig {
+        per_neighbor_item_budget: budget,
+        ..EngineConfig::default()
+    };
+    let deployment = Deployment::new(&image, p, b"attack keys").with_engine_config(engine);
+    let insider_key = deployment.cluster_key().clone();
+    let attacker_id = NodeId((N_HONEST + 1) as u32);
+    let mut sim = Simulator::new(
+        Topology::star(N_HONEST + 2),
+        SimConfig {
+            medium: MediumConfig::default(),
+        },
+        3,
+        |id| {
+            if id == attacker_id {
+                MaybeAdversary::Attacker(Attacker::insider(
+                    AttackKind::DenialOfReceipt {
+                        target: NodeId(0),
+                        item: 2,
+                        n_bits: p.n as usize,
+                    },
+                    Duration::from_millis(250),
+                    p.version,
+                    insider_key.clone(),
+                ))
+            } else {
+                MaybeAdversary::Honest(deployment.node(id, NodeId(0)))
+            }
+        },
+    );
+    eprintln!("[attack] running denial-of-receipt...");
+    // Fixed observation window: the unbounded variant is a total DoS and
+    // would otherwise run to any deadline.
+    let _ = sim.run(Duration::from_secs(2_000));
+    let base = sim.node(NodeId(0)).honest().expect("base");
+    (base.stats().data_sent, base.stats().budget_rejections)
+}

@@ -1,0 +1,49 @@
+//! Image-size sweep (§VI-C: "we have simulated the impact of different
+//! image sizes in both one-hop and multi-hop networks and observed
+//! similar advantages of LR-Seluge over Seluge").
+
+use lr_seluge::LrSelugeParams;
+use lrs_bench::{average, matched_seluge_params, run_lr, run_seluge, write_csv, RunSpec, Table};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let seeds = if quick { 1 } else { 3 };
+    let p = 0.2f64;
+    let n_rx = 20usize;
+    let sizes: &[usize] = if quick {
+        &[4 * 1024, 16 * 1024]
+    } else {
+        &[4 * 1024, 10 * 1024, 20 * 1024, 40 * 1024, 80 * 1024]
+    };
+
+    let mut t = Table::new(vec![
+        "image_kb", "scheme", "data_pkts", "total_kbytes", "latency_s", "byte_saving_pct",
+    ]);
+    println!("Image-size sweep: one-hop, N = {n_rx}, p = {p} (seeds = {seeds})\n");
+    for &size in sizes {
+        let lr = LrSelugeParams {
+            image_len: size,
+            ..LrSelugeParams::default()
+        };
+        let spec = RunSpec::one_hop(n_rx, p);
+        let m_lr = average(seeds, |seed| run_lr(&spec, lr, seed));
+        let m_s = average(seeds, |seed| run_seluge(&spec, matched_seluge_params(&lr), seed));
+        let saving = 100.0 * (1.0 - m_lr.total_bytes / m_s.total_bytes);
+        for (name, m) in [("lr-seluge", &m_lr), ("seluge", &m_s)] {
+            t.row(vec![
+                format!("{}", size / 1024),
+                name.to_string(),
+                format!("{:.0}", m.data_pkts),
+                format!("{:.1}", m.total_bytes / 1024.0),
+                format!("{:.1}", m.latency_s),
+                if name == "lr-seluge" {
+                    format!("{saving:.1}")
+                } else {
+                    "-".to_string()
+                },
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!("wrote {}", write_csv("imgsize", &t));
+}

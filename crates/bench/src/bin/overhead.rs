@@ -1,0 +1,114 @@
+//! Computation overhead (§V-B): cryptographic and coding work per
+//! receiver for LR-Seluge vs Seluge over one full image.
+//!
+//! The paper's qualitative claims: both schemes verify exactly one
+//! signature per image (guarded by the puzzle); both hash every received
+//! data packet once; LR-Seluge additionally pays one erasure decode per
+//! page at every node and one encode per page at every *serving* node —
+//! the price of loss resilience, affordable because the codes are
+//! GF(256) table arithmetic (see `cargo bench -p lrs-bench` for the
+//! per-operation costs).
+
+use lr_seluge::{Deployment, LrSelugeParams};
+use lrs_bench::runner::test_image;
+use lrs_bench::{matched_seluge_params, write_csv, Table};
+use lrs_crypto::cluster::ClusterKey;
+use lrs_crypto::puzzle::{Puzzle, PuzzleKeyChain};
+use lrs_crypto::schnorr::Keypair;
+use lrs_deluge::engine::{CryptoCost, DisseminationNode, EngineConfig, Scheme};
+use lrs_deluge::policy::UnionPolicy;
+use lrs_netsim::medium::MediumConfig;
+use lrs_netsim::node::NodeId;
+use lrs_netsim::sim::{SimConfig, Simulator};
+use lrs_netsim::time::Duration;
+use lrs_netsim::topology::Topology;
+use lrs_seluge::{SelugeArtifacts, SelugeParams, SelugeScheme};
+
+fn mean_receiver_cost<S: Scheme, P: lrs_deluge::policy::TxPolicy>(
+    sim: &Simulator<DisseminationNode<S, P>>,
+) -> CryptoCost {
+    let n = sim.topology().len();
+    let mut acc = CryptoCost::default();
+    for i in 1..n {
+        let c = sim.node(NodeId(i as u32)).scheme().cost();
+        acc.hashes += c.hashes;
+        acc.signature_verifications += c.signature_verifications;
+        acc.puzzle_checks += c.puzzle_checks;
+        acc.decodes += c.decodes;
+        acc.encodes += c.encodes;
+    }
+    let d = (n - 1) as u64;
+    CryptoCost {
+        hashes: acc.hashes / d,
+        signature_verifications: acc.signature_verifications / d,
+        puzzle_checks: acc.puzzle_checks / d,
+        decodes: acc.decodes / d,
+        encodes: acc.encodes / d,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let image_len = if quick { 4 * 1024 } else { 20 * 1024 };
+    let p_loss = 0.2f64;
+    let n_rx = 10usize;
+    let lr_params = LrSelugeParams {
+        image_len,
+        ..LrSelugeParams::default()
+    };
+    let s_params: SelugeParams = matched_seluge_params(&lr_params);
+    let image = test_image(image_len);
+    let cfg = SimConfig {
+        medium: MediumConfig {
+            app_loss: p_loss,
+            ..MediumConfig::default()
+        },
+    };
+
+    // LR-Seluge run.
+    let deployment = Deployment::new(&image, lr_params, b"overhead");
+    let mut lr_sim = Simulator::new(Topology::star(n_rx + 1), cfg, 5, |id| {
+        deployment.node(id, NodeId(0))
+    });
+    assert!(lr_sim.run(Duration::from_secs(100_000)).all_complete);
+    let lr_cost = mean_receiver_cost(&lr_sim);
+
+    // Seluge run.
+    let kp = Keypair::from_seed(b"overhead");
+    let chain = PuzzleKeyChain::generate(b"overhead", 4);
+    let artifacts = SelugeArtifacts::build(&image, s_params, &kp, &chain);
+    let puzzle = Puzzle::new(chain.anchor(), s_params.puzzle_strength);
+    let key = ClusterKey::derive(b"overhead", 0);
+    let mut s_sim = Simulator::new(Topology::star(n_rx + 1), cfg, 5, |id| {
+        let scheme = if id == NodeId(0) {
+            SelugeScheme::base(&artifacts, kp.public(), puzzle)
+        } else {
+            SelugeScheme::receiver(s_params, kp.public(), puzzle)
+        };
+        DisseminationNode::new(scheme, UnionPolicy::new(), key.clone(), EngineConfig::default())
+    });
+    assert!(s_sim.run(Duration::from_secs(100_000)).all_complete);
+    let s_cost = mean_receiver_cost(&s_sim);
+
+    println!(
+        "Computation overhead per receiver: one-hop, N = {n_rx}, p = {p_loss}, image {} KB\n",
+        image_len / 1024
+    );
+    let mut t = Table::new(vec![
+        "scheme", "hashes", "sig_verifications", "puzzle_checks", "decodes", "encodes",
+    ]);
+    for (name, c) in [("lr-seluge", lr_cost), ("seluge", s_cost)] {
+        t.row(vec![
+            name.to_string(),
+            format!("{}", c.hashes),
+            format!("{}", c.signature_verifications),
+            format!("{}", c.puzzle_checks),
+            format!("{}", c.decodes),
+            format!("{}", c.encodes),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("wrote {}", write_csv("overhead", &t));
+    assert_eq!(lr_cost.signature_verifications, 1);
+    assert_eq!(s_cost.signature_verifications, 1);
+}

@@ -1,0 +1,50 @@
+//! Diagnostic probe for large-N one-hop LR-Seluge runs.
+use lr_seluge::{Deployment, LrSelugeParams};
+use lrs_bench::runner::test_image;
+use lrs_deluge::engine::Scheme as _;
+use lrs_netsim::medium::MediumConfig;
+use lrs_netsim::node::{NodeId, PacketKind};
+use lrs_netsim::sim::{SimConfig, Simulator};
+use lrs_netsim::time::Duration;
+use lrs_netsim::topology::Topology;
+
+fn main() {
+    let n_rx: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(35);
+    let seed: u64 = std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(1);
+    let p_loss: f64 = std::env::args().nth(3).and_then(|a| a.parse().ok()).unwrap_or(0.1);
+    let params = LrSelugeParams::default(); // 20 KB
+    let image = test_image(params.image_len);
+    let deployment = Deployment::new(&image, params, b"probe");
+    let cfg = SimConfig {
+        medium: MediumConfig { app_loss: p_loss, ..MediumConfig::default() },
+    };
+    let mut sim = Simulator::new(Topology::star(n_rx + 1), cfg, seed, |id| {
+        deployment.node(id, NodeId(0))
+    });
+    let report = sim.run(Duration::from_secs(100_000));
+    let m = sim.metrics();
+    println!(
+        "N={n_rx} seed={seed} p={p_loss} complete={} latency={:?} data={} hp={} snack={} adv={} coll={} phy={} app={}",
+        report.all_complete, report.latency,
+        m.tx_packets(PacketKind::Data), m.tx_packets(PacketKind::HashPage),
+        m.tx_packets(PacketKind::Snack), m.tx_packets(PacketKind::Adv),
+        m.collision_losses(), m.phy_losses(), m.app_drops()
+    );
+    let mut per_item_completion: Vec<(u32, u16)> = Vec::new();
+    for i in 0..=n_rx as u32 {
+        let node = sim.node(NodeId(i));
+        let s = node.stats();
+        per_item_completion.push((i, node.scheme().complete_items()));
+        if s.gave_up > 0 || s.snacks_sent > 60 || s.out_of_order_drops > 200 {
+            println!(
+                "  node {i}: level={} snacks={} data_sent={} advs={} dup={} ooo={} gave_up={}",
+                node.scheme().complete_items(), s.snacks_sent, s.data_sent, s.advs_sent,
+                s.duplicates, s.out_of_order_drops, s.gave_up
+            );
+        }
+    }
+    let total_snacks: u64 = (0..=n_rx as u32).map(|i| sim.node(NodeId(i)).stats().snacks_sent).sum();
+    let total_gaveup: u64 = (0..=n_rx as u32).map(|i| sim.node(NodeId(i)).stats().gave_up).sum();
+    let total_dup: u64 = (0..=n_rx as u32).map(|i| sim.node(NodeId(i)).stats().duplicates).sum();
+    println!("totals: snacks={total_snacks} gave_up={total_gaveup} duplicates={total_dup}");
+}

@@ -1,0 +1,28 @@
+//! Experiment harness for the LR-Seluge reproduction.
+//!
+//! One binary per figure/table of the paper's evaluation (§VI):
+//!
+//! | Binary     | Paper artifact | What it sweeps |
+//! |------------|----------------|----------------|
+//! | `fig3`     | Fig. 3(a)/(b)  | One-page data-packet count vs `p` and vs `N`: analytical Seluge, analytical ACK-based LR-Seluge, simulated Seluge, simulated LR-Seluge |
+//! | `fig4`     | Fig. 4(a)–(e)  | One-hop, `N = 20`, 20 KB image, sweep `p`: five metrics for LR-Seluge vs Seluge |
+//! | `fig5`     | Fig. 5(a)–(e)  | One-hop, `p = 0.1`, sweep `N` |
+//! | `fig6`     | Fig. 6(a)–(e)  | LR-Seluge, `k = 32`, sweep coding rate `n/k` under several `p` |
+//! | `table2_3` | Tables II/III  | 15×15 multi-hop grids (tight/medium density) with bursty noise |
+//! | `attack`   | §IV-E claims   | Bogus-data / forged-signature floods; Deluge corruption contrast; denial-of-receipt budget |
+//! | `imgsize`  | §VI-C          | Image-size sweep (4–80 KB) |
+//! | `ablation` | design choices | Greedy scheduler vs union rule; RS vs XOR vs LT page codes |
+//! | `overhead` | §V-B           | Per-receiver hashes / signature verifications / erasure ops |
+//! | `probe`    | diagnostics    | One run with per-node statistics (`LRS_TRACE=1` for a TX/SNACK trace) |
+//!
+//! Run any of them with `cargo run -p lrs-bench --release --bin <name>`.
+//! Each prints the paper-style series and writes a CSV next to it under
+//! `results/`.
+
+pub mod runner;
+pub mod table;
+
+pub use runner::{
+    average, matched_seluge_params, run_deluge, run_lr, run_seluge, ExperimentMetrics, RunSpec,
+};
+pub use table::{write_csv, Table};

@@ -1,0 +1,149 @@
+//! A convenience facade bundling key material, preprocessing and node
+//! construction for a whole deployment.
+
+use crate::params::LrSelugeParams;
+use crate::preprocess::LrArtifacts;
+use crate::scheduler::GreedyRoundRobinPolicy;
+use crate::scheme::LrScheme;
+use lrs_crypto::cluster::ClusterKey;
+use lrs_crypto::leap::LeapKeyring;
+use lrs_crypto::puzzle::{Puzzle, PuzzleKeyChain};
+use lrs_crypto::schnorr::{Keypair, PublicKey};
+use lrs_deluge::engine::{DisseminationNode, EngineConfig};
+use lrs_deluge::policy::TxPolicy;
+use lrs_netsim::node::NodeId;
+
+/// An LR-Seluge protocol node, ready for the simulator.
+pub type LrNode = DisseminationNode<LrScheme, GreedyRoundRobinPolicy>;
+
+/// A prepared deployment: one image, one base-station keypair, one
+/// cluster key, preprocessed artifacts.
+#[derive(Clone)]
+pub struct Deployment {
+    artifacts: LrArtifacts,
+    pubkey: PublicKey,
+    puzzle: Puzzle,
+    cluster_key: ClusterKey,
+    engine: EngineConfig,
+    /// Initial network key for LEAP bootstrap, when enabled.
+    leap_seed: Option<Vec<u8>>,
+}
+
+impl Deployment {
+    /// Preprocesses `image` with keys derived from `seed_material`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are inconsistent or the image length does
+    /// not match `params.image_len`.
+    pub fn new(image: &[u8], params: LrSelugeParams, seed_material: &[u8]) -> Self {
+        let keypair = Keypair::from_seed(seed_material);
+        let chain = PuzzleKeyChain::generate(seed_material, params.version as u32 + 4);
+        let artifacts = LrArtifacts::build(image, params, &keypair, &chain);
+        Deployment {
+            artifacts,
+            pubkey: keypair.public(),
+            puzzle: Puzzle::new(chain.anchor(), params.puzzle_strength),
+            cluster_key: ClusterKey::derive(seed_material, 0),
+            engine: EngineConfig::default(),
+            leap_seed: None,
+        }
+    }
+
+    /// Enables LEAP pairwise source authentication of SNACK packets (the
+    /// paper's §IV-E proposal, required for a spoof-proof
+    /// denial-of-receipt budget).
+    pub fn with_leap(mut self, initial_network_key: &[u8]) -> Self {
+        self.leap_seed = Some(initial_network_key.to_vec());
+        self
+    }
+
+    /// Overrides the engine configuration (timers, retry limits,
+    /// denial-of-receipt budget).
+    pub fn with_engine_config(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The preprocessed artifacts.
+    pub fn artifacts(&self) -> &LrArtifacts {
+        &self.artifacts
+    }
+
+    /// The deployment-wide cluster key.
+    pub fn cluster_key(&self) -> &ClusterKey {
+        &self.cluster_key
+    }
+
+    /// Layout parameters.
+    pub fn params(&self) -> LrSelugeParams {
+        self.artifacts.params()
+    }
+
+    /// Builds a node with a custom TX policy (used by the scheduler
+    /// ablation, which runs LR-Seluge with the Deluge/Seluge union rule
+    /// instead of the greedy round-robin scheduler).
+    pub fn node_with_policy<P: TxPolicy>(
+        &self,
+        id: NodeId,
+        base_id: NodeId,
+        policy: P,
+    ) -> DisseminationNode<LrScheme, P> {
+        let scheme = if id == base_id {
+            LrScheme::base(&self.artifacts, self.pubkey, self.puzzle)
+        } else {
+            LrScheme::receiver(self.params(), self.pubkey, self.puzzle)
+        };
+        let node = DisseminationNode::new(scheme, policy, self.cluster_key.clone(), self.engine);
+        match &self.leap_seed {
+            Some(seed) => node.with_leap(LeapKeyring::bootstrap(seed, id.0)),
+            None => node,
+        }
+    }
+
+    /// Builds the protocol node for `id` (`base_id` gets the full image).
+    pub fn node(&self, id: NodeId, base_id: NodeId) -> LrNode {
+        let scheme = if id == base_id {
+            LrScheme::base(&self.artifacts, self.pubkey, self.puzzle)
+        } else {
+            LrScheme::receiver(self.params(), self.pubkey, self.puzzle)
+        };
+        let node = DisseminationNode::new(
+            scheme,
+            GreedyRoundRobinPolicy::new(),
+            self.cluster_key.clone(),
+            self.engine,
+        );
+        match &self.leap_seed {
+            Some(seed) => node.with_leap(LeapKeyring::bootstrap(seed, id.0)),
+            None => node,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrs_netsim::node::Protocol as _;
+
+    #[test]
+    fn deployment_builds_base_and_receivers() {
+        let params = LrSelugeParams {
+            image_len: 512,
+            k: 4,
+            n: 6,
+            payload_len: 48,
+            k0: 2,
+            n0: 4,
+            puzzle_strength: 4,
+            ..LrSelugeParams::default()
+        };
+        let image = vec![0x5a; 512];
+        let d = Deployment::new(&image, params, b"seed");
+        let base = d.node(NodeId(0), NodeId(0));
+        let rx = d.node(NodeId(1), NodeId(0));
+        assert!(base.is_complete());
+        assert!(!rx.is_complete());
+        assert_eq!(base.scheme().image().unwrap(), image);
+    }
+}

@@ -1,0 +1,391 @@
+//! Base-station code-image preprocessing (paper §IV-C, Fig. 1).
+//!
+//! Pages are processed in reverse order. For page `i` the base station
+//! takes the page's plaintext, appends the hash images
+//! `h_{i+1,1} ‖ … ‖ h_{i+1,n}` of the *next* page's encoded packets
+//! (zeros for the last page), splits the result into `k` blocks and
+//! applies the fixed-rate code `f` to obtain the `n` encoded packets.
+//! The hashes of page 1's packets form the hash page `M0`, which is
+//! encoded with `f0` into `n0 = 2^d` blocks; a depth-`d` Merkle tree over
+//! those blocks supplies per-packet authenticators and its root is
+//! signed (with a message-specific puzzle as weak authenticator).
+
+use crate::packet_hash;
+use crate::params::LrSelugeParams;
+use lrs_crypto::hash::Digest;
+use lrs_crypto::merkle::MerkleTree;
+use lrs_crypto::puzzle::{PuzzleKeyChain, PuzzleSolution};
+use lrs_crypto::schnorr::{Keypair, SIGNATURE_LEN};
+use lrs_crypto::sha256::sha256_concat;
+use crate::code::PageCode;
+use lrs_erasure::ErasureCode;
+
+/// Everything the base station precomputes for one image.
+#[derive(Clone, Debug)]
+pub struct LrArtifacts {
+    params: LrSelugeParams,
+    /// `page_packets[i][j]` = encoded block `e_{i,j}` (wire item `i+2`).
+    page_packets: Vec<Vec<Vec<u8>>>,
+    /// Decoded page inputs (plaintext ‖ hash region), `k·payload` bytes
+    /// each — what intermediate nodes hold after decoding.
+    page_inputs: Vec<Vec<u8>>,
+    /// Hash-page packet payloads (encoded block ‖ Merkle path).
+    hash_page_packets: Vec<Vec<u8>>,
+    signature_body: Vec<u8>,
+    root: Digest,
+}
+
+impl LrArtifacts {
+    /// Runs the full preprocessing pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image.len() != params.image_len` or the parameters are
+    /// inconsistent (see [`LrSelugeParams::validate`]).
+    pub fn build(
+        image: &[u8],
+        params: LrSelugeParams,
+        keypair: &Keypair,
+        puzzle_chain: &PuzzleKeyChain,
+    ) -> Self {
+        params.validate().expect("invalid parameters");
+        assert_eq!(image.len(), params.image_len, "image length mismatch");
+        let g = params.pages() as usize;
+        let code = PageCode::new(params.code_kind, params.k as usize, params.n as usize)
+            .expect("params validated");
+        let mut padded = image.to_vec();
+        padded.resize(g * params.page_capacity(), 0);
+
+        let mut page_packets: Vec<Vec<Vec<u8>>> = vec![Vec::new(); g];
+        let mut page_inputs: Vec<Vec<u8>> = vec![Vec::new(); g];
+        let mut next_hashes = vec![0u8; params.hash_region_len()];
+        for i in (0..g).rev() {
+            let item = (i + 2) as u16;
+            let mut input =
+                padded[i * params.page_capacity()..(i + 1) * params.page_capacity()].to_vec();
+            input.extend_from_slice(&next_hashes);
+            debug_assert_eq!(input.len(), params.k as usize * params.payload_len);
+            let blocks: Vec<Vec<u8>> = input
+                .chunks(params.payload_len)
+                .map(|c| c.to_vec())
+                .collect();
+            let encoded = code.encode(&blocks).expect("consistent shapes");
+            next_hashes = encoded
+                .iter()
+                .enumerate()
+                .flat_map(|(j, e)| packet_hash(params.version, item, j as u16, e).0)
+                .collect();
+            page_inputs[i] = input;
+            page_packets[i] = encoded;
+        }
+
+        // Hash page M0 = hashes of page 0's (wire item 2's) packets.
+        let code0 = PageCode::new(params.code_kind, params.k0 as usize, params.n0 as usize)
+            .expect("params validated");
+        let mut m0 = next_hashes;
+        m0.resize(params.hash_block_len() * params.k0 as usize, 0);
+        let blocks0: Vec<Vec<u8>> = m0
+            .chunks(params.hash_block_len())
+            .map(|c| c.to_vec())
+            .collect();
+        let encoded0 = code0.encode(&blocks0).expect("consistent shapes");
+        let tree = MerkleTree::build(encoded0.iter().map(|b| b.as_slice()));
+        let hash_page_packets: Vec<Vec<u8>> = encoded0
+            .iter()
+            .enumerate()
+            .map(|(j, block)| {
+                let mut payload = block.clone();
+                for sib in tree.proof(j).siblings() {
+                    payload.extend_from_slice(&sib.0);
+                }
+                payload
+            })
+            .collect();
+
+        let root = tree.root();
+        let signed = Self::signed_message(&params, &root);
+        let signature = keypair.sign(&signed.0);
+        // The puzzle covers the signed message *and* the signature bytes,
+        // so any tampering fails the cheap check before the expensive
+        // verification runs.
+        let mut puzzle_msg = signed.0.to_vec();
+        puzzle_msg.extend_from_slice(&signature.to_bytes());
+        let puzzle_sol = {
+            let puzzle =
+                lrs_crypto::puzzle::Puzzle::new(puzzle_chain.anchor(), params.puzzle_strength);
+            puzzle_chain.solve(&puzzle, params.version as u32, &puzzle_msg)
+        };
+        let mut signature_body = Vec::new();
+        signature_body.extend_from_slice(&root.0);
+        signature_body.extend_from_slice(&signature.to_bytes());
+        signature_body.extend_from_slice(&puzzle_sol.key.0);
+        signature_body.extend_from_slice(&puzzle_sol.solution.to_be_bytes());
+
+        LrArtifacts {
+            params,
+            page_packets,
+            page_inputs,
+            hash_page_packets,
+            signature_body,
+            root,
+        }
+    }
+
+    /// The message covered by the signature (binds root to parameters).
+    pub fn signed_message(params: &LrSelugeParams, root: &Digest) -> Digest {
+        sha256_concat(&[
+            b"lr-seluge-root",
+            &params.version.to_be_bytes(),
+            &(params.image_len as u64).to_be_bytes(),
+            &params.k.to_be_bytes(),
+            &params.n.to_be_bytes(),
+            &params.k0.to_be_bytes(),
+            &params.n0.to_be_bytes(),
+            &(params.payload_len as u32).to_be_bytes(),
+            &[match params.code_kind {
+                crate::code::CodeKind::ReedSolomon => 0u8,
+                crate::code::CodeKind::SparseXor => 1u8,
+                crate::code::CodeKind::Lt => 2u8,
+            }],
+            &root.0,
+        ])
+    }
+
+    /// Wire length of the signature body.
+    pub fn signature_body_len() -> usize {
+        32 + SIGNATURE_LEN + 32 + 8
+    }
+
+    /// Splits a signature body into `(root, signature, puzzle solution)`.
+    pub fn parse_signature_body(
+        body: &[u8],
+    ) -> Option<(Digest, [u8; SIGNATURE_LEN], PuzzleSolution)> {
+        if body.len() != Self::signature_body_len() {
+            return None;
+        }
+        let mut root = [0u8; 32];
+        root.copy_from_slice(&body[..32]);
+        let mut sig = [0u8; SIGNATURE_LEN];
+        sig.copy_from_slice(&body[32..32 + SIGNATURE_LEN]);
+        let mut key = [0u8; 32];
+        key.copy_from_slice(&body[32 + SIGNATURE_LEN..64 + SIGNATURE_LEN]);
+        let mut sol = [0u8; 8];
+        sol.copy_from_slice(&body[64 + SIGNATURE_LEN..]);
+        Some((
+            Digest(root),
+            sig,
+            PuzzleSolution {
+                key: Digest(key),
+                solution: u64::from_be_bytes(sol),
+            },
+        ))
+    }
+
+    /// Layout parameters.
+    pub fn params(&self) -> LrSelugeParams {
+        self.params
+    }
+
+    /// Merkle root over the encoded hash page.
+    pub fn root(&self) -> Digest {
+        self.root
+    }
+
+    /// The signature packet body.
+    pub fn signature_body(&self) -> &[u8] {
+        &self.signature_body
+    }
+
+    /// Encoded hash-page packet `j` (block ‖ Merkle path).
+    pub fn hash_page_packet(&self, j: u16) -> &[u8] {
+        &self.hash_page_packets[j as usize]
+    }
+
+    /// Encoded block `e_{i,j}` of 0-based page `i`.
+    pub fn page_packet(&self, i: u16, j: u16) -> &[u8] {
+        &self.page_packets[i as usize][j as usize]
+    }
+
+    /// Decoded input (plaintext ‖ hash region) of 0-based page `i`.
+    pub fn page_input(&self, i: u16) -> &[u8] {
+        &self.page_inputs[i as usize]
+    }
+
+    /// The hash images `h_{i+1,*}` chained into 0-based page `i`.
+    pub fn chained_hashes(&self, i: u16) -> &[u8] {
+        let input = self.page_input(i);
+        &input[self.params.page_capacity()..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrs_crypto::hash::HASH_IMAGE_LEN;
+    use lrs_erasure::ReedSolomon;
+
+    fn small_params() -> LrSelugeParams {
+        LrSelugeParams {
+            version: 1,
+            image_len: 700,
+            k: 4,
+            n: 6,
+            payload_len: 48,
+            k0: 2,
+            n0: 4,
+            puzzle_strength: 4,
+            ..LrSelugeParams::default()
+        }
+    }
+
+    fn build() -> (LrArtifacts, Vec<u8>) {
+        let params = small_params();
+        let image: Vec<u8> = (0..params.image_len as u32).map(|i| (i % 247) as u8).collect();
+        let kp = Keypair::from_seed(b"bs");
+        let chain = PuzzleKeyChain::generate(b"puzzles", 4);
+        (LrArtifacts::build(&image, params, &kp, &chain), image)
+    }
+
+    #[test]
+    fn geometry() {
+        let p = small_params();
+        // capacity = 4*48 - 6*8 = 144; 700/144 → 5 pages.
+        assert_eq!(p.page_capacity(), 144);
+        assert_eq!(p.pages(), 5);
+        assert_eq!(p.hash_page_len(), 48);
+        assert_eq!(p.hash_block_len(), 24);
+        assert_eq!(p.merkle_depth(), 2);
+    }
+
+    #[test]
+    fn chained_hashes_match_next_page_packets() {
+        let (art, _) = build();
+        let p = art.params();
+        for i in 0..p.pages() - 1 {
+            let chained = art.chained_hashes(i);
+            for j in 0..p.n {
+                let expected =
+                    packet_hash(p.version, (i + 1) + 2, j, art.page_packet(i + 1, j));
+                let off = j as usize * HASH_IMAGE_LEN;
+                assert_eq!(
+                    &chained[off..off + HASH_IMAGE_LEN],
+                    expected.0,
+                    "page {i} hash {j}"
+                );
+            }
+        }
+        // Last page chains to zeros.
+        assert!(art.chained_hashes(p.pages() - 1).iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn page_packets_are_the_erasure_encoding_of_the_input() {
+        let (art, _) = build();
+        let p = art.params();
+        let code = ReedSolomon::new(p.k as usize, p.n as usize).unwrap();
+        for i in 0..p.pages() {
+            let blocks: Vec<Vec<u8>> = art
+                .page_input(i)
+                .chunks(p.payload_len)
+                .map(|c| c.to_vec())
+                .collect();
+            let encoded = code.encode(&blocks).unwrap();
+            for j in 0..p.n {
+                assert_eq!(art.page_packet(i, j), &encoded[j as usize][..], "page {i} pkt {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn any_k_packets_decode_a_page() {
+        let (art, image) = build();
+        let p = art.params();
+        let code = ReedSolomon::new(p.k as usize, p.n as usize).unwrap();
+        // Decode page 0 from its last k packets and recover the image
+        // prefix.
+        let subset: Vec<(usize, Vec<u8>)> = (p.n - p.k..p.n)
+            .map(|j| (j as usize, art.page_packet(0, j).to_vec()))
+            .collect();
+        let blocks = code.decode(&subset, p.payload_len).unwrap();
+        let input: Vec<u8> = blocks.concat();
+        assert_eq!(&input[..p.page_capacity()], &image[..p.page_capacity()]);
+        assert_eq!(&input[..], art.page_input(0));
+    }
+
+    #[test]
+    fn hash_page_decodes_to_page0_hashes() {
+        let (art, _) = build();
+        let p = art.params();
+        let code0 = ReedSolomon::new(p.k0 as usize, p.n0 as usize).unwrap();
+        let subset: Vec<(usize, Vec<u8>)> = (0..p.k0)
+            .map(|j| {
+                (
+                    j as usize,
+                    art.hash_page_packet(j)[..p.hash_block_len()].to_vec(),
+                )
+            })
+            .collect();
+        let m0: Vec<u8> = code0
+            .decode(&subset, p.hash_block_len())
+            .unwrap()
+            .concat();
+        for j in 0..p.n {
+            let expected = packet_hash(p.version, 2, j, art.page_packet(0, j));
+            let off = j as usize * HASH_IMAGE_LEN;
+            assert_eq!(&m0[off..off + HASH_IMAGE_LEN], expected.0, "hash {j}");
+        }
+    }
+
+    #[test]
+    fn merkle_paths_verify() {
+        let (art, _) = build();
+        let p = art.params();
+        for j in 0..p.n0 {
+            let payload = art.hash_page_packet(j);
+            let block = &payload[..p.hash_block_len()];
+            let siblings: Vec<Digest> = payload[p.hash_block_len()..]
+                .chunks(32)
+                .map(|c| {
+                    let mut d = [0u8; 32];
+                    d.copy_from_slice(c);
+                    Digest(d)
+                })
+                .collect();
+            let proof = lrs_crypto::merkle::MerkleProof::from_parts(j as usize, siblings);
+            assert!(proof.verify(block, &art.root()), "block {j}");
+        }
+    }
+
+    #[test]
+    fn signature_body_verifies() {
+        let params = small_params();
+        let image: Vec<u8> = vec![7; params.image_len];
+        let kp = Keypair::from_seed(b"bs");
+        let chain = PuzzleKeyChain::generate(b"puzzles", 4);
+        let art = LrArtifacts::build(&image, params, &kp, &chain);
+        let (root, sig_bytes, sol) =
+            LrArtifacts::parse_signature_body(art.signature_body()).unwrap();
+        let signed = LrArtifacts::signed_message(&params, &root);
+        let sig = lrs_crypto::schnorr::Signature::from_bytes(&sig_bytes).unwrap();
+        assert!(kp.public().verify(&signed.0, &sig));
+        let puzzle = lrs_crypto::puzzle::Puzzle::new(chain.anchor(), params.puzzle_strength);
+        let mut puzzle_msg = signed.0.to_vec();
+        puzzle_msg.extend_from_slice(&sig_bytes);
+        assert!(puzzle.verify(params.version as u32, &puzzle_msg, &sol));
+    }
+
+    #[test]
+    fn deterministic_preprocessing() {
+        // Two base stations with the same inputs produce identical
+        // packets — required because receivers chain hashes over them.
+        let (a, _) = build();
+        let (b, _) = build();
+        let p = a.params();
+        for i in 0..p.pages() {
+            for j in 0..p.n {
+                assert_eq!(a.page_packet(i, j), b.page_packet(i, j));
+            }
+        }
+        assert_eq!(a.root(), b.root());
+    }
+}

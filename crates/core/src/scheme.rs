@@ -1,0 +1,590 @@
+//! The LR-Seluge per-node [`Scheme`] implementation (paper §IV-D/E).
+//!
+//! Reception: any `k'` authenticated encoded packets decode a page; the
+//! decoded input simultaneously yields the plaintext *and* the hash
+//! images that authenticate the next page's packets. Serving: a node
+//! that decoded a page re-applies the same erasure code `f` — producing
+//! byte-identical packets, whose hash images the requester already
+//! holds — exactly as §IV-D-3 describes for nodes in the TX state.
+
+use crate::packet_hash;
+use crate::params::LrSelugeParams;
+use crate::preprocess::LrArtifacts;
+use lrs_crypto::hash::{Digest, HashImage, HASH_IMAGE_LEN};
+use lrs_crypto::merkle::{MerkleProof, MerkleTree};
+use lrs_crypto::puzzle::Puzzle;
+use lrs_crypto::schnorr::{PublicKey, Signature};
+use lrs_deluge::engine::{CryptoCost, PacketDisposition, Scheme};
+use lrs_deluge::wire::BitVec;
+use crate::code::PageCode;
+use lrs_erasure::{CodeError, ErasureCode};
+use lrs_netsim::node::PacketKind;
+use std::collections::HashMap;
+
+/// Per-node LR-Seluge state (base station or receiver).
+#[derive(Clone, Debug)]
+pub struct LrScheme {
+    params: LrSelugeParams,
+    pubkey: PublicKey,
+    puzzle: Puzzle,
+    code: PageCode,
+    code0: PageCode,
+    complete: u16,
+    signature_body: Option<Vec<u8>>,
+    root: Option<Digest>,
+    /// Received hash-page packets (block ‖ path), by index.
+    hp_received: Vec<Option<Vec<u8>>>,
+    hp_count: usize,
+    /// Decoded `M0` source blocks, once available.
+    hp_blocks: Option<Vec<Vec<u8>>>,
+    /// Regenerated hash-page packets for serving (lazy).
+    hp_cache: Option<Vec<Vec<u8>>>,
+    /// Received encoded packets of the page being collected.
+    cur_received: Vec<Option<Vec<u8>>>,
+    cur_count: usize,
+    /// Expected hash images for the current page's `n` packets.
+    expected: Vec<HashImage>,
+    /// Decoded inputs (plaintext ‖ hash region) of completed pages.
+    page_inputs: Vec<Vec<u8>>,
+    /// Re-encoded packets per completed page, built on first serve.
+    encoded_cache: HashMap<u16, Vec<Vec<u8>>>,
+    cost: CryptoCost,
+}
+
+impl LrScheme {
+    /// A receiver that has nothing yet.
+    pub fn receiver(params: LrSelugeParams, pubkey: PublicKey, puzzle: Puzzle) -> Self {
+        params.validate().expect("invalid parameters");
+        LrScheme {
+            params,
+            pubkey,
+            puzzle,
+            code: PageCode::new(params.code_kind, params.k as usize, params.n as usize)
+                .expect("validated"),
+            code0: PageCode::new(params.code_kind, params.k0 as usize, params.n0 as usize)
+                .expect("validated"),
+            complete: 0,
+            signature_body: None,
+            root: None,
+            hp_received: vec![None; params.n0 as usize],
+            hp_count: 0,
+            hp_blocks: None,
+            hp_cache: None,
+            cur_received: vec![None; params.n as usize],
+            cur_count: 0,
+            expected: Vec::new(),
+            page_inputs: Vec::new(),
+            encoded_cache: HashMap::new(),
+            cost: CryptoCost::default(),
+        }
+    }
+
+    /// The base station: everything precomputed and complete.
+    pub fn base(artifacts: &LrArtifacts, pubkey: PublicKey, puzzle: Puzzle) -> Self {
+        let params = artifacts.params();
+        let mut scheme = Self::receiver(params, pubkey, puzzle);
+        scheme.complete = params.num_items();
+        scheme.signature_body = Some(artifacts.signature_body().to_vec());
+        scheme.root = Some(artifacts.root());
+        scheme.hp_cache = Some(
+            (0..params.n0)
+                .map(|j| artifacts.hash_page_packet(j).to_vec())
+                .collect(),
+        );
+        scheme.page_inputs = (0..params.pages())
+            .map(|i| artifacts.page_input(i).to_vec())
+            .collect();
+        for i in 0..params.pages() {
+            scheme.encoded_cache.insert(
+                i,
+                (0..params.n).map(|j| artifacts.page_packet(i, j).to_vec()).collect(),
+            );
+        }
+        scheme
+    }
+
+    /// The reassembled, verified image once dissemination completed.
+    pub fn image(&self) -> Option<Vec<u8>> {
+        if self.complete != self.params.num_items() {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.params.image_len);
+        for input in &self.page_inputs {
+            out.extend_from_slice(&input[..self.params.page_capacity()]);
+        }
+        out.truncate(self.params.image_len);
+        Some(out)
+    }
+
+    /// Layout parameters.
+    pub fn params(&self) -> LrSelugeParams {
+        self.params
+    }
+
+    fn handle_signature(&mut self, payload: &[u8]) -> PacketDisposition {
+        if self.signature_body.is_some() {
+            return PacketDisposition::Duplicate;
+        }
+        let Some((root, sig_bytes, sol)) = LrArtifacts::parse_signature_body(payload) else {
+            return PacketDisposition::Rejected;
+        };
+        let signed = LrArtifacts::signed_message(&self.params, &root);
+        self.cost.hashes += 1;
+        self.cost.puzzle_checks += 1;
+        self.cost.hashes += self.params.version as u64 + 1;
+        let mut puzzle_msg = signed.0.to_vec();
+        puzzle_msg.extend_from_slice(&sig_bytes);
+        if !self.puzzle.verify(self.params.version as u32, &puzzle_msg, &sol) {
+            return PacketDisposition::Rejected;
+        }
+        self.cost.signature_verifications += 1;
+        let Some(sig) = Signature::from_bytes(&sig_bytes) else {
+            return PacketDisposition::Rejected;
+        };
+        if !self.pubkey.verify(&signed.0, &sig) {
+            return PacketDisposition::Rejected;
+        }
+        self.signature_body = Some(payload.to_vec());
+        self.root = Some(root);
+        self.complete = 1;
+        PacketDisposition::Accepted
+    }
+
+    fn handle_hash_page(&mut self, index: u16, payload: &[u8]) -> PacketDisposition {
+        if index >= self.params.n0 || payload.len() != self.params.hash_page_payload_len() {
+            return PacketDisposition::Rejected;
+        }
+        if self.hp_received[index as usize].is_some() {
+            return PacketDisposition::Duplicate;
+        }
+        let block_len = self.params.hash_block_len();
+        let block = &payload[..block_len];
+        let siblings: Vec<Digest> = payload[block_len..]
+            .chunks(32)
+            .map(|c| {
+                let mut d = [0u8; 32];
+                d.copy_from_slice(c);
+                Digest(d)
+            })
+            .collect();
+        let proof = MerkleProof::from_parts(index as usize, siblings);
+        self.cost.hashes += self.params.merkle_depth() as u64 + 1;
+        let root = self.root.expect("item 1 only requested after item 0");
+        if !proof.verify(block, &root) {
+            return PacketDisposition::Rejected;
+        }
+        self.hp_received[index as usize] = Some(payload.to_vec());
+        self.hp_count += 1;
+        if self.hp_count >= self.params.k0_prime() as usize {
+            let subset: Vec<(usize, Vec<u8>)> = self
+                .hp_received
+                .iter()
+                .enumerate()
+                .filter_map(|(j, s)| s.as_ref().map(|p| (j, p[..block_len].to_vec())))
+                .collect();
+            self.cost.decodes += 1;
+            match self.code0.decode(&subset, block_len) {
+                Ok(blocks) => {
+                    let m0: Vec<u8> = blocks.concat();
+                    self.expected = (0..self.params.n as usize)
+                        .map(|j| {
+                            HashImage::from_slice(
+                                &m0[j * HASH_IMAGE_LEN..(j + 1) * HASH_IMAGE_LEN],
+                            )
+                            .expect("block sizing")
+                        })
+                        .collect();
+                    self.hp_blocks = Some(blocks);
+                    self.complete = 2;
+                }
+                Err(CodeError::NotEnoughBlocks { .. }) => {
+                    // Rank-deficient draw of a non-MDS code: keep
+                    // collecting; the SNACK loop requests more packets.
+                }
+                Err(e) => panic!("hash-page decode failed unexpectedly: {e}"),
+            }
+        }
+        PacketDisposition::Accepted
+    }
+
+    fn handle_page_packet(&mut self, item: u16, index: u16, payload: &[u8]) -> PacketDisposition {
+        if index >= self.params.n
+            || payload.len() != self.params.payload_len
+            || self.expected.len() != self.params.n as usize
+        {
+            return PacketDisposition::Rejected;
+        }
+        if self.cur_received[index as usize].is_some() {
+            return PacketDisposition::Duplicate;
+        }
+        self.cost.hashes += 1;
+        let h = packet_hash(self.params.version, item, index, payload);
+        if h != self.expected[index as usize] {
+            return PacketDisposition::Rejected;
+        }
+        self.cur_received[index as usize] = Some(payload.to_vec());
+        self.cur_count += 1;
+        if self.cur_count >= self.params.k_prime() as usize {
+            let subset: Vec<(usize, Vec<u8>)> = self
+                .cur_received
+                .iter()
+                .enumerate()
+                .filter_map(|(j, s)| s.as_ref().map(|p| (j, p.clone())))
+                .collect();
+            self.cost.decodes += 1;
+            match self.code.decode(&subset, self.params.payload_len) {
+                Ok(blocks) => {
+                    for slot in self.cur_received.iter_mut() {
+                        *slot = None;
+                    }
+                    self.cur_count = 0;
+                    let input: Vec<u8> = blocks.concat();
+                    // The hash region authenticates the next page.
+                    self.expected = input[self.params.page_capacity()..]
+                        .chunks(HASH_IMAGE_LEN)
+                        .map(|c| HashImage::from_slice(c).expect("region sizing"))
+                        .collect();
+                    self.page_inputs.push(input);
+                    self.complete += 1;
+                }
+                Err(CodeError::NotEnoughBlocks { .. }) => {
+                    // Rank-deficient draw of a non-MDS code: keep
+                    // collecting; the SNACK loop requests more packets.
+                }
+                Err(e) => panic!("page decode failed unexpectedly: {e}"),
+            }
+        }
+        PacketDisposition::Accepted
+    }
+
+    /// Regenerates the hash-page packets by re-encoding `M0` and
+    /// rebuilding the Merkle tree (all leaves are available, so every
+    /// authentication path can be reconstructed).
+    fn ensure_hp_cache(&mut self) -> Option<&Vec<Vec<u8>>> {
+        if self.hp_cache.is_none() {
+            let blocks = self.hp_blocks.as_ref()?;
+            self.cost.encodes += 1;
+            let encoded = self.code0.encode(blocks).expect("consistent shapes");
+            let tree = MerkleTree::build(encoded.iter().map(|b| b.as_slice()));
+            self.cost.hashes += 2 * self.params.n0 as u64;
+            let packets: Vec<Vec<u8>> = encoded
+                .iter()
+                .enumerate()
+                .map(|(j, block)| {
+                    let mut payload = block.clone();
+                    for sib in tree.proof(j).siblings() {
+                        payload.extend_from_slice(&sib.0);
+                    }
+                    payload
+                })
+                .collect();
+            self.hp_cache = Some(packets);
+        }
+        self.hp_cache.as_ref()
+    }
+
+    /// Re-encodes a completed page on first serve (§IV-D-3).
+    fn ensure_page_cache(&mut self, page: u16) -> Option<&Vec<Vec<u8>>> {
+        if !self.encoded_cache.contains_key(&page) {
+            let input = self.page_inputs.get(page as usize)?;
+            let blocks: Vec<Vec<u8>> = input
+                .chunks(self.params.payload_len)
+                .map(|c| c.to_vec())
+                .collect();
+            self.cost.encodes += 1;
+            let encoded = self.code.encode(&blocks).expect("consistent shapes");
+            self.encoded_cache.insert(page, encoded);
+        }
+        self.encoded_cache.get(&page)
+    }
+}
+
+impl Scheme for LrScheme {
+    fn version(&self) -> u16 {
+        self.params.version
+    }
+
+    fn num_items(&self) -> u16 {
+        self.params.num_items()
+    }
+
+    fn item_packets(&self, item: u16) -> u16 {
+        match item {
+            0 => 1,
+            1 => self.params.n0,
+            _ => self.params.n,
+        }
+    }
+
+    fn packets_needed(&self, item: u16) -> u16 {
+        match item {
+            0 => 1,
+            1 => self.params.k0_prime(),
+            _ => self.params.k_prime(),
+        }
+    }
+
+    fn complete_items(&self) -> u16 {
+        self.complete
+    }
+
+    fn handle_packet(&mut self, item: u16, index: u16, payload: &[u8]) -> PacketDisposition {
+        debug_assert_eq!(item, self.complete, "engine only feeds the next item");
+        match item {
+            0 => {
+                if index != 0 {
+                    return PacketDisposition::Rejected;
+                }
+                self.handle_signature(payload)
+            }
+            1 => self.handle_hash_page(index, payload),
+            _ => self.handle_page_packet(item, index, payload),
+        }
+    }
+
+    fn wanted(&self, item: u16) -> BitVec {
+        match item {
+            0 => BitVec::ones(1),
+            1 => {
+                let mut bits = BitVec::zeros(self.params.n0 as usize);
+                for (i, slot) in self.hp_received.iter().enumerate() {
+                    if slot.is_none() {
+                        bits.set(i, true);
+                    }
+                }
+                bits
+            }
+            _ => {
+                let mut bits = BitVec::zeros(self.params.n as usize);
+                for (i, slot) in self.cur_received.iter().enumerate() {
+                    if slot.is_none() {
+                        bits.set(i, true);
+                    }
+                }
+                bits
+            }
+        }
+    }
+
+    fn packet_payload(&mut self, item: u16, index: u16) -> Option<Vec<u8>> {
+        if item >= self.complete {
+            return None;
+        }
+        match item {
+            0 => self.signature_body.clone(),
+            1 => self
+                .ensure_hp_cache()
+                .and_then(|c| c.get(index as usize))
+                .cloned(),
+            _ => self
+                .ensure_page_cache(item - 2)
+                .and_then(|c| c.get(index as usize))
+                .cloned(),
+        }
+    }
+
+    fn item_kind(&self, item: u16) -> PacketKind {
+        match item {
+            0 => PacketKind::Signature,
+            1 => PacketKind::HashPage,
+            _ => PacketKind::Data,
+        }
+    }
+
+    fn cost(&self) -> CryptoCost {
+        self.cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrs_crypto::puzzle::PuzzleKeyChain;
+    use lrs_crypto::schnorr::Keypair;
+
+    fn setup() -> (LrScheme, LrScheme, Vec<u8>) {
+        let params = LrSelugeParams {
+            version: 1,
+            image_len: 700,
+            k: 4,
+            n: 6,
+            payload_len: 48,
+            k0: 2,
+            n0: 4,
+            puzzle_strength: 4,
+            ..LrSelugeParams::default()
+        };
+        let image: Vec<u8> = (0..params.image_len as u32).map(|i| (i % 241) as u8).collect();
+        let kp = Keypair::from_seed(b"bs");
+        let chain = PuzzleKeyChain::generate(b"puzzles", 4);
+        let art = LrArtifacts::build(&image, params, &kp, &chain);
+        let puzzle = Puzzle::new(chain.anchor(), params.puzzle_strength);
+        let base = LrScheme::base(&art, kp.public(), puzzle);
+        let rx = LrScheme::receiver(params, kp.public(), puzzle);
+        (base, rx, image)
+    }
+
+    /// Transfers item by item, choosing which packet indices to deliver.
+    fn transfer_with<F>(base: &mut LrScheme, rx: &mut LrScheme, mut pick: F)
+    where
+        F: FnMut(u16, &[usize]) -> Vec<usize>,
+    {
+        while rx.complete_items() < rx.num_items() {
+            let item = rx.complete_items();
+            let wanted: Vec<usize> = rx.wanted(item).iter_ones().collect();
+            let before = rx.complete_items();
+            for idx in pick(item, &wanted) {
+                let payload = base.packet_payload(item, idx as u16).expect("base serves");
+                let disp = rx.handle_packet(item, idx as u16, &payload);
+                assert_ne!(disp, PacketDisposition::Rejected, "item {item} idx {idx}");
+                if rx.complete_items() > before {
+                    break;
+                }
+            }
+            assert!(
+                rx.complete_items() > before,
+                "no progress on item {item}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_transfer_using_first_packets() {
+        let (mut base, mut rx, image) = setup();
+        transfer_with(&mut base, &mut rx, |_, wanted| wanted.to_vec());
+        assert_eq!(rx.image().unwrap(), image);
+        assert_eq!(rx.cost().signature_verifications, 1);
+        assert!(rx.cost().decodes >= rx.num_items() as u64 - 2);
+    }
+
+    #[test]
+    fn full_transfer_using_parity_packets_only() {
+        // Deliver packets from the *end* (all-parity subsets): the
+        // loss-resilience property — any k' of n suffice.
+        let (mut base, mut rx, image) = setup();
+        transfer_with(&mut base, &mut rx, |_, wanted| {
+            let mut w = wanted.to_vec();
+            w.reverse();
+            w
+        });
+        assert_eq!(rx.image().unwrap(), image);
+    }
+
+    #[test]
+    fn relay_serves_identical_packets() {
+        // A node that decoded pages re-encodes them; its packets must be
+        // byte-identical to the base station's (their hashes were fixed
+        // at preprocessing).
+        let (mut base, mut rx, _) = setup();
+        transfer_with(&mut base, &mut rx, |_, wanted| wanted.to_vec());
+        for item in 0..rx.num_items() {
+            for idx in 0..rx.item_packets(item) {
+                assert_eq!(
+                    rx.packet_payload(item, idx),
+                    base.packet_payload(item, idx),
+                    "item {item} idx {idx}"
+                );
+            }
+        }
+        assert!(rx.cost().encodes > 0, "relay must have re-encoded");
+    }
+
+    #[test]
+    fn second_hop_can_decode_from_relay() {
+        let (mut base, mut relay, image) = setup();
+        transfer_with(&mut base, &mut relay, |_, wanted| wanted.to_vec());
+        let (_, mut rx2, _) = setup();
+        // Serve the second hop exclusively from the relay, parity-first.
+        transfer_with(&mut relay, &mut rx2, |_, wanted| {
+            let mut w = wanted.to_vec();
+            w.reverse();
+            w
+        });
+        assert_eq!(rx2.image().unwrap(), image);
+    }
+
+    #[test]
+    fn tampered_packets_rejected() {
+        let (mut base, mut rx, _) = setup();
+        // Signature.
+        let mut sig = base.packet_payload(0, 0).unwrap();
+        sig[40] ^= 1;
+        assert_eq!(rx.handle_packet(0, 0, &sig), PacketDisposition::Rejected);
+        assert_eq!(rx.cost().signature_verifications, 0, "puzzle filtered");
+        let good = base.packet_payload(0, 0).unwrap();
+        assert_eq!(rx.handle_packet(0, 0, &good), PacketDisposition::Accepted);
+        // Hash page.
+        let mut hp = base.packet_payload(1, 1).unwrap();
+        hp[0] ^= 1;
+        assert_eq!(rx.handle_packet(1, 1, &hp), PacketDisposition::Rejected);
+        // Complete item 1 honestly.
+        for idx in [0usize, 1] {
+            let p = base.packet_payload(1, idx as u16).unwrap();
+            assert_eq!(rx.handle_packet(1, idx as u16, &p), PacketDisposition::Accepted);
+        }
+        assert_eq!(rx.complete_items(), 2);
+        // Page packet: bit flip.
+        let mut pp = base.packet_payload(2, 3).unwrap();
+        pp[5] ^= 1;
+        assert_eq!(rx.handle_packet(2, 3, &pp), PacketDisposition::Rejected);
+        // Page packet: right payload, wrong index.
+        let p4 = base.packet_payload(2, 4).unwrap();
+        assert_eq!(rx.handle_packet(2, 3, &p4), PacketDisposition::Rejected);
+        // The genuine one passes.
+        let p3 = base.packet_payload(2, 3).unwrap();
+        assert_eq!(rx.handle_packet(2, 3, &p3), PacketDisposition::Accepted);
+    }
+
+    #[test]
+    fn exactly_k_packets_complete_a_page() {
+        let (mut base, mut rx, _) = setup();
+        for item in 0..2u16 {
+            for idx in rx.wanted(item).iter_ones().collect::<Vec<_>>() {
+                let p = base.packet_payload(item, idx as u16).unwrap();
+                rx.handle_packet(item, idx as u16, &p);
+                if rx.complete_items() > item {
+                    break;
+                }
+            }
+        }
+        assert_eq!(rx.complete_items(), 2);
+        // Feed exactly k = 4 packets, indices {1, 2, 4, 5}.
+        for (count, idx) in [1u16, 2, 4, 5].into_iter().enumerate() {
+            let p = base.packet_payload(2, idx).unwrap();
+            assert_eq!(rx.handle_packet(2, idx, &p), PacketDisposition::Accepted);
+            let expect_complete = count == 3;
+            assert_eq!(rx.complete_items() == 3, expect_complete, "after {} pkts", count + 1);
+        }
+    }
+
+    #[test]
+    fn duplicates_do_not_advance() {
+        let (mut base, mut rx, _) = setup();
+        let sig = base.packet_payload(0, 0).unwrap();
+        assert_eq!(rx.handle_packet(0, 0, &sig), PacketDisposition::Accepted);
+        let hp = base.packet_payload(1, 0).unwrap();
+        assert_eq!(rx.handle_packet(1, 0, &hp), PacketDisposition::Accepted);
+        assert_eq!(rx.handle_packet(1, 0, &hp), PacketDisposition::Duplicate);
+        assert_eq!(rx.complete_items(), 1);
+    }
+
+    #[test]
+    fn wanted_shrinks_as_packets_arrive() {
+        let (mut base, mut rx, _) = setup();
+        for item in 0..2u16 {
+            for idx in rx.wanted(item).iter_ones().collect::<Vec<_>>() {
+                let p = base.packet_payload(item, idx as u16).unwrap();
+                rx.handle_packet(item, idx as u16, &p);
+                if rx.complete_items() > item {
+                    break;
+                }
+            }
+        }
+        assert_eq!(rx.wanted(2).count_ones(), 6);
+        let p = base.packet_payload(2, 2).unwrap();
+        rx.handle_packet(2, 2, &p);
+        let w = rx.wanted(2);
+        assert_eq!(w.count_ones(), 5);
+        assert!(!w.get(2));
+    }
+}

@@ -1,0 +1,125 @@
+//! LEAP-style pairwise keys (Zhu, Setia & Jajodia).
+//!
+//! The paper's §IV-E mitigation for the *denial-of-receipt* attack
+//! counts SNACKs per neighbor — but a cluster key only proves membership,
+//! not identity: a compromised insider can spoof other nodes' ids and
+//! evade any per-neighbor budget. The paper therefore proposes
+//! "a local authentication scheme like LEAP to simultaneously
+//! authenticate and identify the source of any SNACK packet".
+//!
+//! We model LEAP's end state: during the bootstrap window every node
+//! derives, from a short-lived initial network key `K_I`, a pairwise key
+//! with each neighbor:
+//!
+//! ```text
+//! K_uv = HMAC( HMAC(K_I, min(u,v)), max(u,v) )
+//! ```
+//!
+//! after which `K_I` is erased — a later-compromised node learns only its
+//! own pairwise keys. A SNACK then carries, besides the cluster-key MAC
+//! that any overhearer can check, a pairwise MAC that only the claimed
+//! sender could have produced for this target.
+
+use crate::cluster::{ClusterKey, MacTag};
+use crate::hmac::hmac_sha256_parts;
+
+/// A node's LEAP keyring: its id plus the material to derive pairwise
+/// keys with any peer (derived during bootstrap; `K_I` conceptually
+/// erased afterwards).
+#[derive(Clone)]
+pub struct LeapKeyring {
+    node: u32,
+    /// `HMAC(K_I, node)` for this node, plus the ability to derive the
+    /// symmetric pairwise keys. We keep the bootstrap secret here because
+    /// the simulation constructs keyrings lazily; the derivation order
+    /// guarantees `pairwise(u, v) == pairwise(v, u)`.
+    initial: [u8; 32],
+}
+
+impl std::fmt::Debug for LeapKeyring {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "LeapKeyring(node {})", self.node)
+    }
+}
+
+impl LeapKeyring {
+    /// Bootstraps the keyring for `node` from the deployment's initial
+    /// network key material.
+    pub fn bootstrap(initial_network_key: &[u8], node: u32) -> Self {
+        let d = hmac_sha256_parts(initial_network_key, &[b"leap-ki"]);
+        LeapKeyring {
+            node,
+            initial: d.0,
+        }
+    }
+
+    /// This node's id.
+    pub fn node(&self) -> u32 {
+        self.node
+    }
+
+    /// The symmetric pairwise key shared with `peer`.
+    pub fn pairwise(&self, peer: u32) -> ClusterKey {
+        let (lo, hi) = if self.node <= peer {
+            (self.node, peer)
+        } else {
+            (peer, self.node)
+        };
+        let inner = hmac_sha256_parts(&self.initial, &[b"leap-node", &lo.to_be_bytes()]);
+        let d = hmac_sha256_parts(&inner.0, &[b"leap-pair", &hi.to_be_bytes()]);
+        // Reuse ClusterKey's MAC interface over the derived key.
+        ClusterKey::from_raw(d.0)
+    }
+
+    /// MAC over `parts`, bound to the (self → peer) pair.
+    pub fn tag_for(&self, peer: u32, parts: &[&[u8]]) -> MacTag {
+        self.pairwise(peer).tag(parts)
+    }
+
+    /// Verifies a MAC claimed to come from `peer`.
+    pub fn check_from(&self, peer: u32, parts: &[&[u8]], tag: &MacTag) -> bool {
+        self.pairwise(peer).check(parts, tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairwise_keys_are_symmetric() {
+        let a = LeapKeyring::bootstrap(b"deployment", 3);
+        let b = LeapKeyring::bootstrap(b"deployment", 9);
+        let tag = a.tag_for(9, &[b"snack", &[1, 2, 3]]);
+        assert!(b.check_from(3, &[b"snack", &[1, 2, 3]], &tag));
+    }
+
+    #[test]
+    fn third_party_cannot_forge() {
+        let a = LeapKeyring::bootstrap(b"deployment", 3);
+        let c = LeapKeyring::bootstrap(b"deployment", 7); // compromised insider
+        let b = LeapKeyring::bootstrap(b"deployment", 9);
+        // c tries to speak as node 3 to node 9 using its own keys.
+        let forged = c.tag_for(9, &[b"snack", &[1]]);
+        assert!(!b.check_from(3, &[b"snack", &[1]], &forged));
+        // The honest tag passes.
+        let honest = a.tag_for(9, &[b"snack", &[1]]);
+        assert!(b.check_from(3, &[b"snack", &[1]], &honest));
+    }
+
+    #[test]
+    fn different_pairs_different_keys() {
+        let a = LeapKeyring::bootstrap(b"deployment", 1);
+        let t12 = a.tag_for(2, &[b"m"]);
+        let t13 = a.tag_for(3, &[b"m"]);
+        assert_ne!(t12, t13);
+    }
+
+    #[test]
+    fn different_deployments_different_keys() {
+        let a = LeapKeyring::bootstrap(b"deployment-a", 1);
+        let b = LeapKeyring::bootstrap(b"deployment-b", 2);
+        let tag = a.tag_for(2, &[b"m"]);
+        assert!(!b.check_from(1, &[b"m"], &tag));
+    }
+}

@@ -1,0 +1,207 @@
+//! Message-specific puzzles (weak authenticators).
+//!
+//! Seluge and LR-Seluge attach a *message-specific puzzle* to the
+//! signature packet so that sensor nodes only run the expensive signature
+//! verification on packets that already passed a cheap check, defeating
+//! forged-signature DoS floods (paper §IV-C-3 and §IV-E, citing Ning et
+//! al.'s message-specific puzzles).
+//!
+//! The construction follows the original scheme: the base station commits
+//! to a one-way *puzzle key chain* `K_j = H(K_{j+1})`; the chain anchor
+//! `K_0` is preloaded on every node. The signature packet for code
+//! version `j` discloses `K_j` together with a solution `s` such that
+//! `H(K_j || m || s)` has `strength` leading zero bits. Finding `s`
+//! requires brute force over the message `m`, which an adversary cannot do
+//! ahead of time because `K_j` is unknown until the base station releases
+//! it; verifying costs two hashes.
+
+use crate::hash::Digest;
+use crate::sha256::{sha256, sha256_concat};
+
+/// A puzzle solution attached to a signature packet.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PuzzleSolution {
+    /// The disclosed puzzle key `K_j` for this version.
+    pub key: Digest,
+    /// The brute-forced solution value.
+    pub solution: u64,
+}
+
+impl PuzzleSolution {
+    /// Wire size in bytes (key + solution).
+    pub const WIRE_LEN: usize = 32 + 8;
+}
+
+/// The base station's one-way puzzle key chain.
+///
+/// # Example
+///
+/// ```
+/// use lrs_crypto::{Puzzle, PuzzleKeyChain};
+///
+/// let chain = PuzzleKeyChain::generate(b"secret", 16);
+/// let puzzle = Puzzle::new(chain.anchor(), 8);
+/// let sol = chain.solve(&puzzle, 1, b"signature packet body");
+/// assert!(puzzle.verify(1, b"signature packet body", &sol));
+/// ```
+#[derive(Clone, Debug)]
+pub struct PuzzleKeyChain {
+    /// keys[j] = K_j; keys[0] is the public anchor.
+    keys: Vec<Digest>,
+}
+
+impl PuzzleKeyChain {
+    /// Generates a chain supporting versions `1..=max_version`.
+    pub fn generate(seed: &[u8], max_version: u32) -> Self {
+        let mut keys = vec![Digest([0u8; 32]); max_version as usize + 1];
+        let tail = sha256_concat(&[b"puzzle-chain", seed]);
+        keys[max_version as usize] = tail;
+        for j in (0..max_version as usize).rev() {
+            keys[j] = sha256(&keys[j + 1].0);
+        }
+        PuzzleKeyChain { keys }
+    }
+
+    /// The public anchor `K_0` preloaded on every sensor node.
+    pub fn anchor(&self) -> Digest {
+        self.keys[0]
+    }
+
+    /// The puzzle key for `version`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `version` exceeds the chain length.
+    pub fn key(&self, version: u32) -> Digest {
+        self.keys[version as usize]
+    }
+
+    /// Brute-forces a solution for `message` under `puzzle`'s strength.
+    pub fn solve(&self, puzzle: &Puzzle, version: u32, message: &[u8]) -> PuzzleSolution {
+        let key = self.key(version);
+        let mut solution = 0u64;
+        loop {
+            if leading_zero_bits(&solution_digest(&key, message, solution)) >= puzzle.strength {
+                return PuzzleSolution { key, solution };
+            }
+            solution += 1;
+        }
+    }
+}
+
+/// The verifier side of the puzzle, preloaded on sensor nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Puzzle {
+    anchor: Digest,
+    strength: u32,
+}
+
+impl Puzzle {
+    /// Creates a verifier with the given chain anchor and difficulty
+    /// (required number of leading zero bits).
+    pub fn new(anchor: Digest, strength: u32) -> Self {
+        Puzzle { anchor, strength }
+    }
+
+    /// The difficulty in leading zero bits.
+    pub fn strength(&self) -> u32 {
+        self.strength
+    }
+
+    /// Verifies a claimed solution for `message` at `version`.
+    ///
+    /// Checks both that the disclosed key hashes back to the anchor in
+    /// exactly `version` steps and that the solution meets the strength.
+    pub fn verify(&self, version: u32, message: &[u8], sol: &PuzzleSolution) -> bool {
+        // Key-chain check: H^version(K_version) == anchor.
+        let mut acc = sol.key;
+        for _ in 0..version {
+            acc = sha256(&acc.0);
+        }
+        if acc != self.anchor {
+            return false;
+        }
+        leading_zero_bits(&solution_digest(&sol.key, message, sol.solution)) >= self.strength
+    }
+}
+
+fn solution_digest(key: &Digest, message: &[u8], solution: u64) -> Digest {
+    sha256_concat(&[&key.0, message, &solution.to_be_bytes()])
+}
+
+fn leading_zero_bits(d: &Digest) -> u32 {
+    let mut bits = 0;
+    for b in &d.0 {
+        if *b == 0 {
+            bits += 8;
+        } else {
+            bits += b.leading_zeros();
+            break;
+        }
+    }
+    bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_and_verify() {
+        let chain = PuzzleKeyChain::generate(b"s", 4);
+        let puzzle = Puzzle::new(chain.anchor(), 10);
+        let sol = chain.solve(&puzzle, 2, b"msg");
+        assert!(puzzle.verify(2, b"msg", &sol));
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let chain = PuzzleKeyChain::generate(b"s", 4);
+        let puzzle = Puzzle::new(chain.anchor(), 12);
+        let sol = chain.solve(&puzzle, 1, b"msg");
+        // Overwhelmingly unlikely that the same solution solves another
+        // message at strength 12.
+        assert!(!puzzle.verify(1, b"other msg", &sol));
+    }
+
+    #[test]
+    fn wrong_version_key_rejected() {
+        let chain = PuzzleKeyChain::generate(b"s", 4);
+        let puzzle = Puzzle::new(chain.anchor(), 4);
+        let sol = chain.solve(&puzzle, 2, b"msg");
+        // Claiming version 3 with K_2 fails the chain check.
+        assert!(!puzzle.verify(3, b"msg", &sol));
+    }
+
+    #[test]
+    fn forged_key_rejected() {
+        let chain = PuzzleKeyChain::generate(b"s", 4);
+        let puzzle = Puzzle::new(chain.anchor(), 4);
+        let mut sol = chain.solve(&puzzle, 2, b"msg");
+        sol.key.0[0] ^= 1;
+        assert!(!puzzle.verify(2, b"msg", &sol));
+    }
+
+    #[test]
+    fn chain_is_one_way_consistent() {
+        let chain = PuzzleKeyChain::generate(b"s", 8);
+        for v in 1..=8u32 {
+            let mut acc = chain.key(v);
+            for _ in 0..v {
+                acc = sha256(&acc.0);
+            }
+            assert_eq!(acc, chain.anchor());
+        }
+    }
+
+    #[test]
+    fn leading_zero_bits_counts() {
+        let mut d = Digest([0xffu8; 32]);
+        assert_eq!(leading_zero_bits(&d), 0);
+        d.0[0] = 0;
+        d.0[1] = 0x0f;
+        assert_eq!(leading_zero_bits(&d), 12);
+        let zero = Digest([0u8; 32]);
+        assert_eq!(leading_zero_bits(&zero), 256);
+    }
+}

@@ -1,0 +1,282 @@
+//! Adversarial node behaviours for the attack-resilience experiments.
+//!
+//! The paper's threat model (§III) includes an adversary that injects
+//! bogus code-image packets (to corrupt images or exhaust
+//! receiver buffers/energy), floods forged signature packets (to force
+//! expensive verifications), forges control traffic, and — as a
+//! compromised insider — mounts the *denial-of-receipt* attack of §IV-E
+//! by repeatedly SNACKing a victim with an all-ones bit vector.
+
+use crate::wire::{BitVec, Message};
+use lrs_crypto::cluster::ClusterKey;
+use lrs_netsim::node::{Context, NodeId, PacketKind, Protocol, TimerId};
+use lrs_netsim::time::Duration;
+use rand::Rng;
+
+/// What the attacker injects.
+#[derive(Clone, Debug)]
+pub enum AttackKind {
+    /// Data packets with plausible headers and random payloads, aimed at
+    /// the highest level currently advertised by any victim.
+    BogusData {
+        /// Payload length to mimic.
+        payload_len: usize,
+        /// Packet index space to draw from.
+        index_space: u16,
+    },
+    /// Forged signature packets (random bodies) to trigger expensive
+    /// verifications — what the message-specific puzzle defends against.
+    ForgedSignature {
+        /// Body length to mimic.
+        body_len: usize,
+    },
+    /// Forged advertisements claiming a high level, without knowing the
+    /// cluster key.
+    ForgedAdv,
+    /// Denial-of-receipt (§IV-E): a *compromised insider* (holds the
+    /// cluster key) repeatedly requests everything from a victim.
+    DenialOfReceipt {
+        /// The victim that will burn energy serving the requests.
+        target: NodeId,
+        /// Item to request.
+        item: u16,
+        /// Bit-vector width (the item's packet count).
+        n_bits: usize,
+    },
+    /// Denial-of-receipt with *source spoofing*: each SNACK claims a
+    /// different forged sender id, evading any per-neighbor budget that
+    /// relies on the (unauthenticated) source field. LEAP pairwise MACs
+    /// close exactly this hole.
+    SpoofedDenialOfReceipt {
+        /// The victim.
+        target: NodeId,
+        /// Item to request.
+        item: u16,
+        /// Bit-vector width.
+        n_bits: usize,
+        /// Pool of honest ids to impersonate.
+        spoof_pool: u32,
+    },
+}
+
+/// An attacking node.
+#[derive(Debug)]
+pub struct Attacker {
+    kind: AttackKind,
+    /// Injection period.
+    interval: Duration,
+    /// Cluster key, present only for insider attacks.
+    key: Option<ClusterKey>,
+    version: u16,
+    /// Highest level overheard from honest advertisements.
+    observed_level: u16,
+    /// Packets injected.
+    pub injected: u64,
+}
+
+const TIMER_INJECT: TimerId = TimerId(9);
+
+impl Attacker {
+    /// Creates an outsider attacker (no cluster key).
+    pub fn outsider(kind: AttackKind, interval: Duration, version: u16) -> Self {
+        Attacker {
+            kind,
+            interval,
+            key: None,
+            version,
+            observed_level: 0,
+            injected: 0,
+        }
+    }
+
+    /// Creates a compromised insider (holds the cluster key).
+    pub fn insider(kind: AttackKind, interval: Duration, version: u16, key: ClusterKey) -> Self {
+        Attacker {
+            key: Some(key),
+            ..Self::outsider(kind, interval, version)
+        }
+    }
+
+    fn forge(&mut self, ctx: &mut Context<'_>) -> Option<(PacketKind, Vec<u8>)> {
+        match &self.kind {
+            AttackKind::BogusData {
+                payload_len,
+                index_space,
+            } => {
+                let payload: Vec<u8> = (0..*payload_len).map(|_| ctx.rng().gen()).collect();
+                let index = ctx.rng().gen_range(0..*index_space);
+                let msg = Message::Data {
+                    version: self.version,
+                    item: self.observed_level,
+                    index,
+                    payload,
+                };
+                Some((PacketKind::Data, msg.to_bytes()))
+            }
+            AttackKind::ForgedSignature { body_len } => {
+                let body: Vec<u8> = (0..*body_len).map(|_| ctx.rng().gen()).collect();
+                let msg = Message::Data {
+                    version: self.version,
+                    item: 0,
+                    index: 0,
+                    payload: body,
+                };
+                Some((PacketKind::Signature, msg.to_bytes()))
+            }
+            AttackKind::ForgedAdv => {
+                // No cluster key: fabricate a MAC-less advertisement (a
+                // random tag) claiming a huge level.
+                let fake_key = ClusterKey::derive(b"attacker guess", ctx.rng().gen());
+                let msg = Message::adv(&fake_key, ctx.id, self.version, u16::MAX);
+                Some((PacketKind::Adv, msg.to_bytes()))
+            }
+            AttackKind::DenialOfReceipt { target, item, n_bits } => {
+                let key = self.key.as_ref()?;
+                let msg = Message::snack(
+                    key,
+                    ctx.id,
+                    *target,
+                    self.version,
+                    *item,
+                    BitVec::ones(*n_bits),
+                );
+                Some((PacketKind::Snack, msg.to_bytes()))
+            }
+            AttackKind::SpoofedDenialOfReceipt { target, item, n_bits, spoof_pool } => {
+                let key = self.key.as_ref()?;
+                // Rotate through forged sender ids; the cluster-key MAC
+                // still verifies because the insider holds the key.
+                let spoofed = NodeId(self.injected as u32 % *spoof_pool);
+                let msg = Message::snack(
+                    key,
+                    spoofed,
+                    *target,
+                    self.version,
+                    *item,
+                    BitVec::ones(*n_bits),
+                );
+                Some((PacketKind::Snack, msg.to_bytes()))
+            }
+        }
+    }
+}
+
+impl Protocol for Attacker {
+    fn on_init(&mut self, ctx: &mut Context<'_>) {
+        // Start injecting after a short delay so honest traffic exists.
+        ctx.set_timer(TIMER_INJECT, self.interval);
+    }
+
+    fn on_packet(&mut self, _ctx: &mut Context<'_>, _from: NodeId, data: &[u8]) {
+        // Track victim progress so bogus data targets the current item.
+        if let Some(Message::Adv { level, .. }) = Message::from_bytes(data) {
+            if level != u16::MAX {
+                self.observed_level = self.observed_level.max(level);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, timer: TimerId) {
+        if timer != TIMER_INJECT {
+            return;
+        }
+        if let Some((kind, bytes)) = self.forge(ctx) {
+            ctx.broadcast(kind, bytes);
+            self.injected += 1;
+        }
+        ctx.set_timer(TIMER_INJECT, self.interval);
+    }
+
+    fn is_complete(&self) -> bool {
+        // Attackers never gate run completion.
+        true
+    }
+}
+
+/// Wrapper that lets a simulation mix honest nodes and attackers.
+pub enum MaybeAdversary<P> {
+    /// An honest protocol node.
+    Honest(P),
+    /// An attacker.
+    Attacker(Attacker),
+}
+
+impl<P> MaybeAdversary<P> {
+    /// The honest node inside, if any.
+    pub fn honest(&self) -> Option<&P> {
+        match self {
+            MaybeAdversary::Honest(p) => Some(p),
+            MaybeAdversary::Attacker(_) => None,
+        }
+    }
+
+    /// The attacker inside, if any.
+    pub fn attacker(&self) -> Option<&Attacker> {
+        match self {
+            MaybeAdversary::Honest(_) => None,
+            MaybeAdversary::Attacker(a) => Some(a),
+        }
+    }
+}
+
+impl<P: Protocol> Protocol for MaybeAdversary<P> {
+    fn on_init(&mut self, ctx: &mut Context<'_>) {
+        match self {
+            MaybeAdversary::Honest(p) => p.on_init(ctx),
+            MaybeAdversary::Attacker(a) => a.on_init(ctx),
+        }
+    }
+    fn on_packet(&mut self, ctx: &mut Context<'_>, from: NodeId, data: &[u8]) {
+        match self {
+            MaybeAdversary::Honest(p) => p.on_packet(ctx, from, data),
+            MaybeAdversary::Attacker(a) => a.on_packet(ctx, from, data),
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Context<'_>, timer: TimerId) {
+        match self {
+            MaybeAdversary::Honest(p) => p.on_timer(ctx, timer),
+            MaybeAdversary::Attacker(a) => a.on_timer(ctx, timer),
+        }
+    }
+    fn is_complete(&self) -> bool {
+        match self {
+            MaybeAdversary::Honest(p) => p.is_complete(),
+            MaybeAdversary::Attacker(a) => a.is_complete(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outsider_cannot_mount_denial_of_receipt() {
+        let a = Attacker::outsider(
+            AttackKind::DenialOfReceipt {
+                target: NodeId(1),
+                item: 0,
+                n_bits: 8,
+            },
+            Duration::from_millis(100),
+            1,
+        );
+        // forge() needs the cluster key; without it nothing is produced.
+        // (Exercised indirectly: injected stays 0 after a timer fire.)
+        assert!(a.key.is_none());
+        assert_eq!(a.injected, 0);
+    }
+
+    #[test]
+    fn wrapper_dispatch() {
+        let a = Attacker::outsider(
+            AttackKind::ForgedAdv,
+            Duration::from_millis(50),
+            1,
+        );
+        let w: MaybeAdversary<Attacker> = MaybeAdversary::Attacker(a);
+        assert!(w.attacker().is_some());
+        assert!(w.honest().is_none());
+        assert!(w.is_complete());
+    }
+}

@@ -1,0 +1,304 @@
+//! Plain Deluge image layout and its [`Scheme`] implementation.
+//!
+//! Deluge divides the code image into fixed-size pages of `k` packets of
+//! `payload_len` bytes each (§II-A). There is no authentication: any
+//! packet with the right coordinates is stored, which is exactly the
+//! weakness Seluge/LR-Seluge address (and which the adversarial
+//! experiments demonstrate).
+
+use crate::engine::{PacketDisposition, Scheme};
+use crate::wire::BitVec;
+use lrs_netsim::node::PacketKind;
+
+/// Static layout parameters, preloaded on every node (in real Deluge
+/// they travel in the advertisement profile).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ImageParams {
+    /// Code image version.
+    pub version: u16,
+    /// Original image length in bytes.
+    pub image_len: usize,
+    /// Packets per page (`k`).
+    pub packets_per_page: u16,
+    /// Payload bytes per packet.
+    pub payload_len: usize,
+}
+
+impl ImageParams {
+    /// Number of pages `g`.
+    pub fn pages(&self) -> u16 {
+        let cap = self.page_capacity();
+        assert!(cap > 0, "page capacity must be positive");
+        (self.image_len.div_ceil(cap)).max(1) as u16
+    }
+
+    /// Image bytes carried per page.
+    pub fn page_capacity(&self) -> usize {
+        self.packets_per_page as usize * self.payload_len
+    }
+}
+
+/// A fully materialized image at the base station.
+#[derive(Clone, Debug)]
+pub struct DelugeImage {
+    params: ImageParams,
+    /// Image data zero-padded to `pages * page_capacity`.
+    padded: Vec<u8>,
+}
+
+impl DelugeImage {
+    /// Prepares an image for dissemination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.image_len` does not match `data.len()`.
+    pub fn new(data: Vec<u8>, params: ImageParams) -> Self {
+        assert_eq!(data.len(), params.image_len, "image length mismatch");
+        let mut padded = data;
+        padded.resize(params.pages() as usize * params.page_capacity(), 0);
+        DelugeImage { params, padded }
+    }
+
+    /// Layout parameters.
+    pub fn params(&self) -> ImageParams {
+        self.params
+    }
+
+    /// The payload of packet `index` of `page`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    pub fn packet(&self, page: u16, index: u16) -> Vec<u8> {
+        assert!(page < self.params.pages(), "page out of range");
+        assert!(index < self.params.packets_per_page, "packet out of range");
+        let off = page as usize * self.params.page_capacity()
+            + index as usize * self.params.payload_len;
+        self.padded[off..off + self.params.payload_len].to_vec()
+    }
+
+    /// The original (unpadded) image bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.padded[..self.params.image_len]
+    }
+}
+
+/// Deluge's per-node transfer state. Items are pages.
+#[derive(Clone, Debug)]
+pub struct DelugeScheme {
+    params: ImageParams,
+    complete: u16,
+    /// Concatenated payloads of complete pages.
+    assembled: Vec<u8>,
+    /// Packets of the page currently being received.
+    current: Vec<Option<Vec<u8>>>,
+}
+
+impl DelugeScheme {
+    /// The base-station side: starts with every page complete.
+    pub fn base(image: &DelugeImage) -> Self {
+        DelugeScheme {
+            params: image.params(),
+            complete: image.params().pages(),
+            assembled: image.padded.clone(),
+            current: Vec::new(),
+        }
+    }
+
+    /// A receiver with no pages.
+    pub fn receiver(params: ImageParams) -> Self {
+        DelugeScheme {
+            params,
+            complete: 0,
+            assembled: Vec::new(),
+            current: vec![None; params.packets_per_page as usize],
+        }
+    }
+
+    /// The reassembled image, once all pages are complete.
+    pub fn image(&self) -> Option<Vec<u8>> {
+        if self.complete == self.params.pages() {
+            Some(self.assembled[..self.params.image_len].to_vec())
+        } else {
+            None
+        }
+    }
+
+    /// Layout parameters.
+    pub fn params(&self) -> ImageParams {
+        self.params
+    }
+}
+
+impl Scheme for DelugeScheme {
+    fn version(&self) -> u16 {
+        self.params.version
+    }
+
+    fn num_items(&self) -> u16 {
+        self.params.pages()
+    }
+
+    fn item_packets(&self, _item: u16) -> u16 {
+        self.params.packets_per_page
+    }
+
+    fn packets_needed(&self, _item: u16) -> u16 {
+        self.params.packets_per_page
+    }
+
+    fn complete_items(&self) -> u16 {
+        self.complete
+    }
+
+    fn handle_packet(&mut self, item: u16, index: u16, payload: &[u8]) -> PacketDisposition {
+        debug_assert_eq!(item, self.complete, "engine only feeds the next item");
+        if index >= self.params.packets_per_page || payload.len() != self.params.payload_len {
+            return PacketDisposition::Rejected;
+        }
+        let slot = &mut self.current[index as usize];
+        if slot.is_some() {
+            return PacketDisposition::Duplicate;
+        }
+        *slot = Some(payload.to_vec());
+        if self.current.iter().all(|s| s.is_some()) {
+            for slot in &mut self.current {
+                let packet = slot.take().expect("all present");
+                self.assembled.extend_from_slice(&packet);
+            }
+            self.complete += 1;
+        }
+        PacketDisposition::Accepted
+    }
+
+    fn wanted(&self, item: u16) -> BitVec {
+        debug_assert_eq!(item, self.complete);
+        let mut bits = BitVec::zeros(self.params.packets_per_page as usize);
+        for (i, slot) in self.current.iter().enumerate() {
+            if slot.is_none() {
+                bits.set(i, true);
+            }
+        }
+        bits
+    }
+
+    fn packet_payload(&mut self, item: u16, index: u16) -> Option<Vec<u8>> {
+        if item >= self.complete || index >= self.params.packets_per_page {
+            return None;
+        }
+        let off = item as usize * self.params.page_capacity()
+            + index as usize * self.params.payload_len;
+        Some(self.assembled[off..off + self.params.payload_len].to_vec())
+    }
+
+    fn item_kind(&self, _item: u16) -> PacketKind {
+        PacketKind::Data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> ImageParams {
+        ImageParams {
+            version: 1,
+            image_len: 1000,
+            packets_per_page: 4,
+            payload_len: 64,
+        }
+    }
+
+    fn test_image() -> DelugeImage {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        DelugeImage::new(data, params())
+    }
+
+    #[test]
+    fn page_count() {
+        // 1000 bytes / (4 * 64 = 256 per page) = 4 pages.
+        assert_eq!(params().pages(), 4);
+        let one_byte = ImageParams {
+            image_len: 1,
+            ..params()
+        };
+        assert_eq!(one_byte.pages(), 1);
+    }
+
+    #[test]
+    fn base_scheme_serves_all_packets() {
+        let img = test_image();
+        let mut scheme = DelugeScheme::base(&img);
+        assert_eq!(scheme.complete_items(), 4);
+        for page in 0..4 {
+            for idx in 0..4 {
+                let p = scheme.packet_payload(page, idx).unwrap();
+                assert_eq!(p, img.packet(page, idx));
+            }
+        }
+        assert_eq!(scheme.image().unwrap(), img.bytes());
+    }
+
+    #[test]
+    fn receiver_assembles_pages_in_order() {
+        let img = test_image();
+        let mut base = DelugeScheme::base(&img);
+        let mut rx = DelugeScheme::receiver(params());
+        assert_eq!(rx.complete_items(), 0);
+        assert!(rx.image().is_none());
+        for page in 0..4u16 {
+            // Deliver out of packet order.
+            for idx in [2u16, 0, 3, 1] {
+                let payload = base.packet_payload(page, idx).unwrap();
+                assert_eq!(
+                    rx.handle_packet(page, idx, &payload),
+                    PacketDisposition::Accepted
+                );
+            }
+            assert_eq!(rx.complete_items(), page + 1);
+        }
+        assert_eq!(rx.image().unwrap(), img.bytes());
+    }
+
+    #[test]
+    fn duplicates_and_malformed() {
+        let img = test_image();
+        let mut base = DelugeScheme::base(&img);
+        let mut rx = DelugeScheme::receiver(params());
+        let payload = base.packet_payload(0, 1).unwrap();
+        assert_eq!(rx.handle_packet(0, 1, &payload), PacketDisposition::Accepted);
+        assert_eq!(rx.handle_packet(0, 1, &payload), PacketDisposition::Duplicate);
+        assert_eq!(
+            rx.handle_packet(0, 9, &payload),
+            PacketDisposition::Rejected,
+            "index out of range"
+        );
+        assert_eq!(
+            rx.handle_packet(0, 2, &payload[..10]),
+            PacketDisposition::Rejected,
+            "short payload"
+        );
+    }
+
+    #[test]
+    fn wanted_tracks_missing() {
+        let img = test_image();
+        let mut base = DelugeScheme::base(&img);
+        let mut rx = DelugeScheme::receiver(params());
+        assert_eq!(rx.wanted(0).count_ones(), 4);
+        let payload = base.packet_payload(0, 2).unwrap();
+        rx.handle_packet(0, 2, &payload);
+        let w = rx.wanted(0);
+        assert_eq!(w.count_ones(), 3);
+        assert!(!w.get(2));
+    }
+
+    #[test]
+    fn deluge_accepts_bogus_payloads() {
+        // The insecure baseline stores anything of the right shape — the
+        // vulnerability the secure schemes close.
+        let mut rx = DelugeScheme::receiver(params());
+        let bogus = vec![0xEE; 64];
+        assert_eq!(rx.handle_packet(0, 0, &bogus), PacketDisposition::Accepted);
+    }
+}

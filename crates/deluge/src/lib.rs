@@ -1,0 +1,36 @@
+//! Deluge-style code dissemination substrate.
+//!
+//! Deluge (Hui & Culler, SenSys 2004) is the de-facto page-by-page code
+//! dissemination protocol for sensor networks and the foundation that
+//! both Seluge and LR-Seluge build on. This crate provides:
+//!
+//! * [`wire`] — the on-air message formats (advertisement, SNACK with a
+//!   request bit vector, data, signature) and their byte-exact
+//!   serialization, which the experiments use for the paper's
+//!   "total communication cost in bytes" metric;
+//! * [`engine`] — a generic dissemination node implementing the
+//!   MAINTAIN / RX / TX state machine with Trickle-scheduled
+//!   advertisements, SNACK retries and the suppression rules, shared by
+//!   Deluge, Seluge and LR-Seluge and parameterized by a [`Scheme`]
+//!   (what the transfer units are and how packets are validated) and a
+//!   [`TxPolicy`] (which requested packet to transmit next);
+//! * [`policy`] — the union-of-bit-vectors TX policy used by Deluge and
+//!   Seluge (§IV-D-3: "a node in Deluge and Seluge simply transmits
+//!   packets corresponding to the union of bit vectors in SNACK
+//!   packets");
+//! * [`image`] — the plain Deluge image layout (pages of `k` packets,
+//!   no security) and its [`Scheme`] implementation;
+//! * [`attack`] — adversarial node behaviours (bogus-data floods, forged
+//!   control packets, forged signatures, denial-of-receipt) used by the
+//!   attack-resilience experiments.
+
+pub mod attack;
+pub mod engine;
+pub mod image;
+pub mod policy;
+pub mod wire;
+
+pub use engine::{DisseminationNode, EngineConfig, PacketDisposition, Scheme};
+pub use image::{DelugeImage, DelugeScheme};
+pub use policy::{TxPolicy, UnionPolicy};
+pub use wire::{BitVec, Message};

@@ -1,0 +1,636 @@
+//! On-air message formats.
+//!
+//! Byte-exact serialization matters here: the paper's fairness metric is
+//! total communication cost in *bytes*, noting that "SNACK packets in
+//! LR-Seluge are `n − k` bits longer than those in Seluge". The SNACK
+//! request bit vector is therefore variable-length and sized by the
+//! per-item packet count.
+//!
+//! All control packets (advertisements and SNACKs) carry a truncated
+//! cluster-key MAC, as in Seluge/LR-Seluge §IV-E.
+
+use lrs_crypto::cluster::{ClusterKey, MacTag, MAC_LEN};
+use lrs_netsim::node::NodeId;
+use std::fmt;
+
+/// A fixed-length bit vector used in SNACK requests.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitVec {
+    len: usize,
+    bits: Vec<u8>,
+}
+
+impl BitVec {
+    /// All-zero vector of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        BitVec {
+            len,
+            bits: vec![0u8; len.div_ceil(8)],
+        }
+    }
+
+    /// All-one vector of `len` bits.
+    pub fn ones(len: usize) -> Self {
+        let mut v = Self::zeros(len);
+        for i in 0..len {
+            v.set(i, true);
+        }
+        v
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bit accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index out of range");
+        self.bits[i / 8] >> (i % 8) & 1 == 1
+    }
+
+    /// Bit mutator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index out of range");
+        if value {
+            self.bits[i / 8] |= 1 << (i % 8);
+        } else {
+            self.bits[i / 8] &= !(1 << (i % 8));
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        (0..self.len).filter(|&i| self.get(i)).count()
+    }
+
+    /// Whether no bit is set.
+    pub fn is_zero(&self) -> bool {
+        self.count_ones() == 0
+    }
+
+    /// Bitwise OR with another vector of the same length.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn union_with(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "bit vector length mismatch");
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= b;
+        }
+    }
+
+    /// Iterator over set-bit indices.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(move |&i| self.get(i))
+    }
+
+    /// Raw little-bit-endian bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bits
+    }
+
+    /// Reconstructs from raw bytes and a bit length.
+    ///
+    /// Returns `None` if `bytes` is not exactly `ceil(len/8)` long.
+    pub fn from_bytes(bytes: &[u8], len: usize) -> Option<Self> {
+        if bytes.len() != len.div_ceil(8) {
+            return None;
+        }
+        Some(BitVec {
+            len,
+            bits: bytes.to_vec(),
+        })
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec[")?;
+        for i in 0..self.len {
+            write!(f, "{}", if self.get(i) { '1' } else { '0' })?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A dissemination protocol message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Message {
+    /// Periodic advertisement: "I have `level` complete items of
+    /// `version`".
+    Adv {
+        /// Advertising node.
+        from: NodeId,
+        /// Code image version.
+        version: u16,
+        /// Number of leading complete items.
+        level: u16,
+        /// Cluster-key MAC over the fields above.
+        mac: MacTag,
+    },
+    /// Selective-NACK: `from` asks `target` for the packets of `item`
+    /// whose bits are set.
+    Snack {
+        /// Requesting node.
+        from: NodeId,
+        /// The node expected to serve the request.
+        target: NodeId,
+        /// Code image version.
+        version: u16,
+        /// Requested item (signature / hash page / code page index).
+        item: u16,
+        /// Wanted packets.
+        bits: BitVec,
+        /// Cluster-key MAC over the fields above.
+        mac: MacTag,
+        /// Optional LEAP pairwise MAC binding the request to the claimed
+        /// sender (§IV-E: identifies the SNACK source so per-neighbor
+        /// budgets cannot be evaded by spoofing).
+        pairwise_mac: Option<MacTag>,
+    },
+    /// A data packet of `item`.
+    Data {
+        /// Code image version.
+        version: u16,
+        /// Item index.
+        item: u16,
+        /// Packet index within the item.
+        index: u16,
+        /// Scheme-defined payload.
+        payload: Vec<u8>,
+    },
+    /// The signature packet (scheme-defined opaque body: Merkle root,
+    /// signature, puzzle solution, image metadata).
+    Signature {
+        /// Code image version.
+        version: u16,
+        /// Scheme-defined body.
+        body: Vec<u8>,
+    },
+}
+
+const TAG_ADV: u8 = 1;
+const TAG_SNACK: u8 = 2;
+const TAG_DATA: u8 = 3;
+const TAG_SIG: u8 = 4;
+
+impl Message {
+    /// MAC input for an advertisement.
+    pub fn adv_mac_parts(from: NodeId, version: u16, level: u16) -> [[u8; 4]; 3] {
+        [
+            from.0.to_be_bytes(),
+            {
+                let mut b = [0u8; 4];
+                b[..2].copy_from_slice(&version.to_be_bytes());
+                b
+            },
+            {
+                let mut b = [0u8; 4];
+                b[..2].copy_from_slice(&level.to_be_bytes());
+                b
+            },
+        ]
+    }
+
+    /// Builds a MACed advertisement.
+    pub fn adv(key: &ClusterKey, from: NodeId, version: u16, level: u16) -> Message {
+        let parts = Self::adv_mac_parts(from, version, level);
+        let mac = key.tag(&[b"adv", &parts[0], &parts[1], &parts[2]]);
+        Message::Adv {
+            from,
+            version,
+            level,
+            mac,
+        }
+    }
+
+    /// Builds a MACed SNACK.
+    pub fn snack(
+        key: &ClusterKey,
+        from: NodeId,
+        target: NodeId,
+        version: u16,
+        item: u16,
+        bits: BitVec,
+    ) -> Message {
+        let mac = key.tag(&[
+            b"snack",
+            &from.0.to_be_bytes(),
+            &target.0.to_be_bytes(),
+            &version.to_be_bytes(),
+            &item.to_be_bytes(),
+            bits.as_bytes(),
+        ]);
+        Message::Snack {
+            from,
+            target,
+            version,
+            item,
+            bits,
+            mac,
+            pairwise_mac: None,
+        }
+    }
+
+    /// The canonical byte parts a pairwise (LEAP) SNACK MAC covers.
+    pub fn snack_pairwise_parts(
+        from: NodeId,
+        target: NodeId,
+        version: u16,
+        item: u16,
+    ) -> [[u8; 4]; 3] {
+        [
+            from.0.to_be_bytes(),
+            target.0.to_be_bytes(),
+            {
+                let mut b = [0u8; 4];
+                b[..2].copy_from_slice(&version.to_be_bytes());
+                b[2..].copy_from_slice(&item.to_be_bytes());
+                b
+            },
+        ]
+    }
+
+    /// Attaches a LEAP pairwise MAC to a SNACK (no-op otherwise).
+    pub fn with_pairwise_mac(self, tag: MacTag) -> Message {
+        match self {
+            Message::Snack {
+                from,
+                target,
+                version,
+                item,
+                bits,
+                mac,
+                ..
+            } => Message::Snack {
+                from,
+                target,
+                version,
+                item,
+                bits,
+                mac,
+                pairwise_mac: Some(tag),
+            },
+            other => other,
+        }
+    }
+
+    /// Verifies the cluster-key MAC of a control packet. Data and
+    /// signature packets are authenticated by their scheme instead.
+    pub fn mac_ok(&self, key: &ClusterKey) -> bool {
+        match self {
+            Message::Adv {
+                from,
+                version,
+                level,
+                mac,
+            } => {
+                let parts = Self::adv_mac_parts(*from, *version, *level);
+                key.check(&[b"adv", &parts[0], &parts[1], &parts[2]], mac)
+            }
+            Message::Snack {
+                from,
+                target,
+                version,
+                item,
+                bits,
+                mac,
+                ..
+            } => key.check(
+                &[
+                    b"snack",
+                    &from.0.to_be_bytes(),
+                    &target.0.to_be_bytes(),
+                    &version.to_be_bytes(),
+                    &item.to_be_bytes(),
+                    bits.as_bytes(),
+                ],
+                mac,
+            ),
+            Message::Data { .. } | Message::Signature { .. } => true,
+        }
+    }
+
+    /// Serializes to wire bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Message::Adv {
+                from,
+                version,
+                level,
+                mac,
+            } => {
+                out.push(TAG_ADV);
+                out.extend_from_slice(&from.0.to_be_bytes());
+                out.extend_from_slice(&version.to_be_bytes());
+                out.extend_from_slice(&level.to_be_bytes());
+                out.extend_from_slice(&mac.0);
+            }
+            Message::Snack {
+                from,
+                target,
+                version,
+                item,
+                bits,
+                mac,
+                pairwise_mac,
+            } => {
+                out.push(TAG_SNACK);
+                out.extend_from_slice(&from.0.to_be_bytes());
+                out.extend_from_slice(&target.0.to_be_bytes());
+                out.extend_from_slice(&version.to_be_bytes());
+                out.extend_from_slice(&item.to_be_bytes());
+                out.extend_from_slice(&(bits.len() as u16).to_be_bytes());
+                out.extend_from_slice(bits.as_bytes());
+                out.extend_from_slice(&mac.0);
+                match pairwise_mac {
+                    Some(t) => {
+                        out.push(1);
+                        out.extend_from_slice(&t.0);
+                    }
+                    None => out.push(0),
+                }
+            }
+            Message::Data {
+                version,
+                item,
+                index,
+                payload,
+            } => {
+                out.push(TAG_DATA);
+                out.extend_from_slice(&version.to_be_bytes());
+                out.extend_from_slice(&item.to_be_bytes());
+                out.extend_from_slice(&index.to_be_bytes());
+                out.extend_from_slice(&(payload.len() as u16).to_be_bytes());
+                out.extend_from_slice(payload);
+            }
+            Message::Signature { version, body } => {
+                out.push(TAG_SIG);
+                out.extend_from_slice(&version.to_be_bytes());
+                out.extend_from_slice(&(body.len() as u16).to_be_bytes());
+                out.extend_from_slice(body);
+            }
+        }
+        out
+    }
+
+    /// Parses wire bytes; returns `None` on any malformation (an
+    /// adversary may send arbitrary garbage).
+    pub fn from_bytes(bytes: &[u8]) -> Option<Message> {
+        let (&tag, rest) = bytes.split_first()?;
+        let mut r = Reader(rest);
+        let msg = match tag {
+            TAG_ADV => {
+                let from = NodeId(r.u32()?);
+                let version = r.u16()?;
+                let level = r.u16()?;
+                let mac = MacTag(r.array::<MAC_LEN>()?);
+                Message::Adv {
+                    from,
+                    version,
+                    level,
+                    mac,
+                }
+            }
+            TAG_SNACK => {
+                let from = NodeId(r.u32()?);
+                let target = NodeId(r.u32()?);
+                let version = r.u16()?;
+                let item = r.u16()?;
+                let nbits = r.u16()? as usize;
+                let bytes = r.take(nbits.div_ceil(8))?;
+                let bits = BitVec::from_bytes(bytes, nbits)?;
+                let mac = MacTag(r.array::<MAC_LEN>()?);
+                let pairwise_mac = match r.take(1)?[0] {
+                    0 => None,
+                    1 => Some(MacTag(r.array::<MAC_LEN>()?)),
+                    _ => return None,
+                };
+                Message::Snack {
+                    from,
+                    target,
+                    version,
+                    item,
+                    bits,
+                    mac,
+                    pairwise_mac,
+                }
+            }
+            TAG_DATA => {
+                let version = r.u16()?;
+                let item = r.u16()?;
+                let index = r.u16()?;
+                let len = r.u16()? as usize;
+                let payload = r.take(len)?.to_vec();
+                Message::Data {
+                    version,
+                    item,
+                    index,
+                    payload,
+                }
+            }
+            TAG_SIG => {
+                let version = r.u16()?;
+                let len = r.u16()? as usize;
+                let body = r.take(len)?.to_vec();
+                Message::Signature { version, body }
+            }
+            _ => return None,
+        };
+        if !r.0.is_empty() {
+            return None;
+        }
+        Some(msg)
+    }
+}
+
+struct Reader<'a>(&'a [u8]);
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.0.len() < n {
+            return None;
+        }
+        let (head, tail) = self.0.split_at(n);
+        self.0 = tail;
+        Some(head)
+    }
+    fn u16(&mut self) -> Option<u16> {
+        let b = self.take(2)?;
+        Some(u16::from_be_bytes([b[0], b[1]]))
+    }
+    fn u32(&mut self) -> Option<u32> {
+        let b = self.take(4)?;
+        Some(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+    fn array<const N: usize>(&mut self) -> Option<[u8; N]> {
+        let b = self.take(N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(b);
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> ClusterKey {
+        ClusterKey::derive(b"master", 0)
+    }
+
+    #[test]
+    fn bitvec_basics() {
+        let mut v = BitVec::zeros(10);
+        assert_eq!(v.len(), 10);
+        assert!(v.is_zero());
+        v.set(0, true);
+        v.set(9, true);
+        assert!(v.get(0) && v.get(9) && !v.get(5));
+        assert_eq!(v.count_ones(), 2);
+        assert_eq!(v.iter_ones().collect::<Vec<_>>(), vec![0, 9]);
+        v.set(0, false);
+        assert_eq!(v.count_ones(), 1);
+        assert_eq!(BitVec::ones(10).count_ones(), 10);
+    }
+
+    #[test]
+    fn bitvec_union() {
+        let mut a = BitVec::zeros(6);
+        a.set(1, true);
+        let mut b = BitVec::zeros(6);
+        b.set(4, true);
+        a.union_with(&b);
+        assert_eq!(a.iter_ones().collect::<Vec<_>>(), vec![1, 4]);
+    }
+
+    #[test]
+    fn bitvec_bytes_roundtrip() {
+        let mut v = BitVec::zeros(13);
+        v.set(3, true);
+        v.set(12, true);
+        let back = BitVec::from_bytes(v.as_bytes(), 13).unwrap();
+        assert_eq!(back, v);
+        assert!(BitVec::from_bytes(&[0u8; 3], 13).is_none());
+    }
+
+    #[test]
+    fn snack_bitvec_size_matches_paper_note() {
+        // Seluge: k = 32 bits; LR-Seluge: n = 48 bits. The LR SNACK must
+        // be exactly (n - k) / 8 = 2 bytes longer.
+        let k = key();
+        let seluge = Message::snack(&k, NodeId(1), NodeId(2), 1, 3, BitVec::ones(32));
+        let lr = Message::snack(&k, NodeId(1), NodeId(2), 1, 3, BitVec::ones(48));
+        assert_eq!(lr.to_bytes().len() - seluge.to_bytes().len(), 2);
+    }
+
+    #[test]
+    fn roundtrip_all_kinds() {
+        let k = key();
+        let mut bits = BitVec::zeros(48);
+        bits.set(0, true);
+        bits.set(47, true);
+        let messages = vec![
+            Message::adv(&k, NodeId(7), 2, 5),
+            Message::snack(&k, NodeId(1), NodeId(2), 2, 4, bits),
+            Message::Data {
+                version: 2,
+                item: 3,
+                index: 17,
+                payload: vec![0xAA; 72],
+            },
+            Message::Signature {
+                version: 2,
+                body: vec![1, 2, 3],
+            },
+        ];
+        for m in messages {
+            let bytes = m.to_bytes();
+            let parsed = Message::from_bytes(&bytes).expect("parse");
+            assert_eq!(parsed, m);
+        }
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert_eq!(Message::from_bytes(&[]), None);
+        assert_eq!(Message::from_bytes(&[99, 0, 0]), None);
+        // Truncated adv.
+        let k = key();
+        let adv = Message::adv(&k, NodeId(1), 1, 1).to_bytes();
+        assert_eq!(Message::from_bytes(&adv[..adv.len() - 1]), None);
+        // Trailing garbage.
+        let mut extended = adv.clone();
+        extended.push(0);
+        assert_eq!(Message::from_bytes(&extended), None);
+    }
+
+    #[test]
+    fn mac_verification() {
+        let k = key();
+        let adv = Message::adv(&k, NodeId(1), 1, 4);
+        assert!(adv.mac_ok(&k));
+        // Forge the level: MAC must fail.
+        if let Message::Adv {
+            from,
+            version,
+            mac,
+            ..
+        } = adv
+        {
+            let forged = Message::Adv {
+                from,
+                version,
+                level: 9,
+                mac,
+            };
+            assert!(!forged.mac_ok(&k));
+        }
+        // Attacker with the wrong key cannot produce a valid MAC.
+        let wrong = ClusterKey::derive(b"other", 0);
+        let forged = Message::adv(&wrong, NodeId(1), 1, 4);
+        assert!(!forged.mac_ok(&k));
+    }
+
+    #[test]
+    fn snack_mac_covers_bits() {
+        let k = key();
+        let m = Message::snack(&k, NodeId(1), NodeId(2), 1, 0, BitVec::ones(8));
+        if let Message::Snack {
+            from,
+            target,
+            version,
+            item,
+            mac,
+            ..
+        } = m
+        {
+            let forged = Message::Snack {
+                from,
+                target,
+                version,
+                item,
+                bits: BitVec::zeros(8),
+                mac,
+                pairwise_mac: None,
+            };
+            assert!(!forged.mac_ok(&k));
+        }
+    }
+}

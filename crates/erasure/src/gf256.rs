@@ -1,0 +1,276 @@
+//! GF(2⁸) arithmetic with log/exp tables.
+//!
+//! The field is constructed over the AES/Rijndael reduction polynomial
+//! `x⁸ + x⁴ + x³ + x + 1` (0x11b) with generator 3. Multiplication and
+//! division go through precomputed log/exp tables, which is how the
+//! original mote implementations made Reed-Solomon affordable on 8-bit
+//! microcontrollers.
+
+/// A GF(2⁸) field element.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Debug, PartialOrd, Ord)]
+pub struct Gf(pub u8);
+
+/// Log/exp tables for the field, built once.
+struct Tables {
+    exp: [u8; 512],
+    log: [u8; 256],
+}
+
+fn tables() -> &'static Tables {
+    use std::sync::OnceLock;
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut exp = [0u8; 512];
+        let mut log = [0u8; 256];
+        let mut x: u16 = 1;
+        for i in 0..255 {
+            exp[i] = x as u8;
+            log[x as usize] = i as u8;
+            // Multiply by the generator 3 = x + 1: t = x*2 ^ x, reduced.
+            x = (x << 1) ^ x;
+            if x & 0x100 != 0 {
+                x ^= 0x11b;
+            }
+        }
+        // Extend exp to avoid a mod 255 in mul.
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        Tables { exp, log }
+    })
+}
+
+impl Gf {
+    /// The additive identity.
+    pub const ZERO: Gf = Gf(0);
+    /// The multiplicative identity.
+    pub const ONE: Gf = Gf(1);
+
+    /// Field addition (XOR).
+    #[inline]
+    pub fn add(self, rhs: Gf) -> Gf {
+        Gf(self.0 ^ rhs.0)
+    }
+
+    /// Field subtraction (identical to addition in characteristic 2).
+    #[inline]
+    pub fn sub(self, rhs: Gf) -> Gf {
+        self.add(rhs)
+    }
+
+    /// Field multiplication via log/exp tables.
+    #[inline]
+    pub fn mul(self, rhs: Gf) -> Gf {
+        if self.0 == 0 || rhs.0 == 0 {
+            return Gf::ZERO;
+        }
+        let t = tables();
+        let idx = t.log[self.0 as usize] as usize + t.log[rhs.0 as usize] as usize;
+        Gf(t.exp[idx])
+    }
+
+    /// Field division.
+    ///
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    #[inline]
+    pub fn div(self, rhs: Gf) -> Gf {
+        assert!(rhs.0 != 0, "GF(256) division by zero");
+        if self.0 == 0 {
+            return Gf::ZERO;
+        }
+        let t = tables();
+        let idx = 255 + t.log[self.0 as usize] as usize - t.log[rhs.0 as usize] as usize;
+        Gf(t.exp[idx])
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is zero.
+    #[inline]
+    pub fn inv(self) -> Gf {
+        Gf::ONE.div(self)
+    }
+
+    /// `self^e` (with `0^0 = 1`).
+    pub fn pow(self, mut e: u32) -> Gf {
+        let mut result = Gf::ONE;
+        let mut base = self;
+        while e > 0 {
+            if e & 1 == 1 {
+                result = result.mul(base);
+            }
+            base = base.mul(base);
+            e >>= 1;
+        }
+        result
+    }
+
+    /// The field generator used to build the tables (3).
+    pub fn generator() -> Gf {
+        Gf(3)
+    }
+}
+
+/// XORs `src` into `dst` (vector addition over GF(256)).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn slice_add_assign(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "slice length mismatch");
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= s;
+    }
+}
+
+/// Adds `coeff * src` into `dst` (the row operation of RS encoding and
+/// Gaussian elimination).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn slice_mul_add_assign(dst: &mut [u8], coeff: Gf, src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "slice length mismatch");
+    if coeff.0 == 0 {
+        return;
+    }
+    if coeff.0 == 1 {
+        slice_add_assign(dst, src);
+        return;
+    }
+    let t = tables();
+    let log_c = t.log[coeff.0 as usize] as usize;
+    for (d, s) in dst.iter_mut().zip(src) {
+        if *s != 0 {
+            *d ^= t.exp[log_c + t.log[*s as usize] as usize];
+        }
+    }
+}
+
+/// Multiplies every byte of `buf` by `coeff` in place.
+pub fn slice_scale(buf: &mut [u8], coeff: Gf) {
+    if coeff.0 == 1 {
+        return;
+    }
+    for b in buf.iter_mut() {
+        *b = Gf(*b).mul(coeff).0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Reference multiplication: carry-less shift-and-xor with reduction.
+    fn slow_mul(a: u8, b: u8) -> u8 {
+        let mut acc: u16 = 0;
+        let mut a16 = a as u16;
+        let mut b8 = b;
+        while b8 > 0 {
+            if b8 & 1 == 1 {
+                acc ^= a16;
+            }
+            a16 <<= 1;
+            if a16 & 0x100 != 0 {
+                a16 ^= 0x11b;
+            }
+            b8 >>= 1;
+        }
+        acc as u8
+    }
+
+    #[test]
+    fn table_mul_matches_slow_mul_exhaustive() {
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                assert_eq!(Gf(a).mul(Gf(b)).0, slow_mul(a, b), "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverses_exhaustive() {
+        for a in 1..=255u8 {
+            let inv = Gf(a).inv();
+            assert_eq!(Gf(a).mul(inv), Gf::ONE, "a={a}");
+        }
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        let g = Gf::generator();
+        let mut seen = [false; 256];
+        let mut x = Gf::ONE;
+        for _ in 0..255 {
+            assert!(!seen[x.0 as usize], "generator order < 255");
+            seen[x.0 as usize] = true;
+            x = x.mul(g);
+        }
+        assert_eq!(x, Gf::ONE);
+    }
+
+    #[test]
+    fn pow_consistency() {
+        let g = Gf::generator();
+        assert_eq!(g.pow(0), Gf::ONE);
+        assert_eq!(g.pow(1), g);
+        assert_eq!(g.pow(255), Gf::ONE);
+        assert_eq!(g.pow(256), g);
+        assert_eq!(Gf::ZERO.pow(0), Gf::ONE);
+        assert_eq!(Gf::ZERO.pow(3), Gf::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = Gf(5).div(Gf::ZERO);
+    }
+
+    #[test]
+    fn slice_ops_match_scalar_ops() {
+        let a: Vec<u8> = (0..=255u8).collect();
+        let b: Vec<u8> = (0..=255u8).rev().collect();
+        let mut dst = a.clone();
+        slice_mul_add_assign(&mut dst, Gf(0x53), &b);
+        for i in 0..256 {
+            assert_eq!(Gf(dst[i]), Gf(a[i]).add(Gf(0x53).mul(Gf(b[i]))));
+        }
+        let mut scaled = a.clone();
+        slice_scale(&mut scaled, Gf(0xca));
+        for i in 0..256 {
+            assert_eq!(Gf(scaled[i]), Gf(a[i]).mul(Gf(0xca)));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn field_axioms(a in 0u8..=255, b in 0u8..=255, c in 0u8..=255) {
+            let (a, b, c) = (Gf(a), Gf(b), Gf(c));
+            // Commutativity.
+            prop_assert_eq!(a.mul(b), b.mul(a));
+            prop_assert_eq!(a.add(b), b.add(a));
+            // Associativity.
+            prop_assert_eq!(a.mul(b).mul(c), a.mul(b.mul(c)));
+            prop_assert_eq!(a.add(b).add(c), a.add(b.add(c)));
+            // Distributivity.
+            prop_assert_eq!(a.mul(b.add(c)), a.mul(b).add(a.mul(c)));
+            // Identities.
+            prop_assert_eq!(a.mul(Gf::ONE), a);
+            prop_assert_eq!(a.add(Gf::ZERO), a);
+            // Additive inverse (characteristic 2).
+            prop_assert_eq!(a.add(a), Gf::ZERO);
+        }
+
+        #[test]
+        fn division_is_mul_inverse(a in 0u8..=255, b in 1u8..=255) {
+            let (a, b) = (Gf(a), Gf(b));
+            prop_assert_eq!(a.div(b), a.mul(b.inv()));
+            prop_assert_eq!(a.div(b).mul(b), a);
+        }
+    }
+}

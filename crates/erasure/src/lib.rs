@@ -1,0 +1,223 @@
+//! Fixed-rate erasure codes for LR-Seluge, implemented from scratch.
+//!
+//! LR-Seluge (paper §II-C, §IV) deliberately uses a *fixed-rate*
+//! `k`-`n`-`k'` erasure code rather than a rateless one: a code that maps
+//! `k` equal-length blocks to `n ≥ k` encoded blocks such that the
+//! originals can be recovered from any `k'` encoded blocks
+//! (`k ≤ k' ≤ n`). Because the `n` encoded packets are *predetermined*,
+//! their hash images can be chained into the previous page, giving
+//! immediate per-packet authentication — the property rateless codes
+//! cannot offer.
+//!
+//! Two implementations are provided:
+//!
+//! * [`ReedSolomon`] — a systematic MDS code over GF(2⁸) (`k' = k`,
+//!   optimal reception efficiency). This is the default code used by the
+//!   experiments.
+//! * [`SparseXor`] — a dense random-XOR code with a small reception
+//!   overhead (`k' > k`) but XOR-only (Gaussian) decoding.
+//! * [`Lt`] — a capped LT code (robust soliton degrees, O(edges)
+//!   peeling decoder): the rateless family of §II-C with its packet
+//!   space capped at `n`, exercising the paper's general `k'` model.
+//!
+//! # Example
+//!
+//! ```
+//! use lrs_erasure::{ErasureCode, ReedSolomon};
+//!
+//! let code = ReedSolomon::new(4, 7)?;
+//! let blocks: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i; 16]).collect();
+//! let encoded = code.encode(&blocks)?;
+//! // Any k' = 4 of the 7 encoded blocks recover the originals.
+//! let subset: Vec<(usize, Vec<u8>)> =
+//!     [6, 2, 5, 0].iter().map(|&i| (i, encoded[i].clone())).collect();
+//! assert_eq!(code.decode(&subset, 16)?, blocks);
+//! # Ok::<(), lrs_erasure::CodeError>(())
+//! ```
+
+pub mod gf256;
+pub mod lt;
+pub mod matrix;
+pub mod rs;
+pub mod sparse;
+
+pub use lt::Lt;
+pub use rs::ReedSolomon;
+pub use sparse::SparseXor;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by erasure-code operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodeError {
+    /// Parameters violate `1 ≤ k ≤ n ≤ 255` (GF(256) index space).
+    BadParameters {
+        /// Requested number of source blocks.
+        k: usize,
+        /// Requested number of encoded blocks.
+        n: usize,
+    },
+    /// The number or shape of input blocks does not match the code.
+    BadInput(String),
+    /// Not enough (or not usable) encoded blocks to decode.
+    NotEnoughBlocks {
+        /// Usable blocks supplied.
+        have: usize,
+        /// Blocks required (`k'` for the worst case).
+        need: usize,
+    },
+    /// The same block index was supplied twice.
+    DuplicateIndex(usize),
+    /// A supplied block index is outside `0..n`.
+    IndexOutOfRange(usize),
+}
+
+impl fmt::Display for CodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodeError::BadParameters { k, n } => {
+                write!(f, "invalid code parameters k={k}, n={n} (need 1 <= k <= n <= 255)")
+            }
+            CodeError::BadInput(msg) => write!(f, "bad input blocks: {msg}"),
+            CodeError::NotEnoughBlocks { have, need } => {
+                write!(f, "not enough encoded blocks: have {have}, need {need}")
+            }
+            CodeError::DuplicateIndex(i) => write!(f, "duplicate encoded block index {i}"),
+            CodeError::IndexOutOfRange(i) => write!(f, "encoded block index {i} out of range"),
+        }
+    }
+}
+
+impl Error for CodeError {}
+
+/// A fixed-rate `k`-`n`-`k'` erasure code (paper §II-C).
+///
+/// Implementations must be deterministic: every node preloaded with "the
+/// same instance" must produce identical encoded blocks from identical
+/// inputs (paper §IV-B), since packet hash images are computed over the
+/// encoded blocks.
+pub trait ErasureCode {
+    /// Number of source blocks per page.
+    fn k(&self) -> usize;
+
+    /// Number of encoded blocks per page.
+    fn n(&self) -> usize;
+
+    /// Reception threshold: any `k'` encoded blocks suffice to decode.
+    /// For an MDS code `k' = k`.
+    fn k_prime(&self) -> usize;
+
+    /// Encodes `k` equal-length source blocks into `n` encoded blocks of
+    /// the same length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::BadInput`] if the block count or shapes are
+    /// wrong.
+    fn encode(&self, blocks: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, CodeError>;
+
+    /// Decodes the original `k` blocks from `(index, block)` pairs.
+    ///
+    /// `block_len` is the expected block length (used to validate input).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::NotEnoughBlocks`] if fewer than the required
+    /// number of distinct valid blocks are provided, and other variants
+    /// for malformed input.
+    fn decode(&self, blocks: &[(usize, Vec<u8>)], block_len: usize) -> Result<Vec<Vec<u8>>, CodeError>;
+}
+
+/// Validates common decode-input invariants shared by implementations.
+pub(crate) fn check_decode_input(
+    blocks: &[(usize, Vec<u8>)],
+    n: usize,
+    block_len: usize,
+) -> Result<(), CodeError> {
+    let mut seen = vec![false; n];
+    for (idx, data) in blocks {
+        if *idx >= n {
+            return Err(CodeError::IndexOutOfRange(*idx));
+        }
+        if seen[*idx] {
+            return Err(CodeError::DuplicateIndex(*idx));
+        }
+        seen[*idx] = true;
+        if data.len() != block_len {
+            return Err(CodeError::BadInput(format!(
+                "block {idx} has length {}, expected {block_len}",
+                data.len()
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Splits `data` into exactly `k` blocks of equal length (zero-padded),
+/// as the base station does when partitioning a page (paper §IV-C).
+pub fn split_into_blocks(data: &[u8], k: usize) -> Vec<Vec<u8>> {
+    assert!(k >= 1, "k must be at least 1");
+    let block_len = data.len().div_ceil(k).max(1);
+    let mut out = Vec::with_capacity(k);
+    for i in 0..k {
+        let start = (i * block_len).min(data.len());
+        let end = ((i + 1) * block_len).min(data.len());
+        let mut block = data[start..end].to_vec();
+        block.resize(block_len, 0);
+        out.push(block);
+    }
+    out
+}
+
+/// Reassembles blocks produced by [`split_into_blocks`], truncating the
+/// zero padding back to `original_len`.
+pub fn join_blocks(blocks: &[Vec<u8>], original_len: usize) -> Vec<u8> {
+    let mut out: Vec<u8> = blocks.iter().flatten().copied().collect();
+    out.truncate(original_len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_join_roundtrip() {
+        for len in [0usize, 1, 7, 16, 17, 100] {
+            for k in [1usize, 2, 3, 8] {
+                let data: Vec<u8> = (0..len as u32).map(|i| (i % 251) as u8).collect();
+                let blocks = split_into_blocks(&data, k);
+                assert_eq!(blocks.len(), k, "len={len} k={k}");
+                let lens: Vec<usize> = blocks.iter().map(|b| b.len()).collect();
+                assert!(lens.windows(2).all(|w| w[0] == w[1]), "unequal blocks");
+                assert_eq!(join_blocks(&blocks, len), data, "len={len} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn check_decode_input_catches_errors() {
+        let ok = vec![(0usize, vec![0u8; 4]), (2, vec![0u8; 4])];
+        assert!(check_decode_input(&ok, 4, 4).is_ok());
+        let dup = vec![(1usize, vec![0u8; 4]), (1, vec![0u8; 4])];
+        assert_eq!(check_decode_input(&dup, 4, 4), Err(CodeError::DuplicateIndex(1)));
+        let oor = vec![(9usize, vec![0u8; 4])];
+        assert_eq!(check_decode_input(&oor, 4, 4), Err(CodeError::IndexOutOfRange(9)));
+        let short = vec![(0usize, vec![0u8; 3])];
+        assert!(matches!(check_decode_input(&short, 4, 4), Err(CodeError::BadInput(_))));
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            CodeError::BadParameters { k: 0, n: 0 },
+            CodeError::BadInput("x".into()),
+            CodeError::NotEnoughBlocks { have: 1, need: 2 },
+            CodeError::DuplicateIndex(3),
+            CodeError::IndexOutOfRange(4),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Dense matrices over GF(2⁸) with Gaussian elimination.
+//!
+//! Used to build the systematic Reed-Solomon generator matrix and to
+//! invert the received-row submatrix during decoding.
+
+use crate::gf256::Gf;
+use crate::CodeError;
+
+/// A dense row-major matrix over GF(256).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Gf>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![Gf::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zero(n, n);
+        for i in 0..n {
+            m.set(i, i, Gf::ONE);
+        }
+        m
+    }
+
+    /// Builds a Vandermonde matrix with `rows` rows over evaluation
+    /// points `g^0, g^1, …` (all distinct for rows ≤ 255).
+    pub fn vandermonde(rows: usize, cols: usize) -> Self {
+        let g = Gf::generator();
+        let mut m = Self::zero(rows, cols);
+        for r in 0..rows {
+            let x = g.pow(r as u32);
+            for c in 0..cols {
+                m.set(r, c, x.pow(c as u32));
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> Gf {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: Gf) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// A view of row `r`.
+    pub fn row(&self, r: usize) -> &[Gf] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn mul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "dimension mismatch in matrix multiply");
+        let mut out = Matrix::zero(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for l in 0..self.cols {
+                let a = self.get(i, l);
+                if a == Gf::ZERO {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    let cur = out.get(i, j);
+                    out.set(i, j, cur.add(a.mul(rhs.get(l, j))));
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns a new matrix made of the selected rows.
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zero(indices.len(), self.cols);
+        for (dst, &src) in indices.iter().enumerate() {
+            for c in 0..self.cols {
+                out.set(dst, c, self.get(src, c));
+            }
+        }
+        out
+    }
+
+    /// Inverts a square matrix by Gauss-Jordan elimination.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::BadInput`] if the matrix is singular or not
+    /// square.
+    pub fn inverse(&self) -> Result<Matrix, CodeError> {
+        if self.rows != self.cols {
+            return Err(CodeError::BadInput(format!(
+                "cannot invert {}x{} matrix",
+                self.rows, self.cols
+            )));
+        }
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = Matrix::identity(n);
+        for col in 0..n {
+            // Find a pivot.
+            let pivot = (col..n)
+                .find(|&r| a.get(r, col) != Gf::ZERO)
+                .ok_or_else(|| CodeError::BadInput("singular matrix".to_string()))?;
+            if pivot != col {
+                a.swap_rows(pivot, col);
+                inv.swap_rows(pivot, col);
+            }
+            // Normalize the pivot row.
+            let p = a.get(col, col);
+            let pinv = p.inv();
+            a.scale_row(col, pinv);
+            inv.scale_row(col, pinv);
+            // Eliminate the column everywhere else.
+            for r in 0..n {
+                if r == col {
+                    continue;
+                }
+                let factor = a.get(r, col);
+                if factor != Gf::ZERO {
+                    a.add_scaled_row(r, col, factor);
+                    inv.add_scaled_row(r, col, factor);
+                }
+            }
+        }
+        Ok(inv)
+    }
+
+    fn swap_rows(&mut self, r1: usize, r2: usize) {
+        if r1 == r2 {
+            return;
+        }
+        for c in 0..self.cols {
+            let t = self.get(r1, c);
+            self.set(r1, c, self.get(r2, c));
+            self.set(r2, c, t);
+        }
+    }
+
+    fn scale_row(&mut self, r: usize, factor: Gf) {
+        for c in 0..self.cols {
+            let v = self.get(r, c);
+            self.set(r, c, v.mul(factor));
+        }
+    }
+
+    /// row[dst] += factor * row[src]
+    fn add_scaled_row(&mut self, dst: usize, src: usize, factor: Gf) {
+        for c in 0..self.cols {
+            let v = self.get(dst, c).add(factor.mul(self.get(src, c)));
+            self.set(dst, c, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identity_is_multiplicative_identity() {
+        let v = Matrix::vandermonde(4, 4);
+        let i = Matrix::identity(4);
+        assert_eq!(v.mul(&i), v);
+        assert_eq!(i.mul(&v), v);
+    }
+
+    #[test]
+    fn vandermonde_square_invertible() {
+        for n in 1..=16usize {
+            let v = Matrix::vandermonde(n, n);
+            let inv = v.inverse().expect("Vandermonde with distinct points is invertible");
+            assert_eq!(v.mul(&inv), Matrix::identity(n), "n={n}");
+            assert_eq!(inv.mul(&v), Matrix::identity(n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        let mut m = Matrix::zero(3, 3);
+        // Two identical rows.
+        for c in 0..3 {
+            m.set(0, c, Gf(c as u8 + 1));
+            m.set(1, c, Gf(c as u8 + 1));
+            m.set(2, c, Gf(7));
+        }
+        assert!(m.inverse().is_err());
+    }
+
+    #[test]
+    fn non_square_inverse_rejected() {
+        let m = Matrix::zero(2, 3);
+        assert!(m.inverse().is_err());
+    }
+
+    #[test]
+    fn select_rows_picks_rows() {
+        let v = Matrix::vandermonde(5, 3);
+        let s = v.select_rows(&[4, 0, 2]);
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.row(0), v.row(4));
+        assert_eq!(s.row(1), v.row(0));
+        assert_eq!(s.row(2), v.row(2));
+    }
+
+    proptest! {
+        #[test]
+        fn random_vandermonde_row_subsets_invertible(
+            n in 2usize..24,
+            seed in 0u64..1000,
+        ) {
+            // Any k distinct rows of a Vandermonde matrix over distinct
+            // points form an invertible matrix.
+            let k = (n / 2).max(1);
+            let v = Matrix::vandermonde(n, k);
+            // Pseudo-random distinct row choice from the seed.
+            let mut rows: Vec<usize> = (0..n).collect();
+            let mut s = seed;
+            for i in (1..rows.len()).rev() {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                rows.swap(i, (s >> 33) as usize % (i + 1));
+            }
+            rows.truncate(k);
+            let sub = v.select_rows(&rows);
+            prop_assert!(sub.inverse().is_ok());
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Systematic Reed-Solomon erasure code over GF(2⁸).
+//!
+//! The generator matrix is derived from an `n × k` Vandermonde matrix `V`
+//! by normalizing its top `k × k` block to the identity:
+//! `A = V · (V_top)⁻¹`. Any `k` rows of `A` remain linearly independent
+//! (row selection commutes with the right-multiplication), so the code is
+//! MDS: any `k' = k` encoded blocks recover the page. The first `k`
+//! encoded blocks equal the source blocks, which lets intermediate nodes
+//! that already decoded a page re-encode it cheaply (paper §IV-D-3: a TX
+//! node "applies the same erasure code f" before serving SNACKs).
+
+use crate::gf256::{slice_mul_add_assign, Gf};
+use crate::matrix::Matrix;
+use crate::{check_decode_input, CodeError, ErasureCode};
+
+/// A systematic `(k, n)` Reed-Solomon code with `k' = k`.
+#[derive(Clone, Debug)]
+pub struct ReedSolomon {
+    k: usize,
+    n: usize,
+    /// The systematic generator matrix (n × k); top k rows are identity.
+    generator: Matrix,
+}
+
+impl ReedSolomon {
+    /// Constructs the code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::BadParameters`] unless `1 ≤ k ≤ n ≤ 255`.
+    pub fn new(k: usize, n: usize) -> Result<Self, CodeError> {
+        if k == 0 || n < k || n > 255 {
+            return Err(CodeError::BadParameters { k, n });
+        }
+        let v = Matrix::vandermonde(n, k);
+        let top = v.select_rows(&(0..k).collect::<Vec<_>>());
+        let top_inv = top
+            .inverse()
+            .expect("top Vandermonde block is always invertible");
+        let generator = v.mul(&top_inv);
+        Ok(ReedSolomon { k, n, generator })
+    }
+
+    /// The systematic generator matrix row for encoded block `idx`.
+    fn gen_row(&self, idx: usize) -> &[Gf] {
+        self.generator.row(idx)
+    }
+}
+
+impl ErasureCode for ReedSolomon {
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn k_prime(&self) -> usize {
+        self.k
+    }
+
+    fn encode(&self, blocks: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, CodeError> {
+        if blocks.len() != self.k {
+            return Err(CodeError::BadInput(format!(
+                "expected {} source blocks, got {}",
+                self.k,
+                blocks.len()
+            )));
+        }
+        let block_len = blocks[0].len();
+        if blocks.iter().any(|b| b.len() != block_len) {
+            return Err(CodeError::BadInput("source blocks have unequal lengths".into()));
+        }
+        let mut out = Vec::with_capacity(self.n);
+        // Systematic part: identity rows.
+        out.extend(blocks.iter().cloned());
+        // Parity part.
+        for r in self.k..self.n {
+            let row = self.gen_row(r);
+            let mut acc = vec![0u8; block_len];
+            for (c, coeff) in row.iter().enumerate() {
+                slice_mul_add_assign(&mut acc, *coeff, &blocks[c]);
+            }
+            out.push(acc);
+        }
+        Ok(out)
+    }
+
+    fn decode(&self, blocks: &[(usize, Vec<u8>)], block_len: usize) -> Result<Vec<Vec<u8>>, CodeError> {
+        check_decode_input(blocks, self.n, block_len)?;
+        if blocks.len() < self.k {
+            return Err(CodeError::NotEnoughBlocks {
+                have: blocks.len(),
+                need: self.k,
+            });
+        }
+        // Prefer systematic blocks; take the first k distinct indices.
+        let mut chosen: Vec<&(usize, Vec<u8>)> = blocks.iter().collect();
+        chosen.sort_by_key(|(idx, _)| *idx);
+        chosen.truncate(self.k);
+
+        // Fast path: all k systematic blocks present.
+        if chosen.iter().enumerate().all(|(i, (idx, _))| *idx == i) {
+            return Ok(chosen.into_iter().map(|(_, b)| b.clone()).collect());
+        }
+
+        let indices: Vec<usize> = chosen.iter().map(|(idx, _)| *idx).collect();
+        let sub = self.generator.select_rows(&indices);
+        let inv = sub
+            .inverse()
+            .expect("any k rows of a systematic Vandermonde-derived matrix are independent");
+        let mut out = Vec::with_capacity(self.k);
+        for r in 0..self.k {
+            let mut acc = vec![0u8; block_len];
+            for (c, (_, data)) in chosen.iter().enumerate() {
+                slice_mul_add_assign(&mut acc, inv.get(r, c), data);
+            }
+            out.push(acc);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_blocks(k: usize, len: usize) -> Vec<Vec<u8>> {
+        (0..k)
+            .map(|i| (0..len).map(|j| ((i * 131 + j * 17 + 7) % 256) as u8).collect())
+            .collect()
+    }
+
+    #[test]
+    fn systematic_prefix() {
+        let code = ReedSolomon::new(4, 8).unwrap();
+        let blocks = sample_blocks(4, 32);
+        let enc = code.encode(&blocks).unwrap();
+        assert_eq!(enc.len(), 8);
+        assert_eq!(&enc[..4], &blocks[..]);
+    }
+
+    #[test]
+    fn decode_from_any_k_subset_small() {
+        let code = ReedSolomon::new(3, 6).unwrap();
+        let blocks = sample_blocks(3, 10);
+        let enc = code.encode(&blocks).unwrap();
+        // Every 3-subset of 6 indices.
+        for a in 0..6 {
+            for b in (a + 1)..6 {
+                for c in (b + 1)..6 {
+                    let subset: Vec<(usize, Vec<u8>)> =
+                        [a, b, c].iter().map(|&i| (i, enc[i].clone())).collect();
+                    let dec = code.decode(&subset, 10).unwrap();
+                    assert_eq!(dec, blocks, "subset {a},{b},{c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_parameters_roundtrip() {
+        // The paper's defaults: k = 32, n up to 64; k0 = 8, n0 = 16.
+        for (k, n) in [(32usize, 48usize), (32, 64), (8, 16), (3, 6)] {
+            let code = ReedSolomon::new(k, n).unwrap();
+            let blocks = sample_blocks(k, 72);
+            let enc = code.encode(&blocks).unwrap();
+            // Take the last k blocks (worst case: all parity where possible).
+            let subset: Vec<(usize, Vec<u8>)> =
+                (n - k..n).map(|i| (i, enc[i].clone())).collect();
+            assert_eq!(code.decode(&subset, 72).unwrap(), blocks, "k={k} n={n}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(ReedSolomon::new(0, 4).is_err());
+        assert!(ReedSolomon::new(5, 4).is_err());
+        assert!(ReedSolomon::new(10, 256).is_err());
+        assert!(ReedSolomon::new(1, 1).is_ok());
+        assert!(ReedSolomon::new(255, 255).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let code = ReedSolomon::new(3, 5).unwrap();
+        assert!(code.encode(&sample_blocks(2, 8)).is_err());
+        let mut uneven = sample_blocks(3, 8);
+        uneven[1].push(0);
+        assert!(code.encode(&uneven).is_err());
+        let enc = code.encode(&sample_blocks(3, 8)).unwrap();
+        let too_few: Vec<(usize, Vec<u8>)> = vec![(0, enc[0].clone()), (1, enc[1].clone())];
+        assert!(matches!(
+            code.decode(&too_few, 8),
+            Err(CodeError::NotEnoughBlocks { have: 2, need: 3 })
+        ));
+    }
+
+    #[test]
+    fn encoding_is_deterministic_across_instances() {
+        // Two independently constructed instances must agree (paper §IV-B:
+        // all nodes hold "the same instance" of f).
+        let a = ReedSolomon::new(16, 24).unwrap();
+        let b = ReedSolomon::new(16, 24).unwrap();
+        let blocks = sample_blocks(16, 40);
+        assert_eq!(a.encode(&blocks).unwrap(), b.encode(&blocks).unwrap());
+    }
+
+    #[test]
+    fn reencode_after_decode_matches() {
+        // An intermediate node decodes from parity blocks, then re-encodes;
+        // the regenerated packets must be byte-identical (their hash images
+        // were fixed at preprocessing time).
+        let code = ReedSolomon::new(8, 12).unwrap();
+        let blocks = sample_blocks(8, 20);
+        let enc = code.encode(&blocks).unwrap();
+        let subset: Vec<(usize, Vec<u8>)> = (4..12).map(|i| (i, enc[i].clone())).collect();
+        let dec = code.decode(&subset, 20).unwrap();
+        assert_eq!(code.encode(&dec).unwrap(), enc);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn roundtrip_random_erasures(
+            k in 1usize..20,
+            extra in 0usize..20,
+            len in 1usize..64,
+            seed in 0u64..10_000,
+        ) {
+            let n = k + extra;
+            let code = ReedSolomon::new(k, n).unwrap();
+            let blocks: Vec<Vec<u8>> = (0..k)
+                .map(|i| {
+                    let mut s = seed.wrapping_add(i as u64).wrapping_mul(0x9e3779b97f4a7c15);
+                    (0..len)
+                        .map(|_| {
+                            s ^= s << 13;
+                            s ^= s >> 7;
+                            s ^= s << 17;
+                            (s & 0xff) as u8
+                        })
+                        .collect()
+                })
+                .collect();
+            let enc = code.encode(&blocks).unwrap();
+            // Choose a pseudo-random k-subset of indices.
+            let mut order: Vec<usize> = (0..n).collect();
+            let mut s = seed ^ 0xabcdef;
+            for i in (1..order.len()).rev() {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                order.swap(i, (s >> 33) as usize % (i + 1));
+            }
+            let subset: Vec<(usize, Vec<u8>)> =
+                order[..k].iter().map(|&i| (i, enc[i].clone())).collect();
+            prop_assert_eq!(code.decode(&subset, len).unwrap(), blocks);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Network-wide metric counters.
+//!
+//! The paper compares five quantities (§VI-A): total data packets, total
+//! SNACK packets, total advertisement packets, total communication cost
+//! in bytes (SNACKs in LR-Seluge are `n − k` bits longer, so raw packet
+//! counts alone would be unfair), and overall dissemination latency.
+
+use crate::node::{NodeId, PacketKind};
+use crate::time::SimTime;
+use std::collections::HashMap;
+
+/// Aggregated counters for one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    tx_packets: HashMap<PacketKind, u64>,
+    tx_bytes: HashMap<PacketKind, u64>,
+    rx_packets: u64,
+    rx_bytes: u64,
+    /// Packets lost to PHY link quality or noise.
+    lost_phy: u64,
+    /// Packets lost to collisions.
+    lost_collision: u64,
+    /// Packets dropped by the application-layer loss process.
+    lost_app: u64,
+    /// First time each node reported completion.
+    completion: HashMap<NodeId, SimTime>,
+}
+
+impl Metrics {
+    /// Fresh, zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a transmission of `bytes` of the given kind.
+    pub fn count_tx(&mut self, kind: PacketKind, bytes: usize) {
+        *self.tx_packets.entry(kind).or_insert(0) += 1;
+        *self.tx_bytes.entry(kind).or_insert(0) += bytes as u64;
+    }
+
+    /// Records a successful reception.
+    pub fn count_rx(&mut self, bytes: usize) {
+        self.rx_packets += 1;
+        self.rx_bytes += bytes as u64;
+    }
+
+    /// Records a PHY-level loss.
+    pub fn count_phy_loss(&mut self) {
+        self.lost_phy += 1;
+    }
+
+    /// Records a collision loss.
+    pub fn count_collision(&mut self) {
+        self.lost_collision += 1;
+    }
+
+    /// Records an application-layer drop (the paper's loss process).
+    pub fn count_app_drop(&mut self) {
+        self.lost_app += 1;
+    }
+
+    /// Records the first completion time of `node`.
+    pub fn record_completion(&mut self, node: NodeId, at: SimTime) {
+        self.completion.entry(node).or_insert(at);
+    }
+
+    /// Transmitted packets of `kind`.
+    pub fn tx_packets(&self, kind: PacketKind) -> u64 {
+        self.tx_packets.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Transmitted bytes of `kind`.
+    pub fn tx_bytes(&self, kind: PacketKind) -> u64 {
+        self.tx_bytes.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Total transmitted packets across kinds.
+    pub fn total_tx_packets(&self) -> u64 {
+        self.tx_packets.values().sum()
+    }
+
+    /// Total transmitted bytes across kinds (the paper's "total
+    /// communication cost in bytes").
+    pub fn total_tx_bytes(&self) -> u64 {
+        self.tx_bytes.values().sum()
+    }
+
+    /// Successful receptions.
+    pub fn rx_packets(&self) -> u64 {
+        self.rx_packets
+    }
+
+    /// Received bytes (an energy proxy: receivers pay for every byte that
+    /// clears the PHY, even if authentication later rejects it).
+    pub fn rx_bytes(&self) -> u64 {
+        self.rx_bytes
+    }
+
+    /// PHY losses.
+    pub fn phy_losses(&self) -> u64 {
+        self.lost_phy
+    }
+
+    /// Collision losses.
+    pub fn collision_losses(&self) -> u64 {
+        self.lost_collision
+    }
+
+    /// Application-layer drops.
+    pub fn app_drops(&self) -> u64 {
+        self.lost_app
+    }
+
+    /// Completion time of `node`, if it completed.
+    pub fn completion_of(&self, node: NodeId) -> Option<SimTime> {
+        self.completion.get(&node).copied()
+    }
+
+    /// Number of nodes that completed.
+    pub fn completed_count(&self) -> usize {
+        self.completion.len()
+    }
+
+    /// Dissemination latency: the time the *last* node completed.
+    pub fn dissemination_latency(&self) -> Option<SimTime> {
+        self.completion.values().copied().max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        m.count_tx(PacketKind::Data, 80);
+        m.count_tx(PacketKind::Data, 80);
+        m.count_tx(PacketKind::Snack, 20);
+        assert_eq!(m.tx_packets(PacketKind::Data), 2);
+        assert_eq!(m.tx_bytes(PacketKind::Data), 160);
+        assert_eq!(m.total_tx_packets(), 3);
+        assert_eq!(m.total_tx_bytes(), 180);
+        assert_eq!(m.tx_packets(PacketKind::Adv), 0);
+    }
+
+    #[test]
+    fn completion_records_first_time_only() {
+        let mut m = Metrics::new();
+        m.record_completion(NodeId(1), SimTime(100));
+        m.record_completion(NodeId(1), SimTime(200));
+        m.record_completion(NodeId(2), SimTime(150));
+        assert_eq!(m.completion_of(NodeId(1)), Some(SimTime(100)));
+        assert_eq!(m.dissemination_latency(), Some(SimTime(150)));
+        assert_eq!(m.completed_count(), 2);
+    }
+
+    #[test]
+    fn loss_counters() {
+        let mut m = Metrics::new();
+        m.count_phy_loss();
+        m.count_collision();
+        m.count_app_drop();
+        m.count_app_drop();
+        assert_eq!(m.phy_losses(), 1);
+        assert_eq!(m.collision_losses(), 1);
+        assert_eq!(m.app_drops(), 2);
+    }
+}

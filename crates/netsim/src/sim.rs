@@ -1,0 +1,432 @@
+//! The simulator main loop.
+
+use crate::energy::EnergyLedger;
+use crate::event::{Event, EventQueue};
+use crate::medium::{Delivery, Medium, MediumConfig};
+use crate::metrics::Metrics;
+use crate::node::{Action, Context, NodeId, Protocol};
+use crate::time::{Duration, SimTime};
+use crate::topology::Topology;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Simulation-wide configuration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SimConfig {
+    /// Radio and loss-process parameters.
+    pub medium: MediumConfig,
+}
+
+/// Result of a run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Whether every node reported completion.
+    pub all_complete: bool,
+    /// Virtual time when the run stopped.
+    pub final_time: SimTime,
+    /// Dissemination latency (time the last node completed), if all did.
+    pub latency: Option<SimTime>,
+}
+
+/// A deterministic discrete-event simulation over one protocol type.
+pub struct Simulator<P: Protocol> {
+    topology: Topology,
+    medium: Medium,
+    queue: EventQueue,
+    protocols: Vec<Option<P>>,
+    rngs: Vec<StdRng>,
+    timer_gens: HashMap<(u32, u32), u64>,
+    metrics: Metrics,
+    energy: EnergyLedger,
+    now: SimTime,
+    complete: Vec<bool>,
+    /// Nodes removed from the simulation (crash-failure injection).
+    failed: Vec<bool>,
+    /// Pending failure times, applied as virtual time passes.
+    failures: Vec<(NodeId, SimTime)>,
+}
+
+impl<P: Protocol> Simulator<P> {
+    /// Builds a simulator; `make_node` constructs the protocol instance
+    /// for each node id.
+    pub fn new(
+        topology: Topology,
+        config: SimConfig,
+        seed: u64,
+        mut make_node: impl FnMut(NodeId) -> P,
+    ) -> Self {
+        let n = topology.len();
+        let medium = Medium::new(config.medium, n, seed);
+        let protocols: Vec<Option<P>> = (0..n).map(|i| Some(make_node(NodeId(i as u32)))).collect();
+        let rngs = (0..n)
+            .map(|i| StdRng::seed_from_u64(seed.wrapping_mul(0x9e3779b97f4a7c15) ^ (i as u64)))
+            .collect();
+        Simulator {
+            topology,
+            medium,
+            queue: EventQueue::new(),
+            protocols,
+            rngs,
+            timer_gens: HashMap::new(),
+            metrics: Metrics::new(),
+            energy: EnergyLedger::new(n),
+            now: SimTime::ZERO,
+            complete: vec![false; n],
+            failed: vec![false; n],
+            failures: Vec::new(),
+        }
+    }
+
+    /// Schedules a crash failure: from `at` onward the node neither
+    /// transmits nor receives, and no longer gates run completion.
+    /// Call before [`run`](Self::run).
+    pub fn schedule_failure(&mut self, node: NodeId, at: SimTime) {
+        self.failures.push((node, at));
+    }
+
+    /// Whether `node` has crash-failed.
+    pub fn is_failed(&self, node: NodeId) -> bool {
+        self.failed[node.index()]
+    }
+
+    /// Per-node radio energy ledger.
+    pub fn energy(&self) -> &EnergyLedger {
+        &self.energy
+    }
+
+    fn apply_due_failures(&mut self) {
+        let now = self.now;
+        let mut newly: Vec<NodeId> = Vec::new();
+        self.failures.retain(|&(node, at)| {
+            if at <= now {
+                newly.push(node);
+                false
+            } else {
+                true
+            }
+        });
+        for node in newly {
+            self.failed[node.index()] = true;
+            // A dead node no longer gates completion.
+            self.complete[node.index()] = true;
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The metric counters.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Immutable access to a node's protocol state (for assertions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> &P {
+        self.protocols[id.index()]
+            .as_ref()
+            .expect("node is not mid-callback")
+    }
+
+    /// Runs until every node completes, the event queue drains, or
+    /// `deadline` passes. Returns a report; metrics stay accessible.
+    pub fn run(&mut self, deadline: Duration) -> RunReport {
+        let deadline = SimTime::ZERO + deadline;
+        // Initialize every node.
+        for i in 0..self.protocols.len() {
+            self.with_node(i, |node, ctx| node.on_init(ctx));
+        }
+        self.refresh_completion();
+        while !self.all_complete() {
+            let Some(at) = self.queue.peek_time() else {
+                break; // stalled: no pending events
+            };
+            if at > deadline {
+                break;
+            }
+            let (at, event) = self.queue.pop().expect("peeked");
+            self.now = at;
+            self.apply_due_failures();
+            match event {
+                Event::Deliver { to, from, data, kind, tx_id } => {
+                    if self.failed[to.index()] {
+                        continue;
+                    }
+                    let outcome = self.medium.deliver(self.now, tx_id, to, &self.topology);
+                    match outcome {
+                        Delivery::Received => {
+                            self.metrics.count_rx(data.len());
+                            self.energy.record_rx(to, data.len());
+                            let _ = kind;
+                            self.with_node(to.index(), |node, ctx| node.on_packet(ctx, from, &data));
+                        }
+                        Delivery::Collision => self.metrics.count_collision(),
+                        Delivery::PhyLoss => self.metrics.count_phy_loss(),
+                        Delivery::AppDrop => {
+                            // The radio decoded the packet; the drop is an
+                            // application-layer event (energy still paid).
+                            self.energy.record_rx(to, data.len());
+                            self.metrics.count_app_drop()
+                        }
+                    }
+                }
+                Event::Timer { node, timer, generation } => {
+                    if self.failed[node.index()] {
+                        continue;
+                    }
+                    let current = self
+                        .timer_gens
+                        .get(&(node.0, timer.0))
+                        .copied()
+                        .unwrap_or(0);
+                    if generation == current {
+                        self.with_node(node.index(), |n, ctx| n.on_timer(ctx, timer));
+                    }
+                }
+            }
+        }
+        let latency = if self.all_complete() {
+            self.metrics.dissemination_latency()
+        } else {
+            None
+        };
+        RunReport {
+            all_complete: self.all_complete(),
+            final_time: self.now,
+            latency,
+        }
+    }
+
+    fn all_complete(&self) -> bool {
+        self.complete.iter().all(|&c| c)
+    }
+
+    fn refresh_completion(&mut self) {
+        for i in 0..self.protocols.len() {
+            if !self.complete[i] {
+                if let Some(p) = self.protocols[i].as_ref() {
+                    if p.is_complete() {
+                        self.complete[i] = true;
+                        self.metrics.record_completion(NodeId(i as u32), self.now);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs `f` with node `i`'s protocol and a fresh context, then applies
+    /// the produced actions.
+    fn with_node(&mut self, i: usize, f: impl FnOnce(&mut P, &mut Context<'_>)) {
+        let mut node = self.protocols[i].take().expect("re-entrant node callback");
+        let mut actions = Vec::new();
+        {
+            let cfg = self.medium.config();
+            let mut ctx = Context {
+                now: self.now,
+                id: NodeId(i as u32),
+                rng: &mut self.rngs[i],
+                actions: &mut actions,
+                us_per_byte: cfg.us_per_byte,
+                per_packet_overhead_us: cfg.per_packet_overhead_us,
+            };
+            f(&mut node, &mut ctx);
+        }
+        // Completion check before re-inserting.
+        if !self.complete[i] && node.is_complete() {
+            self.complete[i] = true;
+            self.metrics.record_completion(NodeId(i as u32), self.now);
+        }
+        self.protocols[i] = Some(node);
+        for action in actions {
+            self.apply_action(NodeId(i as u32), action);
+        }
+    }
+
+    fn apply_action(&mut self, from: NodeId, action: Action) {
+        match action {
+            Action::Broadcast { kind, data } => {
+                if self.failed[from.index()] {
+                    return;
+                }
+                self.metrics.count_tx(kind, data.len());
+                self.energy.record_tx(from, data.len());
+                let (tx_id, end) =
+                    self.medium
+                        .begin_broadcast(self.now, from, data.len(), &self.topology);
+                let shared = Rc::new(data);
+                for link in self.topology.links_from(from) {
+                    self.queue.push(
+                        end,
+                        Event::Deliver {
+                            to: link.to,
+                            from,
+                            data: Rc::clone(&shared),
+                            kind,
+                            tx_id,
+                        },
+                    );
+                }
+            }
+            Action::SetTimer { timer, delay } => {
+                let gen = self.timer_gens.entry((from.0, timer.0)).or_insert(0);
+                *gen += 1;
+                self.queue.push(
+                    self.now + delay,
+                    Event::Timer {
+                        node: from,
+                        timer,
+                        generation: *gen,
+                    },
+                );
+            }
+            Action::CancelTimer { timer } => {
+                // Bumping the generation invalidates any pending event.
+                *self.timer_gens.entry((from.0, timer.0)).or_insert(0) += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{PacketKind, TimerId};
+
+    /// Node 0 pings every second; others count pings.
+    struct Pinger {
+        is_source: bool,
+        pings_heard: u32,
+        goal: u32,
+    }
+
+    impl Protocol for Pinger {
+        fn on_init(&mut self, ctx: &mut Context<'_>) {
+            if self.is_source {
+                ctx.set_timer(TimerId(0), Duration::from_secs(1));
+            }
+        }
+        fn on_packet(&mut self, _ctx: &mut Context<'_>, _from: NodeId, _data: &[u8]) {
+            self.pings_heard += 1;
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_>, _t: TimerId) {
+            ctx.broadcast(PacketKind::Data, vec![0xAB; 20]);
+            ctx.set_timer(TimerId(0), Duration::from_secs(1));
+        }
+        fn is_complete(&self) -> bool {
+            self.is_source || self.pings_heard >= self.goal
+        }
+    }
+
+    fn pinger_sim(seed: u64) -> Simulator<Pinger> {
+        Simulator::new(
+            Topology::star(4),
+            SimConfig::default(),
+            seed,
+            |id| Pinger {
+                is_source: id == NodeId(0),
+                pings_heard: 0,
+                goal: 3,
+            },
+        )
+    }
+
+    #[test]
+    fn pings_propagate_and_complete() {
+        let mut sim = pinger_sim(1);
+        let report = sim.run(Duration::from_secs(60));
+        assert!(report.all_complete);
+        assert!(report.latency.is_some());
+        assert_eq!(sim.metrics().tx_packets(PacketKind::Data), 3);
+        // 3 broadcasts × 3 receivers.
+        assert_eq!(sim.metrics().rx_packets(), 9);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let r1 = pinger_sim(7).run(Duration::from_secs(60));
+        let r2 = pinger_sim(7).run(Duration::from_secs(60));
+        assert_eq!(r1.final_time, r2.final_time);
+        assert_eq!(r1.latency, r2.latency);
+    }
+
+    #[test]
+    fn deadline_stops_incomplete_run() {
+        // Goal can never be met within half a second (first ping at 1 s).
+        let mut sim = pinger_sim(3);
+        let report = sim.run(Duration::from_millis(500));
+        assert!(!report.all_complete);
+        assert!(report.latency.is_none());
+    }
+
+    /// A node whose re-armed timer must fire only once.
+    struct Rearmer {
+        fires: u32,
+    }
+    impl Protocol for Rearmer {
+        fn on_init(&mut self, ctx: &mut Context<'_>) {
+            ctx.set_timer(TimerId(1), Duration::from_secs(1));
+            ctx.set_timer(TimerId(1), Duration::from_secs(2)); // supersedes
+        }
+        fn on_packet(&mut self, _: &mut Context<'_>, _: NodeId, _: &[u8]) {}
+        fn on_timer(&mut self, _: &mut Context<'_>, _: TimerId) {
+            self.fires += 1;
+        }
+        fn is_complete(&self) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn rearmed_timer_fires_once() {
+        let mut sim = Simulator::new(
+            Topology::star(1),
+            SimConfig::default(),
+            0,
+            |_| Rearmer { fires: 0 },
+        );
+        let _ = sim.run(Duration::from_secs(10));
+        assert_eq!(sim.node(NodeId(0)).fires, 1);
+    }
+
+    /// Cancel prevents firing entirely.
+    struct Canceler {
+        fires: u32,
+    }
+    impl Protocol for Canceler {
+        fn on_init(&mut self, ctx: &mut Context<'_>) {
+            ctx.set_timer(TimerId(1), Duration::from_secs(1));
+            ctx.cancel_timer(TimerId(1));
+        }
+        fn on_packet(&mut self, _: &mut Context<'_>, _: NodeId, _: &[u8]) {}
+        fn on_timer(&mut self, _: &mut Context<'_>, _: TimerId) {
+            self.fires += 1;
+        }
+        fn is_complete(&self) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn canceled_timer_never_fires() {
+        let mut sim = Simulator::new(
+            Topology::star(1),
+            SimConfig::default(),
+            0,
+            |_| Canceler { fires: 0 },
+        );
+        let _ = sim.run(Duration::from_secs(10));
+        assert_eq!(sim.node(NodeId(0)).fires, 0);
+    }
+}

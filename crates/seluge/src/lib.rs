@@ -1,0 +1,54 @@
+//! Seluge: secure Deluge-based code dissemination (Hyun, Ning, Liu & Du,
+//! IPSN 2008), reimplemented as the baseline the paper compares against.
+//!
+//! Seluge keeps Deluge's page-by-page ARQ dissemination and adds
+//! immediate per-packet authentication (paper §II-B):
+//!
+//! * the `j`-th packet of page `i` embeds the hash image of the `j`-th
+//!   packet of page `i+1` (one-to-one chaining between adjacent pages);
+//! * a special *hash page* `M0` concatenates the hash images of page 1's
+//!   packets; a Merkle hash tree over `M0`'s chunks lets each `M0` packet
+//!   be verified in isolation;
+//! * the base station signs the Merkle root, and a message-specific
+//!   puzzle (weak authenticator) shields nodes from forged-signature
+//!   floods.
+//!
+//! Engine items: item 0 = signature packet, item 1 = hash page,
+//! items `2..2+g` = code pages.
+
+pub mod preprocess;
+pub mod scheme;
+
+pub use preprocess::{SelugeArtifacts, SelugeParams};
+pub use scheme::SelugeScheme;
+
+use lrs_crypto::hash::{hash_image, HashImage};
+
+/// Hash image of a data packet as transmitted on the wire:
+/// `h = H(version || item || index || payload)` truncated.
+///
+/// Both the preprocessing (computing the chained hashes) and the
+/// receiver-side verification use this exact encoding.
+pub fn packet_hash(version: u16, item: u16, index: u16, payload: &[u8]) -> HashImage {
+    hash_image(&[
+        &version.to_be_bytes(),
+        &item.to_be_bytes(),
+        &index.to_be_bytes(),
+        payload,
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_hash_is_position_bound() {
+        let h = packet_hash(1, 2, 3, b"payload");
+        assert_ne!(h, packet_hash(1, 2, 4, b"payload"), "index bound");
+        assert_ne!(h, packet_hash(1, 3, 3, b"payload"), "item bound");
+        assert_ne!(h, packet_hash(2, 2, 3, b"payload"), "version bound");
+        assert_ne!(h, packet_hash(1, 2, 3, b"payloae"), "payload bound");
+        assert_eq!(h, packet_hash(1, 2, 3, b"payload"));
+    }
+}

@@ -1,0 +1,373 @@
+//! Base-station preprocessing for Seluge.
+//!
+//! Starting from the last page and working backwards, every packet of
+//! page `i` gets the hash image of the corresponding packet of page
+//! `i+1` appended; the hashes of page 1's packets form the hash page
+//! `M0`, protected by a Merkle tree whose root is signed.
+
+use crate::packet_hash;
+use lrs_crypto::hash::{Digest, HASH_IMAGE_LEN};
+use lrs_crypto::merkle::MerkleTree;
+use lrs_crypto::puzzle::{PuzzleKeyChain, PuzzleSolution};
+use lrs_crypto::schnorr::{Keypair, SIGNATURE_LEN};
+use lrs_crypto::sha256::sha256_concat;
+
+/// Static Seluge layout parameters, preloaded on every node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SelugeParams {
+    /// Code image version.
+    pub version: u16,
+    /// Original image length in bytes.
+    pub image_len: usize,
+    /// Packets per page (`k`).
+    pub packets_per_page: u16,
+    /// Image bytes per packet (the slice; the on-air payload additionally
+    /// carries a [`HASH_IMAGE_LEN`]-byte chained hash).
+    pub slice_len: usize,
+    /// Number of hash-page chunks (a power of two; the Merkle leaf count).
+    pub hash_page_chunks: u16,
+    /// Puzzle difficulty in leading zero bits.
+    pub puzzle_strength: u32,
+}
+
+impl Default for SelugeParams {
+    fn default() -> Self {
+        SelugeParams {
+            version: 1,
+            image_len: 20 * 1024,
+            packets_per_page: 32,
+            slice_len: 64,
+            hash_page_chunks: 8,
+            puzzle_strength: 12,
+        }
+    }
+}
+
+impl SelugeParams {
+    /// Number of code pages `g`.
+    pub fn pages(&self) -> u16 {
+        (self.image_len.div_ceil(self.page_capacity())).max(1) as u16
+    }
+
+    /// Image bytes per page.
+    pub fn page_capacity(&self) -> usize {
+        self.packets_per_page as usize * self.slice_len
+    }
+
+    /// Engine item count: signature + hash page + pages.
+    pub fn num_items(&self) -> u16 {
+        2 + self.pages()
+    }
+
+    /// On-air data packet payload length (slice + chained hash).
+    pub fn data_payload_len(&self) -> usize {
+        self.slice_len + HASH_IMAGE_LEN
+    }
+
+    /// Hash-page length in bytes (one hash image per page-1 packet).
+    pub fn hash_page_len(&self) -> usize {
+        self.packets_per_page as usize * HASH_IMAGE_LEN
+    }
+
+    /// Hash-page chunk length in bytes.
+    pub fn chunk_len(&self) -> usize {
+        self.hash_page_len().div_ceil(self.hash_page_chunks as usize)
+    }
+
+    /// Merkle tree depth over the hash-page chunks.
+    pub fn merkle_depth(&self) -> usize {
+        assert!(
+            self.hash_page_chunks.is_power_of_two(),
+            "hash_page_chunks must be a power of two"
+        );
+        self.hash_page_chunks.trailing_zeros() as usize
+    }
+
+    /// Hash-page packet payload length (chunk + Merkle path).
+    pub fn hash_page_payload_len(&self) -> usize {
+        self.chunk_len() + 32 * self.merkle_depth()
+    }
+}
+
+/// Everything the base station precomputes for one image.
+#[derive(Clone, Debug)]
+pub struct SelugeArtifacts {
+    params: SelugeParams,
+    /// `packets[i][j]` = on-air payload of packet `j` of page `i`
+    /// (0-based pages; wire item = `i + 2`).
+    page_packets: Vec<Vec<Vec<u8>>>,
+    /// Hash-page packet payloads (chunk || Merkle path).
+    hash_page_packets: Vec<Vec<u8>>,
+    /// The signature packet body.
+    signature_body: Vec<u8>,
+    /// The Merkle root (for tests).
+    root: Digest,
+}
+
+impl SelugeArtifacts {
+    /// Runs the full preprocessing pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image.len() != params.image_len` or the chunk count is
+    /// not a power of two.
+    pub fn build(
+        image: &[u8],
+        params: SelugeParams,
+        keypair: &Keypair,
+        puzzle_chain: &PuzzleKeyChain,
+    ) -> Self {
+        assert_eq!(image.len(), params.image_len, "image length mismatch");
+        let g = params.pages() as usize;
+        let k = params.packets_per_page as usize;
+        let mut padded = image.to_vec();
+        padded.resize(g * params.page_capacity(), 0);
+
+        // Build packets from the last page backwards; packet j of page i
+        // carries the hash of packet j of page i+1 (zeroes for page g-1).
+        let mut page_packets: Vec<Vec<Vec<u8>>> = vec![Vec::new(); g];
+        let mut next_hashes: Vec<[u8; HASH_IMAGE_LEN]> = vec![[0u8; HASH_IMAGE_LEN]; k];
+        for i in (0..g).rev() {
+            let item = (i + 2) as u16;
+            let mut packets = Vec::with_capacity(k);
+            for (j, next_hash) in next_hashes.iter().enumerate().take(k) {
+                let off = i * params.page_capacity() + j * params.slice_len;
+                let mut payload = padded[off..off + params.slice_len].to_vec();
+                payload.extend_from_slice(next_hash);
+                packets.push(payload);
+            }
+            next_hashes = packets
+                .iter()
+                .enumerate()
+                .map(|(j, p)| packet_hash(params.version, item, j as u16, p).0)
+                .collect();
+            page_packets[i] = packets;
+        }
+
+        // next_hashes now holds the hashes of page 0's packets (wire item
+        // 2): they form the hash page M0.
+        let mut hash_page: Vec<u8> = next_hashes.iter().flatten().copied().collect();
+        hash_page.resize(params.chunk_len() * params.hash_page_chunks as usize, 0);
+        let chunks: Vec<&[u8]> = hash_page.chunks(params.chunk_len()).collect();
+        let tree = MerkleTree::build(chunks.iter().copied());
+        let hash_page_packets: Vec<Vec<u8>> = chunks
+            .iter()
+            .enumerate()
+            .map(|(j, chunk)| {
+                let mut payload = chunk.to_vec();
+                for sib in tree.proof(j).siblings() {
+                    payload.extend_from_slice(&sib.0);
+                }
+                payload
+            })
+            .collect();
+
+        let root = tree.root();
+        let signed = Self::signed_message(&params, &root);
+        let signature = keypair.sign(&signed.0);
+        // The puzzle covers the signed message *and* the signature bytes,
+        // so any tampering fails the cheap check before the expensive
+        // verification runs.
+        let mut puzzle_msg = signed.0.to_vec();
+        puzzle_msg.extend_from_slice(&signature.to_bytes());
+        let puzzle_sol = {
+            let puzzle = lrs_crypto::puzzle::Puzzle::new(
+                puzzle_chain.anchor(),
+                params.puzzle_strength,
+            );
+            puzzle_chain.solve(&puzzle, params.version as u32, &puzzle_msg)
+        };
+
+        let mut signature_body = Vec::new();
+        signature_body.extend_from_slice(&root.0);
+        signature_body.extend_from_slice(&signature.to_bytes());
+        signature_body.extend_from_slice(&puzzle_sol.key.0);
+        signature_body.extend_from_slice(&puzzle_sol.solution.to_be_bytes());
+        debug_assert_eq!(signature_body.len(), Self::signature_body_len());
+
+        SelugeArtifacts {
+            params,
+            page_packets,
+            hash_page_packets,
+            signature_body,
+            root,
+        }
+    }
+
+    /// The message covered by the signature: binds the root to the image
+    /// metadata so a root cannot be replayed under different parameters.
+    pub fn signed_message(params: &SelugeParams, root: &Digest) -> Digest {
+        sha256_concat(&[
+            b"seluge-root",
+            &params.version.to_be_bytes(),
+            &(params.image_len as u64).to_be_bytes(),
+            &params.packets_per_page.to_be_bytes(),
+            &(params.slice_len as u32).to_be_bytes(),
+            &params.hash_page_chunks.to_be_bytes(),
+            &root.0,
+        ])
+    }
+
+    /// Wire length of the signature body.
+    pub fn signature_body_len() -> usize {
+        32 + SIGNATURE_LEN + 32 + 8
+    }
+
+    /// Splits a signature body into `(root, signature, puzzle solution)`.
+    pub fn parse_signature_body(body: &[u8]) -> Option<(Digest, [u8; SIGNATURE_LEN], PuzzleSolution)> {
+        if body.len() != Self::signature_body_len() {
+            return None;
+        }
+        let mut root = [0u8; 32];
+        root.copy_from_slice(&body[..32]);
+        let mut sig = [0u8; SIGNATURE_LEN];
+        sig.copy_from_slice(&body[32..32 + SIGNATURE_LEN]);
+        let mut key = [0u8; 32];
+        key.copy_from_slice(&body[32 + SIGNATURE_LEN..64 + SIGNATURE_LEN]);
+        let mut sol = [0u8; 8];
+        sol.copy_from_slice(&body[64 + SIGNATURE_LEN..]);
+        Some((
+            Digest(root),
+            sig,
+            PuzzleSolution {
+                key: Digest(key),
+                solution: u64::from_be_bytes(sol),
+            },
+        ))
+    }
+
+    /// Layout parameters.
+    pub fn params(&self) -> SelugeParams {
+        self.params
+    }
+
+    /// The Merkle root over the hash page.
+    pub fn root(&self) -> Digest {
+        self.root
+    }
+
+    /// The signature packet body.
+    pub fn signature_body(&self) -> &[u8] {
+        &self.signature_body
+    }
+
+    /// Payload of hash-page packet `j`.
+    pub fn hash_page_packet(&self, j: u16) -> &[u8] {
+        &self.hash_page_packets[j as usize]
+    }
+
+    /// Payload of packet `j` of 0-based page `i`.
+    pub fn page_packet(&self, i: u16, j: u16) -> &[u8] {
+        &self.page_packets[i as usize][j as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_params() -> SelugeParams {
+        SelugeParams {
+            version: 1,
+            image_len: 600,
+            packets_per_page: 4,
+            slice_len: 32,
+            hash_page_chunks: 4,
+            puzzle_strength: 4,
+        }
+    }
+
+    fn build() -> (SelugeArtifacts, Vec<u8>, Keypair, PuzzleKeyChain) {
+        let params = small_params();
+        let image: Vec<u8> = (0..params.image_len as u32).map(|i| (i % 253) as u8).collect();
+        let kp = Keypair::from_seed(b"bs");
+        let chain = PuzzleKeyChain::generate(b"puzzles", 4);
+        let art = SelugeArtifacts::build(&image, params, &kp, &chain);
+        (art, image, kp, chain)
+    }
+
+    #[test]
+    fn page_count_and_sizes() {
+        let p = small_params();
+        // 600 / (4*32=128) = 5 pages.
+        assert_eq!(p.pages(), 5);
+        assert_eq!(p.num_items(), 7);
+        assert_eq!(p.data_payload_len(), 32 + HASH_IMAGE_LEN);
+        assert_eq!(p.hash_page_len(), 4 * HASH_IMAGE_LEN);
+        assert_eq!(p.chunk_len(), 8);
+        assert_eq!(p.merkle_depth(), 2);
+    }
+
+    #[test]
+    fn chaining_is_consistent() {
+        let (art, _, _, _) = build();
+        let p = art.params();
+        // The hash embedded in packet j of page i equals the hash of
+        // packet j of page i+1.
+        for i in 0..p.pages() - 1 {
+            for j in 0..p.packets_per_page {
+                let packet = art.page_packet(i, j);
+                let embedded = &packet[p.slice_len..];
+                let next = art.page_packet(i + 1, j);
+                let expected = packet_hash(p.version, (i + 1) as u16 + 2, j, next);
+                assert_eq!(embedded, expected.0, "page {i} packet {j}");
+            }
+        }
+        // Last page chains to zeros.
+        let last = art.page_packet(p.pages() - 1, 0);
+        assert!(last[p.slice_len..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn hash_page_contains_page0_hashes() {
+        let (art, _, _, _) = build();
+        let p = art.params();
+        // Reconstruct M0 from the chunk parts of the hash-page packets.
+        let mut m0 = Vec::new();
+        for j in 0..p.hash_page_chunks {
+            m0.extend_from_slice(&art.hash_page_packet(j)[..p.chunk_len()]);
+        }
+        for j in 0..p.packets_per_page {
+            let expected = packet_hash(p.version, 2, j, art.page_packet(0, j));
+            let off = j as usize * HASH_IMAGE_LEN;
+            assert_eq!(&m0[off..off + HASH_IMAGE_LEN], expected.0);
+        }
+    }
+
+    #[test]
+    fn merkle_paths_verify_against_root() {
+        let (art, _, _, _) = build();
+        let p = art.params();
+        for j in 0..p.hash_page_chunks {
+            let payload = art.hash_page_packet(j);
+            let chunk = &payload[..p.chunk_len()];
+            let siblings: Vec<Digest> = payload[p.chunk_len()..]
+                .chunks(32)
+                .map(|c| {
+                    let mut d = [0u8; 32];
+                    d.copy_from_slice(c);
+                    Digest(d)
+                })
+                .collect();
+            let proof = lrs_crypto::merkle::MerkleProof::from_parts(j as usize, siblings);
+            assert!(proof.verify(chunk, &art.root()), "chunk {j}");
+        }
+    }
+
+    #[test]
+    fn signature_body_roundtrip_and_validity() {
+        let (art, _, kp, chain) = build();
+        let p = art.params();
+        let (root, sig_bytes, sol) =
+            SelugeArtifacts::parse_signature_body(art.signature_body()).unwrap();
+        assert_eq!(root, art.root());
+        let signed = SelugeArtifacts::signed_message(&p, &root);
+        let sig = lrs_crypto::schnorr::Signature::from_bytes(&sig_bytes).unwrap();
+        assert!(kp.public().verify(&signed.0, &sig));
+        let puzzle = lrs_crypto::puzzle::Puzzle::new(chain.anchor(), p.puzzle_strength);
+        let mut puzzle_msg = signed.0.to_vec();
+        puzzle_msg.extend_from_slice(&sig_bytes);
+        assert!(puzzle.verify(p.version as u32, &puzzle_msg, &sol));
+        assert!(SelugeArtifacts::parse_signature_body(&art.signature_body()[1..]).is_none());
+    }
+}

@@ -1,0 +1,425 @@
+//! The Seluge per-node [`Scheme`] implementation.
+//!
+//! Receiver-side verification, page by page: the signature packet
+//! authenticates the Merkle root (guarded by the puzzle), the Merkle
+//! paths authenticate hash-page packets, the hash page authenticates
+//! page 1's packets, and every completed page authenticates the next.
+
+use crate::packet_hash;
+use crate::preprocess::{SelugeArtifacts, SelugeParams};
+use lrs_deluge::engine::{CryptoCost, PacketDisposition, Scheme};
+use lrs_deluge::wire::BitVec;
+use lrs_crypto::hash::{Digest, HashImage, HASH_IMAGE_LEN};
+use lrs_crypto::merkle::MerkleProof;
+use lrs_crypto::puzzle::Puzzle;
+use lrs_crypto::schnorr::{PublicKey, Signature};
+use lrs_netsim::node::PacketKind;
+
+/// Per-node Seluge state (base station or receiver).
+#[derive(Clone, Debug)]
+pub struct SelugeScheme {
+    params: SelugeParams,
+    pubkey: PublicKey,
+    puzzle: Puzzle,
+    complete: u16,
+    signature_body: Option<Vec<u8>>,
+    root: Option<Digest>,
+    hash_page: Vec<Option<Vec<u8>>>,
+    /// Completed page packets (with chained hash tails), for serving.
+    pages: Vec<Vec<Vec<u8>>>,
+    /// Packets of the page being received.
+    current: Vec<Option<Vec<u8>>>,
+    /// Expected hash images for the packets of the next incomplete page.
+    expected: Vec<HashImage>,
+    cost: CryptoCost,
+}
+
+impl SelugeScheme {
+    /// A receiver that has nothing yet.
+    pub fn receiver(params: SelugeParams, pubkey: PublicKey, puzzle: Puzzle) -> Self {
+        SelugeScheme {
+            params,
+            pubkey,
+            puzzle,
+            complete: 0,
+            signature_body: None,
+            root: None,
+            hash_page: vec![None; params.hash_page_chunks as usize],
+            pages: Vec::new(),
+            current: vec![None; params.packets_per_page as usize],
+            expected: Vec::new(),
+            cost: CryptoCost::default(),
+        }
+    }
+
+    /// The base station: everything precomputed and complete.
+    pub fn base(artifacts: &SelugeArtifacts, pubkey: PublicKey, puzzle: Puzzle) -> Self {
+        let params = artifacts.params();
+        let pages = (0..params.pages())
+            .map(|i| {
+                (0..params.packets_per_page)
+                    .map(|j| artifacts.page_packet(i, j).to_vec())
+                    .collect()
+            })
+            .collect();
+        SelugeScheme {
+            params,
+            pubkey,
+            puzzle,
+            complete: params.num_items(),
+            signature_body: Some(artifacts.signature_body().to_vec()),
+            root: Some(artifacts.root()),
+            hash_page: (0..params.hash_page_chunks)
+                .map(|j| Some(artifacts.hash_page_packet(j).to_vec()))
+                .collect(),
+            pages,
+            current: Vec::new(),
+            expected: Vec::new(),
+            cost: CryptoCost::default(),
+        }
+    }
+
+    /// The reassembled, verified image once dissemination completed.
+    pub fn image(&self) -> Option<Vec<u8>> {
+        if self.complete != self.params.num_items() {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.params.image_len);
+        for page in &self.pages {
+            for packet in page {
+                out.extend_from_slice(&packet[..self.params.slice_len]);
+            }
+        }
+        out.truncate(self.params.image_len);
+        Some(out)
+    }
+
+    /// Layout parameters.
+    pub fn params(&self) -> SelugeParams {
+        self.params
+    }
+
+    fn handle_signature(&mut self, payload: &[u8]) -> PacketDisposition {
+        if self.signature_body.is_some() {
+            return PacketDisposition::Duplicate;
+        }
+        let Some((root, sig_bytes, sol)) = SelugeArtifacts::parse_signature_body(payload) else {
+            return PacketDisposition::Rejected;
+        };
+        let signed = SelugeArtifacts::signed_message(&self.params, &root);
+        self.cost.hashes += 1;
+        // Weak authenticator first: cheap filter against forged floods.
+        self.cost.puzzle_checks += 1;
+        self.cost.hashes += self.params.version as u64 + 1;
+        let mut puzzle_msg = signed.0.to_vec();
+        puzzle_msg.extend_from_slice(&sig_bytes);
+        if !self.puzzle.verify(self.params.version as u32, &puzzle_msg, &sol) {
+            return PacketDisposition::Rejected;
+        }
+        // Only now the expensive verification.
+        self.cost.signature_verifications += 1;
+        let Some(sig) = Signature::from_bytes(&sig_bytes) else {
+            return PacketDisposition::Rejected;
+        };
+        if !self.pubkey.verify(&signed.0, &sig) {
+            return PacketDisposition::Rejected;
+        }
+        self.signature_body = Some(payload.to_vec());
+        self.root = Some(root);
+        self.complete = 1;
+        PacketDisposition::Accepted
+    }
+
+    fn handle_hash_page(&mut self, index: u16, payload: &[u8]) -> PacketDisposition {
+        if index >= self.params.hash_page_chunks
+            || payload.len() != self.params.hash_page_payload_len()
+        {
+            return PacketDisposition::Rejected;
+        }
+        if self.hash_page[index as usize].is_some() {
+            return PacketDisposition::Duplicate;
+        }
+        let chunk_len = self.params.chunk_len();
+        let chunk = &payload[..chunk_len];
+        let siblings: Vec<Digest> = payload[chunk_len..]
+            .chunks(32)
+            .map(|c| {
+                let mut d = [0u8; 32];
+                d.copy_from_slice(c);
+                Digest(d)
+            })
+            .collect();
+        let proof = MerkleProof::from_parts(index as usize, siblings);
+        self.cost.hashes += self.params.merkle_depth() as u64 + 1;
+        let root = self.root.expect("item 1 only requested after item 0");
+        if !proof.verify(chunk, &root) {
+            return PacketDisposition::Rejected;
+        }
+        self.hash_page[index as usize] = Some(payload.to_vec());
+        if self.hash_page.iter().all(|s| s.is_some()) {
+            // M0 complete: extract the hash images of page 0's packets.
+            let mut m0 = Vec::new();
+            for slot in &self.hash_page {
+                let p = slot.as_ref().expect("all present");
+                m0.extend_from_slice(&p[..chunk_len]);
+            }
+            self.expected = (0..self.params.packets_per_page as usize)
+                .map(|j| {
+                    HashImage::from_slice(&m0[j * HASH_IMAGE_LEN..(j + 1) * HASH_IMAGE_LEN])
+                        .expect("chunk sizing")
+                })
+                .collect();
+            self.complete = 2;
+        }
+        PacketDisposition::Accepted
+    }
+
+    fn handle_page_packet(&mut self, item: u16, index: u16, payload: &[u8]) -> PacketDisposition {
+        if index as usize >= self.current.len()
+            || payload.len() != self.params.data_payload_len()
+            || self.expected.len() != self.current.len()
+        {
+            return PacketDisposition::Rejected;
+        }
+        if self.current[index as usize].is_some() {
+            return PacketDisposition::Duplicate;
+        }
+        self.cost.hashes += 1;
+        let h = packet_hash(self.params.version, item, index, payload);
+        if h != self.expected[index as usize] {
+            return PacketDisposition::Rejected;
+        }
+        self.current[index as usize] = Some(payload.to_vec());
+        if self.current.iter().all(|s| s.is_some()) {
+            let packets: Vec<Vec<u8>> = self
+                .current
+                .iter_mut()
+                .map(|s| s.take().expect("all present"))
+                .collect();
+            // Chained hashes for the next page live in the packet tails.
+            self.expected = packets
+                .iter()
+                .map(|p| {
+                    HashImage::from_slice(&p[self.params.slice_len..]).expect("payload sizing")
+                })
+                .collect();
+            self.pages.push(packets);
+            self.complete += 1;
+        }
+        PacketDisposition::Accepted
+    }
+}
+
+impl Scheme for SelugeScheme {
+    fn version(&self) -> u16 {
+        self.params.version
+    }
+
+    fn num_items(&self) -> u16 {
+        self.params.num_items()
+    }
+
+    fn item_packets(&self, item: u16) -> u16 {
+        match item {
+            0 => 1,
+            1 => self.params.hash_page_chunks,
+            _ => self.params.packets_per_page,
+        }
+    }
+
+    fn packets_needed(&self, item: u16) -> u16 {
+        self.item_packets(item)
+    }
+
+    fn complete_items(&self) -> u16 {
+        self.complete
+    }
+
+    fn handle_packet(&mut self, item: u16, index: u16, payload: &[u8]) -> PacketDisposition {
+        debug_assert_eq!(item, self.complete, "engine only feeds the next item");
+        match item {
+            0 => {
+                if index != 0 {
+                    return PacketDisposition::Rejected;
+                }
+                self.handle_signature(payload)
+            }
+            1 => self.handle_hash_page(index, payload),
+            _ => self.handle_page_packet(item, index, payload),
+        }
+    }
+
+    fn wanted(&self, item: u16) -> BitVec {
+        match item {
+            0 => BitVec::ones(1),
+            1 => {
+                let mut bits = BitVec::zeros(self.params.hash_page_chunks as usize);
+                for (i, slot) in self.hash_page.iter().enumerate() {
+                    if slot.is_none() {
+                        bits.set(i, true);
+                    }
+                }
+                bits
+            }
+            _ => {
+                let mut bits = BitVec::zeros(self.params.packets_per_page as usize);
+                for (i, slot) in self.current.iter().enumerate() {
+                    if slot.is_none() {
+                        bits.set(i, true);
+                    }
+                }
+                bits
+            }
+        }
+    }
+
+    fn packet_payload(&mut self, item: u16, index: u16) -> Option<Vec<u8>> {
+        if item >= self.complete {
+            return None;
+        }
+        match item {
+            0 => self.signature_body.clone(),
+            1 => self.hash_page.get(index as usize)?.clone(),
+            _ => {
+                let page = self.pages.get((item - 2) as usize)?;
+                page.get(index as usize).cloned()
+            }
+        }
+    }
+
+    fn item_kind(&self, item: u16) -> PacketKind {
+        match item {
+            0 => PacketKind::Signature,
+            1 => PacketKind::HashPage,
+            _ => PacketKind::Data,
+        }
+    }
+
+    fn cost(&self) -> CryptoCost {
+        self.cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrs_crypto::puzzle::PuzzleKeyChain;
+    use lrs_crypto::schnorr::Keypair;
+
+    fn setup() -> (SelugeScheme, SelugeScheme, Vec<u8>) {
+        let params = SelugeParams {
+            version: 1,
+            image_len: 500,
+            packets_per_page: 4,
+            slice_len: 32,
+            hash_page_chunks: 4,
+            puzzle_strength: 4,
+        };
+        let image: Vec<u8> = (0..500u32).map(|i| (i % 249) as u8).collect();
+        let kp = Keypair::from_seed(b"bs");
+        let chain = PuzzleKeyChain::generate(b"puzzles", 4);
+        let art = SelugeArtifacts::build(&image, params, &kp, &chain);
+        let puzzle = Puzzle::new(chain.anchor(), params.puzzle_strength);
+        let base = SelugeScheme::base(&art, kp.public(), puzzle);
+        let rx = SelugeScheme::receiver(params, kp.public(), puzzle);
+        (base, rx, image)
+    }
+
+    /// Drives a full item-by-item transfer from base to receiver.
+    fn transfer_all(base: &mut SelugeScheme, rx: &mut SelugeScheme) {
+        while rx.complete_items() < rx.num_items() {
+            let item = rx.complete_items();
+            for idx in rx.wanted(item).iter_ones().collect::<Vec<_>>() {
+                let payload = base.packet_payload(item, idx as u16).expect("base has all");
+                let disp = rx.handle_packet(item, idx as u16, &payload);
+                assert_eq!(disp, PacketDisposition::Accepted, "item {item} idx {idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_transfer_reconstructs_image() {
+        let (mut base, mut rx, image) = setup();
+        transfer_all(&mut base, &mut rx);
+        assert_eq!(rx.image().unwrap(), image);
+        // Exactly one expensive verification on the receiver.
+        assert_eq!(rx.cost().signature_verifications, 1);
+        assert_eq!(rx.cost().puzzle_checks, 1);
+    }
+
+    #[test]
+    fn forged_signature_rejected_by_puzzle_before_verification() {
+        let (_, mut rx, _) = setup();
+        let forged = vec![0xAA; SelugeArtifacts::signature_body_len()];
+        assert_eq!(rx.handle_packet(0, 0, &forged), PacketDisposition::Rejected);
+        // The puzzle filtered it: no expensive verification ran.
+        assert_eq!(rx.cost().signature_verifications, 0);
+        assert_eq!(rx.cost().puzzle_checks, 1);
+    }
+
+    #[test]
+    fn tampered_page_packet_rejected() {
+        let (mut base, mut rx, _) = setup();
+        // Complete items 0 and 1 honestly.
+        for item in 0..2u16 {
+            for idx in rx.wanted(item).iter_ones().collect::<Vec<_>>() {
+                let p = base.packet_payload(item, idx as u16).unwrap();
+                rx.handle_packet(item, idx as u16, &p);
+            }
+        }
+        assert_eq!(rx.complete_items(), 2);
+        let mut p = base.packet_payload(2, 0).unwrap();
+        p[0] ^= 0xFF;
+        assert_eq!(rx.handle_packet(2, 0, &p), PacketDisposition::Rejected);
+        // The genuine packet still goes through.
+        let good = base.packet_payload(2, 0).unwrap();
+        assert_eq!(rx.handle_packet(2, 0, &good), PacketDisposition::Accepted);
+    }
+
+    #[test]
+    fn tampered_hash_page_packet_rejected() {
+        let (mut base, mut rx, _) = setup();
+        let sig = base.packet_payload(0, 0).unwrap();
+        assert_eq!(rx.handle_packet(0, 0, &sig), PacketDisposition::Accepted);
+        let mut p = base.packet_payload(1, 2).unwrap();
+        let len = p.len();
+        p[len - 1] ^= 0x01; // corrupt a Merkle sibling
+        assert_eq!(rx.handle_packet(1, 2, &p), PacketDisposition::Rejected);
+    }
+
+    #[test]
+    fn wrong_position_packet_rejected() {
+        let (mut base, mut rx, _) = setup();
+        for item in 0..2u16 {
+            for idx in rx.wanted(item).iter_ones().collect::<Vec<_>>() {
+                let p = base.packet_payload(item, idx as u16).unwrap();
+                rx.handle_packet(item, idx as u16, &p);
+            }
+        }
+        // Packet 1's payload presented as packet 0: hash mismatch.
+        let p1 = base.packet_payload(2, 1).unwrap();
+        assert_eq!(rx.handle_packet(2, 0, &p1), PacketDisposition::Rejected);
+    }
+
+    #[test]
+    fn duplicates_detected() {
+        let (mut base, mut rx, _) = setup();
+        let sig = base.packet_payload(0, 0).unwrap();
+        assert_eq!(rx.handle_packet(0, 0, &sig), PacketDisposition::Accepted);
+        // item 0 is complete; engine would not feed it again, but the
+        // hash-page path also reports duplicates:
+        let hp = base.packet_payload(1, 1).unwrap();
+        assert_eq!(rx.handle_packet(1, 1, &hp), PacketDisposition::Accepted);
+        assert_eq!(rx.handle_packet(1, 1, &hp), PacketDisposition::Duplicate);
+    }
+
+    #[test]
+    fn base_reports_complete_and_serves() {
+        let (mut base, _, image) = setup();
+        assert_eq!(base.complete_items(), base.num_items());
+        assert_eq!(base.image().unwrap(), image);
+        assert!(base.packet_payload(0, 0).is_some());
+        assert!(base.packet_payload(2, 3).is_some());
+        assert!(base.packet_payload(99, 0).is_none());
+    }
+}

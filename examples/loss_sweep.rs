@@ -1,0 +1,46 @@
+//! Loss-resilience sweep: LR-Seluge vs Seluge total communication cost
+//! and latency as the packet-loss rate grows — a miniature of the
+//! paper's Figure 4 (one-hop, same image, same on-air packet sizes).
+//!
+//! ```text
+//! cargo run --release --example loss_sweep
+//! ```
+
+use lr_seluge::LrSelugeParams;
+use lrs_bench::{average, matched_seluge_params, run_lr, run_seluge, RunSpec};
+
+fn main() {
+    let lr = LrSelugeParams {
+        image_len: 8 * 1024,
+        ..LrSelugeParams::default()
+    };
+    let seluge = matched_seluge_params(&lr);
+    let n_receivers = 10;
+    let seeds = 3;
+
+    println!(
+        "one-hop, N = {n_receivers}, image {} KiB, {} seeds per point",
+        lr.image_len / 1024,
+        seeds
+    );
+    println!(
+        "{:>5} {:>14} {:>14} {:>10} | {:>12} {:>12} {:>10}",
+        "p", "LR bytes", "Seluge bytes", "saving", "LR latency", "Sel latency", "saving"
+    );
+    for p in [0.0, 0.05, 0.1, 0.2, 0.3, 0.4] {
+        let spec = RunSpec::one_hop(n_receivers, p);
+        let m_lr = average(seeds, |seed| run_lr(&spec, lr, seed));
+        let m_s = average(seeds, |seed| run_seluge(&spec, seluge, seed));
+        println!(
+            "{:>5.2} {:>13.1}K {:>13.1}K {:>9.1}% | {:>11.1}s {:>11.1}s {:>9.1}%",
+            p,
+            m_lr.total_bytes / 1024.0,
+            m_s.total_bytes / 1024.0,
+            100.0 * (1.0 - m_lr.total_bytes / m_s.total_bytes),
+            m_lr.latency_s,
+            m_s.latency_s,
+            100.0 * (1.0 - m_lr.latency_s / m_s.latency_s),
+        );
+    }
+    println!("\npositive savings = LR-Seluge wins; the margin should grow with p.");
+}

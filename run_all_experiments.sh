@@ -1,0 +1,9 @@
+#!/bin/bash
+# Regenerates every figure/table at paper scale. Run from the repo root.
+set -e
+cd "$(dirname "$0")"
+mkdir -p results
+for bin in fig3 fig4 fig5 fig6 imgsize ablation overhead attack table2_3; do
+  echo "=== $bin ==="
+  ./target/release/$bin | tee results/$bin.txt
+done

@@ -1,0 +1,23 @@
+//! Umbrella crate for the LR-Seluge reproduction workspace.
+//!
+//! Hosts the runnable examples (`examples/`) and the cross-crate
+//! integration tests (`tests/`), and re-exports the member crates so a
+//! downstream experiment can depend on a single package:
+//!
+//! * [`lr_seluge`] — the LR-Seluge protocol itself.
+//! * [`lrs_seluge`] / [`lrs_deluge`] — the Seluge and Deluge baselines
+//!   plus the shared dissemination engine and attacker nodes.
+//! * [`lrs_netsim`] — the discrete-event lossy wireless simulator.
+//! * [`lrs_erasure`] / [`lrs_crypto`] — the erasure-coding and
+//!   cryptographic substrates.
+//! * [`lrs_analysis`] — the paper's §V analytical models.
+//! * [`lrs_bench`] — experiment runners behind every figure and table.
+
+pub use lr_seluge;
+pub use lrs_analysis;
+pub use lrs_bench;
+pub use lrs_crypto;
+pub use lrs_deluge;
+pub use lrs_erasure;
+pub use lrs_netsim;
+pub use lrs_seluge;

@@ -1,0 +1,119 @@
+//! Cross-scheme integration tests: LR-Seluge vs Seluge vs Deluge on the
+//! same images, topologies and loss processes.
+
+use lr_seluge::LrSelugeParams;
+use lrs_bench::{average, matched_seluge_params, run_deluge, run_lr, run_seluge, RunSpec};
+use lrs_deluge::image::ImageParams;
+
+fn small_lr(image_len: usize) -> LrSelugeParams {
+    // Rate 2.0: with only k = 8 blocks per page, the rate-1.5 knee sits
+    // at p = 1/3 and p = 0.4 needs a second round per page; the paper's
+    // k = 32 pages concentrate much better. The small test geometry
+    // compensates with a higher rate.
+    LrSelugeParams {
+        image_len,
+        k: 8,
+        n: 16,
+        payload_len: 56,
+        k0: 4,
+        n0: 8,
+        puzzle_strength: 6,
+        ..LrSelugeParams::default()
+    }
+}
+
+#[test]
+fn all_three_protocols_complete_one_hop() {
+    let spec = RunSpec::one_hop(4, 0.1);
+    let lr = run_lr(&spec, small_lr(2048), 1);
+    assert_eq!(lr.completed, 1.0);
+    let s = run_seluge(&spec, matched_seluge_params(&small_lr(2048)), 1);
+    assert_eq!(s.completed, 1.0);
+    let d = run_deluge(
+        &spec,
+        ImageParams {
+            version: 1,
+            image_len: 2048,
+            packets_per_page: 8,
+            payload_len: 56,
+        },
+        1,
+    );
+    assert_eq!(d.completed, 1.0);
+}
+
+#[test]
+fn lr_beats_seluge_under_heavy_loss() {
+    // The paper's headline claim. With the paper's k = 32 pages the win
+    // extends to p = 0.4 (see the fig4 harness and the loss_sweep
+    // example); this test's deliberately tiny k = 8 pages pay a ~29 %
+    // chained-hash overhead per page, so it checks the ordering at
+    // p = 0.3, where even the small geometry must win clearly.
+    let lr_params = small_lr(6 * 1024);
+    let s_params = matched_seluge_params(&lr_params);
+    let spec = RunSpec::one_hop(10, 0.3);
+    let seeds = 3;
+    let m_lr = average(seeds, |seed| run_lr(&spec, lr_params, seed));
+    let m_s = average(seeds, |seed| run_seluge(&spec, s_params, seed));
+    assert_eq!(m_lr.completed, 1.0);
+    assert_eq!(m_s.completed, 1.0);
+    assert!(
+        m_lr.total_bytes < m_s.total_bytes * 0.85,
+        "LR {} bytes vs Seluge {} bytes",
+        m_lr.total_bytes,
+        m_s.total_bytes
+    );
+    // Latency can photo-finish at this tiny geometry; the claim is
+    // "no worse", with the strict win asserted on bytes above.
+    assert!(
+        m_lr.latency_s < m_s.latency_s * 1.15,
+        "LR {}s vs Seluge {}s",
+        m_lr.latency_s,
+        m_s.latency_s
+    );
+}
+
+#[test]
+fn seluge_competitive_when_lossless() {
+    // At p = 0 the erasure redundancy buys nothing: Seluge should not
+    // lose (the paper reports LR slightly worse there).
+    let lr_params = small_lr(6 * 1024);
+    let s_params = matched_seluge_params(&lr_params);
+    let spec = RunSpec::one_hop(10, 0.0);
+    let m_lr = average(2, |seed| run_lr(&spec, lr_params, seed));
+    let m_s = average(2, |seed| run_seluge(&spec, s_params, seed));
+    assert!(
+        m_s.total_bytes <= m_lr.total_bytes * 1.15,
+        "Seluge should win or tie at p=0: LR {} vs Seluge {}",
+        m_lr.total_bytes,
+        m_s.total_bytes
+    );
+}
+
+#[test]
+fn exactly_one_signature_verification_per_node() {
+    let spec = RunSpec::one_hop(5, 0.2);
+    let m = run_lr(&spec, small_lr(2048), 3);
+    assert_eq!(m.completed, 1.0);
+    // 5 receivers, one verification each; the base verifies nothing.
+    assert_eq!(m.sig_verifications, 5.0);
+}
+
+#[test]
+fn multi_hop_grid_both_schemes() {
+    use lrs_netsim::medium::MediumConfig;
+    use lrs_netsim::time::Duration;
+    use lrs_netsim::topology::Topology;
+
+    let spec = RunSpec {
+        topology: Topology::grid(4, 10.0, 11),
+        medium: MediumConfig::default(),
+        deadline: Duration::from_secs(200_000),
+        engine: Default::default(),
+    };
+    let lr_params = small_lr(2048);
+    let m_lr = run_lr(&spec, lr_params, 5);
+    assert_eq!(m_lr.completed, 1.0, "LR stalled on grid");
+    let m_s = run_seluge(&spec, matched_seluge_params(&lr_params), 5);
+    assert_eq!(m_s.completed, 1.0, "Seluge stalled on grid");
+}

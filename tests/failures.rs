@@ -1,0 +1,102 @@
+//! Crash-failure injection: dissemination must route around dead relays
+//! when the topology allows it, and partitioned segments must be the
+//! only casualties when it does not. Also exercises the per-node energy
+//! ledger.
+
+use lr_seluge::{Deployment, LrSelugeParams};
+use lrs_netsim::energy::EnergyModel;
+use lrs_netsim::node::NodeId;
+use lrs_netsim::sim::{SimConfig, Simulator};
+use lrs_netsim::time::{Duration, SimTime};
+use lrs_netsim::topology::Topology;
+
+fn params() -> LrSelugeParams {
+    LrSelugeParams {
+        image_len: 1024,
+        k: 8,
+        n: 12,
+        payload_len: 56,
+        k0: 4,
+        n0: 8,
+        puzzle_strength: 4,
+        ..LrSelugeParams::default()
+    }
+}
+
+fn image() -> Vec<u8> {
+    (0..1024u32).map(|i| (i * 73 % 251) as u8).collect()
+}
+
+#[test]
+fn grid_routes_around_a_dead_relay() {
+    let deployment = Deployment::new(&image(), params(), b"failures");
+    let mut sim = Simulator::new(Topology::grid(4, 10.0, 21), SimConfig::default(), 4, |id| {
+        deployment.node(id, NodeId(0))
+    });
+    // Kill an interior relay shortly after dissemination starts.
+    sim.schedule_failure(NodeId(5), SimTime(2_000_000));
+    let report = sim.run(Duration::from_secs(36_000));
+    assert!(report.all_complete, "grid should route around the dead node");
+    assert!(sim.is_failed(NodeId(5)));
+    for i in 1..16u32 {
+        if i == 5 {
+            continue;
+        }
+        assert_eq!(
+            sim.node(NodeId(i)).scheme().image().as_deref(),
+            Some(&image()[..]),
+            "node {i}"
+        );
+    }
+}
+
+#[test]
+fn line_partition_stops_at_the_dead_node() {
+    let deployment = Deployment::new(&image(), params(), b"failures");
+    let mut sim = Simulator::new(Topology::line(6, 1.0), SimConfig::default(), 9, |id| {
+        deployment.node(id, NodeId(0))
+    });
+    // Node 3 dies immediately: nodes 4 and 5 are partitioned from the base.
+    sim.schedule_failure(NodeId(3), SimTime(1));
+    let report = sim.run(Duration::from_secs(2_000));
+    assert!(!report.all_complete, "partitioned nodes cannot complete");
+    // Upstream of the failure everything completes...
+    for i in [1u32, 2] {
+        assert_eq!(
+            sim.node(NodeId(i)).scheme().image().as_deref(),
+            Some(&image()[..]),
+            "node {i} upstream of the partition"
+        );
+    }
+    // ...downstream nothing does.
+    for i in [4u32, 5] {
+        assert_eq!(sim.node(NodeId(i)).scheme().image(), None, "node {i}");
+    }
+}
+
+#[test]
+fn energy_ledger_tracks_radio_work() {
+    let deployment = Deployment::new(&image(), params(), b"energy");
+    let mut sim = Simulator::new(Topology::star(5), SimConfig::default(), 2, |id| {
+        deployment.node(id, NodeId(0))
+    });
+    let report = sim.run(Duration::from_secs(36_000));
+    assert!(report.all_complete);
+    let model = EnergyModel::default();
+    // The base station transmits the bulk of the bytes: it must be the
+    // energy hotspot.
+    let (hotspot, joules) = sim.energy().max_joules(&model);
+    assert_eq!(hotspot, NodeId(0));
+    assert!(joules > 0.0);
+    // Every receiver paid reception energy.
+    for i in 1..5u32 {
+        assert!(sim.energy().rx_bytes(NodeId(i)) > 0, "node {i}");
+        assert!(sim.energy().joules(NodeId(i), &model) > 0.0);
+    }
+    // Conservation-ish: total receive bytes cannot exceed
+    // tx bytes × (#nodes − 1) on a fully connected star.
+    let total_tx: u64 = (0..5u32).map(|i| sim.energy().tx_bytes(NodeId(i))).sum();
+    let total_rx: u64 = (0..5u32).map(|i| sim.energy().rx_bytes(NodeId(i))).sum();
+    assert!(total_rx <= total_tx * 4);
+    assert!(total_rx > 0);
+}
