@@ -10,8 +10,7 @@
 //! deficits are zero.
 
 use crate::binomial::binomial_pmf_vec;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lrs_rng::DetRng;
 
 /// Exact expected transmissions for a single receiver.
 ///
@@ -87,7 +86,7 @@ pub fn ack_lr_expected_data_packets(
             ack_lr_exact_single(k_prime, n, p)
         }
         AckLrModel::MonteCarlo { trials, seed } => {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = DetRng::seed_from_u64(seed);
             let mut total = 0u64;
             for _ in 0..trials {
                 total += simulate_round_process(k_prime, n, p, n_receivers, &mut rng);
@@ -103,7 +102,7 @@ fn simulate_round_process(
     n: usize,
     p: f64,
     n_receivers: usize,
-    rng: &mut StdRng,
+    rng: &mut DetRng,
 ) -> u64 {
     let q = 1.0 - p;
     let mut deficits: Vec<usize> = (0..n_receivers)
@@ -128,7 +127,7 @@ fn simulate_round_process(
     }
 }
 
-fn sample_binomial(n: usize, q: f64, rng: &mut StdRng) -> usize {
+fn sample_binomial(n: usize, q: f64, rng: &mut DetRng) -> usize {
     (0..n).filter(|_| rng.gen_bool(q)).count()
 }
 
@@ -136,7 +135,10 @@ fn sample_binomial(n: usize, q: f64, rng: &mut StdRng) -> usize {
 mod tests {
     use super::*;
 
-    const MC: AckLrModel = AckLrModel::MonteCarlo { trials: 6_000, seed: 7 };
+    const MC: AckLrModel = AckLrModel::MonteCarlo {
+        trials: 6_000,
+        seed: 7,
+    };
 
     #[test]
     fn lossless_single_receiver_costs_n() {
@@ -149,8 +151,14 @@ mod tests {
         for p in [0.1, 0.3, 0.5] {
             let exact = ack_lr_exact_single(32, 48, p);
             let mc = ack_lr_expected_data_packets(
-                32, 48, p, 1,
-                AckLrModel::MonteCarlo { trials: 20_000, seed: 7 },
+                32,
+                48,
+                p,
+                1,
+                AckLrModel::MonteCarlo {
+                    trials: 20_000,
+                    seed: 7,
+                },
             );
             assert!(
                 (exact - mc).abs() / exact < 0.02,

@@ -54,8 +54,7 @@ pub fn seluge_expected_heterogeneous(k: usize, loss: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use lrs_rng::DetRng;
 
     #[test]
     fn lossless_is_exactly_k() {
@@ -82,7 +81,7 @@ mod tests {
     fn matches_monte_carlo() {
         let (k, n_rx, p) = (8usize, 5usize, 0.25f64);
         let analytical = seluge_expected_data_packets(k, n_rx, p);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = DetRng::seed_from_u64(1);
         let trials = 20_000;
         let mut total = 0u64;
         for _ in 0..trials {

@@ -1,9 +1,14 @@
-//! Criterion microbenchmarks for the primitives every packet exercises:
-//! hashing, erasure coding, Merkle verification, signature verification
-//! and the TX scheduler. These quantify the per-packet computation
-//! overhead discussed in the paper's §V-B.
+//! Microbenchmarks for the primitives every packet exercises: hashing,
+//! erasure coding, Merkle verification, signature verification and the
+//! TX scheduler. These quantify the per-packet computation overhead
+//! discussed in the paper's §V-B.
+//!
+//! Self-timed (`harness = false`): the registry is unreachable in this
+//! environment, so Criterion is unavailable. Each benchmark warms up,
+//! then reports the median of several timed batches.
+//!
+//! Run with `cargo bench -p lrs-bench`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use lr_seluge::GreedyRoundRobinPolicy;
 use lrs_crypto::merkle::MerkleTree;
 use lrs_crypto::schnorr::Keypair;
@@ -13,70 +18,102 @@ use lrs_deluge::wire::BitVec;
 use lrs_erasure::{ErasureCode, ReedSolomon};
 use lrs_netsim::node::NodeId;
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
-fn bench_sha256(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sha256");
-    for size in [72usize, 1024, 16 * 1024] {
-        let data = vec![0xabu8; size];
-        g.throughput(Throughput::Bytes(size as u64));
-        g.bench_function(format!("{size}B"), |b| {
-            b.iter(|| sha256(black_box(&data)))
-        });
+/// Times `f` over enough iterations to fill ~50 ms batches and prints
+/// the median per-iteration latency (and throughput when `bytes > 0`).
+fn bench(name: &str, bytes: u64, mut f: impl FnMut()) {
+    // Calibrate: how many iterations fit in one batch?
+    let mut iters = 1u64;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let dt = t.elapsed();
+        if dt > Duration::from_millis(50) || iters > 1 << 24 {
+            break;
+        }
+        iters = (iters * 4).max(4);
     }
-    g.finish();
+    let mut samples: Vec<f64> = (0..5)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t.elapsed().as_secs_f64() / iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    if bytes > 0 {
+        let mibps = bytes as f64 / median / (1024.0 * 1024.0);
+        println!(
+            "{name:<32} {:>12.3} µs/iter {mibps:>10.1} MiB/s",
+            median * 1e6
+        );
+    } else {
+        println!("{name:<32} {:>12.3} µs/iter", median * 1e6);
+    }
 }
 
-fn bench_reed_solomon(c: &mut Criterion) {
-    let mut g = c.benchmark_group("reed_solomon");
+fn bench_sha256() {
+    for size in [72usize, 1024, 16 * 1024] {
+        let data = vec![0xabu8; size];
+        bench(&format!("sha256/{size}B"), size as u64, || {
+            black_box(sha256(black_box(&data)));
+        });
+    }
+}
+
+fn bench_reed_solomon() {
     // The paper's page shape: k = 32, n = 48, 72-byte blocks.
     let code = ReedSolomon::new(32, 48).unwrap();
     let blocks: Vec<Vec<u8>> = (0..32)
         .map(|i| (0..72).map(|j| ((i * 7 + j) % 256) as u8).collect())
         .collect();
     let encoded = code.encode(&blocks).unwrap();
-    g.throughput(Throughput::Bytes((32 * 72) as u64));
-    g.bench_function("encode_k32_n48", |b| {
-        b.iter(|| code.encode(black_box(&blocks)).unwrap())
+    bench("rs/encode_k32_n48", (32 * 72) as u64, || {
+        black_box(code.encode(black_box(&blocks)).unwrap());
     });
     // Worst-case decode: all parity blocks.
     let parity: Vec<(usize, Vec<u8>)> = (16..48).map(|i| (i, encoded[i].clone())).collect();
-    g.bench_function("decode_parity_k32_n48", |b| {
-        b.iter(|| code.decode(black_box(&parity), 72).unwrap())
+    bench("rs/decode_parity_k32_n48", (32 * 72) as u64, || {
+        black_box(code.decode(black_box(&parity), 72).unwrap());
     });
     // Best-case decode: systematic blocks (memcpy path).
     let systematic: Vec<(usize, Vec<u8>)> = (0..32).map(|i| (i, encoded[i].clone())).collect();
-    g.bench_function("decode_systematic_k32_n48", |b| {
-        b.iter(|| code.decode(black_box(&systematic), 72).unwrap())
+    bench("rs/decode_systematic_k32_n48", (32 * 72) as u64, || {
+        black_box(code.decode(black_box(&systematic), 72).unwrap());
     });
-    g.finish();
 }
 
-fn bench_merkle(c: &mut Criterion) {
-    let mut g = c.benchmark_group("merkle");
+fn bench_merkle() {
     let leaves: Vec<Vec<u8>> = (0..16u8).map(|i| vec![i; 48]).collect();
     let tree = MerkleTree::build(leaves.iter().map(|l| l.as_slice()));
     let proof = tree.proof(5);
     let root = tree.root();
-    g.bench_function("build_16_leaves", |b| {
-        b.iter(|| MerkleTree::build(black_box(&leaves).iter().map(|l| l.as_slice())))
+    bench("merkle/build_16_leaves", 0, || {
+        black_box(MerkleTree::build(
+            black_box(&leaves).iter().map(|l| l.as_slice()),
+        ));
     });
-    g.bench_function("verify_proof_depth4", |b| {
-        b.iter(|| assert!(proof.verify(black_box(&leaves[5]), &root)))
+    bench("merkle/verify_proof_depth4", 0, || {
+        assert!(proof.verify(black_box(&leaves[5]), &root));
     });
-    g.finish();
 }
 
-fn bench_signature(c: &mut Criterion) {
-    let mut g = c.benchmark_group("schnorr");
-    g.sample_size(10);
+fn bench_signature() {
     let kp = Keypair::from_seed(b"bench");
     let msg = [0x42u8; 32];
     let sig = kp.sign(&msg);
-    g.bench_function("sign", |b| b.iter(|| kp.sign(black_box(&msg))));
-    g.bench_function("verify", |b| {
-        b.iter(|| assert!(kp.public().verify(black_box(&msg), &sig)))
+    bench("schnorr/sign", 0, || {
+        black_box(kp.sign(black_box(&msg)));
     });
-    g.finish();
+    bench("schnorr/verify", 0, || {
+        assert!(kp.public().verify(black_box(&msg), &sig));
+    });
 }
 
 fn make_snacks(n: usize, z: usize) -> Vec<(NodeId, BitVec)> {
@@ -93,55 +130,39 @@ fn make_snacks(n: usize, z: usize) -> Vec<(NodeId, BitVec)> {
         .collect()
 }
 
-fn bench_scheduler(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tx_scheduler");
+fn bench_scheduler() {
     let (k, n, z) = (32u16, 48usize, 20usize);
     let snacks = make_snacks(n, z);
-    g.bench_function("greedy_drain_20_neighbors", |b| {
-        b.iter_batched(
-            || {
-                let mut p = GreedyRoundRobinPolicy::new();
-                for (id, bits) in &snacks {
-                    let q = bits.count_ones() as u16;
-                    let d = (q + k).saturating_sub(n as u16).max(1);
-                    p.on_snack(*id, 0, bits, d);
-                }
-                p
-            },
-            |mut p| {
-                while let Some(x) = p.next() {
-                    black_box(x);
-                }
-            },
-            BatchSize::SmallInput,
-        )
+    bench("sched/greedy_drain_20_neighbors", 0, || {
+        let mut p = GreedyRoundRobinPolicy::new();
+        for (id, bits) in &snacks {
+            let q = bits.count_ones() as u16;
+            let d = (q + k).saturating_sub(n as u16).max(1);
+            p.on_snack(*id, 0, bits, d);
+        }
+        while let Some(x) = p.next() {
+            black_box(x);
+        }
     });
-    g.bench_function("union_drain_20_neighbors", |b| {
-        b.iter_batched(
-            || {
-                let mut p = UnionPolicy::new();
-                for (id, bits) in &snacks {
-                    p.on_snack(*id, 0, bits, 1);
-                }
-                p
-            },
-            |mut p| {
-                while let Some(x) = p.next() {
-                    black_box(x);
-                }
-            },
-            BatchSize::SmallInput,
-        )
+    bench("sched/union_drain_20_neighbors", 0, || {
+        let mut p = UnionPolicy::new();
+        for (id, bits) in &snacks {
+            p.on_snack(*id, 0, bits, 1);
+        }
+        while let Some(x) = p.next() {
+            black_box(x);
+        }
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_sha256,
-    bench_reed_solomon,
-    bench_merkle,
-    bench_signature,
-    bench_scheduler
-);
-criterion_main!(benches);
+fn main() {
+    println!(
+        "{:<32} {:>17} {:>16}",
+        "benchmark", "median latency", "throughput"
+    );
+    bench_sha256();
+    bench_reed_solomon();
+    bench_merkle();
+    bench_signature();
+    bench_scheduler();
+}

@@ -9,7 +9,10 @@
 
 use lr_seluge::{CodeKind, Deployment, GreedyRoundRobinPolicy, LrSelugeParams};
 use lrs_bench::runner::test_image;
-use lrs_bench::{write_csv, Table};
+use lrs_bench::{
+    aggregate, configured_threads, sample_grid, write_csv, ExperimentMetrics, Json, JsonReport,
+    Table,
+};
 use lrs_deluge::policy::UnionPolicy;
 use lrs_netsim::medium::MediumConfig;
 use lrs_netsim::node::{NodeId, PacketKind, Protocol};
@@ -17,7 +20,12 @@ use lrs_netsim::sim::{SimConfig, Simulator};
 use lrs_netsim::time::Duration;
 use lrs_netsim::topology::Topology;
 
-fn run_with<P, F>(params: LrSelugeParams, p_loss: f64, seed: u64, make_policy: F) -> (f64, f64, f64)
+fn run_with<P, F>(
+    params: LrSelugeParams,
+    p_loss: f64,
+    seed: u64,
+    make_policy: F,
+) -> ExperimentMetrics
 where
     P: lrs_deluge::policy::TxPolicy,
     F: Fn() -> P,
@@ -36,69 +44,123 @@ where
     });
     let report = sim.run(Duration::from_secs(100_000));
     assert!(report.all_complete, "run stalled");
-    (
-        sim.metrics().tx_packets(PacketKind::Data) as f64,
-        sim.metrics().total_tx_bytes() as f64,
-        report.latency.expect("complete").as_secs_f64(),
-    )
-}
-
-fn avg3(mut f: impl FnMut(u64) -> (f64, f64, f64)) -> (f64, f64, f64) {
-    let mut acc = (0.0, 0.0, 0.0);
-    for seed in 1..=3 {
-        let r = f(seed);
-        acc = (acc.0 + r.0 / 3.0, acc.1 + r.1 / 3.0, acc.2 + r.2 / 3.0);
+    let m = sim.metrics();
+    ExperimentMetrics {
+        page_data_pkts: m.tx_packets(PacketKind::Data) as f64,
+        data_pkts: (m.tx_packets(PacketKind::Data)
+            + m.tx_packets(PacketKind::HashPage)
+            + m.tx_packets(PacketKind::Signature)) as f64,
+        snack_pkts: m.tx_packets(PacketKind::Snack) as f64,
+        adv_pkts: m.tx_packets(PacketKind::Adv) as f64,
+        total_bytes: m.total_tx_bytes() as f64,
+        latency_s: report.latency.expect("complete").as_secs_f64(),
+        completed: 1.0,
+        ..ExperimentMetrics::default()
     }
-    acc
 }
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let seeds = 3;
+    let threads = configured_threads();
     let params = LrSelugeParams {
         image_len: if quick { 4 * 1024 } else { 20 * 1024 },
         ..LrSelugeParams::default()
     };
 
     // --- Ablation 1: scheduler ---------------------------------------
-    println!("Ablation 1: greedy round-robin scheduler vs union rule (N = 20)\n");
-    let mut t = Table::new(vec!["p", "policy", "data_pkts", "total_kbytes", "latency_s"]);
-    for p in [0.1, 0.3] {
-        let greedy = avg3(|s| run_with(params, p, s, GreedyRoundRobinPolicy::new));
-        let union = avg3(|s| run_with(params, p, s, UnionPolicy::new));
-        for (name, m) in [("greedy", greedy), ("union", union)] {
-            t.row(vec![
-                format!("{p}"),
-                name.to_string(),
-                format!("{:.0}", m.0),
-                format!("{:.1}", m.1 / 1024.0),
-                format!("{:.1}", m.2),
-            ]);
-        }
-        println!(
-            "p = {p}: scheduler saves {:.1} % data packets",
-            100.0 * (1.0 - greedy.0 / union.0)
+    println!(
+        "Ablation 1: greedy round-robin scheduler vs union rule (N = 20, threads = {threads})\n"
+    );
+    let policies = ["greedy", "union"];
+    let points: Vec<(f64, usize)> = [0.1, 0.3]
+        .iter()
+        .flat_map(|&p| (0..policies.len()).map(move |i| (p, i)))
+        .collect();
+    let grid = sample_grid(&points, seeds, threads, |&(p, policy), seed| match policy {
+        0 => run_with(params, p, seed, GreedyRoundRobinPolicy::new),
+        _ => run_with(params, p, seed, UnionPolicy::new),
+    });
+    let mut t = Table::new(vec![
+        "p",
+        "policy",
+        "data_pkts",
+        "total_kbytes",
+        "latency_s",
+    ]);
+    let mut j = JsonReport::new("ablation_scheduler", seeds, threads);
+    for (i, &(p, policy)) in points.iter().enumerate() {
+        let m = aggregate(&grid[i]);
+        j.push_row(
+            &[("p", Json::num(p)), ("policy", Json::str(policies[policy]))],
+            &grid[i],
         );
+        t.row(vec![
+            format!("{p}"),
+            policies[policy].to_string(),
+            format!("{:.0}", m.page_data_pkts),
+            format!("{:.1}", m.total_bytes / 1024.0),
+            format!("{:.1}", m.latency_s),
+        ]);
+        if policy == 1 {
+            let greedy = aggregate(&grid[i - 1]);
+            println!(
+                "p = {p}: scheduler saves {:.1} % data packets",
+                100.0 * (1.0 - greedy.page_data_pkts / m.page_data_pkts)
+            );
+        }
     }
     println!("\n{}", t.render());
-    println!("wrote {}\n", write_csv("ablation_scheduler", &t));
+    println!("wrote {}", write_csv("ablation_scheduler", &t));
+    println!("wrote {}\n", j.write());
 
     // --- Ablation 2: erasure code ------------------------------------
     println!("Ablation 2: Reed-Solomon (k' = k) vs sparse XOR (k' = k + 4)\n");
-    let mut t2 = Table::new(vec!["p", "code", "k_prime", "data_pkts", "total_kbytes", "latency_s"]);
-    for p in [0.1, 0.3] {
-        for kind in [CodeKind::ReedSolomon, CodeKind::SparseXor, CodeKind::Lt] {
-            let kp = LrSelugeParams { code_kind: kind, ..params };
-            let m = avg3(|s| run_with(kp, p, s, GreedyRoundRobinPolicy::new));
-            t2.row(vec![
-                format!("{p}"),
-                format!("{kind:?}"),
-                format!("{}", kp.k_prime()),
-                format!("{:.0}", m.0),
-                format!("{:.1}", m.1 / 1024.0),
-                format!("{:.1}", m.2),
-            ]);
-        }
+    let kinds = [CodeKind::ReedSolomon, CodeKind::SparseXor, CodeKind::Lt];
+    let points: Vec<(f64, CodeKind)> = [0.1, 0.3]
+        .iter()
+        .flat_map(|&p| kinds.iter().map(move |&kind| (p, kind)))
+        .collect();
+    let grid = sample_grid(&points, seeds, threads, |&(p, kind), seed| {
+        let kp = LrSelugeParams {
+            code_kind: kind,
+            ..params
+        };
+        run_with(kp, p, seed, GreedyRoundRobinPolicy::new)
+    });
+    let mut t2 = Table::new(vec![
+        "p",
+        "code",
+        "k_prime",
+        "data_pkts",
+        "total_kbytes",
+        "latency_s",
+    ]);
+    let mut j2 = JsonReport::new("ablation_code", seeds, threads);
+    for (i, &(p, kind)) in points.iter().enumerate() {
+        let kp = LrSelugeParams {
+            code_kind: kind,
+            ..params
+        };
+        let m = aggregate(&grid[i]);
+        j2.push_row(
+            &[
+                ("p", Json::num(p)),
+                ("code", Json::str(format!("{kind:?}"))),
+                ("k_prime", Json::num(kp.k_prime() as u32)),
+            ],
+            &grid[i],
+        );
+        t2.row(vec![
+            format!("{p}"),
+            format!("{kind:?}"),
+            format!("{}", kp.k_prime()),
+            format!("{:.0}", m.page_data_pkts),
+            format!("{:.1}", m.total_bytes / 1024.0),
+            format!("{:.1}", m.latency_s),
+        ]);
     }
     println!("{}", t2.render());
     println!("wrote {}", write_csv("ablation_code", &t2));
+    println!("wrote {}", j2.write());
 }

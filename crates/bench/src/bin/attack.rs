@@ -13,7 +13,7 @@
 
 use lr_seluge::{Deployment, LrSelugeParams};
 use lrs_bench::runner::test_image;
-use lrs_bench::{write_csv, Table};
+use lrs_bench::{configured_threads, sample_grid, stat_json, write_csv, write_json, Json, Table};
 use lrs_deluge::attack::{AttackKind, Attacker, MaybeAdversary};
 use lrs_deluge::engine::{DisseminationNode, EngineConfig, Scheme};
 use lrs_deluge::image::{DelugeImage, DelugeScheme, ImageParams};
@@ -34,15 +34,44 @@ fn params(image_len: usize) -> LrSelugeParams {
     }
 }
 
-/// Runs LR-Seluge with one attacker node; returns
-/// (all honest complete, wrong images, auth rejects, injected).
+/// One flood run's observables, as floats for summarizing over seeds.
+#[derive(Clone, Copy, Debug)]
+struct FloodOutcome {
+    injected: f64,
+    complete: f64,
+    wrong: f64,
+    rejects: f64,
+    sig_verifs: f64,
+}
+
+const FLOOD_NAMES: [&str; 5] = [
+    "injected",
+    "complete",
+    "wrong_images",
+    "rejects",
+    "sig_verifs",
+];
+
+impl FloodOutcome {
+    fn fields(&self) -> [f64; 5] {
+        [
+            self.injected,
+            self.complete,
+            self.wrong,
+            self.rejects,
+            self.sig_verifs,
+        ]
+    }
+}
+
+/// Runs LR-Seluge with one attacker node.
 fn run_lr_under_attack(
     image_len: usize,
     kind: AttackKind,
     interval: Duration,
     budget: Option<u32>,
     seed: u64,
-) -> (bool, usize, u64, u64, u64) {
+) -> FloodOutcome {
     let p = params(image_len);
     let image = test_image(image_len);
     let engine = EngineConfig {
@@ -72,7 +101,6 @@ fn run_lr_under_attack(
             }
         },
     );
-    eprintln!("[attack] running scenario...");
     let report = sim.run(Duration::from_secs(20_000));
     let mut wrong = 0usize;
     let mut rejects = 0u64;
@@ -88,11 +116,17 @@ fn run_lr_under_attack(
         sig_verifs += node.scheme().cost().signature_verifications;
     }
     let injected = sim.node(attacker_id).attacker().expect("attacker").injected;
-    (report.all_complete, wrong, rejects, sig_verifs, injected)
+    FloodOutcome {
+        injected: injected as f64,
+        complete: if report.all_complete { 1.0 } else { 0.0 },
+        wrong: wrong as f64,
+        rejects: rejects as f64,
+        sig_verifs: sig_verifs as f64,
+    }
 }
 
 /// The same bogus-data flood against plain Deluge.
-fn run_deluge_under_attack(image_len: usize, interval: Duration, seed: u64) -> (bool, usize, u64) {
+fn run_deluge_under_attack(image_len: usize, interval: Duration, seed: u64) -> FloodOutcome {
     let ip = ImageParams {
         version: 1,
         image_len,
@@ -138,7 +172,6 @@ fn run_deluge_under_attack(image_len: usize, interval: Duration, seed: u64) -> (
             }
         },
     );
-    eprintln!("[attack] running scenario...");
     let report = sim.run(Duration::from_secs(20_000));
     let mut wrong = 0usize;
     for i in 1..=N_HONEST as u32 {
@@ -149,98 +182,18 @@ fn run_deluge_under_attack(image_len: usize, interval: Duration, seed: u64) -> (
         }
     }
     let injected = sim.node(attacker_id).attacker().expect("attacker").injected;
-    (report.all_complete, wrong, injected)
-}
-
-fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let image_len = if quick { 4 * 1024 } else { 20 * 1024 };
-    let p = params(image_len);
-
-    println!("Attack resilience, one-hop, N = {N_HONEST} honest receivers + 1 attacker\n");
-    let mut t = Table::new(vec![
-        "experiment", "scheme", "injected", "complete", "wrong_images", "rejects",
-        "sig_verifs",
-    ]);
-
-    // 1. Bogus-data flood, increasing intensity.
-    for interval_ms in [800u64, 300, 120] {
-        let (ok, wrong, rejects, sig_verifs, injected) = run_lr_under_attack(
-            image_len,
-            AttackKind::BogusData {
-                payload_len: p.payload_len,
-                index_space: p.n,
-            },
-            Duration::from_millis(interval_ms),
-            None,
-            1,
-        );
-        t.row(vec![
-            format!("bogus-data @{interval_ms}ms"),
-            "lr-seluge".to_string(),
-            format!("{injected}"),
-            format!("{ok}"),
-            format!("{wrong}"),
-            format!("{rejects}"),
-            format!("{sig_verifs}"),
-        ]);
-        assert_eq!(wrong, 0, "LR-Seluge must never store forged data");
+    FloodOutcome {
+        injected: injected as f64,
+        complete: if report.all_complete { 1.0 } else { 0.0 },
+        wrong: wrong as f64,
+        rejects: f64::NAN,
+        sig_verifs: f64::NAN,
     }
-    let (ok, wrong, injected) = run_deluge_under_attack(image_len, Duration::from_millis(300), 1);
-    t.row(vec![
-        "bogus-data @300ms".to_string(),
-        "deluge (insecure)".to_string(),
-        format!("{injected}"),
-        format!("{ok}"),
-        format!("{wrong}"),
-        "-".to_string(),
-        "-".to_string(),
-    ]);
-
-    // 2. Forged-signature flood.
-    let (ok, wrong, rejects, sig_verifs, injected) = run_lr_under_attack(
-        image_len,
-        AttackKind::ForgedSignature {
-            body_len: lr_seluge::LrArtifacts::signature_body_len(),
-        },
-        Duration::from_millis(400),
-        None,
-        2,
-    );
-    t.row(vec![
-        "forged-signature @400ms".to_string(),
-        "lr-seluge".to_string(),
-        format!("{injected}"),
-        format!("{ok}"),
-        format!("{wrong}"),
-        format!("{rejects}"),
-        format!("{sig_verifs}"),
-    ]);
-    assert_eq!(
-        sig_verifs, N_HONEST as u64,
-        "puzzle must limit each node to one expensive verification"
-    );
-
-    // 3. Denial-of-receipt: victim transmissions with and without budget.
-    println!("Denial-of-receipt (insider SNACK flood at the base station):");
-    let mut dor = Table::new(vec!["budget", "victim_data_pkts", "budget_rejections"]);
-    for budget in [None, Some(3 * p.n as u32)] {
-        let victim_stats = run_denial_of_receipt(image_len, budget);
-        dor.row(vec![
-            budget.map_or("none".to_string(), |b| b.to_string()),
-            format!("{}", victim_stats.0),
-            format!("{}", victim_stats.1),
-        ]);
-    }
-    println!("{}", dor.render());
-
-    println!("{}", t.render());
-    println!("wrote {}", write_csv("attack", &t));
 }
 
 /// Runs the insider denial-of-receipt attack; returns the victim base
 /// station's (data packets sent, budget rejections).
-fn run_denial_of_receipt(image_len: usize, budget: Option<u32>) -> (u64, u64) {
+fn run_denial_of_receipt(image_len: usize, budget: Option<u32>, seed: u64) -> (u64, u64) {
     let p = params(image_len);
     let image = test_image(image_len);
     let engine = EngineConfig {
@@ -255,7 +208,7 @@ fn run_denial_of_receipt(image_len: usize, budget: Option<u32>) -> (u64, u64) {
         SimConfig {
             medium: MediumConfig::default(),
         },
-        3,
+        seed,
         |id| {
             if id == attacker_id {
                 MaybeAdversary::Attacker(Attacker::insider(
@@ -273,10 +226,186 @@ fn run_denial_of_receipt(image_len: usize, budget: Option<u32>) -> (u64, u64) {
             }
         },
     );
-    eprintln!("[attack] running denial-of-receipt...");
     // Fixed observation window: the unbounded variant is a total DoS and
     // would otherwise run to any deadline.
     let _ = sim.run(Duration::from_secs(2_000));
     let base = sim.node(NodeId(0)).honest().expect("base");
     (base.stats().data_sent, base.stats().budget_rejections)
+}
+
+/// A flood scenario row: (label, scheme).
+#[derive(Clone)]
+enum Scenario {
+    LrBogus { interval_ms: u64 },
+    DelugeBogus { interval_ms: u64 },
+    ForgedSig { interval_ms: u64 },
+}
+
+impl Scenario {
+    fn label(&self) -> String {
+        match self {
+            Scenario::LrBogus { interval_ms } => format!("bogus-data @{interval_ms}ms"),
+            Scenario::DelugeBogus { interval_ms } => format!("bogus-data @{interval_ms}ms"),
+            Scenario::ForgedSig { interval_ms } => format!("forged-signature @{interval_ms}ms"),
+        }
+    }
+
+    fn scheme(&self) -> &'static str {
+        match self {
+            Scenario::DelugeBogus { .. } => "deluge (insecure)",
+            _ => "lr-seluge",
+        }
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let seeds: u64 = if quick { 1 } else { 3 };
+    let threads = configured_threads();
+    let image_len = if quick { 4 * 1024 } else { 20 * 1024 };
+    let p = params(image_len);
+
+    println!(
+        "Attack resilience, one-hop, N = {N_HONEST} honest receivers + 1 attacker (seeds = {seeds}, threads = {threads})\n"
+    );
+    let scenarios = [
+        Scenario::LrBogus { interval_ms: 800 },
+        Scenario::LrBogus { interval_ms: 300 },
+        Scenario::LrBogus { interval_ms: 120 },
+        Scenario::DelugeBogus { interval_ms: 300 },
+        Scenario::ForgedSig { interval_ms: 400 },
+    ];
+    let grid = sample_grid(&scenarios, seeds, threads, |sc, seed| match *sc {
+        Scenario::LrBogus { interval_ms } => run_lr_under_attack(
+            image_len,
+            AttackKind::BogusData {
+                payload_len: p.payload_len,
+                index_space: p.n,
+            },
+            Duration::from_millis(interval_ms),
+            None,
+            seed,
+        ),
+        Scenario::DelugeBogus { interval_ms } => {
+            run_deluge_under_attack(image_len, Duration::from_millis(interval_ms), seed)
+        }
+        Scenario::ForgedSig { interval_ms } => run_lr_under_attack(
+            image_len,
+            AttackKind::ForgedSignature {
+                body_len: lr_seluge::LrArtifacts::signature_body_len(),
+            },
+            Duration::from_millis(interval_ms),
+            None,
+            seed,
+        ),
+    });
+
+    let mut t = Table::new(vec![
+        "experiment",
+        "scheme",
+        "injected",
+        "complete",
+        "wrong_images",
+        "rejects",
+        "sig_verifs",
+    ]);
+    let mut rows = Vec::new();
+    for (sc, samples) in scenarios.iter().zip(&grid) {
+        // Security invariants hold per seed, not just on average.
+        for o in samples {
+            match sc {
+                Scenario::LrBogus { .. } => {
+                    assert_eq!(o.wrong, 0.0, "LR-Seluge must never store forged data");
+                }
+                Scenario::ForgedSig { .. } => {
+                    assert_eq!(
+                        o.sig_verifs, N_HONEST as f64,
+                        "puzzle must limit each node to one expensive verification"
+                    );
+                }
+                Scenario::DelugeBogus { .. } => {}
+            }
+        }
+        let col = |f: usize| samples.iter().map(|o| o.fields()[f]).collect::<Vec<f64>>();
+        let mean = |f: usize| {
+            let v = col(f);
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        let cell = |f: usize| {
+            if mean(f).is_finite() {
+                format!("{:.1}", mean(f))
+            } else {
+                "-".to_string()
+            }
+        };
+        t.row(vec![
+            sc.label(),
+            sc.scheme().to_string(),
+            cell(0),
+            cell(1),
+            cell(2),
+            cell(3),
+            cell(4),
+        ]);
+        let metrics: Vec<(String, Json)> = FLOOD_NAMES
+            .iter()
+            .enumerate()
+            .map(|(f, name)| (name.to_string(), stat_json(&col(f))))
+            .collect();
+        rows.push(Json::Obj(vec![
+            (
+                "params".into(),
+                Json::Obj(vec![
+                    ("experiment".into(), Json::str(sc.label())),
+                    ("scheme".into(), Json::str(sc.scheme())),
+                ]),
+            ),
+            ("metrics".into(), Json::Obj(metrics)),
+        ]));
+    }
+
+    // 3. Denial-of-receipt: victim transmissions with and without budget.
+    println!("Denial-of-receipt (insider SNACK flood at the base station):");
+    let budgets = [None, Some(3 * p.n as u32)];
+    let dor_grid = sample_grid(&budgets, seeds, threads, |&budget, seed| {
+        let (data, rej) = run_denial_of_receipt(image_len, budget, seed);
+        (data as f64, rej as f64)
+    });
+    let mut dor = Table::new(vec!["budget", "victim_data_pkts", "budget_rejections"]);
+    for (budget, samples) in budgets.iter().zip(&dor_grid) {
+        let data: Vec<f64> = samples.iter().map(|s| s.0).collect();
+        let rej: Vec<f64> = samples.iter().map(|s| s.1).collect();
+        dor.row(vec![
+            budget.map_or("none".to_string(), |b| b.to_string()),
+            format!("{:.0}", data.iter().sum::<f64>() / data.len() as f64),
+            format!("{:.0}", rej.iter().sum::<f64>() / rej.len() as f64),
+        ]);
+        rows.push(Json::Obj(vec![
+            (
+                "params".into(),
+                Json::Obj(vec![
+                    ("experiment".into(), Json::str("denial-of-receipt")),
+                    ("budget".into(), budget.map_or(Json::Null, Json::num)),
+                ]),
+            ),
+            (
+                "metrics".into(),
+                Json::Obj(vec![
+                    ("victim_data_pkts".into(), stat_json(&data)),
+                    ("budget_rejections".into(), stat_json(&rej)),
+                ]),
+            ),
+        ]));
+    }
+    println!("{}", dor.render());
+
+    println!("{}", t.render());
+    println!("wrote {}", write_csv("attack", &t));
+    let report = Json::Obj(vec![
+        ("experiment".into(), Json::str("attack")),
+        ("threads".into(), Json::num(threads as u32)),
+        ("seeds".into(), Json::num(seeds as u32)),
+        ("rows".into(), Json::Arr(rows)),
+    ]);
+    println!("wrote {}", write_json("attack", &report));
 }

@@ -13,11 +13,15 @@
 
 use lr_seluge::LrSelugeParams;
 use lrs_analysis::{ack_lr_expected_data_packets, seluge_expected_data_packets, AckLrModel};
-use lrs_bench::{average, matched_seluge_params, run_lr, run_seluge, write_csv, RunSpec, Table};
+use lrs_bench::{
+    aggregate, configured_threads, matched_seluge_params, run_lr, run_seluge, sample_grid,
+    write_csv, Json, JsonReport, RunSpec, Table,
+};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let seeds = if quick { 3 } else { 10 };
+    let threads = configured_threads();
     let mc = AckLrModel::MonteCarlo {
         trials: if quick { 3_000 } else { 20_000 },
         seed: 99,
@@ -35,14 +39,39 @@ fn main() {
 
     // ---- Fig 3(a): vs loss rate, N fixed -------------------------------
     let n_rx = 10usize;
-    let mut ta = Table::new(vec!["p", "seluge_analytical", "ack_lr_analytical", "seluge_sim", "lr_sim"]);
-    println!("Fig 3(a): one page, N = {n_rx} receivers, data packets vs p\n");
-    for p in [0.0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5] {
+    let ps = [0.0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5];
+    // Interleaved (point, scheme) jobs: even rows Seluge, odd rows LR.
+    let points: Vec<(f64, bool)> = ps.iter().flat_map(|&p| [(p, false), (p, true)]).collect();
+    let grid = sample_grid(&points, seeds, threads, |&(p, is_lr), seed| {
+        let spec = RunSpec::one_hop(n_rx, p);
+        if is_lr {
+            run_lr(&spec, lr, seed)
+        } else {
+            run_seluge(&spec, seluge, seed)
+        }
+    });
+    let mut ta = Table::new(vec![
+        "p",
+        "seluge_analytical",
+        "ack_lr_analytical",
+        "seluge_sim",
+        "lr_sim",
+    ]);
+    let mut ja = JsonReport::new("fig3a", seeds, threads);
+    println!("Fig 3(a): one page, N = {n_rx} receivers, data packets vs p (threads = {threads})\n");
+    for (i, &p) in ps.iter().enumerate() {
         let s_ana = seluge_expected_data_packets(k, n_rx, p);
         let lr_ana = ack_lr_expected_data_packets(k, n, p, n_rx, mc);
-        let spec = RunSpec::one_hop(n_rx, p);
-        let s_sim = average(seeds, |seed| run_seluge(&spec, seluge, seed)).page_data_pkts;
-        let lr_sim = average(seeds, |seed| run_lr(&spec, lr, seed)).page_data_pkts;
+        let s_sim = aggregate(&grid[2 * i]).page_data_pkts;
+        let lr_sim = aggregate(&grid[2 * i + 1]).page_data_pkts;
+        ja.push_row(
+            &[("p", Json::num(p)), ("scheme", Json::str("seluge"))],
+            &grid[2 * i],
+        );
+        ja.push_row(
+            &[("p", Json::num(p)), ("scheme", Json::str("lr-seluge"))],
+            &grid[2 * i + 1],
+        );
         ta.row(vec![
             format!("{p:.2}"),
             format!("{s_ana:.1}"),
@@ -52,18 +81,49 @@ fn main() {
         ]);
     }
     println!("{}", ta.render());
-    println!("wrote {}\n", write_csv("fig3a", &ta));
+    println!("wrote {}", write_csv("fig3a", &ta));
+    println!("wrote {}\n", ja.write());
 
     // ---- Fig 3(b): vs number of receivers, p fixed ---------------------
     let p = 0.2f64;
-    let mut tb = Table::new(vec!["N", "seluge_analytical", "ack_lr_analytical", "seluge_sim", "lr_sim"]);
+    let nss = [2usize, 5, 10, 15, 20, 25, 30, 40];
+    let points: Vec<(usize, bool)> = nss.iter().flat_map(|&n| [(n, false), (n, true)]).collect();
+    let grid = sample_grid(&points, seeds, threads, |&(n_rx, is_lr), seed| {
+        let spec = RunSpec::one_hop(n_rx, p);
+        if is_lr {
+            run_lr(&spec, lr, seed)
+        } else {
+            run_seluge(&spec, seluge, seed)
+        }
+    });
+    let mut tb = Table::new(vec![
+        "N",
+        "seluge_analytical",
+        "ack_lr_analytical",
+        "seluge_sim",
+        "lr_sim",
+    ]);
+    let mut jb = JsonReport::new("fig3b", seeds, threads);
     println!("Fig 3(b): one page, p = {p}, data packets vs N\n");
-    for n_rx in [2usize, 5, 10, 15, 20, 25, 30, 40] {
+    for (i, &n_rx) in nss.iter().enumerate() {
         let s_ana = seluge_expected_data_packets(k, n_rx, p);
         let lr_ana = ack_lr_expected_data_packets(k, n, p, n_rx, mc);
-        let spec = RunSpec::one_hop(n_rx, p);
-        let s_sim = average(seeds, |seed| run_seluge(&spec, seluge, seed)).page_data_pkts;
-        let lr_sim = average(seeds, |seed| run_lr(&spec, lr, seed)).page_data_pkts;
+        let s_sim = aggregate(&grid[2 * i]).page_data_pkts;
+        let lr_sim = aggregate(&grid[2 * i + 1]).page_data_pkts;
+        jb.push_row(
+            &[
+                ("N", Json::num(n_rx as u32)),
+                ("scheme", Json::str("seluge")),
+            ],
+            &grid[2 * i],
+        );
+        jb.push_row(
+            &[
+                ("N", Json::num(n_rx as u32)),
+                ("scheme", Json::str("lr-seluge")),
+            ],
+            &grid[2 * i + 1],
+        );
         tb.row(vec![
             format!("{n_rx}"),
             format!("{s_ana:.1}"),
@@ -74,4 +134,5 @@ fn main() {
     }
     println!("{}", tb.render());
     println!("wrote {}", write_csv("fig3b", &tb));
+    println!("wrote {}", jb.write());
 }

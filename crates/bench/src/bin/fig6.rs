@@ -7,11 +7,14 @@
 //! `n·8` eats into each page's image capacity, adding pages.
 
 use lr_seluge::LrSelugeParams;
-use lrs_bench::{average, run_lr, write_csv, RunSpec, Table};
+use lrs_bench::{
+    aggregate, configured_threads, run_lr, sample_grid, write_csv, Json, JsonReport, RunSpec, Table,
+};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let seeds = if quick { 1 } else { 3 };
+    let threads = configured_threads();
     let base = if quick {
         LrSelugeParams {
             image_len: 4 * 1024,
@@ -22,35 +25,66 @@ fn main() {
     };
     let n_rx = 20usize;
 
-    let mut t = Table::new(vec![
-        "p", "n", "rate", "pages", "data_pkts", "snack_pkts", "adv_pkts", "total_kbytes",
-        "latency_s",
-    ]);
     println!(
-        "Fig 6: one-hop, N = {n_rx}, k = {}, image {} KB, sweep n (seeds = {seeds})\n",
+        "Fig 6: one-hop, N = {n_rx}, k = {}, image {} KB, sweep n (seeds = {seeds}, threads = {threads})\n",
         base.k,
         base.image_len / 1024
     );
-    let loss_rates: &[f64] = if quick { &[0.1, 0.3] } else { &[0.05, 0.1, 0.2, 0.3] };
-    let ns: &[u16] = if quick { &[32, 48, 64] } else { &[32, 36, 40, 44, 48, 56, 64] };
-    for &p in loss_rates {
-        for &n in ns {
-            let params = LrSelugeParams { n, ..base };
-            let spec = RunSpec::one_hop(n_rx, p);
-            let m = average(seeds, |seed| run_lr(&spec, params, seed));
-            t.row(vec![
-                format!("{p:.2}"),
-                format!("{n}"),
-                format!("{:.2}", n as f64 / base.k as f64),
-                format!("{}", params.pages()),
-                format!("{:.0}", m.data_pkts),
-                format!("{:.0}", m.snack_pkts),
-                format!("{:.0}", m.adv_pkts),
-                format!("{:.1}", m.total_bytes / 1024.0),
-                format!("{:.1}", m.latency_s),
-            ]);
-        }
+    let loss_rates: &[f64] = if quick {
+        &[0.1, 0.3]
+    } else {
+        &[0.05, 0.1, 0.2, 0.3]
+    };
+    let ns: &[u16] = if quick {
+        &[32, 48, 64]
+    } else {
+        &[32, 36, 40, 44, 48, 56, 64]
+    };
+    let points: Vec<(f64, u16)> = loss_rates
+        .iter()
+        .flat_map(|&p| ns.iter().map(move |&n| (p, n)))
+        .collect();
+    let grid = sample_grid(&points, seeds, threads, |&(p, n), seed| {
+        let params = LrSelugeParams { n, ..base };
+        run_lr(&RunSpec::one_hop(n_rx, p), params, seed)
+    });
+
+    let mut t = Table::new(vec![
+        "p",
+        "n",
+        "rate",
+        "pages",
+        "data_pkts",
+        "snack_pkts",
+        "adv_pkts",
+        "total_kbytes",
+        "latency_s",
+    ]);
+    let mut j = JsonReport::new("fig6", seeds, threads);
+    for (i, &(p, n)) in points.iter().enumerate() {
+        let params = LrSelugeParams { n, ..base };
+        let m = aggregate(&grid[i]);
+        j.push_row(
+            &[
+                ("p", Json::num(p)),
+                ("n", Json::num(n)),
+                ("rate", Json::num(n as f64 / base.k as f64)),
+            ],
+            &grid[i],
+        );
+        t.row(vec![
+            format!("{p:.2}"),
+            format!("{n}"),
+            format!("{:.2}", n as f64 / base.k as f64),
+            format!("{}", params.pages()),
+            format!("{:.0}", m.data_pkts),
+            format!("{:.0}", m.snack_pkts),
+            format!("{:.0}", m.adv_pkts),
+            format!("{:.1}", m.total_bytes / 1024.0),
+            format!("{:.1}", m.latency_s),
+        ]);
     }
     println!("{}", t.render());
     println!("wrote {}", write_csv("fig6", &t));
+    println!("wrote {}", j.write());
 }

@@ -11,7 +11,10 @@
 
 use lr_seluge::{Deployment, LrSelugeParams};
 use lrs_bench::runner::test_image;
-use lrs_bench::{matched_seluge_params, write_csv, Table};
+use lrs_bench::{
+    configured_threads, matched_seluge_params, sample_grid, stat_json, write_csv, write_json, Json,
+    Table,
+};
 use lrs_crypto::cluster::ClusterKey;
 use lrs_crypto::puzzle::{Puzzle, PuzzleKeyChain};
 use lrs_crypto::schnorr::Keypair;
@@ -47,8 +50,28 @@ fn mean_receiver_cost<S: Scheme, P: lrs_deluge::policy::TxPolicy>(
     }
 }
 
+const COST_NAMES: [&str; 5] = [
+    "hashes",
+    "sig_verifications",
+    "puzzle_checks",
+    "decodes",
+    "encodes",
+];
+
+fn cost_fields(c: &CryptoCost) -> [f64; 5] {
+    [
+        c.hashes as f64,
+        c.signature_verifications as f64,
+        c.puzzle_checks as f64,
+        c.decodes as f64,
+        c.encodes as f64,
+    ]
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let seeds = if quick { 1 } else { 3 };
+    let threads = configured_threads();
     let image_len = if quick { 4 * 1024 } else { 20 * 1024 };
     let p_loss = 0.2f64;
     let n_rx = 10usize;
@@ -65,50 +88,92 @@ fn main() {
         },
     };
 
-    // LR-Seluge run.
-    let deployment = Deployment::new(&image, lr_params, b"overhead");
-    let mut lr_sim = Simulator::new(Topology::star(n_rx + 1), cfg, 5, |id| {
-        deployment.node(id, NodeId(0))
-    });
-    assert!(lr_sim.run(Duration::from_secs(100_000)).all_complete);
-    let lr_cost = mean_receiver_cost(&lr_sim);
-
-    // Seluge run.
-    let kp = Keypair::from_seed(b"overhead");
-    let chain = PuzzleKeyChain::generate(b"overhead", 4);
-    let artifacts = SelugeArtifacts::build(&image, s_params, &kp, &chain);
-    let puzzle = Puzzle::new(chain.anchor(), s_params.puzzle_strength);
-    let key = ClusterKey::derive(b"overhead", 0);
-    let mut s_sim = Simulator::new(Topology::star(n_rx + 1), cfg, 5, |id| {
-        let scheme = if id == NodeId(0) {
-            SelugeScheme::base(&artifacts, kp.public(), puzzle)
+    // Interleaved (scheme) points: row 0 LR-Seluge, row 1 Seluge.
+    let schemes = [true, false];
+    let costs = sample_grid(&schemes, seeds, threads, |&is_lr, seed| {
+        if is_lr {
+            let deployment = Deployment::new(&image, lr_params, b"overhead");
+            let mut sim = Simulator::new(Topology::star(n_rx + 1), cfg, seed, |id| {
+                deployment.node(id, NodeId(0))
+            });
+            assert!(sim.run(Duration::from_secs(100_000)).all_complete);
+            mean_receiver_cost(&sim)
         } else {
-            SelugeScheme::receiver(s_params, kp.public(), puzzle)
-        };
-        DisseminationNode::new(scheme, UnionPolicy::new(), key.clone(), EngineConfig::default())
+            let kp = Keypair::from_seed(b"overhead");
+            let chain = PuzzleKeyChain::generate(b"overhead", 4);
+            let artifacts = SelugeArtifacts::build(&image, s_params, &kp, &chain);
+            let puzzle = Puzzle::new(chain.anchor(), s_params.puzzle_strength);
+            let key = ClusterKey::derive(b"overhead", 0);
+            let mut sim = Simulator::new(Topology::star(n_rx + 1), cfg, seed, |id| {
+                let scheme = if id == NodeId(0) {
+                    SelugeScheme::base(&artifacts, kp.public(), puzzle)
+                } else {
+                    SelugeScheme::receiver(s_params, kp.public(), puzzle)
+                };
+                DisseminationNode::new(
+                    scheme,
+                    UnionPolicy::new(),
+                    key.clone(),
+                    EngineConfig::default(),
+                )
+            });
+            assert!(sim.run(Duration::from_secs(100_000)).all_complete);
+            mean_receiver_cost(&sim)
+        }
     });
-    assert!(s_sim.run(Duration::from_secs(100_000)).all_complete);
-    let s_cost = mean_receiver_cost(&s_sim);
 
     println!(
-        "Computation overhead per receiver: one-hop, N = {n_rx}, p = {p_loss}, image {} KB\n",
+        "Computation overhead per receiver: one-hop, N = {n_rx}, p = {p_loss}, image {} KB (seeds = {seeds}, threads = {threads})\n",
         image_len / 1024
     );
     let mut t = Table::new(vec![
-        "scheme", "hashes", "sig_verifications", "puzzle_checks", "decodes", "encodes",
+        "scheme",
+        "hashes",
+        "sig_verifications",
+        "puzzle_checks",
+        "decodes",
+        "encodes",
     ]);
-    for (name, c) in [("lr-seluge", lr_cost), ("seluge", s_cost)] {
+    let mut rows = Vec::new();
+    for (i, name) in [(0usize, "lr-seluge"), (1, "seluge")] {
+        let samples: Vec<[f64; 5]> = costs[i].iter().map(cost_fields).collect();
+        // Exactly one expensive signature verification per receiver per
+        // image, every seed — the puzzle's whole point.
+        for c in &costs[i] {
+            assert_eq!(c.signature_verifications, 1);
+        }
+        let mean = |f: usize| samples.iter().map(|s| s[f]).sum::<f64>() / samples.len() as f64;
         t.row(vec![
             name.to_string(),
-            format!("{}", c.hashes),
-            format!("{}", c.signature_verifications),
-            format!("{}", c.puzzle_checks),
-            format!("{}", c.decodes),
-            format!("{}", c.encodes),
+            format!("{:.0}", mean(0)),
+            format!("{:.0}", mean(1)),
+            format!("{:.0}", mean(2)),
+            format!("{:.0}", mean(3)),
+            format!("{:.0}", mean(4)),
         ]);
+        let metrics: Vec<(String, Json)> = COST_NAMES
+            .iter()
+            .enumerate()
+            .map(|(f, cname)| {
+                let vals: Vec<f64> = samples.iter().map(|s| s[f]).collect();
+                (cname.to_string(), stat_json(&vals))
+            })
+            .collect();
+        rows.push(Json::Obj(vec![
+            (
+                "params".into(),
+                Json::Obj(vec![("scheme".into(), Json::str(name))]),
+            ),
+            ("metrics".into(), Json::Obj(metrics)),
+        ]));
     }
     println!("{}", t.render());
     println!("wrote {}", write_csv("overhead", &t));
-    assert_eq!(lr_cost.signature_verifications, 1);
-    assert_eq!(s_cost.signature_verifications, 1);
+    let report = Json::Obj(vec![
+        ("experiment".into(), Json::str("overhead")),
+        ("threads".into(), Json::num(threads as u32)),
+        ("seeds".into(), Json::num(seeds as u32)),
+        ("rows".into(), Json::Arr(rows)),
+    ]);
+    println!("wrote {}", write_json("overhead", &report));
 }

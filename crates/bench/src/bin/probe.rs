@@ -1,27 +1,72 @@
 //! Diagnostic probe for large-N one-hop LR-Seluge runs.
+//!
+//! Usage: `probe [N] [seed] [p] [--trace=FILE.jsonl]`
+//!
+//! With `--trace=FILE`, every simulator event (tx/rx/loss-with-cause,
+//! timers, completions, protocol notes) is streamed to `FILE` as JSON
+//! Lines, and a closing `"ev":"metrics"` summary line is appended.
+//! Attaching the trace is observational only — the run's metrics are
+//! identical with and without it.
 use lr_seluge::{Deployment, LrSelugeParams};
 use lrs_bench::runner::test_image;
+use lrs_bench::{write_json, Json};
 use lrs_deluge::engine::Scheme as _;
 use lrs_netsim::medium::MediumConfig;
 use lrs_netsim::node::{NodeId, PacketKind};
 use lrs_netsim::sim::{SimConfig, Simulator};
 use lrs_netsim::time::Duration;
 use lrs_netsim::topology::Topology;
+use lrs_netsim::trace::JsonlTrace;
+use std::io::Write as _;
 
 fn main() {
-    let n_rx: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(35);
-    let seed: u64 = std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(1);
-    let p_loss: f64 = std::env::args().nth(3).and_then(|a| a.parse().ok()).unwrap_or(0.1);
+    let positional: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with("--"))
+        .collect();
+    let trace_path: Option<String> = std::env::args()
+        .find_map(|a| a.strip_prefix("--trace=").map(str::to_string))
+        .or_else(|| std::env::var("LRS_TRACE_FILE").ok());
+    let n_rx: usize = positional
+        .first()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(35);
+    let seed: u64 = positional.get(1).and_then(|a| a.parse().ok()).unwrap_or(1);
+    let p_loss: f64 = positional
+        .get(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(0.1);
     let params = LrSelugeParams::default(); // 20 KB
     let image = test_image(params.image_len);
     let deployment = Deployment::new(&image, params, b"probe");
     let cfg = SimConfig {
-        medium: MediumConfig { app_loss: p_loss, ..MediumConfig::default() },
+        medium: MediumConfig {
+            app_loss: p_loss,
+            ..MediumConfig::default()
+        },
     };
     let mut sim = Simulator::new(Topology::star(n_rx + 1), cfg, seed, |id| {
         deployment.node(id, NodeId(0))
     });
+    if let Some(path) = &trace_path {
+        sim.set_trace(Box::new(
+            JsonlTrace::create(path).expect("create trace file"),
+        ));
+    }
     let report = sim.run(Duration::from_secs(100_000));
+    if let Some(path) = &trace_path {
+        // Drop the sink (flushing it), then append the closing metrics
+        // summary line so tools can key on `"ev":"metrics"`.
+        let now = sim.now();
+        let line = sim.metrics().to_trace_json(now);
+        drop(sim.take_trace());
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(path)
+            .expect("reopen trace file");
+        writeln!(f, "{line}").expect("append metrics line");
+        eprintln!("trace written to {path}");
+    }
     let m = sim.metrics();
     println!(
         "N={n_rx} seed={seed} p={p_loss} complete={} latency={:?} data={} hp={} snack={} adv={} coll={} phy={} app={}",
@@ -38,13 +83,69 @@ fn main() {
         if s.gave_up > 0 || s.snacks_sent > 60 || s.out_of_order_drops > 200 {
             println!(
                 "  node {i}: level={} snacks={} data_sent={} advs={} dup={} ooo={} gave_up={}",
-                node.scheme().complete_items(), s.snacks_sent, s.data_sent, s.advs_sent,
-                s.duplicates, s.out_of_order_drops, s.gave_up
+                node.scheme().complete_items(),
+                s.snacks_sent,
+                s.data_sent,
+                s.advs_sent,
+                s.duplicates,
+                s.out_of_order_drops,
+                s.gave_up
             );
         }
     }
-    let total_snacks: u64 = (0..=n_rx as u32).map(|i| sim.node(NodeId(i)).stats().snacks_sent).sum();
-    let total_gaveup: u64 = (0..=n_rx as u32).map(|i| sim.node(NodeId(i)).stats().gave_up).sum();
-    let total_dup: u64 = (0..=n_rx as u32).map(|i| sim.node(NodeId(i)).stats().duplicates).sum();
+    let total_snacks: u64 = (0..=n_rx as u32)
+        .map(|i| sim.node(NodeId(i)).stats().snacks_sent)
+        .sum();
+    let total_gaveup: u64 = (0..=n_rx as u32)
+        .map(|i| sim.node(NodeId(i)).stats().gave_up)
+        .sum();
+    let total_dup: u64 = (0..=n_rx as u32)
+        .map(|i| sim.node(NodeId(i)).stats().duplicates)
+        .sum();
     println!("totals: snacks={total_snacks} gave_up={total_gaveup} duplicates={total_dup}");
+
+    // Machine-readable single-run summary alongside the other bins'
+    // results files (one run, so samples are singletons by design).
+    let num = |v: f64| Json::Num(v);
+    let report_json = Json::Obj(vec![
+        ("experiment".into(), Json::str("probe")),
+        (
+            "params".into(),
+            Json::Obj(vec![
+                ("N".into(), num(n_rx as f64)),
+                ("seed".into(), num(seed as f64)),
+                ("p".into(), num(p_loss)),
+            ]),
+        ),
+        (
+            "metrics".into(),
+            Json::Obj(vec![
+                ("complete".into(), Json::Bool(report.all_complete)),
+                (
+                    "latency_s".into(),
+                    num(report.latency.map_or(f64::NAN, |t| t.as_secs_f64())),
+                ),
+                (
+                    "data_pkts".into(),
+                    num(m.tx_packets(PacketKind::Data) as f64),
+                ),
+                (
+                    "hash_page_pkts".into(),
+                    num(m.tx_packets(PacketKind::HashPage) as f64),
+                ),
+                (
+                    "snack_pkts".into(),
+                    num(m.tx_packets(PacketKind::Snack) as f64),
+                ),
+                ("adv_pkts".into(), num(m.tx_packets(PacketKind::Adv) as f64)),
+                ("collision_losses".into(), num(m.collision_losses() as f64)),
+                ("phy_losses".into(), num(m.phy_losses() as f64)),
+                ("app_drops".into(), num(m.app_drops() as f64)),
+                ("total_snacks".into(), num(total_snacks as f64)),
+                ("gave_up".into(), num(total_gaveup as f64)),
+                ("duplicates".into(), num(total_dup as f64)),
+            ]),
+        ),
+    ]);
+    println!("wrote {}", write_json("probe", &report_json));
 }

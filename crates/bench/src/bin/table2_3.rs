@@ -8,7 +8,10 @@
 //! margin, as in the one-hop case.
 
 use lr_seluge::LrSelugeParams;
-use lrs_bench::{average, matched_seluge_params, run_lr, run_seluge, write_csv, RunSpec, Table};
+use lrs_bench::{
+    aggregate, configured_threads, matched_seluge_params, run_lr, run_seluge, sample_grid,
+    write_csv, Json, JsonReport, RunSpec, Table,
+};
 use lrs_netsim::medium::MediumConfig;
 use lrs_netsim::noise::{BurstyNoise, NoiseModel};
 use lrs_netsim::time::Duration;
@@ -30,6 +33,7 @@ fn grid_spec(spacing: f64, seed: u64) -> RunSpec {
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let seeds = 1;
+    let threads = configured_threads();
     let lr = if quick {
         LrSelugeParams {
             image_len: 4 * 1024,
@@ -40,19 +44,53 @@ fn main() {
     };
     let seluge = matched_seluge_params(&lr);
 
-    let mut t = Table::new(vec![
-        "table", "density", "scheme", "completed", "data_pkts", "snack_pkts", "adv_pkts",
-        "total_kbytes", "latency_s",
-    ]);
-    for (label, name, spacing) in [
-        ("Table II", "high (tight grid)", 8.0),
+    let cases = [
+        ("Table II", "high (tight grid)", 8.0f64),
         ("Table III", "low (medium grid)", 15.0),
-    ] {
-        println!("{label}: 15x15 grid, {name}, image {} KB, bursty noise", lr.image_len / 1024);
-        let m_lr = average(seeds, |seed| run_lr(&grid_spec(spacing, seed), lr, seed));
-        let m_s = average(seeds, |seed| {
+    ];
+    // Interleaved (grid, scheme) jobs: even rows LR-Seluge, odd Seluge.
+    let points: Vec<(f64, bool)> = cases
+        .iter()
+        .flat_map(|&(_, _, spacing)| [(spacing, true), (spacing, false)])
+        .collect();
+    let grid = sample_grid(&points, seeds, threads, |&(spacing, is_lr), seed| {
+        if is_lr {
+            run_lr(&grid_spec(spacing, seed), lr, seed)
+        } else {
             run_seluge(&grid_spec(spacing, seed), seluge, seed)
-        });
+        }
+    });
+
+    let mut t = Table::new(vec![
+        "table",
+        "density",
+        "scheme",
+        "completed",
+        "data_pkts",
+        "snack_pkts",
+        "adv_pkts",
+        "total_kbytes",
+        "latency_s",
+    ]);
+    let mut j = JsonReport::new("table2_3", seeds, threads);
+    for (i, &(label, name, _)) in cases.iter().enumerate() {
+        println!(
+            "{label}: 15x15 grid, {name}, image {} KB, bursty noise",
+            lr.image_len / 1024
+        );
+        let m_lr = aggregate(&grid[2 * i]);
+        let m_s = aggregate(&grid[2 * i + 1]);
+        j.push_row(
+            &[
+                ("table", Json::str(label)),
+                ("scheme", Json::str("lr-seluge")),
+            ],
+            &grid[2 * i],
+        );
+        j.push_row(
+            &[("table", Json::str(label)), ("scheme", Json::str("seluge"))],
+            &grid[2 * i + 1],
+        );
         for (scheme, m) in [("lr-seluge", &m_lr), ("seluge", &m_s)] {
             t.row(vec![
                 label.to_string(),
@@ -75,4 +113,5 @@ fn main() {
     }
     println!("{}", t.render());
     println!("wrote {}", write_csv("table2_3", &t));
+    println!("wrote {}", j.write());
 }

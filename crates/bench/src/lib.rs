@@ -19,10 +19,17 @@
 //! Each prints the paper-style series and writes a CSV next to it under
 //! `results/`.
 
+pub mod harness;
+pub mod json;
 pub mod runner;
+pub mod stats;
 pub mod table;
 
+pub use harness::{configured_threads, parallel_map, sample_grid};
+pub use json::{stat_json, write_json, Json, JsonReport};
 pub use runner::{
-    average, matched_seluge_params, run_deluge, run_lr, run_seluge, ExperimentMetrics, RunSpec,
+    aggregate, average, matched_seluge_params, run_deluge, run_lr, run_seluge, sample_seeds,
+    ExperimentMetrics, RunSpec,
 };
+pub use stats::{summarize, Summary};
 pub use table::{write_csv, Table};

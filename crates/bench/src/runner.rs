@@ -15,7 +15,11 @@ use lrs_netsim::topology::Topology;
 use lrs_seluge::{SelugeArtifacts, SelugeParams, SelugeScheme};
 
 /// The metrics the paper reports, per run (or averaged over seeds).
-#[derive(Clone, Copy, Debug, Default)]
+///
+/// `PartialEq` is exact (bitwise on the floats): the determinism tests
+/// assert that a given seed produces the *identical* metrics regardless
+/// of thread count, not merely close ones.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct ExperimentMetrics {
     /// Code-page data packets (excludes hash-page and signature packets).
     pub page_data_pkts: f64,
@@ -38,6 +42,48 @@ pub struct ExperimentMetrics {
 }
 
 impl ExperimentMetrics {
+    /// Stable metric names, in reporting order. These are the CSV/JSON
+    /// column keys; renaming one is a result-schema change.
+    pub const NAMES: [&'static str; 9] = [
+        "page_data_pkts",
+        "data_pkts",
+        "snack_pkts",
+        "adv_pkts",
+        "total_bytes",
+        "latency_s",
+        "completed",
+        "sig_verifications",
+        "auth_rejects",
+    ];
+
+    /// The metrics as `(name, value)` pairs, in [`Self::NAMES`] order.
+    pub fn named(&self) -> [(&'static str, f64); 9] {
+        [
+            ("page_data_pkts", self.page_data_pkts),
+            ("data_pkts", self.data_pkts),
+            ("snack_pkts", self.snack_pkts),
+            ("adv_pkts", self.adv_pkts),
+            ("total_bytes", self.total_bytes),
+            ("latency_s", self.latency_s),
+            ("completed", self.completed),
+            ("sig_verifications", self.sig_verifications),
+            ("auth_rejects", self.auth_rejects),
+        ]
+    }
+
+    /// Value of the metric called `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not one of [`Self::NAMES`].
+    pub fn get(&self, name: &str) -> f64 {
+        self.named()
+            .into_iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("unknown metric {name:?}"))
+    }
+
     fn add(&mut self, other: &ExperimentMetrics) {
         self.page_data_pkts += other.page_data_pkts;
         self.data_pkts += other.data_pkts;
@@ -103,7 +149,11 @@ pub fn test_image(len: usize) -> Vec<u8> {
         .collect()
 }
 
-fn collect<S, P>(sim: &Simulator<DisseminationNode<S, P>>, all_complete: bool, latency: Option<lrs_netsim::time::SimTime>) -> ExperimentMetrics
+fn collect<S, P>(
+    sim: &Simulator<DisseminationNode<S, P>>,
+    all_complete: bool,
+    latency: Option<lrs_netsim::time::SimTime>,
+) -> ExperimentMetrics
 where
     S: Scheme,
     P: lrs_deluge::policy::TxPolicy,
@@ -135,9 +185,10 @@ where
 /// Runs LR-Seluge once and collects the metrics.
 pub fn run_lr(spec: &RunSpec, params: LrSelugeParams, seed: u64) -> ExperimentMetrics {
     let image = test_image(params.image_len);
-    let deployment =
-        Deployment::new(&image, params, b"bench keys").with_engine_config(spec.engine);
-    let cfg = SimConfig { medium: spec.medium };
+    let deployment = Deployment::new(&image, params, b"bench keys").with_engine_config(spec.engine);
+    let cfg = SimConfig {
+        medium: spec.medium,
+    };
     let mut sim = Simulator::new(spec.topology.clone(), cfg, seed, |id| {
         deployment.node(id, NodeId(0))
     });
@@ -163,7 +214,9 @@ pub fn run_seluge(spec: &RunSpec, params: SelugeParams, seed: u64) -> Experiment
     let artifacts = SelugeArtifacts::build(&image, params, &kp, &chain);
     let puzzle = Puzzle::new(chain.anchor(), params.puzzle_strength);
     let key = ClusterKey::derive(b"bench keys", 0);
-    let cfg = SimConfig { medium: spec.medium };
+    let cfg = SimConfig {
+        medium: spec.medium,
+    };
     let engine = spec.engine;
     let mut sim = Simulator::new(spec.topology.clone(), cfg, seed, |id| {
         let scheme = if id == NodeId(0) {
@@ -196,7 +249,9 @@ pub fn run_deluge(spec: &RunSpec, params: ImageParams, seed: u64) -> ExperimentM
         authenticate_control: false,
         ..spec.engine
     };
-    let cfg = SimConfig { medium: spec.medium };
+    let cfg = SimConfig {
+        medium: spec.medium,
+    };
     let mut sim = Simulator::new(spec.topology.clone(), cfg, seed, |id| {
         let scheme = if id == NodeId(0) {
             DelugeScheme::base(&deluge_image)
@@ -209,29 +264,59 @@ pub fn run_deluge(spec: &RunSpec, params: ImageParams, seed: u64) -> ExperimentM
     collect(&sim, report.all_complete, report.latency)
 }
 
-/// Averages a per-seed experiment over `seeds` runs.
-pub fn average(seeds: u64, mut f: impl FnMut(u64) -> ExperimentMetrics) -> ExperimentMetrics {
+/// Runs `f` once per seed (`1..=seeds`) on the harness threads and
+/// returns the per-seed metrics in seed order.
+///
+/// Each seed is an independent simulation with its own RNG streams, so
+/// the result is bit-identical for any thread count — only wall-clock
+/// time changes.
+pub fn sample_seeds(
+    seeds: u64,
+    threads: usize,
+    f: impl Fn(u64) -> ExperimentMetrics + Sync,
+) -> Vec<ExperimentMetrics> {
+    let jobs: Vec<u64> = (1..=seeds).collect();
+    crate::harness::parallel_map(&jobs, threads, |&seed| f(seed))
+}
+
+/// Averages per-seed samples into one row of paper-style means.
+///
+/// Latency is averaged only over runs that completed (a stalled run has
+/// `NaN` latency); `completed` separately reports the completion rate,
+/// so nothing is hidden by the exclusion. With no completed run the
+/// latency is `NaN`.
+pub fn aggregate(samples: &[ExperimentMetrics]) -> ExperimentMetrics {
     let mut acc = ExperimentMetrics::default();
     let mut latency_runs = 0u64;
     let mut latency_sum = 0.0;
-    for s in 0..seeds {
-        let m = f(s + 1);
+    for m in samples {
         if m.latency_s.is_finite() {
             latency_sum += m.latency_s;
             latency_runs += 1;
         }
         acc.add(&ExperimentMetrics {
             latency_s: 0.0,
-            ..m
+            ..*m
         });
     }
-    acc.scale(1.0 / seeds as f64);
+    acc.scale(1.0 / samples.len() as f64);
     acc.latency_s = if latency_runs > 0 {
         latency_sum / latency_runs as f64
     } else {
         f64::NAN
     };
     acc
+}
+
+/// Averages a per-seed experiment over `seeds` runs, fanning the seeds
+/// out over the configured harness threads
+/// ([`configured_threads`](crate::harness::configured_threads)).
+pub fn average(seeds: u64, f: impl Fn(u64) -> ExperimentMetrics + Sync) -> ExperimentMetrics {
+    aggregate(&sample_seeds(
+        seeds,
+        crate::harness::configured_threads(),
+        f,
+    ))
 }
 
 /// Seluge parameters matched to an LR-Seluge configuration for a fair
@@ -300,6 +385,49 @@ mod tests {
         let m = average(3, |seed| run_lr(&spec, tiny_lr(), seed));
         assert_eq!(m.completed, 1.0);
         assert!(m.page_data_pkts > 0.0);
+    }
+
+    #[test]
+    fn named_fields_cover_the_struct() {
+        let m = ExperimentMetrics {
+            snack_pkts: 7.0,
+            ..Default::default()
+        };
+        assert_eq!(m.named().len(), ExperimentMetrics::NAMES.len());
+        for (name, value) in m.named() {
+            assert_eq!(m.get(name), value);
+        }
+        assert_eq!(m.get("snack_pkts"), 7.0);
+    }
+
+    #[test]
+    fn aggregate_excludes_stalled_latency_but_counts_completion() {
+        let done = ExperimentMetrics {
+            latency_s: 10.0,
+            completed: 1.0,
+            data_pkts: 100.0,
+            ..ExperimentMetrics::default()
+        };
+        let stalled = ExperimentMetrics {
+            latency_s: f64::NAN,
+            completed: 0.0,
+            data_pkts: 300.0,
+            ..ExperimentMetrics::default()
+        };
+        let m = aggregate(&[done, stalled]);
+        assert_eq!(m.latency_s, 10.0);
+        assert_eq!(m.completed, 0.5);
+        assert_eq!(m.data_pkts, 200.0);
+        assert!(aggregate(&[stalled]).latency_s.is_nan());
+    }
+
+    #[test]
+    fn sample_seeds_is_thread_count_invariant() {
+        let spec = RunSpec::one_hop(2, 0.2);
+        let one = sample_seeds(3, 1, |seed| run_lr(&spec, tiny_lr(), seed));
+        let many = sample_seeds(3, 4, |seed| run_lr(&spec, tiny_lr(), seed));
+        assert_eq!(one, many);
+        assert_eq!(one.len(), 3);
     }
 
     #[test]

@@ -84,7 +84,11 @@ impl ErasureCode for PageCode {
         }
     }
 
-    fn decode(&self, blocks: &[(usize, Vec<u8>)], block_len: usize) -> Result<Vec<Vec<u8>>, CodeError> {
+    fn decode(
+        &self,
+        blocks: &[(usize, Vec<u8>)],
+        block_len: usize,
+    ) -> Result<Vec<Vec<u8>>, CodeError> {
         match self {
             PageCode::Rs(c) => c.decode(blocks, block_len),
             PageCode::Xor(c) => c.decode(blocks, block_len),

@@ -124,7 +124,10 @@ impl LrSelugeParams {
     /// Returns a description of the first violated constraint.
     pub fn validate(&self) -> Result<(), String> {
         if self.k == 0 || self.n < self.k || self.n > 255 {
-            return Err(format!("need 1 <= k <= n <= 255, got k={} n={}", self.k, self.n));
+            return Err(format!(
+                "need 1 <= k <= n <= 255, got k={} n={}",
+                self.k, self.n
+            ));
         }
         if self.k0 == 0 || self.n0 < self.k0 || self.n0 > 255 {
             return Err(format!(
@@ -186,6 +189,11 @@ mod tests {
         assert!(LrSelugeParams { k0: 0, ..p }.validate().is_err());
         assert!(LrSelugeParams { image_len: 0, ..p }.validate().is_err());
         // Hash region swallows the whole page.
-        assert!(LrSelugeParams { payload_len: 8, ..p }.validate().is_err());
+        assert!(LrSelugeParams {
+            payload_len: 8,
+            ..p
+        }
+        .validate()
+        .is_err());
     }
 }

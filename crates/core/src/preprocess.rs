@@ -10,6 +10,7 @@
 //! those blocks supplies per-packet authenticators and its root is
 //! signed (with a message-specific puzzle as weak authenticator).
 
+use crate::code::PageCode;
 use crate::packet_hash;
 use crate::params::LrSelugeParams;
 use lrs_crypto::hash::Digest;
@@ -17,7 +18,6 @@ use lrs_crypto::merkle::MerkleTree;
 use lrs_crypto::puzzle::{PuzzleKeyChain, PuzzleSolution};
 use lrs_crypto::schnorr::{Keypair, SIGNATURE_LEN};
 use lrs_crypto::sha256::sha256_concat;
-use crate::code::PageCode;
 use lrs_erasure::ErasureCode;
 
 /// Everything the base station precomputes for one image.
@@ -240,7 +240,9 @@ mod tests {
 
     fn build() -> (LrArtifacts, Vec<u8>) {
         let params = small_params();
-        let image: Vec<u8> = (0..params.image_len as u32).map(|i| (i % 247) as u8).collect();
+        let image: Vec<u8> = (0..params.image_len as u32)
+            .map(|i| (i % 247) as u8)
+            .collect();
         let kp = Keypair::from_seed(b"bs");
         let chain = PuzzleKeyChain::generate(b"puzzles", 4);
         (LrArtifacts::build(&image, params, &kp, &chain), image)
@@ -264,8 +266,7 @@ mod tests {
         for i in 0..p.pages() - 1 {
             let chained = art.chained_hashes(i);
             for j in 0..p.n {
-                let expected =
-                    packet_hash(p.version, (i + 1) + 2, j, art.page_packet(i + 1, j));
+                let expected = packet_hash(p.version, (i + 1) + 2, j, art.page_packet(i + 1, j));
                 let off = j as usize * HASH_IMAGE_LEN;
                 assert_eq!(
                     &chained[off..off + HASH_IMAGE_LEN],
@@ -291,7 +292,11 @@ mod tests {
                 .collect();
             let encoded = code.encode(&blocks).unwrap();
             for j in 0..p.n {
-                assert_eq!(art.page_packet(i, j), &encoded[j as usize][..], "page {i} pkt {j}");
+                assert_eq!(
+                    art.page_packet(i, j),
+                    &encoded[j as usize][..],
+                    "page {i} pkt {j}"
+                );
             }
         }
     }
@@ -325,10 +330,7 @@ mod tests {
                 )
             })
             .collect();
-        let m0: Vec<u8> = code0
-            .decode(&subset, p.hash_block_len())
-            .unwrap()
-            .concat();
+        let m0: Vec<u8> = code0.decode(&subset, p.hash_block_len()).unwrap().concat();
         for j in 0..p.n {
             let expected = packet_hash(p.version, 2, j, art.page_packet(0, j));
             let off = j as usize * HASH_IMAGE_LEN;

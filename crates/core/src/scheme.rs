@@ -7,6 +7,7 @@
 //! byte-identical packets, whose hash images the requester already
 //! holds — exactly as §IV-D-3 describes for nodes in the TX state.
 
+use crate::code::PageCode;
 use crate::packet_hash;
 use crate::params::LrSelugeParams;
 use crate::preprocess::LrArtifacts;
@@ -16,7 +17,6 @@ use lrs_crypto::puzzle::Puzzle;
 use lrs_crypto::schnorr::{PublicKey, Signature};
 use lrs_deluge::engine::{CryptoCost, PacketDisposition, Scheme};
 use lrs_deluge::wire::BitVec;
-use crate::code::PageCode;
 use lrs_erasure::{CodeError, ErasureCode};
 use lrs_netsim::node::PacketKind;
 use std::collections::HashMap;
@@ -97,7 +97,9 @@ impl LrScheme {
         for i in 0..params.pages() {
             scheme.encoded_cache.insert(
                 i,
-                (0..params.n).map(|j| artifacts.page_packet(i, j).to_vec()).collect(),
+                (0..params.n)
+                    .map(|j| artifacts.page_packet(i, j).to_vec())
+                    .collect(),
             );
         }
         scheme
@@ -134,7 +136,10 @@ impl LrScheme {
         self.cost.hashes += self.params.version as u64 + 1;
         let mut puzzle_msg = signed.0.to_vec();
         puzzle_msg.extend_from_slice(&sig_bytes);
-        if !self.puzzle.verify(self.params.version as u32, &puzzle_msg, &sol) {
+        if !self
+            .puzzle
+            .verify(self.params.version as u32, &puzzle_msg, &sol)
+        {
             return PacketDisposition::Rejected;
         }
         self.cost.signature_verifications += 1;
@@ -188,10 +193,8 @@ impl LrScheme {
                     let m0: Vec<u8> = blocks.concat();
                     self.expected = (0..self.params.n as usize)
                         .map(|j| {
-                            HashImage::from_slice(
-                                &m0[j * HASH_IMAGE_LEN..(j + 1) * HASH_IMAGE_LEN],
-                            )
-                            .expect("block sizing")
+                            HashImage::from_slice(&m0[j * HASH_IMAGE_LEN..(j + 1) * HASH_IMAGE_LEN])
+                                .expect("block sizing")
                         })
                         .collect();
                     self.hp_blocks = Some(blocks);
@@ -414,7 +417,9 @@ mod tests {
             puzzle_strength: 4,
             ..LrSelugeParams::default()
         };
-        let image: Vec<u8> = (0..params.image_len as u32).map(|i| (i % 241) as u8).collect();
+        let image: Vec<u8> = (0..params.image_len as u32)
+            .map(|i| (i % 241) as u8)
+            .collect();
         let kp = Keypair::from_seed(b"bs");
         let chain = PuzzleKeyChain::generate(b"puzzles", 4);
         let art = LrArtifacts::build(&image, params, &kp, &chain);
@@ -441,10 +446,7 @@ mod tests {
                     break;
                 }
             }
-            assert!(
-                rx.complete_items() > before,
-                "no progress on item {item}"
-            );
+            assert!(rx.complete_items() > before, "no progress on item {item}");
         }
     }
 
@@ -520,7 +522,10 @@ mod tests {
         // Complete item 1 honestly.
         for idx in [0usize, 1] {
             let p = base.packet_payload(1, idx as u16).unwrap();
-            assert_eq!(rx.handle_packet(1, idx as u16, &p), PacketDisposition::Accepted);
+            assert_eq!(
+                rx.handle_packet(1, idx as u16, &p),
+                PacketDisposition::Accepted
+            );
         }
         assert_eq!(rx.complete_items(), 2);
         // Page packet: bit flip.
@@ -553,7 +558,12 @@ mod tests {
             let p = base.packet_payload(2, idx).unwrap();
             assert_eq!(rx.handle_packet(2, idx, &p), PacketDisposition::Accepted);
             let expect_complete = count == 3;
-            assert_eq!(rx.complete_items() == 3, expect_complete, "after {} pkts", count + 1);
+            assert_eq!(
+                rx.complete_items() == 3,
+                expect_complete,
+                "after {} pkts",
+                count + 1
+            );
         }
     }
 

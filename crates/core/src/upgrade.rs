@@ -140,7 +140,9 @@ mod tests {
     }
 
     fn image(version: u16) -> Vec<u8> {
-        (0..1024u32).map(|i| (i as u16 ^ (version * 7)) as u8).collect()
+        (0..1024u32)
+            .map(|i| (i as u16 ^ (version * 7)) as u8)
+            .collect()
     }
 
     #[test]
@@ -168,7 +170,11 @@ mod tests {
             },
         );
         let report = sim.run(Duration::from_secs(36_000));
-        assert!(report.all_complete, "upgrade stalled at {:?}", report.final_time);
+        assert!(
+            report.all_complete,
+            "upgrade stalled at {:?}",
+            report.final_time
+        );
         for i in 1..5u32 {
             let node = sim.node(NodeId(i));
             assert_eq!(node.version(), 2, "node {i} stuck on old version");

@@ -23,10 +23,17 @@ fn small_params(image_len: usize) -> LrSelugeParams {
 }
 
 fn test_image(len: usize) -> Vec<u8> {
-    (0..len as u32).map(|i| (i.wrapping_mul(2654435761) >> 7) as u8).collect()
+    (0..len as u32)
+        .map(|i| (i.wrapping_mul(2654435761) >> 7) as u8)
+        .collect()
 }
 
-fn run(topo: Topology, image_len: usize, app_loss: f64, seed: u64) -> (Simulator<lr_seluge::LrNode>, Vec<u8>) {
+fn run(
+    topo: Topology,
+    image_len: usize,
+    app_loss: f64,
+    seed: u64,
+) -> (Simulator<lr_seluge::LrNode>, Vec<u8>) {
     let image = test_image(image_len);
     let deployment = Deployment::new(&image, small_params(image_len), b"e2e keys");
     let cfg = SimConfig {
@@ -45,7 +52,11 @@ fn run(topo: Topology, image_len: usize, app_loss: f64, seed: u64) -> (Simulator
 fn one_hop_lossless() {
     let (sim, image) = run(Topology::star(6), 2_000, 0.0, 1);
     for i in 1..6u32 {
-        assert_eq!(sim.node(NodeId(i)).scheme().image().unwrap(), image, "node {i}");
+        assert_eq!(
+            sim.node(NodeId(i)).scheme().image().unwrap(),
+            image,
+            "node {i}"
+        );
     }
 }
 
@@ -54,7 +65,11 @@ fn one_hop_heavy_loss() {
     // p = 0.4: the regime where the paper reports ~44 % savings.
     let (sim, image) = run(Topology::star(6), 2_000, 0.4, 2);
     for i in 1..6u32 {
-        assert_eq!(sim.node(NodeId(i)).scheme().image().unwrap(), image, "node {i}");
+        assert_eq!(
+            sim.node(NodeId(i)).scheme().image().unwrap(),
+            image,
+            "node {i}"
+        );
     }
 }
 
@@ -77,7 +92,11 @@ fn multi_hop_line_decodes_via_relays() {
 fn grid_dissemination() {
     let (sim, image) = run(Topology::grid(4, 10.0, 5), 1_200, 0.1, 4);
     for i in 1..16u32 {
-        assert_eq!(sim.node(NodeId(i)).scheme().image().unwrap(), image, "node {i}");
+        assert_eq!(
+            sim.node(NodeId(i)).scheme().image().unwrap(),
+            image,
+            "node {i}"
+        );
     }
 }
 
@@ -93,7 +112,6 @@ fn deterministic_for_fixed_seed() {
     };
     assert_eq!(m(42), m(42));
 }
-
 
 #[test]
 fn sparse_xor_code_also_disseminates() {
@@ -120,11 +138,17 @@ fn sparse_xor_code_also_disseminates() {
             ..MediumConfig::default()
         },
     };
-    let mut sim = Simulator::new(Topology::star(5), cfg, 17, |id| deployment.node(id, NodeId(0)));
+    let mut sim = Simulator::new(Topology::star(5), cfg, 17, |id| {
+        deployment.node(id, NodeId(0))
+    });
     let report = sim.run(Duration::from_secs(36_000));
     assert!(report.all_complete, "stalled at {:?}", report.final_time);
     for i in 1..5u32 {
-        assert_eq!(sim.node(NodeId(i)).scheme().image().unwrap(), image, "node {i}");
+        assert_eq!(
+            sim.node(NodeId(i)).scheme().image().unwrap(),
+            image,
+            "node {i}"
+        );
     }
 }
 
@@ -152,11 +176,17 @@ fn lt_code_also_disseminates() {
             ..MediumConfig::default()
         },
     };
-    let mut sim = Simulator::new(Topology::star(5), cfg, 23, |id| deployment.node(id, NodeId(0)));
+    let mut sim = Simulator::new(Topology::star(5), cfg, 23, |id| {
+        deployment.node(id, NodeId(0))
+    });
     let report = sim.run(Duration::from_secs(36_000));
     assert!(report.all_complete, "stalled at {:?}", report.final_time);
     for i in 1..5u32 {
-        assert_eq!(sim.node(NodeId(i)).scheme().image().unwrap(), image, "node {i}");
+        assert_eq!(
+            sim.node(NodeId(i)).scheme().image().unwrap(),
+            image,
+            "node {i}"
+        );
     }
 }
 
@@ -175,12 +205,9 @@ fn single_page_and_exact_multiple_images() {
         let params = small_params(image_len);
         let image = test_image(image_len);
         let deployment = Deployment::new(&image, params, b"edges");
-        let mut sim = Simulator::new(
-            Topology::star(3),
-            SimConfig::default(),
-            7,
-            |id| deployment.node(id, NodeId(0)),
-        );
+        let mut sim = Simulator::new(Topology::star(3), SimConfig::default(), 7, |id| {
+            deployment.node(id, NodeId(0))
+        });
         let report = sim.run(Duration::from_secs(36_000));
         assert!(report.all_complete, "{len_kind} stalled");
         for i in 1..3u32 {

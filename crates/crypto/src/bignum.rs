@@ -108,7 +108,10 @@ impl U256 {
 
     /// Lowercase hex rendering (64 nibbles).
     pub fn to_hex(self) -> String {
-        self.to_be_bytes().iter().map(|b| format!("{b:02x}")).collect()
+        self.to_be_bytes()
+            .iter()
+            .map(|b| format!("{b:02x}"))
+            .collect()
     }
 
     /// Whether the value is zero.
@@ -140,10 +143,10 @@ impl U256 {
     pub fn overflowing_add(self, rhs: U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut carry = false;
-        for i in 0..4 {
-            let (s1, c1) = self.0[i].overflowing_add(rhs.0[i]);
+        for ((o, &a), &b) in out.iter_mut().zip(&self.0).zip(&rhs.0) {
+            let (s1, c1) = a.overflowing_add(b);
             let (s2, c2) = s1.overflowing_add(carry as u64);
-            out[i] = s2;
+            *o = s2;
             carry = c1 || c2;
         }
         (U256(out), carry)
@@ -153,10 +156,10 @@ impl U256 {
     pub fn overflowing_sub(self, rhs: U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut borrow = false;
-        for i in 0..4 {
-            let (d1, b1) = self.0[i].overflowing_sub(rhs.0[i]);
+        for ((o, &a), &b) in out.iter_mut().zip(&self.0).zip(&rhs.0) {
+            let (d1, b1) = a.overflowing_sub(b);
             let (d2, b2) = d1.overflowing_sub(borrow as u64);
-            out[i] = d2;
+            *o = d2;
             borrow = b1 || b2;
         }
         (U256(out), borrow)
@@ -307,10 +310,10 @@ fn ge5(r: &[u64; 5], m: &U256) -> bool {
 
 fn sub5(r: &mut [u64; 5], m: &U256) {
     let mut borrow = false;
-    for i in 0..4 {
-        let (d1, b1) = r[i].overflowing_sub(m.0[i]);
+    for (ri, &mi) in r.iter_mut().zip(&m.0) {
+        let (d1, b1) = ri.overflowing_sub(mi);
         let (d2, b2) = d1.overflowing_sub(borrow as u64);
-        r[i] = d2;
+        *ri = d2;
         borrow = b1 || b2;
     }
     r[4] = r[4].wrapping_sub(borrow as u64);

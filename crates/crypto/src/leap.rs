@@ -47,10 +47,7 @@ impl LeapKeyring {
     /// network key material.
     pub fn bootstrap(initial_network_key: &[u8], node: u32) -> Self {
         let d = hmac_sha256_parts(initial_network_key, &[b"leap-ki"]);
-        LeapKeyring {
-            node,
-            initial: d.0,
-        }
+        LeapKeyring { node, initial: d.0 }
     }
 
     /// This node's id.

@@ -167,7 +167,12 @@ impl Keypair {
 /// Fiat-Shamir challenge `e = H(R || P || m) mod n`.
 fn challenge(r_point: &Affine, pubkey: &Affine, message: &[u8]) -> U256 {
     let n = group_order();
-    let d = sha256_concat(&[b"lrs-schnorr", &r_point.to_bytes(), &pubkey.to_bytes(), message]);
+    let d = sha256_concat(&[
+        b"lrs-schnorr",
+        &r_point.to_bytes(),
+        &pubkey.to_bytes(),
+        message,
+    ]);
     U256::from_be_bytes(&d.0).full_mul(U256::ONE).reduce(&n)
 }
 

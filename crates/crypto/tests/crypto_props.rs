@@ -1,115 +1,139 @@
-//! Property-based tests across the crypto substrate.
+//! Property-style tests across the crypto substrate, driven by a
+//! fixed-seed deterministic generator (the registry is unreachable in
+//! this environment, so `proptest` is unavailable).
 
 use lrs_crypto::bignum::U256;
 use lrs_crypto::ec::{fadd, finv, fmul, fsub, generator, mul_generator, Jacobian};
 use lrs_crypto::merkle::MerkleTree;
 use lrs_crypto::schnorr::Keypair;
-use proptest::prelude::*;
+use lrs_rng::DetRng;
 
-fn u256_small() -> impl Strategy<Value = U256> {
-    (any::<u64>(), any::<u64>()).prop_map(|(a, b)| U256([a, b, 0, 0]))
+fn u256_small(rng: &mut DetRng) -> U256 {
+    U256([rng.gen(), rng.gen(), 0, 0])
 }
 
-fn u256_any() -> impl Strategy<Value = U256> {
-    (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>())
-        .prop_map(|(a, b, c, d)| U256([a, b, c, d]))
+fn u256_any(rng: &mut DetRng) -> U256 {
+    U256([rng.gen(), rng.gen(), rng.gen(), rng.gen()])
 }
 
-proptest! {
-    #[test]
-    fn add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn add_matches_u128() {
+    let mut rng = DetRng::seed_from_u64(0xadd0);
+    for _ in 0..256 {
+        let (a, b): (u64, u64) = (rng.gen(), rng.gen());
         let (sum, carry) = U256::from(a).overflowing_add(U256::from(b));
-        prop_assert!(!carry);
-        prop_assert_eq!(sum.0[0] as u128 + ((sum.0[1] as u128) << 64), a as u128 + b as u128);
+        assert!(!carry);
+        assert_eq!(
+            sum.0[0] as u128 + ((sum.0[1] as u128) << 64),
+            a as u128 + b as u128
+        );
     }
+}
 
-    #[test]
-    fn mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn mul_matches_u128() {
+    let mut rng = DetRng::seed_from_u64(0x4d55);
+    for _ in 0..256 {
+        let (a, b): (u64, u64) = (rng.gen(), rng.gen());
         let prod = U256::from(a).full_mul(U256::from(b));
         let want = a as u128 * b as u128;
-        prop_assert_eq!(prod.0[0], want as u64);
-        prop_assert_eq!(prod.0[1], (want >> 64) as u64);
-        prop_assert_eq!(prod.0[2], 0);
+        assert_eq!(prod.0[0], want as u64);
+        assert_eq!(prod.0[1], (want >> 64) as u64);
+        assert_eq!(prod.0[2], 0);
     }
+}
 
-    #[test]
-    fn sub_is_inverse_of_add(a in u256_any(), b in u256_any()) {
+#[test]
+fn sub_is_inverse_of_add() {
+    let mut rng = DetRng::seed_from_u64(0x5b5b);
+    for _ in 0..256 {
+        let (a, b) = (u256_any(&mut rng), u256_any(&mut rng));
         let (sum, _carry) = a.overflowing_add(b);
         // Wrapping arithmetic: (a + b) - b == a mod 2^256.
-        prop_assert_eq!(sum.wrapping_sub(b), a);
+        assert_eq!(sum.wrapping_sub(b), a);
     }
+}
 
-    #[test]
-    fn modular_mul_is_homomorphic(a in u256_small(), b in u256_small()) {
-        // (a*b) mod m == ((a mod m)*(b mod m)) mod m
-        let m = U256::from_hex("fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141");
+#[test]
+fn modular_mul_is_homomorphic() {
+    // (a*b) mod m == ((a mod m)*(b mod m)) mod m
+    let m = U256::from_hex("fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141");
+    let mut rng = DetRng::seed_from_u64(0x4d4d);
+    for _ in 0..128 {
+        let (a, b) = (u256_small(&mut rng), u256_small(&mut rng));
         let lhs = a.mul_mod(b, &m);
         let ar = a.full_mul(U256::ONE).reduce(&m);
         let br = b.full_mul(U256::ONE).reduce(&m);
         let rhs = ar.mul_mod(br, &m);
-        prop_assert_eq!(lhs, rhs);
+        assert_eq!(lhs, rhs);
     }
+}
 
-    #[test]
-    fn field_axioms_hold(a in u256_small(), b in u256_small()) {
+#[test]
+fn field_axioms_hold() {
+    let mut rng = DetRng::seed_from_u64(0xf1e1d);
+    for _ in 0..128 {
+        let (a, b) = (u256_small(&mut rng), u256_small(&mut rng));
         // Work with reduced elements of the secp256k1 field.
         let x = fmul(a, U256::ONE);
         let y = fmul(b, U256::ONE);
-        prop_assert_eq!(fadd(x, y), fadd(y, x));
-        prop_assert_eq!(fmul(x, y), fmul(y, x));
-        prop_assert_eq!(fsub(fadd(x, y), y), x);
+        assert_eq!(fadd(x, y), fadd(y, x));
+        assert_eq!(fmul(x, y), fmul(y, x));
+        assert_eq!(fsub(fadd(x, y), y), x);
         if !x.is_zero() {
-            prop_assert_eq!(fmul(x, finv(x)), U256::ONE);
+            assert_eq!(fmul(x, finv(x)), U256::ONE);
         }
     }
-
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-    #[test]
-    fn scalar_mult_respects_addition(a in 1u64..1_000_000, b in 1u64..1_000_000) {
+#[test]
+fn scalar_mult_respects_addition() {
+    let mut rng = DetRng::seed_from_u64(0x5ca1a5);
+    for _ in 0..16 {
         // (a + b)G == aG + bG for small scalars.
+        let a = rng.gen_range(1u64..1_000_000);
+        let b = rng.gen_range(1u64..1_000_000);
         let left = mul_generator(&U256::from(a + b));
         let right = Jacobian::from_affine(mul_generator(&U256::from(a)))
             .add(&Jacobian::from_affine(mul_generator(&U256::from(b))))
             .to_affine();
-        prop_assert_eq!(left, right);
-        prop_assert!(left.is_on_curve());
+        assert_eq!(left, right);
+        assert!(left.is_on_curve());
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-    #[test]
-    fn schnorr_roundtrip_random_keys(seed in any::<[u8; 16]>(), msg in any::<[u8; 24]>()) {
+#[test]
+fn schnorr_roundtrip_random_keys() {
+    let mut rng = DetRng::seed_from_u64(0x5c40);
+    for _ in 0..8 {
+        let mut seed = [0u8; 16];
+        let mut msg = [0u8; 24];
+        rng.fill_bytes(&mut seed);
+        rng.fill_bytes(&mut msg);
         let kp = Keypair::from_seed(&seed);
         let sig = kp.sign(&msg);
-        prop_assert!(kp.public().verify(&msg, &sig));
+        assert!(kp.public().verify(&msg, &sig));
         let mut other = msg;
         other[0] ^= 1;
-        prop_assert!(!kp.public().verify(&other, &sig));
+        assert!(!kp.public().verify(&other, &sig));
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-    #[test]
-    fn merkle_accepts_honest_rejects_flipped(
-        depth in 0u32..5,
-        idx_seed in any::<u64>(),
-        flip_byte in any::<u8>(),
-    ) {
+#[test]
+fn merkle_accepts_honest_rejects_flipped() {
+    let mut rng = DetRng::seed_from_u64(0x4d65_726b);
+    for _ in 0..32 {
+        let depth = rng.gen_range(0u32..5);
         let n = 1usize << depth;
         let leaves: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; 9]).collect();
         let tree = MerkleTree::build(leaves.iter().map(|l| l.as_slice()));
-        let idx = (idx_seed as usize) % n;
+        let idx = rng.gen_range(0usize..n);
         let proof = tree.proof(idx);
-        prop_assert!(proof.verify(&leaves[idx], &tree.root()));
+        assert!(proof.verify(&leaves[idx], &tree.root()));
         let mut forged = leaves[idx].clone();
-        let pos = flip_byte as usize % forged.len();
+        let pos = rng.gen_range(0usize..forged.len());
         forged[pos] ^= 0x01;
-        prop_assert!(!proof.verify(&forged, &tree.root()));
+        assert!(!proof.verify(&forged, &tree.root()));
     }
 }
 

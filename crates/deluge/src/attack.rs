@@ -11,7 +11,6 @@ use crate::wire::{BitVec, Message};
 use lrs_crypto::cluster::ClusterKey;
 use lrs_netsim::node::{Context, NodeId, PacketKind, Protocol, TimerId};
 use lrs_netsim::time::Duration;
-use rand::Rng;
 
 /// What the attacker injects.
 #[derive(Clone, Debug)]
@@ -130,7 +129,11 @@ impl Attacker {
                 let msg = Message::adv(&fake_key, ctx.id, self.version, u16::MAX);
                 Some((PacketKind::Adv, msg.to_bytes()))
             }
-            AttackKind::DenialOfReceipt { target, item, n_bits } => {
+            AttackKind::DenialOfReceipt {
+                target,
+                item,
+                n_bits,
+            } => {
                 let key = self.key.as_ref()?;
                 let msg = Message::snack(
                     key,
@@ -142,7 +145,12 @@ impl Attacker {
                 );
                 Some((PacketKind::Snack, msg.to_bytes()))
             }
-            AttackKind::SpoofedDenialOfReceipt { target, item, n_bits, spoof_pool } => {
+            AttackKind::SpoofedDenialOfReceipt {
+                target,
+                item,
+                n_bits,
+                spoof_pool,
+            } => {
                 let key = self.key.as_ref()?;
                 // Rotate through forged sender ids; the cluster-key MAC
                 // still verifies because the insider holds the key.
@@ -269,11 +277,7 @@ mod tests {
 
     #[test]
     fn wrapper_dispatch() {
-        let a = Attacker::outsider(
-            AttackKind::ForgedAdv,
-            Duration::from_millis(50),
-            1,
-        );
+        let a = Attacker::outsider(AttackKind::ForgedAdv, Duration::from_millis(50), 1);
         let w: MaybeAdversary<Attacker> = MaybeAdversary::Attacker(a);
         assert!(w.attacker().is_some());
         assert!(w.honest().is_none());

@@ -29,7 +29,6 @@ use lrs_crypto::leap::LeapKeyring;
 use lrs_netsim::node::{Context, NodeId, PacketKind, Protocol, TimerId};
 use lrs_netsim::time::Duration;
 use lrs_netsim::trickle::{Trickle, TrickleConfig};
-use rand::Rng;
 use std::collections::HashMap;
 
 /// Outcome of handing a data packet to a [`Scheme`].
@@ -304,8 +303,7 @@ impl<S: Scheme, P: TxPolicy> DisseminationNode<S, P> {
             .as_micros()
             .saturating_sub(self.cfg.snack_delay_min.as_micros())
             .max(1);
-        let delay = self.cfg.snack_delay_min
-            + Duration::from_micros(ctx.rng().gen_range(0..span));
+        let delay = self.cfg.snack_delay_min + Duration::from_micros(ctx.rng().gen_range(0..span));
         ctx.set_timer(TIMER_SNACK, delay);
     }
 
@@ -325,7 +323,8 @@ impl<S: Scheme, P: TxPolicy> DisseminationNode<S, P> {
         };
         let factor = 1u64 << retries.min(3);
         let jitter = Duration::from_micros(
-            ctx.rng().gen_range(0..=self.cfg.retry_jitter.as_micros().max(1)),
+            ctx.rng()
+                .gen_range(0..=self.cfg.retry_jitter.as_micros().max(1)),
         );
         ctx.set_timer(TIMER_RETRY, self.cfg.retry_delay.mul(factor) + jitter);
     }
@@ -353,6 +352,7 @@ impl<S: Scheme, P: TxPolicy> DisseminationNode<S, P> {
         }
         let item = self.level();
         let bits = self.scheme.wanted(item);
+        ctx.note("snack", item as u64, bits.count_ones() as u64);
         if std::env::var_os("LRS_TRACE").is_some() {
             eprintln!(
                 "{:.3} n{} SNACK item={item} q={} -> n{}",
@@ -382,7 +382,7 @@ impl<S: Scheme, P: TxPolicy> DisseminationNode<S, P> {
         self.state = State::Tx;
         // Short collection window so concurrent SNACKs from other
         // neighbors merge into the same service round.
-        let delay = Duration::from_micros(ctx.rng().gen_range(20_000..60_000));
+        let delay = Duration::from_micros(ctx.rng().gen_range(20_000u64..60_000));
         ctx.set_timer(TIMER_TX, delay);
     }
 
@@ -400,8 +400,13 @@ impl<S: Scheme, P: TxPolicy> DisseminationNode<S, P> {
             self.after_tx(ctx);
             return;
         };
+        ctx.note("sched_tx", item as u64, index as u64);
         if std::env::var_os("LRS_TRACE").is_some() {
-            eprintln!("{:.3} n{} TX item={item} idx={index}", ctx.now.as_secs_f64(), ctx.id.0);
+            eprintln!(
+                "{:.3} n{} TX item={item} idx={index}",
+                ctx.now.as_secs_f64(),
+                ctx.id.0
+            );
         }
         let msg = Message::Data {
             version: self.scheme.version(),
@@ -414,7 +419,7 @@ impl<S: Scheme, P: TxPolicy> DisseminationNode<S, P> {
         let air = ctx.airtime(bytes.len());
         ctx.broadcast(kind, bytes);
         self.stats.data_sent += 1;
-        let jitter = Duration::from_micros(ctx.rng().gen_range(0..2_000));
+        let jitter = Duration::from_micros(ctx.rng().gen_range(0u64..2_000));
         ctx.set_timer(TIMER_TX, air + self.cfg.tx_gap + jitter);
     }
 
@@ -467,11 +472,7 @@ impl<S: Scheme, P: TxPolicy> DisseminationNode<S, P> {
                 let parts =
                     Message::snack_pairwise_parts(from, target, self.scheme.version(), item);
                 let valid = pairwise_mac.is_some_and(|tag| {
-                    keyring.check_from(
-                        from.0,
-                        &[b"snack-pw", &parts[0], &parts[1], &parts[2]],
-                        tag,
-                    )
+                    keyring.check_from(from.0, &[b"snack-pw", &parts[0], &parts[1], &parts[2]], tag)
                 });
                 if !valid {
                     self.stats.mac_rejects += 1;
@@ -514,7 +515,14 @@ impl<S: Scheme, P: TxPolicy> DisseminationNode<S, P> {
         }
     }
 
-    fn handle_data(&mut self, ctx: &mut Context<'_>, from: NodeId, item: u16, index: u16, payload: &[u8]) {
+    fn handle_data(
+        &mut self,
+        ctx: &mut Context<'_>,
+        from: NodeId,
+        item: u16,
+        index: u16,
+        payload: &[u8],
+    ) {
         let my_level = self.level();
         if item > my_level || (item == my_level && self.done()) {
             // Cannot be authenticated yet (or nothing left to collect);
@@ -544,7 +552,7 @@ impl<S: Scheme, P: TxPolicy> DisseminationNode<S, P> {
                     }
                     if self.fast_rerequests.1 > 0 {
                         self.fast_rerequests.1 -= 1;
-                        let delay = Duration::from_micros(ctx.rng().gen_range(5_000..40_000));
+                        let delay = Duration::from_micros(ctx.rng().gen_range(5_000u64..40_000));
                         ctx.set_timer(TIMER_SNACK, delay);
                     } else if !self.awaiting_reply {
                         self.arm_quiet_probe(ctx);
@@ -605,6 +613,7 @@ impl<S: Scheme, P: TxPolicy> DisseminationNode<S, P> {
     }
 
     fn on_item_complete(&mut self, ctx: &mut Context<'_>) {
+        ctx.note("page_complete", self.level() as u64, self.done() as u64);
         // Level changed: neighbors' views are now inconsistent.
         self.reset_trickle(ctx);
         if self.done() {
@@ -626,7 +635,6 @@ impl<S: Scheme, P: TxPolicy> DisseminationNode<S, P> {
             }
         }
     }
-
 }
 
 impl<S: Scheme, P: TxPolicy> Protocol for DisseminationNode<S, P> {
@@ -658,7 +666,12 @@ impl<S: Scheme, P: TxPolicy> Protocol for DisseminationNode<S, P> {
             return;
         }
         match msg {
-            Message::Adv { from: adv_from, version, level, .. } => {
+            Message::Adv {
+                from: adv_from,
+                version,
+                level,
+                ..
+            } => {
                 if version != self.scheme.version() {
                     return;
                 }
@@ -666,13 +679,26 @@ impl<S: Scheme, P: TxPolicy> Protocol for DisseminationNode<S, P> {
                 let _ = from;
                 self.handle_adv(ctx, adv_from, level);
             }
-            Message::Snack { from: req_from, target, version, item, bits, pairwise_mac, .. } => {
+            Message::Snack {
+                from: req_from,
+                target,
+                version,
+                item,
+                bits,
+                pairwise_mac,
+                ..
+            } => {
                 if version != self.scheme.version() {
                     return;
                 }
                 self.handle_snack(ctx, req_from, target, item, &bits, pairwise_mac.as_ref());
             }
-            Message::Data { version, item, index, payload } => {
+            Message::Data {
+                version,
+                item,
+                index,
+                payload,
+            } => {
                 if version != self.scheme.version() {
                     return;
                 }
@@ -690,13 +716,10 @@ impl<S: Scheme, P: TxPolicy> Protocol for DisseminationNode<S, P> {
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, timer: TimerId) {
         match timer {
-            TIMER_TRICKLE_FIRE => {
-                if !self.trickle.suppress() && self.state == State::Maintain {
-                    let msg =
-                        Message::adv(&self.key, ctx.id, self.scheme.version(), self.level());
-                    ctx.broadcast(PacketKind::Adv, msg.to_bytes());
-                    self.stats.advs_sent += 1;
-                }
+            TIMER_TRICKLE_FIRE if !self.trickle.suppress() && self.state == State::Maintain => {
+                let msg = Message::adv(&self.key, ctx.id, self.scheme.version(), self.level());
+                ctx.broadcast(PacketKind::Adv, msg.to_bytes());
+                self.stats.advs_sent += 1;
             }
             TIMER_TRICKLE_END => {
                 self.trickle.interval_expired();
@@ -722,7 +745,7 @@ impl<S: Scheme, P: TxPolicy> Protocol for DisseminationNode<S, P> {
                             server: next,
                             retries: retries + 1,
                         };
-                        let delay = Duration::from_micros(ctx.rng().gen_range(1_000..20_000));
+                        let delay = Duration::from_micros(ctx.rng().gen_range(1_000u64..20_000));
                         ctx.set_timer(TIMER_SNACK, delay);
                     }
                 }

@@ -72,8 +72,8 @@ impl DelugeImage {
     pub fn packet(&self, page: u16, index: u16) -> Vec<u8> {
         assert!(page < self.params.pages(), "page out of range");
         assert!(index < self.params.packets_per_page, "packet out of range");
-        let off = page as usize * self.params.page_capacity()
-            + index as usize * self.params.payload_len;
+        let off =
+            page as usize * self.params.page_capacity() + index as usize * self.params.payload_len;
         self.padded[off..off + self.params.payload_len].to_vec()
     }
 
@@ -186,8 +186,8 @@ impl Scheme for DelugeScheme {
         if item >= self.complete || index >= self.params.packets_per_page {
             return None;
         }
-        let off = item as usize * self.params.page_capacity()
-            + index as usize * self.params.payload_len;
+        let off =
+            item as usize * self.params.page_capacity() + index as usize * self.params.payload_len;
         Some(self.assembled[off..off + self.params.payload_len].to_vec())
     }
 
@@ -266,8 +266,14 @@ mod tests {
         let mut base = DelugeScheme::base(&img);
         let mut rx = DelugeScheme::receiver(params());
         let payload = base.packet_payload(0, 1).unwrap();
-        assert_eq!(rx.handle_packet(0, 1, &payload), PacketDisposition::Accepted);
-        assert_eq!(rx.handle_packet(0, 1, &payload), PacketDisposition::Duplicate);
+        assert_eq!(
+            rx.handle_packet(0, 1, &payload),
+            PacketDisposition::Accepted
+        );
+        assert_eq!(
+            rx.handle_packet(0, 1, &payload),
+            PacketDisposition::Duplicate
+        );
         assert_eq!(
             rx.handle_packet(0, 9, &payload),
             PacketDisposition::Rejected,

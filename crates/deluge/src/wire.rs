@@ -254,16 +254,12 @@ impl Message {
         version: u16,
         item: u16,
     ) -> [[u8; 4]; 3] {
-        [
-            from.0.to_be_bytes(),
-            target.0.to_be_bytes(),
-            {
-                let mut b = [0u8; 4];
-                b[..2].copy_from_slice(&version.to_be_bytes());
-                b[2..].copy_from_slice(&item.to_be_bytes());
-                b
-            },
-        ]
+        [from.0.to_be_bytes(), target.0.to_be_bytes(), {
+            let mut b = [0u8; 4];
+            b[..2].copy_from_slice(&version.to_be_bytes());
+            b[2..].copy_from_slice(&item.to_be_bytes());
+            b
+        }]
     }
 
     /// Attaches a LEAP pairwise MAC to a SNACK (no-op otherwise).
@@ -588,10 +584,7 @@ mod tests {
         assert!(adv.mac_ok(&k));
         // Forge the level: MAC must fail.
         if let Message::Adv {
-            from,
-            version,
-            mac,
-            ..
+            from, version, mac, ..
         } = adv
         {
             let forged = Message::Adv {

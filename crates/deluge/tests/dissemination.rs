@@ -22,7 +22,9 @@ fn params(image_len: usize) -> ImageParams {
 }
 
 fn test_image(len: usize) -> Vec<u8> {
-    (0..len as u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect()
+    (0..len as u32)
+        .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+        .collect()
 }
 
 fn engine_config() -> EngineConfig {

@@ -3,9 +3,7 @@
 //! level advertisement dynamics.
 
 use lrs_crypto::cluster::ClusterKey;
-use lrs_deluge::engine::{
-    CryptoCost, DisseminationNode, EngineConfig, PacketDisposition, Scheme,
-};
+use lrs_deluge::engine::{CryptoCost, DisseminationNode, EngineConfig, PacketDisposition, Scheme};
 use lrs_deluge::policy::UnionPolicy;
 use lrs_deluge::wire::BitVec;
 use lrs_netsim::medium::MediumConfig;
@@ -26,11 +24,7 @@ impl TestScheme {
         TestScheme {
             version: 1,
             have: (0..3)
-                .map(|_| {
-                    (0..4)
-                        .map(|j| base.then(|| vec![j as u8; 8]))
-                        .collect()
-                })
+                .map(|_| (0..4).map(|j| base.then(|| vec![j as u8; 8])).collect())
                 .collect(),
             base,
         }
@@ -77,10 +71,7 @@ impl Scheme for TestScheme {
         bits
     }
     fn packet_payload(&mut self, item: u16, index: u16) -> Option<Vec<u8>> {
-        self.have
-            .get(item as usize)?
-            .get(index as usize)?
-            .clone()
+        self.have.get(item as usize)?.get(index as usize)?.clone()
     }
     fn item_kind(&self, _item: u16) -> PacketKind {
         PacketKind::Data

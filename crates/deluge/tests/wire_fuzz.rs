@@ -1,99 +1,112 @@
 //! Wire-format robustness: the parser must never panic and must
 //! round-trip every well-formed message (adversaries control the bytes
-//! a node parses).
+//! a node parses). Driven by a fixed-seed deterministic generator so
+//! the suite runs offline and reproduces exactly.
 
 use lrs_crypto::cluster::{ClusterKey, MacTag};
 use lrs_deluge::wire::{BitVec, Message};
 use lrs_netsim::node::NodeId;
-use proptest::prelude::*;
+use lrs_rng::DetRng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-    /// Arbitrary byte soup: parse returns None or Some, never panics.
-    #[test]
-    fn parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+/// Arbitrary byte soup: parse returns None or Some, never panics.
+#[test]
+fn parser_never_panics() {
+    let mut rng = DetRng::seed_from_u64(0x736f_7570);
+    for _ in 0..512 {
+        let len = rng.gen_range(0usize..300);
+        let mut bytes = vec![0u8; len];
+        rng.fill_bytes(&mut bytes);
         let _ = Message::from_bytes(&bytes);
     }
+}
 
-    /// Truncating any valid message makes it unparseable or — for
-    /// variable-length payloads — still structurally valid, but never a
-    /// panic.
-    #[test]
-    fn truncations_never_panic(
-        from in any::<u32>(),
-        version in any::<u16>(),
-        level in any::<u16>(),
-        cut in 0usize..14,
-    ) {
-        let key = ClusterKey::derive(b"fuzz", 0);
-        let bytes = Message::adv(&key, NodeId(from), version, level).to_bytes();
-        let cut = cut.min(bytes.len());
+/// Truncating any valid message makes it unparseable or — for
+/// variable-length payloads — still structurally valid, but never a
+/// panic.
+#[test]
+fn truncations_never_panic() {
+    let key = ClusterKey::derive(b"fuzz", 0);
+    let mut rng = DetRng::seed_from_u64(0x7472_756e);
+    for _ in 0..256 {
+        let bytes = Message::adv(&key, NodeId(rng.gen()), rng.gen(), rng.gen()).to_bytes();
+        let cut = rng.gen_range(0usize..14).min(bytes.len());
         let _ = Message::from_bytes(&bytes[..bytes.len() - cut]);
     }
+}
 
-    /// Round-trip for arbitrary advertisements.
-    #[test]
-    fn adv_roundtrip(from in any::<u32>(), version in any::<u16>(), level in any::<u16>()) {
-        let key = ClusterKey::derive(b"fuzz", 1);
-        let m = Message::adv(&key, NodeId(from), version, level);
-        prop_assert_eq!(Message::from_bytes(&m.to_bytes()), Some(m));
+/// Round-trip for arbitrary advertisements.
+#[test]
+fn adv_roundtrip() {
+    let key = ClusterKey::derive(b"fuzz", 1);
+    let mut rng = DetRng::seed_from_u64(0x61_64_76);
+    for _ in 0..256 {
+        let m = Message::adv(&key, NodeId(rng.gen()), rng.gen(), rng.gen());
+        assert_eq!(Message::from_bytes(&m.to_bytes()), Some(m));
     }
+}
 
-    /// Round-trip for arbitrary SNACKs (with and without pairwise MACs).
-    #[test]
-    fn snack_roundtrip(
-        from in any::<u32>(),
-        target in any::<u32>(),
-        version in any::<u16>(),
-        item in any::<u16>(),
-        nbits in 1usize..128,
-        ones in proptest::collection::vec(any::<u16>(), 0..16),
-        pairwise in any::<Option<[u8; 4]>>(),
-    ) {
-        let key = ClusterKey::derive(b"fuzz", 2);
+/// Round-trip for arbitrary SNACKs (with and without pairwise MACs).
+#[test]
+fn snack_roundtrip() {
+    let key = ClusterKey::derive(b"fuzz", 2);
+    let mut rng = DetRng::seed_from_u64(0x73_6e_61);
+    for _ in 0..256 {
+        let nbits = rng.gen_range(1usize..128);
         let mut bits = BitVec::zeros(nbits);
-        for o in ones {
-            bits.set(o as usize % nbits, true);
+        for _ in 0..rng.gen_range(0usize..16) {
+            bits.set(rng.gen_range(0usize..nbits), true);
         }
-        let mut m = Message::snack(&key, NodeId(from), NodeId(target), version, item, bits);
-        if let Some(tag) = pairwise {
+        let mut m = Message::snack(
+            &key,
+            NodeId(rng.gen()),
+            NodeId(rng.gen()),
+            rng.gen(),
+            rng.gen(),
+            bits,
+        );
+        if rng.gen_bool(0.5) {
+            let mut tag = [0u8; 4];
+            rng.fill_bytes(&mut tag);
             m = m.with_pairwise_mac(MacTag(tag));
         }
-        prop_assert_eq!(Message::from_bytes(&m.to_bytes()), Some(m));
+        assert_eq!(Message::from_bytes(&m.to_bytes()), Some(m));
     }
+}
 
-    /// Round-trip for arbitrary data packets.
-    #[test]
-    fn data_roundtrip(
-        version in any::<u16>(),
-        item in any::<u16>(),
-        index in any::<u16>(),
-        payload in proptest::collection::vec(any::<u8>(), 0..256),
-    ) {
-        let m = Message::Data { version, item, index, payload };
-        prop_assert_eq!(Message::from_bytes(&m.to_bytes()), Some(m));
+/// Round-trip for arbitrary data packets.
+#[test]
+fn data_roundtrip() {
+    let mut rng = DetRng::seed_from_u64(0x6461_7461);
+    for _ in 0..256 {
+        let mut payload = vec![0u8; rng.gen_range(0usize..256)];
+        rng.fill_bytes(&mut payload);
+        let m = Message::Data {
+            version: rng.gen(),
+            item: rng.gen(),
+            index: rng.gen(),
+            payload,
+        };
+        assert_eq!(Message::from_bytes(&m.to_bytes()), Some(m));
     }
+}
 
-    /// Bit-flipping a MACed control packet either fails to parse or fails
-    /// the MAC — it is never accepted as authentic.
-    #[test]
-    fn flipped_control_packets_fail_mac(
-        from in any::<u32>(),
-        version in any::<u16>(),
-        level in any::<u16>(),
-        pos_seed in any::<u16>(),
-        mask in 1u8..=255,
-    ) {
-        let key = ClusterKey::derive(b"fuzz", 3);
-        let mut bytes = Message::adv(&key, NodeId(from), version, level).to_bytes();
+/// Bit-flipping a MACed control packet either fails to parse or fails
+/// the MAC — it is never accepted as authentic.
+#[test]
+fn flipped_control_packets_fail_mac() {
+    let key = ClusterKey::derive(b"fuzz", 3);
+    let mut rng = DetRng::seed_from_u64(0x666c_6970);
+    for _ in 0..256 {
+        let mut bytes = Message::adv(&key, NodeId(rng.gen()), rng.gen(), rng.gen()).to_bytes();
         // Skip byte 0: flipping the tag can re-frame the packet as a
         // data/signature message, which is legitimately MAC-exempt (its
         // authentication is the scheme's hash chain instead).
-        let pos = 1 + pos_seed as usize % (bytes.len() - 1);
+        let pos = rng.gen_range(1usize..bytes.len());
+        let mask = rng.gen_range(1u32..=255) as u8;
         bytes[pos] ^= mask;
         match Message::from_bytes(&bytes) {
             None => {}
-            Some(m) => prop_assert!(!m.mac_ok(&key), "flipped byte {pos} accepted"),
+            Some(m) => assert!(!m.mac_ok(&key), "flipped byte {pos} accepted"),
         }
     }
 }

@@ -77,7 +77,10 @@ impl fmt::Display for CodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CodeError::BadParameters { k, n } => {
-                write!(f, "invalid code parameters k={k}, n={n} (need 1 <= k <= n <= 255)")
+                write!(
+                    f,
+                    "invalid code parameters k={k}, n={n} (need 1 <= k <= n <= 255)"
+                )
             }
             CodeError::BadInput(msg) => write!(f, "bad input blocks: {msg}"),
             CodeError::NotEnoughBlocks { have, need } => {
@@ -126,7 +129,11 @@ pub trait ErasureCode {
     /// Returns [`CodeError::NotEnoughBlocks`] if fewer than the required
     /// number of distinct valid blocks are provided, and other variants
     /// for malformed input.
-    fn decode(&self, blocks: &[(usize, Vec<u8>)], block_len: usize) -> Result<Vec<Vec<u8>>, CodeError>;
+    fn decode(
+        &self,
+        blocks: &[(usize, Vec<u8>)],
+        block_len: usize,
+    ) -> Result<Vec<Vec<u8>>, CodeError>;
 }
 
 /// Validates common decode-input invariants shared by implementations.
@@ -201,11 +208,20 @@ mod tests {
         let ok = vec![(0usize, vec![0u8; 4]), (2, vec![0u8; 4])];
         assert!(check_decode_input(&ok, 4, 4).is_ok());
         let dup = vec![(1usize, vec![0u8; 4]), (1, vec![0u8; 4])];
-        assert_eq!(check_decode_input(&dup, 4, 4), Err(CodeError::DuplicateIndex(1)));
+        assert_eq!(
+            check_decode_input(&dup, 4, 4),
+            Err(CodeError::DuplicateIndex(1))
+        );
         let oor = vec![(9usize, vec![0u8; 4])];
-        assert_eq!(check_decode_input(&oor, 4, 4), Err(CodeError::IndexOutOfRange(9)));
+        assert_eq!(
+            check_decode_input(&oor, 4, 4),
+            Err(CodeError::IndexOutOfRange(9))
+        );
         let short = vec![(0usize, vec![0u8; 3])];
-        assert!(matches!(check_decode_input(&short, 4, 4), Err(CodeError::BadInput(_))));
+        assert!(matches!(
+            check_decode_input(&short, 4, 4),
+            Err(CodeError::BadInput(_))
+        ));
     }
 
     #[test]

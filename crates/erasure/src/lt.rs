@@ -142,7 +142,9 @@ impl ErasureCode for Lt {
         }
         let block_len = blocks[0].len();
         if blocks.iter().any(|b| b.len() != block_len) {
-            return Err(CodeError::BadInput("source blocks have unequal lengths".into()));
+            return Err(CodeError::BadInput(
+                "source blocks have unequal lengths".into(),
+            ));
         }
         let mut out: Vec<Vec<u8>> = blocks.to_vec();
         for neighbors in &self.parity_neighbors {
@@ -155,7 +157,11 @@ impl ErasureCode for Lt {
         Ok(out)
     }
 
-    fn decode(&self, blocks: &[(usize, Vec<u8>)], block_len: usize) -> Result<Vec<Vec<u8>>, CodeError> {
+    fn decode(
+        &self,
+        blocks: &[(usize, Vec<u8>)],
+        block_len: usize,
+    ) -> Result<Vec<Vec<u8>>, CodeError> {
         check_decode_input(blocks, self.n, block_len)?;
         if blocks.len() < self.k {
             return Err(CodeError::NotEnoughBlocks {
@@ -229,7 +235,11 @@ mod tests {
 
     fn sample_blocks(k: usize, len: usize) -> Vec<Vec<u8>> {
         (0..k)
-            .map(|i| (0..len).map(|j| ((i * 89 + j * 7 + 5) % 256) as u8).collect())
+            .map(|i| {
+                (0..len)
+                    .map(|j| ((i * 89 + j * 7 + 5) % 256) as u8)
+                    .collect()
+            })
             .collect()
     }
 
@@ -263,7 +273,9 @@ mod tests {
             let mut order: Vec<usize> = (0..48).collect();
             let mut s = seed as u64 + 1;
             for i in (1..order.len()).rev() {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 order.swap(i, (s >> 33) as usize % (i + 1));
             }
             let take = code.k_prime();
@@ -308,7 +320,7 @@ mod tests {
         let mean = code.mean_parity_degree();
         // Robust soliton mean degree is O(ln k); for k = 64 expect
         // something in the low-to-mid single digits up to ~15.
-        assert!(mean >= 1.5 && mean <= 20.0, "mean degree {mean}");
+        assert!((1.5..=20.0).contains(&mean), "mean degree {mean}");
     }
 
     #[test]

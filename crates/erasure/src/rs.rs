@@ -70,7 +70,9 @@ impl ErasureCode for ReedSolomon {
         }
         let block_len = blocks[0].len();
         if blocks.iter().any(|b| b.len() != block_len) {
-            return Err(CodeError::BadInput("source blocks have unequal lengths".into()));
+            return Err(CodeError::BadInput(
+                "source blocks have unequal lengths".into(),
+            ));
         }
         let mut out = Vec::with_capacity(self.n);
         // Systematic part: identity rows.
@@ -87,7 +89,11 @@ impl ErasureCode for ReedSolomon {
         Ok(out)
     }
 
-    fn decode(&self, blocks: &[(usize, Vec<u8>)], block_len: usize) -> Result<Vec<Vec<u8>>, CodeError> {
+    fn decode(
+        &self,
+        blocks: &[(usize, Vec<u8>)],
+        block_len: usize,
+    ) -> Result<Vec<Vec<u8>>, CodeError> {
         check_decode_input(blocks, self.n, block_len)?;
         if blocks.len() < self.k {
             return Err(CodeError::NotEnoughBlocks {
@@ -125,11 +131,14 @@ impl ErasureCode for ReedSolomon {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn sample_blocks(k: usize, len: usize) -> Vec<Vec<u8>> {
         (0..k)
-            .map(|i| (0..len).map(|j| ((i * 131 + j * 17 + 7) % 256) as u8).collect())
+            .map(|i| {
+                (0..len)
+                    .map(|j| ((i * 131 + j * 17 + 7) % 256) as u8)
+                    .collect()
+            })
             .collect()
     }
 
@@ -168,8 +177,7 @@ mod tests {
             let blocks = sample_blocks(k, 72);
             let enc = code.encode(&blocks).unwrap();
             // Take the last k blocks (worst case: all parity where possible).
-            let subset: Vec<(usize, Vec<u8>)> =
-                (n - k..n).map(|i| (i, enc[i].clone())).collect();
+            let subset: Vec<(usize, Vec<u8>)> = (n - k..n).map(|i| (i, enc[i].clone())).collect();
             assert_eq!(code.decode(&subset, 72).unwrap(), blocks, "k={k} n={n}");
         }
     }
@@ -221,41 +229,73 @@ mod tests {
         assert_eq!(code.encode(&dec).unwrap(), enc);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-        #[test]
-        fn roundtrip_random_erasures(
-            k in 1usize..20,
-            extra in 0usize..20,
-            len in 1usize..64,
-            seed in 0u64..10_000,
-        ) {
-            let n = k + extra;
+    #[test]
+    fn roundtrip_random_erasures() {
+        // Sampled geometries and erasure patterns under a fixed seed.
+        let mut rng = lrs_rng::DetRng::seed_from_u64(0x5253_7274);
+        for _ in 0..64 {
+            let k = rng.gen_range(1usize..20);
+            let n = k + rng.gen_range(0usize..20);
+            let len = rng.gen_range(1usize..64);
             let code = ReedSolomon::new(k, n).unwrap();
             let blocks: Vec<Vec<u8>> = (0..k)
-                .map(|i| {
-                    let mut s = seed.wrapping_add(i as u64).wrapping_mul(0x9e3779b97f4a7c15);
-                    (0..len)
-                        .map(|_| {
-                            s ^= s << 13;
-                            s ^= s >> 7;
-                            s ^= s << 17;
-                            (s & 0xff) as u8
-                        })
-                        .collect()
+                .map(|_| {
+                    let mut b = vec![0u8; len];
+                    rng.fill_bytes(&mut b);
+                    b
                 })
                 .collect();
             let enc = code.encode(&blocks).unwrap();
             // Choose a pseudo-random k-subset of indices.
             let mut order: Vec<usize> = (0..n).collect();
-            let mut s = seed ^ 0xabcdef;
-            for i in (1..order.len()).rev() {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-                order.swap(i, (s >> 33) as usize % (i + 1));
-            }
+            rng.shuffle(&mut order);
             let subset: Vec<(usize, Vec<u8>)> =
                 order[..k].iter().map(|&i| (i, enc[i].clone())).collect();
-            prop_assert_eq!(code.decode(&subset, len).unwrap(), blocks);
+            assert_eq!(
+                code.decode(&subset, len).unwrap(),
+                blocks,
+                "k={k} n={n} len={len}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_points_survive_any_max_erasure_pattern() {
+        // Erase any n−k blocks at the paper's operating points and decode
+        // from the survivors. Random subsets sampled per point keep the
+        // debug-build runtime bounded while still crossing systematic and
+        // parity positions.
+        let mut rng = lrs_rng::DetRng::seed_from_u64(0x6b_6e_70);
+        for (k, n) in [(32usize, 48usize), (32, 64), (8, 16), (3, 6)] {
+            let code = ReedSolomon::new(k, n).unwrap();
+            let blocks = sample_blocks(k, 48);
+            let enc = code.encode(&blocks).unwrap();
+            let trials = if n - k <= 3 { usize::MAX } else { 40 };
+            if trials == usize::MAX {
+                // Small enough to enumerate every k-subset via bitmasks.
+                for mask in 0u32..(1 << n) {
+                    if mask.count_ones() as usize != k {
+                        continue;
+                    }
+                    let subset: Vec<(usize, Vec<u8>)> = (0..n)
+                        .filter(|i| mask & (1 << i) != 0)
+                        .map(|i| (i, enc[i].clone()))
+                        .collect();
+                    assert_eq!(
+                        code.decode(&subset, 48).unwrap(),
+                        blocks,
+                        "k={k} n={n} mask={mask:b}"
+                    );
+                }
+            } else {
+                for _ in 0..trials {
+                    let mut order: Vec<usize> = (0..n).collect();
+                    rng.shuffle(&mut order);
+                    let subset: Vec<(usize, Vec<u8>)> =
+                        order[..k].iter().map(|&i| (i, enc[i].clone())).collect();
+                    assert_eq!(code.decode(&subset, 48).unwrap(), blocks, "k={k} n={n}");
+                }
+            }
         }
     }
 }

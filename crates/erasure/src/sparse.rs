@@ -81,7 +81,12 @@ impl SparseXor {
             }
             coeffs.push(mask);
         }
-        Ok(SparseXor { k, n, overhead, coeffs })
+        Ok(SparseXor {
+            k,
+            n,
+            overhead,
+            coeffs,
+        })
     }
 
     /// The coefficient bitmask for encoded block `idx`.
@@ -113,7 +118,9 @@ impl ErasureCode for SparseXor {
         }
         let block_len = blocks[0].len();
         if blocks.iter().any(|b| b.len() != block_len) {
-            return Err(CodeError::BadInput("source blocks have unequal lengths".into()));
+            return Err(CodeError::BadInput(
+                "source blocks have unequal lengths".into(),
+            ));
         }
         let mut out = Vec::with_capacity(self.n);
         for i in 0..self.n {
@@ -133,7 +140,11 @@ impl ErasureCode for SparseXor {
         Ok(out)
     }
 
-    fn decode(&self, blocks: &[(usize, Vec<u8>)], block_len: usize) -> Result<Vec<Vec<u8>>, CodeError> {
+    fn decode(
+        &self,
+        blocks: &[(usize, Vec<u8>)],
+        block_len: usize,
+    ) -> Result<Vec<Vec<u8>>, CodeError> {
         check_decode_input(blocks, self.n, block_len)?;
         if blocks.len() < self.k {
             return Err(CodeError::NotEnoughBlocks {
@@ -142,7 +153,6 @@ impl ErasureCode for SparseXor {
             });
         }
         // Gaussian elimination over GF(2) on (mask, data) rows.
-        let words = self.k.div_ceil(64);
         let mut rows: Vec<(Vec<u64>, Vec<u8>)> = blocks
             .iter()
             .map(|(idx, data)| (self.mask(*idx).to_vec(), data.clone()))
@@ -150,9 +160,9 @@ impl ErasureCode for SparseXor {
         // pivot_of[col] = row index holding the pivot for that column.
         let mut pivot_of: Vec<Option<usize>> = vec![None; self.k];
         let mut next_row = 0usize;
-        for col in 0..self.k {
-            let Some(found) = (next_row..rows.len())
-                .find(|&r| rows[r].0[col / 64] >> (col % 64) & 1 == 1)
+        for (col, pivot) in pivot_of.iter_mut().enumerate() {
+            let Some(found) =
+                (next_row..rows.len()).find(|&r| rows[r].0[col / 64] >> (col % 64) & 1 == 1)
             else {
                 continue;
             };
@@ -164,13 +174,13 @@ impl ErasureCode for SparseXor {
             };
             for (r, row) in rows.iter_mut().enumerate() {
                 if r != next_row && row.0[col / 64] >> (col % 64) & 1 == 1 {
-                    for w in 0..words {
-                        row.0[w] ^= pivot_mask[w];
+                    for (rw, &pw) in row.0.iter_mut().zip(&pivot_mask) {
+                        *rw ^= pw;
                     }
                     slice_add_assign(&mut row.1, &pivot_data);
                 }
             }
-            pivot_of[col] = Some(next_row);
+            *pivot = Some(next_row);
             next_row += 1;
         }
         if pivot_of.iter().any(|p| p.is_none()) {
@@ -181,8 +191,8 @@ impl ErasureCode for SparseXor {
             });
         }
         let mut out = Vec::with_capacity(self.k);
-        for col in 0..self.k {
-            let r = pivot_of[col].expect("checked above");
+        for pivot in &pivot_of {
+            let r = pivot.expect("checked above");
             out.push(rows[r].1.clone());
         }
         Ok(out)
@@ -192,11 +202,14 @@ impl ErasureCode for SparseXor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn sample_blocks(k: usize, len: usize) -> Vec<Vec<u8>> {
         (0..k)
-            .map(|i| (0..len).map(|j| ((i * 37 + j * 11 + 3) % 256) as u8).collect())
+            .map(|i| {
+                (0..len)
+                    .map(|j| ((i * 37 + j * 11 + 3) % 256) as u8)
+                    .collect()
+            })
             .collect()
     }
 
@@ -263,29 +276,21 @@ mod tests {
         let blocks = sample_blocks(70, 4);
         let enc = code.encode(&blocks).unwrap();
         let kp = code.k_prime();
-        let subset: Vec<(usize, Vec<u8>)> =
-            (100 - kp..100).map(|i| (i, enc[i].clone())).collect();
+        let subset: Vec<(usize, Vec<u8>)> = (100 - kp..100).map(|i| (i, enc[i].clone())).collect();
         assert_eq!(code.decode(&subset, 4).unwrap(), blocks);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
-        #[test]
-        fn roundtrip_random_subsets_of_kprime(
-            k in 1usize..24,
-            extra in 6usize..24,
-            seed in 0u64..10_000,
-        ) {
-            let n = k + extra;
+    #[test]
+    fn roundtrip_random_subsets_of_kprime() {
+        let mut rng = lrs_rng::DetRng::seed_from_u64(0x7370_7273);
+        for _ in 0..48 {
+            let k = rng.gen_range(1usize..24);
+            let n = k + rng.gen_range(6usize..24);
             let code = SparseXor::new(k, n).unwrap();
             let blocks = sample_blocks(k, 16);
             let enc = code.encode(&blocks).unwrap();
             let mut order: Vec<usize> = (0..n).collect();
-            let mut s = seed.wrapping_add(1);
-            for i in (1..order.len()).rev() {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-                order.swap(i, (s >> 33) as usize % (i + 1));
-            }
+            rng.shuffle(&mut order);
             let take = code.k_prime().min(n);
             let subset: Vec<(usize, Vec<u8>)> =
                 order[..take].iter().map(|&i| (i, enc[i].clone())).collect();
@@ -293,13 +298,12 @@ mod tests {
             // on the rare rank-deficient draw, adding the remaining blocks
             // must succeed (the full set always has rank k).
             match code.decode(&subset, 16) {
-                Ok(dec) => prop_assert_eq!(dec, blocks),
+                Ok(dec) => assert_eq!(dec, blocks, "k={k} n={n}"),
                 Err(CodeError::NotEnoughBlocks { .. }) => {
-                    let all: Vec<(usize, Vec<u8>)> =
-                        (0..n).map(|i| (i, enc[i].clone())).collect();
-                    prop_assert_eq!(code.decode(&all, 16).unwrap(), blocks);
+                    let all: Vec<(usize, Vec<u8>)> = (0..n).map(|i| (i, enc[i].clone())).collect();
+                    assert_eq!(code.decode(&all, 16).unwrap(), blocks, "k={k} n={n}");
                 }
-                Err(e) => prop_assert!(false, "unexpected error {e}"),
+                Err(e) => panic!("unexpected error {e} (k={k} n={n})"),
             }
         }
     }

@@ -66,6 +66,7 @@ pub mod noise;
 pub mod sim;
 pub mod time;
 pub mod topology;
+pub mod trace;
 pub mod trickle;
 
 pub use metrics::Metrics;
@@ -73,3 +74,4 @@ pub use node::{Context, NodeId, PacketKind, Protocol, TimerId};
 pub use sim::{SimConfig, Simulator};
 pub use time::{Duration, SimTime};
 pub use topology::Topology;
+pub use trace::{JsonlTrace, LossCause, RingTrace, TraceEvent, TraceSink};

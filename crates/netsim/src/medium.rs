@@ -18,8 +18,7 @@ use crate::node::NodeId;
 use crate::noise::{NoiseModel, NoiseState};
 use crate::time::{Duration, SimTime};
 use crate::topology::Topology;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lrs_rng::DetRng;
 
 /// Radio and loss-process parameters.
 #[derive(Clone, Copy, Debug)]
@@ -82,6 +81,18 @@ struct Transmission {
     end: SimTime,
 }
 
+/// A started broadcast, as observed by the caller (and any trace sink):
+/// the correlation id plus the post-CSMA on-air window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TxInfo {
+    /// Transmission id correlating delivery outcomes with this send.
+    pub id: u64,
+    /// On-air start (after CSMA deferral and random backoff).
+    pub start: SimTime,
+    /// Reception-complete time; the caller schedules deliveries here.
+    pub end: SimTime,
+}
+
 /// The shared channel state.
 #[derive(Debug)]
 pub struct Medium {
@@ -91,7 +102,7 @@ pub struct Medium {
     /// Recent transmissions, pruned as time advances.
     transmissions: Vec<Transmission>,
     noise_states: Vec<NoiseState>,
-    rng: StdRng,
+    rng: DetRng,
     next_tx_id: u64,
 }
 
@@ -103,7 +114,7 @@ impl Medium {
             busy_until: vec![SimTime::ZERO; n],
             transmissions: Vec::new(),
             noise_states: vec![NoiseState::new(config.noise); n],
-            rng: StdRng::seed_from_u64(seed ^ 0x4d45_4449),
+            rng: DetRng::seed_from_u64(seed ^ 0x4d45_4449),
             next_tx_id: 0,
         }
     }
@@ -115,27 +126,32 @@ impl Medium {
 
     /// Starts a broadcast of `bytes` bytes from `from` at `now`.
     ///
-    /// Returns the transmission id and the reception-complete time, after
-    /// applying CSMA deferral and backoff. The caller schedules delivery
-    /// events at the returned end time.
+    /// Returns the transmission's [`TxInfo`] (id plus the post-CSMA
+    /// on-air window). The caller schedules delivery events at
+    /// [`TxInfo::end`].
     pub fn begin_broadcast(
         &mut self,
         now: SimTime,
         from: NodeId,
         bytes: usize,
         topo: &Topology,
-    ) -> (u64, SimTime) {
+    ) -> TxInfo {
         let mut start = now;
         if self.config.csma {
             start = start.max(self.busy_until[from.index()]);
             if self.config.max_backoff_us > 0 {
-                start = start + Duration::from_micros(self.rng.gen_range(0..=self.config.max_backoff_us));
+                start += Duration::from_micros(self.rng.gen_range(0..=self.config.max_backoff_us));
             }
         }
         let end = start + self.config.airtime(bytes);
         let id = self.next_tx_id;
         self.next_tx_id += 1;
-        self.transmissions.push(Transmission { id, from, start, end });
+        self.transmissions.push(Transmission {
+            id,
+            from,
+            start,
+            end,
+        });
         // Everyone who can hear `from` (and `from` itself) sees the
         // channel busy until `end`.
         self.busy_until[from.index()] = self.busy_until[from.index()].max(end);
@@ -144,20 +160,14 @@ impl Medium {
             *b = (*b).max(end);
         }
         self.prune(now);
-        (id, end)
+        TxInfo { id, start, end }
     }
 
     /// Decides the fate of transmission `tx_id` at receiver `to`.
     ///
     /// Must be called at the reception-complete time (the simulator's
     /// delivery event).
-    pub fn deliver(
-        &mut self,
-        now: SimTime,
-        tx_id: u64,
-        to: NodeId,
-        topo: &Topology,
-    ) -> Delivery {
+    pub fn deliver(&mut self, now: SimTime, tx_id: u64, to: NodeId, topo: &Topology) -> Delivery {
         let tx = self
             .transmissions
             .iter()
@@ -234,8 +244,11 @@ mod tests {
     fn perfect_link_delivers() {
         let topo = Topology::star(3);
         let mut m = Medium::new(no_loss_config(), 3, 1);
-        let (id, end) = m.begin_broadcast(SimTime::ZERO, NodeId(0), 10, &topo);
-        assert_eq!(m.deliver(end, id, NodeId(1), &topo), Delivery::Received);
+        let tx = m.begin_broadcast(SimTime::ZERO, NodeId(0), 10, &topo);
+        assert_eq!(
+            m.deliver(tx.end, tx.id, NodeId(1), &topo),
+            Delivery::Received
+        );
     }
 
     #[test]
@@ -243,19 +256,25 @@ mod tests {
         let topo = Topology::star(3);
         let mut m = Medium::new(no_loss_config(), 3, 1);
         // Two simultaneous senders, receiver hears both.
-        let (id0, end0) = m.begin_broadcast(SimTime::ZERO, NodeId(0), 10, &topo);
-        let (_id1, _) = m.begin_broadcast(SimTime::ZERO, NodeId(1), 10, &topo);
-        assert_eq!(m.deliver(end0, id0, NodeId(2), &topo), Delivery::Collision);
+        let tx0 = m.begin_broadcast(SimTime::ZERO, NodeId(0), 10, &topo);
+        let _tx1 = m.begin_broadcast(SimTime::ZERO, NodeId(1), 10, &topo);
+        assert_eq!(
+            m.deliver(tx0.end, tx0.id, NodeId(2), &topo),
+            Delivery::Collision
+        );
     }
 
     #[test]
     fn half_duplex_receiver_misses() {
         let topo = Topology::star(2);
         let mut m = Medium::new(no_loss_config(), 2, 1);
-        let (id0, end0) = m.begin_broadcast(SimTime::ZERO, NodeId(0), 10, &topo);
+        let tx0 = m.begin_broadcast(SimTime::ZERO, NodeId(0), 10, &topo);
         // Node 1 transmits while node 0's packet is in the air.
         let _ = m.begin_broadcast(SimTime::ZERO, NodeId(1), 10, &topo);
-        assert_eq!(m.deliver(end0, id0, NodeId(1), &topo), Delivery::Collision);
+        assert_eq!(
+            m.deliver(tx0.end, tx0.id, NodeId(1), &topo),
+            Delivery::Collision
+        );
     }
 
     #[test]
@@ -267,11 +286,17 @@ mod tests {
             ..MediumConfig::default()
         };
         let mut m = Medium::new(cfg, 3, 1);
-        let (id0, end0) = m.begin_broadcast(SimTime::ZERO, NodeId(0), 10, &topo);
-        let (id1, end1) = m.begin_broadcast(SimTime::ZERO, NodeId(1), 10, &topo);
-        assert!(end1 >= end0 + cfg.airtime(10), "second tx must defer");
-        assert_eq!(m.deliver(end0, id0, NodeId(2), &topo), Delivery::Received);
-        assert_eq!(m.deliver(end1, id1, NodeId(2), &topo), Delivery::Received);
+        let tx0 = m.begin_broadcast(SimTime::ZERO, NodeId(0), 10, &topo);
+        let tx1 = m.begin_broadcast(SimTime::ZERO, NodeId(1), 10, &topo);
+        assert!(tx1.end >= tx0.end + cfg.airtime(10), "second tx must defer");
+        assert_eq!(
+            m.deliver(tx0.end, tx0.id, NodeId(2), &topo),
+            Delivery::Received
+        );
+        assert_eq!(
+            m.deliver(tx1.end, tx1.id, NodeId(2), &topo),
+            Delivery::Received
+        );
     }
 
     #[test]
@@ -289,11 +314,11 @@ mod tests {
         let trials = 20_000;
         let mut t = SimTime::ZERO;
         for _ in 0..trials {
-            let (id, end) = m.begin_broadcast(t, NodeId(0), 10, &topo);
-            if m.deliver(end, id, NodeId(1), &topo) == Delivery::AppDrop {
+            let tx = m.begin_broadcast(t, NodeId(0), 10, &topo);
+            if m.deliver(tx.end, tx.id, NodeId(1), &topo) == Delivery::AppDrop {
                 dropped += 1;
             }
-            t = end + Duration::from_millis(10);
+            t = tx.end + Duration::from_millis(10);
         }
         let rate = dropped as f64 / trials as f64;
         assert!((rate - 0.3).abs() < 0.02, "measured drop rate {rate}");
@@ -303,8 +328,11 @@ mod tests {
     fn out_of_range_never_delivers() {
         let topo = Topology::line(3, 1.0);
         let mut m = Medium::new(no_loss_config(), 3, 1);
-        let (id, end) = m.begin_broadcast(SimTime::ZERO, NodeId(0), 10, &topo);
-        assert_eq!(m.deliver(end, id, NodeId(2), &topo), Delivery::PhyLoss);
+        let tx = m.begin_broadcast(SimTime::ZERO, NodeId(0), 10, &topo);
+        assert_eq!(
+            m.deliver(tx.end, tx.id, NodeId(2), &topo),
+            Delivery::PhyLoss
+        );
     }
 
     #[test]
@@ -321,11 +349,11 @@ mod tests {
         let trials = 20_000;
         let mut t = SimTime::ZERO;
         for _ in 0..trials {
-            let (id, end) = m.begin_broadcast(t, NodeId(0), 10, &topo);
-            if m.deliver(end, id, NodeId(1), &topo) == Delivery::Received {
+            let tx = m.begin_broadcast(t, NodeId(0), 10, &topo);
+            if m.deliver(tx.end, tx.id, NodeId(1), &topo) == Delivery::Received {
                 ok += 1;
             }
-            t = end + Duration::from_millis(10);
+            t = tx.end + Duration::from_millis(10);
         }
         let rate = ok as f64 / trials as f64;
         assert!((rate - 0.7).abs() < 0.02, "measured PRR {rate}");

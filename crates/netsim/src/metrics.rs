@@ -125,6 +125,38 @@ impl Metrics {
     pub fn dissemination_latency(&self) -> Option<SimTime> {
         self.completion.values().copied().max()
     }
+
+    /// Renders the counters as one JSON object, in the shape of a trace
+    /// event (`"ev":"metrics"`). Appending it to a JSONL run trace gives
+    /// the log a closing summary line that tools can key on.
+    pub fn to_trace_json(&self, at: SimTime) -> String {
+        let mut kinds = String::new();
+        for kind in PacketKind::ALL {
+            if !kinds.is_empty() {
+                kinds.push(',');
+            }
+            kinds.push_str(&format!(
+                r#""{}":{{"pkts":{},"bytes":{}}}"#,
+                kind.label(),
+                self.tx_packets(kind),
+                self.tx_bytes(kind)
+            ));
+        }
+        format!(
+            concat!(
+                r#"{{"t":{},"ev":"metrics","tx":{{{}}},"rx_pkts":{},"rx_bytes":{},"#,
+                r#""lost_phy":{},"lost_collision":{},"lost_app":{},"completed":{}}}"#
+            ),
+            at.as_micros(),
+            kinds,
+            self.rx_packets,
+            self.rx_bytes,
+            self.lost_phy,
+            self.lost_collision,
+            self.lost_app,
+            self.completion.len()
+        )
+    }
 }
 
 #[cfg(test)]
@@ -165,5 +197,20 @@ mod tests {
         assert_eq!(m.phy_losses(), 1);
         assert_eq!(m.collision_losses(), 1);
         assert_eq!(m.app_drops(), 2);
+    }
+
+    #[test]
+    fn trace_json_summary_shape() {
+        let mut m = Metrics::new();
+        m.count_tx(PacketKind::Data, 80);
+        m.count_rx(80);
+        m.count_app_drop();
+        m.record_completion(NodeId(1), SimTime(5));
+        let line = m.to_trace_json(SimTime(123));
+        assert!(line.starts_with(r#"{"t":123,"ev":"metrics","#), "{line}");
+        assert!(line.contains(r#""data":{"pkts":1,"bytes":80}"#), "{line}");
+        assert!(line.contains(r#""lost_app":1"#), "{line}");
+        assert!(line.contains(r#""completed":1"#), "{line}");
+        assert!(line.ends_with('}'), "{line}");
     }
 }

@@ -6,7 +6,7 @@
 //! (re)arming timers through the [`Context`].
 
 use crate::time::{Duration, SimTime};
-use rand::rngs::StdRng;
+use lrs_rng::DetRng;
 
 /// A node identifier (index into the topology's node list).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
@@ -76,6 +76,7 @@ pub(crate) enum Action {
     Broadcast { kind: PacketKind, data: Vec<u8> },
     SetTimer { timer: TimerId, delay: Duration },
     CancelTimer { timer: TimerId },
+    Note { label: &'static str, a: u64, b: u64 },
 }
 
 /// The environment handed to every protocol callback.
@@ -84,7 +85,7 @@ pub struct Context<'a> {
     pub now: SimTime,
     /// The node being executed.
     pub id: NodeId,
-    pub(crate) rng: &'a mut StdRng,
+    pub(crate) rng: &'a mut DetRng,
     pub(crate) actions: &'a mut Vec<Action>,
     /// Airtime per byte, for protocols that pace their transmissions.
     pub(crate) us_per_byte: u64,
@@ -111,8 +112,16 @@ impl<'a> Context<'a> {
     }
 
     /// This node's deterministic random stream.
-    pub fn rng(&mut self) -> &mut StdRng {
+    pub fn rng(&mut self) -> &mut DetRng {
         self.rng
+    }
+
+    /// Emits a protocol-level trace annotation (SNACK round, page
+    /// completion, scheduler decision, …). Purely observational: the
+    /// event reaches an attached [`TraceSink`](crate::trace::TraceSink)
+    /// and is otherwise dropped, so noting never changes a run.
+    pub fn note(&mut self, label: &'static str, a: u64, b: u64) {
+        self.actions.push(Action::Note { label, a, b });
     }
 
     /// Time a packet of `bytes` occupies the channel.
@@ -147,7 +156,7 @@ mod tests {
 
     #[test]
     fn airtime_formula() {
-        let mut rng = <StdRng as rand::SeedableRng>::seed_from_u64(0);
+        let mut rng = DetRng::seed_from_u64(0);
         let mut actions = Vec::new();
         let ctx = Context {
             now: SimTime::ZERO,
@@ -162,7 +171,7 @@ mod tests {
 
     #[test]
     fn actions_queue_in_order() {
-        let mut rng = <StdRng as rand::SeedableRng>::seed_from_u64(0);
+        let mut rng = DetRng::seed_from_u64(0);
         let mut actions = Vec::new();
         let mut ctx = Context {
             now: SimTime::ZERO,
@@ -177,8 +186,17 @@ mod tests {
         ctx.cancel_timer(TimerId(7));
         assert_eq!(actions.len(), 3);
         assert!(matches!(actions[0], Action::Broadcast { .. }));
-        assert!(matches!(actions[1], Action::SetTimer { timer: TimerId(7), .. }));
-        assert!(matches!(actions[2], Action::CancelTimer { timer: TimerId(7) }));
+        assert!(matches!(
+            actions[1],
+            Action::SetTimer {
+                timer: TimerId(7),
+                ..
+            }
+        ));
+        assert!(matches!(
+            actions[2],
+            Action::CancelTimer { timer: TimerId(7) }
+        ));
     }
 
     #[test]

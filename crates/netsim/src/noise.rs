@@ -11,8 +11,7 @@
 //! exact sample path.
 
 use crate::time::SimTime;
-use rand::rngs::StdRng;
-use rand::Rng;
+use lrs_rng::DetRng;
 
 /// Noise model selection.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -74,7 +73,7 @@ impl NoiseState {
     /// PRR multiplier in effect at time `now`.
     ///
     /// Advances the Markov chain lazily using `rng` for sojourn draws.
-    pub fn factor_at(&mut self, now: SimTime, rng: &mut StdRng) -> f64 {
+    pub fn factor_at(&mut self, now: SimTime, rng: &mut DetRng) -> f64 {
         let BurstyNoise {
             mean_quiet_us,
             mean_noisy_us,
@@ -85,7 +84,11 @@ impl NoiseState {
         };
         while self.until <= now {
             self.noisy = !self.noisy;
-            let mean = if self.noisy { mean_noisy_us } else { mean_quiet_us };
+            let mean = if self.noisy {
+                mean_noisy_us
+            } else {
+                mean_quiet_us
+            };
             let sojourn = exp_sample(mean, rng);
             self.until = SimTime(self.until.0 + sojourn.max(1));
         }
@@ -98,7 +101,7 @@ impl NoiseState {
 }
 
 /// Exponential sample with the given mean (µs).
-fn exp_sample(mean_us: u64, rng: &mut StdRng) -> u64 {
+fn exp_sample(mean_us: u64, rng: &mut DetRng) -> u64 {
     let u: f64 = rng.gen_range(f64::EPSILON..1.0);
     (-(u.ln()) * mean_us as f64) as u64
 }
@@ -106,12 +109,11 @@ fn exp_sample(mean_us: u64, rng: &mut StdRng) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn none_model_always_one() {
         let mut st = NoiseState::new(NoiseModel::None);
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = DetRng::seed_from_u64(0);
         for t in [0u64, 1_000_000, 100_000_000] {
             assert_eq!(st.factor_at(SimTime(t), &mut rng), 1.0);
         }
@@ -121,7 +123,7 @@ mod tests {
     fn bursty_long_run_fraction_close_to_nominal() {
         let model = BurstyNoise::heavy();
         let mut st = NoiseState::new(NoiseModel::Bursty(model));
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = DetRng::seed_from_u64(42);
         let mut noisy_samples = 0usize;
         let total = 200_000usize;
         for i in 0..total {
@@ -145,7 +147,7 @@ mod tests {
         // (that is the point of modeling bursts, not i.i.d. noise).
         let model = BurstyNoise::heavy();
         let mut st = NoiseState::new(NoiseModel::Bursty(model));
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = DetRng::seed_from_u64(7);
         let mut agree = 0usize;
         let mut last = st.factor_at(SimTime(0), &mut rng);
         let total = 50_000usize;
@@ -164,10 +166,12 @@ mod tests {
 
     #[test]
     fn exp_sample_mean_reasonable() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = DetRng::seed_from_u64(1);
         let n = 20_000;
-        let mean: f64 =
-            (0..n).map(|_| exp_sample(1000, &mut rng) as f64).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| exp_sample(1000, &mut rng) as f64)
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 1000.0).abs() < 50.0, "mean {mean}");
     }
 }

@@ -7,8 +7,8 @@ use crate::metrics::Metrics;
 use crate::node::{Action, Context, NodeId, Protocol};
 use crate::time::{Duration, SimTime};
 use crate::topology::Topology;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use crate::trace::{LossCause, TraceEvent, TraceSink};
+use lrs_rng::DetRng;
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -36,7 +36,7 @@ pub struct Simulator<P: Protocol> {
     medium: Medium,
     queue: EventQueue,
     protocols: Vec<Option<P>>,
-    rngs: Vec<StdRng>,
+    rngs: Vec<DetRng>,
     timer_gens: HashMap<(u32, u32), u64>,
     metrics: Metrics,
     energy: EnergyLedger,
@@ -46,6 +46,8 @@ pub struct Simulator<P: Protocol> {
     failed: Vec<bool>,
     /// Pending failure times, applied as virtual time passes.
     failures: Vec<(NodeId, SimTime)>,
+    /// Optional structured event sink (purely observational).
+    trace: Option<Box<dyn TraceSink>>,
 }
 
 impl<P: Protocol> Simulator<P> {
@@ -61,7 +63,7 @@ impl<P: Protocol> Simulator<P> {
         let medium = Medium::new(config.medium, n, seed);
         let protocols: Vec<Option<P>> = (0..n).map(|i| Some(make_node(NodeId(i as u32)))).collect();
         let rngs = (0..n)
-            .map(|i| StdRng::seed_from_u64(seed.wrapping_mul(0x9e3779b97f4a7c15) ^ (i as u64)))
+            .map(|i| DetRng::seed_from_u64(seed.wrapping_mul(0x9e3779b97f4a7c15) ^ (i as u64)))
             .collect();
         Simulator {
             topology,
@@ -76,6 +78,30 @@ impl<P: Protocol> Simulator<P> {
             complete: vec![false; n],
             failed: vec![false; n],
             failures: Vec::new(),
+            trace: None,
+        }
+    }
+
+    /// Attaches a structured-event sink. Sinks observe the run; they can
+    /// never alter it, so metrics and outcome are identical with or
+    /// without one.
+    pub fn set_trace(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace = Some(sink);
+    }
+
+    /// Detaches and returns the current trace sink (flushed), if any.
+    pub fn take_trace(&mut self) -> Option<Box<dyn TraceSink>> {
+        let mut sink = self.trace.take();
+        if let Some(s) = sink.as_mut() {
+            s.flush();
+        }
+        sink
+    }
+
+    #[inline]
+    fn emit(&mut self, event: TraceEvent) {
+        if let Some(sink) = self.trace.as_mut() {
+            sink.record(&event);
         }
     }
 
@@ -160,29 +186,63 @@ impl<P: Protocol> Simulator<P> {
             self.now = at;
             self.apply_due_failures();
             match event {
-                Event::Deliver { to, from, data, kind, tx_id } => {
+                Event::Deliver {
+                    to,
+                    from,
+                    data,
+                    kind,
+                    tx_id,
+                } => {
                     if self.failed[to.index()] {
                         continue;
                     }
                     let outcome = self.medium.deliver(self.now, tx_id, to, &self.topology);
+                    let loss = |cause| TraceEvent::Loss {
+                        at,
+                        to,
+                        from,
+                        kind,
+                        cause,
+                        tx_id,
+                    };
                     match outcome {
                         Delivery::Received => {
                             self.metrics.count_rx(data.len());
                             self.energy.record_rx(to, data.len());
-                            let _ = kind;
-                            self.with_node(to.index(), |node, ctx| node.on_packet(ctx, from, &data));
+                            self.emit(TraceEvent::Rx {
+                                at,
+                                to,
+                                from,
+                                kind,
+                                bytes: data.len(),
+                                tx_id,
+                            });
+                            self.with_node(to.index(), |node, ctx| {
+                                node.on_packet(ctx, from, &data)
+                            });
                         }
-                        Delivery::Collision => self.metrics.count_collision(),
-                        Delivery::PhyLoss => self.metrics.count_phy_loss(),
+                        Delivery::Collision => {
+                            self.metrics.count_collision();
+                            self.emit(loss(LossCause::Collision));
+                        }
+                        Delivery::PhyLoss => {
+                            self.metrics.count_phy_loss();
+                            self.emit(loss(LossCause::Phy));
+                        }
                         Delivery::AppDrop => {
                             // The radio decoded the packet; the drop is an
                             // application-layer event (energy still paid).
                             self.energy.record_rx(to, data.len());
-                            self.metrics.count_app_drop()
+                            self.metrics.count_app_drop();
+                            self.emit(loss(LossCause::AppDrop));
                         }
                     }
                 }
-                Event::Timer { node, timer, generation } => {
+                Event::Timer {
+                    node,
+                    timer,
+                    generation,
+                } => {
                     if self.failed[node.index()] {
                         continue;
                     }
@@ -192,6 +252,7 @@ impl<P: Protocol> Simulator<P> {
                         .copied()
                         .unwrap_or(0);
                     if generation == current {
+                        self.emit(TraceEvent::TimerFired { at, node, timer });
                         self.with_node(node.index(), |n, ctx| n.on_timer(ctx, timer));
                     }
                 }
@@ -220,6 +281,10 @@ impl<P: Protocol> Simulator<P> {
                     if p.is_complete() {
                         self.complete[i] = true;
                         self.metrics.record_completion(NodeId(i as u32), self.now);
+                        self.emit(TraceEvent::NodeComplete {
+                            at: self.now,
+                            node: NodeId(i as u32),
+                        });
                     }
                 }
             }
@@ -247,6 +312,10 @@ impl<P: Protocol> Simulator<P> {
         if !self.complete[i] && node.is_complete() {
             self.complete[i] = true;
             self.metrics.record_completion(NodeId(i as u32), self.now);
+            self.emit(TraceEvent::NodeComplete {
+                at: self.now,
+                node: NodeId(i as u32),
+            });
         }
         self.protocols[i] = Some(node);
         for action in actions {
@@ -262,19 +331,26 @@ impl<P: Protocol> Simulator<P> {
                 }
                 self.metrics.count_tx(kind, data.len());
                 self.energy.record_tx(from, data.len());
-                let (tx_id, end) =
-                    self.medium
-                        .begin_broadcast(self.now, from, data.len(), &self.topology);
+                let tx = self
+                    .medium
+                    .begin_broadcast(self.now, from, data.len(), &self.topology);
+                self.emit(TraceEvent::Tx {
+                    at: tx.start,
+                    from,
+                    kind,
+                    bytes: data.len(),
+                    tx_id: tx.id,
+                });
                 let shared = Rc::new(data);
                 for link in self.topology.links_from(from) {
                     self.queue.push(
-                        end,
+                        tx.end,
                         Event::Deliver {
                             to: link.to,
                             from,
                             data: Rc::clone(&shared),
                             kind,
-                            tx_id,
+                            tx_id: tx.id,
                         },
                     );
                 }
@@ -294,6 +370,15 @@ impl<P: Protocol> Simulator<P> {
             Action::CancelTimer { timer } => {
                 // Bumping the generation invalidates any pending event.
                 *self.timer_gens.entry((from.0, timer.0)).or_insert(0) += 1;
+            }
+            Action::Note { label, a, b } => {
+                self.emit(TraceEvent::Note {
+                    at: self.now,
+                    node: from,
+                    label,
+                    a,
+                    b,
+                });
             }
         }
     }
@@ -330,16 +415,11 @@ mod tests {
     }
 
     fn pinger_sim(seed: u64) -> Simulator<Pinger> {
-        Simulator::new(
-            Topology::star(4),
-            SimConfig::default(),
-            seed,
-            |id| Pinger {
-                is_source: id == NodeId(0),
-                pings_heard: 0,
-                goal: 3,
-            },
-        )
+        Simulator::new(Topology::star(4), SimConfig::default(), seed, |id| Pinger {
+            is_source: id == NodeId(0),
+            pings_heard: 0,
+            goal: 3,
+        })
     }
 
     #[test]
@@ -390,12 +470,9 @@ mod tests {
 
     #[test]
     fn rearmed_timer_fires_once() {
-        let mut sim = Simulator::new(
-            Topology::star(1),
-            SimConfig::default(),
-            0,
-            |_| Rearmer { fires: 0 },
-        );
+        let mut sim = Simulator::new(Topology::star(1), SimConfig::default(), 0, |_| Rearmer {
+            fires: 0,
+        });
         let _ = sim.run(Duration::from_secs(10));
         assert_eq!(sim.node(NodeId(0)).fires, 1);
     }
@@ -420,12 +497,9 @@ mod tests {
 
     #[test]
     fn canceled_timer_never_fires() {
-        let mut sim = Simulator::new(
-            Topology::star(1),
-            SimConfig::default(),
-            0,
-            |_| Canceler { fires: 0 },
-        );
+        let mut sim = Simulator::new(Topology::star(1), SimConfig::default(), 0, |_| Canceler {
+            fires: 0,
+        });
         let _ = sim.run(Duration::from_secs(10));
         assert_eq!(sim.node(NodeId(0)).fires, 0);
     }

@@ -69,6 +69,9 @@ impl Duration {
     }
 
     /// Multiplies the span by an integer factor.
+    // Scalar scaling, not `Duration * Duration`; the `std::ops::Mul` name
+    // clash is intentional.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, factor: u64) -> Duration {
         Duration(self.0 * factor)
     }

@@ -9,8 +9,7 @@
 //! TinyOS topology tool itself does from a propagation model.
 
 use crate::node::NodeId;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lrs_rng::DetRng;
 
 /// A node position in meters.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -91,7 +90,7 @@ impl Topology {
     ///
     /// Per-link shadowing jitter is sampled deterministically from `seed`.
     pub fn from_positions(positions: Vec<Position>, model: LinkModel, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x7090_70e0);
+        let mut rng = DetRng::seed_from_u64(seed ^ 0x7090_70e0);
         let n = positions.len();
         let mut links = vec![Vec::new(); n];
         for i in 0..n {
@@ -154,15 +153,15 @@ impl Topology {
             })
             .collect::<Vec<_>>();
         let mut links = vec![Vec::new(); n];
-        for i in 0..n {
+        for (i, node_links) in links.iter_mut().enumerate() {
             if i > 0 {
-                links[i].push(Link {
+                node_links.push(Link {
                     to: NodeId(i as u32 - 1),
                     prr,
                 });
             }
             if i + 1 < n {
-                links[i].push(Link {
+                node_links.push(Link {
                     to: NodeId(i as u32 + 1),
                     prr,
                 });
@@ -188,7 +187,7 @@ impl Topology {
 
     /// `n` nodes placed uniformly at random in a `width × height` area.
     pub fn random(n: usize, width: f64, height: f64, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = DetRng::seed_from_u64(seed);
         let positions = (0..n)
             .map(|_| Position {
                 x: rng.gen::<f64>() * width,
@@ -242,14 +241,14 @@ impl Topology {
             let mut stack = vec![start];
             seen[start] = true;
             while let Some(u) = stack.pop() {
-                for v in 0..self.positions.len() {
+                for (v, seen_v) in seen.iter_mut().enumerate() {
                     let connected = if reverse {
                         self.links[v].iter().any(|l| l.to.index() == u)
                     } else {
                         self.links[u].iter().any(|l| l.to.index() == v)
                     };
-                    if connected && !seen[v] {
-                        seen[v] = true;
+                    if connected && !*seen_v {
+                        *seen_v = true;
                         stack.push(v);
                     }
                 }

@@ -1,0 +1,415 @@
+//! Structured run tracing.
+//!
+//! A [`TraceSink`] attached to a [`Simulator`](crate::sim::Simulator)
+//! receives one [`TraceEvent`] per interesting simulator transition:
+//! every transmission, reception, loss (with its cause), timer firing,
+//! node completion, and protocol-level note (SNACK rounds, page
+//! completions, scheduler decisions). A stalled or divergent run can
+//! then be diagnosed from its event log instead of rerun under a
+//! debugger.
+//!
+//! Tracing is strictly observational: sinks receive shared references
+//! and cannot influence the event stream, so attaching one never
+//! changes metrics or outcome.
+//!
+//! Two sinks are provided: [`RingTrace`], a bounded in-memory ring
+//! buffer that keeps the most recent events (the default choice for
+//! post-mortem inspection in tests), and [`JsonlTrace`], which streams
+//! every event as one JSON object per line for offline analysis.
+
+use crate::node::{NodeId, PacketKind, TimerId};
+use crate::time::SimTime;
+use std::collections::VecDeque;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// Why a delivery failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LossCause {
+    /// Overlapping transmissions at the receiver.
+    Collision,
+    /// Independent per-link packet-reception-rate loss.
+    Phy,
+    /// Application-layer drop (queue overflow model).
+    AppDrop,
+}
+
+impl LossCause {
+    /// Stable lowercase label used in JSONL output.
+    pub fn label(self) -> &'static str {
+        match self {
+            LossCause::Collision => "collision",
+            LossCause::Phy => "phy",
+            LossCause::AppDrop => "app_drop",
+        }
+    }
+}
+
+/// One structured simulator event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A node began a broadcast (time is the post-CSMA on-air start).
+    Tx {
+        /// On-air start time (after any CSMA backoff).
+        at: SimTime,
+        /// Transmitting node.
+        from: NodeId,
+        /// Packet kind.
+        kind: PacketKind,
+        /// Payload length in bytes.
+        bytes: usize,
+        /// Transmission id correlating [`TraceEvent::Rx`]/[`TraceEvent::Loss`] entries.
+        tx_id: u64,
+    },
+    /// A receiver decoded the packet and passed it to the protocol.
+    Rx {
+        /// Delivery time.
+        at: SimTime,
+        /// Receiving node.
+        to: NodeId,
+        /// Transmitting node.
+        from: NodeId,
+        /// Packet kind.
+        kind: PacketKind,
+        /// Payload length in bytes.
+        bytes: usize,
+        /// Transmission id.
+        tx_id: u64,
+    },
+    /// A delivery failed at one receiver.
+    Loss {
+        /// Time of the (failed) delivery.
+        at: SimTime,
+        /// Intended receiver.
+        to: NodeId,
+        /// Transmitting node.
+        from: NodeId,
+        /// Packet kind.
+        kind: PacketKind,
+        /// Why it was lost.
+        cause: LossCause,
+        /// Transmission id.
+        tx_id: u64,
+    },
+    /// A live timer fired.
+    TimerFired {
+        /// Firing time.
+        at: SimTime,
+        /// Owning node.
+        node: NodeId,
+        /// Which timer.
+        timer: TimerId,
+    },
+    /// A node reported dissemination completion.
+    NodeComplete {
+        /// Completion time.
+        at: SimTime,
+        /// The node.
+        node: NodeId,
+    },
+    /// A protocol-level annotation (SNACK round, page completion,
+    /// scheduler decision, …) emitted via
+    /// [`Context::note`](crate::node::Context::note).
+    Note {
+        /// Emission time.
+        at: SimTime,
+        /// Emitting node.
+        node: NodeId,
+        /// Stable event label (e.g. `"snack"`, `"page_complete"`).
+        label: &'static str,
+        /// First label-specific argument.
+        a: u64,
+        /// Second label-specific argument.
+        b: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The event's time stamp.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            TraceEvent::Tx { at, .. }
+            | TraceEvent::Rx { at, .. }
+            | TraceEvent::Loss { at, .. }
+            | TraceEvent::TimerFired { at, .. }
+            | TraceEvent::NodeComplete { at, .. }
+            | TraceEvent::Note { at, .. } => at,
+        }
+    }
+
+    /// Renders the event as a single JSON object (no trailing newline).
+    /// Times are microseconds of virtual time.
+    pub fn to_json(&self) -> String {
+        match *self {
+            TraceEvent::Tx {
+                at,
+                from,
+                kind,
+                bytes,
+                tx_id,
+            } => format!(
+                r#"{{"t":{},"ev":"tx","node":{},"kind":"{}","bytes":{},"tx":{}}}"#,
+                at.as_micros(),
+                from.0,
+                kind.label(),
+                bytes,
+                tx_id
+            ),
+            TraceEvent::Rx {
+                at,
+                to,
+                from,
+                kind,
+                bytes,
+                tx_id,
+            } => format!(
+                r#"{{"t":{},"ev":"rx","node":{},"from":{},"kind":"{}","bytes":{},"tx":{}}}"#,
+                at.as_micros(),
+                to.0,
+                from.0,
+                kind.label(),
+                bytes,
+                tx_id
+            ),
+            TraceEvent::Loss {
+                at,
+                to,
+                from,
+                kind,
+                cause,
+                tx_id,
+            } => format!(
+                r#"{{"t":{},"ev":"loss","node":{},"from":{},"kind":"{}","cause":"{}","tx":{}}}"#,
+                at.as_micros(),
+                to.0,
+                from.0,
+                kind.label(),
+                cause.label(),
+                tx_id
+            ),
+            TraceEvent::TimerFired { at, node, timer } => format!(
+                r#"{{"t":{},"ev":"timer","node":{},"timer":{}}}"#,
+                at.as_micros(),
+                node.0,
+                timer.0
+            ),
+            TraceEvent::NodeComplete { at, node } => format!(
+                r#"{{"t":{},"ev":"complete","node":{}}}"#,
+                at.as_micros(),
+                node.0
+            ),
+            TraceEvent::Note {
+                at,
+                node,
+                label,
+                a,
+                b,
+            } => format!(
+                r#"{{"t":{},"ev":"note","node":{},"label":"{}","a":{},"b":{}}}"#,
+                at.as_micros(),
+                node.0,
+                label,
+                a,
+                b
+            ),
+        }
+    }
+}
+
+/// Receives the structured event stream of a simulation run.
+pub trait TraceSink {
+    /// Called once per simulator event, in virtual-time order.
+    fn record(&mut self, event: &TraceEvent);
+
+    /// Flushes any buffered output (no-op by default).
+    fn flush(&mut self) {}
+}
+
+/// Bounded in-memory sink keeping the most recent `capacity` events.
+///
+/// The bound makes it safe to leave attached on long runs: memory use
+/// is `O(capacity)` regardless of run length, and the tail of the event
+/// stream — the part that explains a stall — is what survives.
+#[derive(Debug)]
+pub struct RingTrace {
+    capacity: usize,
+    /// Events seen over the whole run, including evicted ones.
+    seen: u64,
+    buf: VecDeque<TraceEvent>,
+}
+
+impl RingTrace {
+    /// A ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        RingTrace {
+            capacity: capacity.max(1),
+            seen: 0,
+            buf: VecDeque::new(),
+        }
+    }
+
+    /// Total events recorded over the run (including evicted ones).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+impl Default for RingTrace {
+    /// A ring with a 4096-event window.
+    fn default() -> Self {
+        RingTrace::new(4096)
+    }
+}
+
+impl TraceSink for RingTrace {
+    fn record(&mut self, event: &TraceEvent) {
+        self.seen += 1;
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(event.clone());
+    }
+}
+
+/// Streams every event as one JSON object per line (JSON Lines).
+pub struct JsonlTrace<W: Write> {
+    out: BufWriter<W>,
+    lines: u64,
+}
+
+impl JsonlTrace<std::fs::File> {
+    /// Creates (truncating) `path` and streams events into it.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(JsonlTrace::new(std::fs::File::create(path)?))
+    }
+}
+
+impl<W: Write> JsonlTrace<W> {
+    /// Wraps any writer.
+    pub fn new(out: W) -> Self {
+        JsonlTrace {
+            out: BufWriter::new(out),
+            lines: 0,
+        }
+    }
+
+    /// Lines written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Flushes and returns the inner writer.
+    pub fn into_inner(self) -> io::Result<W> {
+        self.out.into_inner().map_err(|e| e.into_error())
+    }
+}
+
+impl<W: Write> TraceSink for JsonlTrace<W> {
+    fn record(&mut self, event: &TraceEvent) {
+        // Trace output is best-effort diagnostics; an I/O error must not
+        // abort the simulation it observes.
+        let _ = writeln!(self.out, "{}", event.to_json());
+        self.lines += 1;
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(i: u64) -> TraceEvent {
+        TraceEvent::Note {
+            at: SimTime::ZERO,
+            node: NodeId(0),
+            label: "test",
+            a: i,
+            b: 0,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_most_recent() {
+        let mut ring = RingTrace::new(3);
+        for i in 0..10 {
+            ring.record(&ev(i));
+        }
+        assert_eq!(ring.seen(), 10);
+        assert_eq!(ring.len(), 3);
+        let kept: Vec<u64> = ring
+            .events()
+            .map(|e| match e {
+                TraceEvent::Note { a, .. } => *a,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(kept, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn ring_capacity_floor_is_one() {
+        let mut ring = RingTrace::new(0);
+        ring.record(&ev(1));
+        ring.record(&ev(2));
+        assert_eq!(ring.len(), 1);
+    }
+
+    #[test]
+    fn jsonl_emits_one_line_per_event() {
+        let mut sink = JsonlTrace::new(Vec::new());
+        sink.record(&TraceEvent::Tx {
+            at: SimTime::ZERO + crate::time::Duration::from_micros(42),
+            from: NodeId(3),
+            kind: PacketKind::Data,
+            bytes: 90,
+            tx_id: 7,
+        });
+        sink.record(&TraceEvent::Loss {
+            at: SimTime::ZERO,
+            to: NodeId(1),
+            from: NodeId(3),
+            kind: PacketKind::Data,
+            cause: LossCause::Collision,
+            tx_id: 7,
+        });
+        assert_eq!(sink.lines(), 2);
+        let text = String::from_utf8(sink.into_inner().unwrap()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains(r#""ev":"tx""#) && lines[0].contains(r#""t":42"#));
+        assert!(lines[1].contains(r#""cause":"collision""#));
+        // Every line is a self-contained object.
+        for l in lines {
+            assert!(l.starts_with('{') && l.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn event_json_labels_are_stable() {
+        let e = TraceEvent::NodeComplete {
+            at: SimTime::ZERO,
+            node: NodeId(9),
+        };
+        assert_eq!(e.to_json(), r#"{"t":0,"ev":"complete","node":9}"#);
+        assert_eq!(LossCause::Phy.label(), "phy");
+        assert_eq!(LossCause::AppDrop.label(), "app_drop");
+    }
+}

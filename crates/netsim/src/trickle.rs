@@ -12,8 +12,7 @@
 //! timers and feed it heard advertisements.
 
 use crate::time::Duration;
-use rand::rngs::StdRng;
-use rand::Rng;
+use lrs_rng::DetRng;
 
 /// Trickle parameters.
 #[derive(Clone, Copy, Debug)]
@@ -65,7 +64,7 @@ impl Trickle {
 
     /// Begins a new interval: resets the redundancy counter and picks the
     /// advertisement point `t ∈ [I/2, I)`.
-    pub fn begin_interval(&mut self, rng: &mut StdRng) -> IntervalPlan {
+    pub fn begin_interval(&mut self, rng: &mut DetRng) -> IntervalPlan {
         self.heard = 0;
         let half = self.interval.half().as_micros().max(1);
         let fire_in = Duration::from_micros(half + rng.gen_range(0..half));
@@ -112,7 +111,6 @@ impl Trickle {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn cfg() -> TrickleConfig {
         TrickleConfig {
@@ -125,7 +123,7 @@ mod tests {
     #[test]
     fn fire_point_in_second_half() {
         let mut t = Trickle::new(cfg());
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = DetRng::seed_from_u64(3);
         for _ in 0..100 {
             let plan = t.begin_interval(&mut rng);
             assert!(plan.fire_in >= plan.interval.half());
@@ -159,7 +157,7 @@ mod tests {
     #[test]
     fn suppression_after_k_heard() {
         let mut t = Trickle::new(cfg());
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = DetRng::seed_from_u64(0);
         let _ = t.begin_interval(&mut rng);
         assert!(!t.suppress());
         t.heard_consistent();

@@ -77,5 +77,9 @@ fn energy_split_matches_byte_counters() {
     // packets still in flight when the deadline stops the run.
     let rx_total = sim.energy().rx_bytes(NodeId(1)) + sim.energy().rx_bytes(NodeId(2));
     assert!(rx_total <= 2 * tx);
-    assert!(rx_total + 2 * 16 * 2 >= 2 * tx, "rx {rx_total} vs 2tx {}", 2 * tx);
+    assert!(
+        rx_total + 2 * 16 * 2 >= 2 * tx,
+        "rx {rx_total} vs 2tx {}",
+        2 * tx
+    );
 }

@@ -71,7 +71,8 @@ impl SelugeParams {
 
     /// Hash-page chunk length in bytes.
     pub fn chunk_len(&self) -> usize {
-        self.hash_page_len().div_ceil(self.hash_page_chunks as usize)
+        self.hash_page_len()
+            .div_ceil(self.hash_page_chunks as usize)
     }
 
     /// Merkle tree depth over the hash-page chunks.
@@ -171,10 +172,8 @@ impl SelugeArtifacts {
         let mut puzzle_msg = signed.0.to_vec();
         puzzle_msg.extend_from_slice(&signature.to_bytes());
         let puzzle_sol = {
-            let puzzle = lrs_crypto::puzzle::Puzzle::new(
-                puzzle_chain.anchor(),
-                params.puzzle_strength,
-            );
+            let puzzle =
+                lrs_crypto::puzzle::Puzzle::new(puzzle_chain.anchor(), params.puzzle_strength);
             puzzle_chain.solve(&puzzle, params.version as u32, &puzzle_msg)
         };
 
@@ -214,7 +213,9 @@ impl SelugeArtifacts {
     }
 
     /// Splits a signature body into `(root, signature, puzzle solution)`.
-    pub fn parse_signature_body(body: &[u8]) -> Option<(Digest, [u8; SIGNATURE_LEN], PuzzleSolution)> {
+    pub fn parse_signature_body(
+        body: &[u8],
+    ) -> Option<(Digest, [u8; SIGNATURE_LEN], PuzzleSolution)> {
         if body.len() != Self::signature_body_len() {
             return None;
         }
@@ -279,7 +280,9 @@ mod tests {
 
     fn build() -> (SelugeArtifacts, Vec<u8>, Keypair, PuzzleKeyChain) {
         let params = small_params();
-        let image: Vec<u8> = (0..params.image_len as u32).map(|i| (i % 253) as u8).collect();
+        let image: Vec<u8> = (0..params.image_len as u32)
+            .map(|i| (i % 253) as u8)
+            .collect();
         let kp = Keypair::from_seed(b"bs");
         let chain = PuzzleKeyChain::generate(b"puzzles", 4);
         let art = SelugeArtifacts::build(&image, params, &kp, &chain);
@@ -309,7 +312,7 @@ mod tests {
                 let packet = art.page_packet(i, j);
                 let embedded = &packet[p.slice_len..];
                 let next = art.page_packet(i + 1, j);
-                let expected = packet_hash(p.version, (i + 1) as u16 + 2, j, next);
+                let expected = packet_hash(p.version, (i + 1) + 2, j, next);
                 assert_eq!(embedded, expected.0, "page {i} packet {j}");
             }
         }

@@ -7,12 +7,12 @@
 
 use crate::packet_hash;
 use crate::preprocess::{SelugeArtifacts, SelugeParams};
-use lrs_deluge::engine::{CryptoCost, PacketDisposition, Scheme};
-use lrs_deluge::wire::BitVec;
 use lrs_crypto::hash::{Digest, HashImage, HASH_IMAGE_LEN};
 use lrs_crypto::merkle::MerkleProof;
 use lrs_crypto::puzzle::Puzzle;
 use lrs_crypto::schnorr::{PublicKey, Signature};
+use lrs_deluge::engine::{CryptoCost, PacketDisposition, Scheme};
+use lrs_deluge::wire::BitVec;
 use lrs_netsim::node::PacketKind;
 
 /// Per-node Seluge state (base station or receiver).
@@ -113,7 +113,10 @@ impl SelugeScheme {
         self.cost.hashes += self.params.version as u64 + 1;
         let mut puzzle_msg = signed.0.to_vec();
         puzzle_msg.extend_from_slice(&sig_bytes);
-        if !self.puzzle.verify(self.params.version as u32, &puzzle_msg, &sol) {
+        if !self
+            .puzzle
+            .verify(self.params.version as u32, &puzzle_msg, &sol)
+        {
             return PacketDisposition::Rejected;
         }
         // Only now the expensive verification.

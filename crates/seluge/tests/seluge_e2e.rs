@@ -55,7 +55,12 @@ fn make_node(s: &Setup, id: NodeId) -> SelugeNode {
     } else {
         SelugeScheme::receiver(s.params, s.pubkey, s.puzzle)
     };
-    DisseminationNode::new(scheme, UnionPolicy::new(), s.key.clone(), EngineConfig::default())
+    DisseminationNode::new(
+        scheme,
+        UnionPolicy::new(),
+        s.key.clone(),
+        EngineConfig::default(),
+    )
 }
 
 #[test]
@@ -80,12 +85,9 @@ fn one_hop_secure_dissemination() {
 #[test]
 fn multi_hop_secure_dissemination() {
     let s = setup(1_200);
-    let mut sim = Simulator::new(
-        Topology::line(4, 0.9),
-        SimConfig::default(),
-        5,
-        |id| make_node(&s, id),
-    );
+    let mut sim = Simulator::new(Topology::line(4, 0.9), SimConfig::default(), 5, |id| {
+        make_node(&s, id)
+    });
     let report = sim.run(Duration::from_secs(3_600));
     assert!(report.all_complete, "stalled at {:?}", report.final_time);
     for i in 1..4u32 {
@@ -179,7 +181,10 @@ fn forged_control_packets_rejected_by_mac() {
         assert_eq!(node.scheme().image().unwrap(), s.image);
         mac_rejects += node.stats().mac_rejects;
     }
-    assert!(mac_rejects > 0, "forged advertisements must be MAC-rejected");
+    assert!(
+        mac_rejects > 0,
+        "forged advertisements must be MAC-rejected"
+    );
 }
 
 #[test]

@@ -17,7 +17,9 @@ use lrs_netsim::time::Duration;
 use lrs_netsim::topology::Topology;
 
 fn firmware(version: u16, len: usize) -> Vec<u8> {
-    (0..len as u32).map(|i| ((i * 37) as u16 ^ (version * 1031)) as u8).collect()
+    (0..len as u32)
+        .map(|i| ((i * 37) as u16 ^ (version * 1031)) as u8)
+        .collect()
 }
 
 fn main() {

@@ -24,7 +24,9 @@ const N: usize = 6; // honest receivers
 const IMAGE_LEN: usize = 4 * 1024;
 
 fn image() -> Vec<u8> {
-    (0..IMAGE_LEN as u32).map(|i| (i * 17 % 253) as u8).collect()
+    (0..IMAGE_LEN as u32)
+        .map(|i| (i * 17 % 253) as u8)
+        .collect()
 }
 
 fn main() {
@@ -72,7 +74,10 @@ fn main() {
     let corrupted = (1..=N as u32)
         .filter(|&i| {
             let node = deluge_sim.node(NodeId(i)).honest().expect("honest");
-            node.scheme().image().map(|got| got != image()).unwrap_or(true)
+            node.scheme()
+                .image()
+                .map(|got| got != image())
+                .unwrap_or(true)
         })
         .count();
     println!("Deluge under bogus-data flood: {corrupted}/{N} nodes corrupted or stalled");

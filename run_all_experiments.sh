@@ -5,5 +5,5 @@ cd "$(dirname "$0")"
 mkdir -p results
 for bin in fig3 fig4 fig5 fig6 imgsize ablation overhead attack table2_3; do
   echo "=== $bin ==="
-  ./target/release/$bin | tee results/$bin.txt
+  ./target/release/$bin "$@" | tee results/$bin.txt
 done

@@ -17,7 +17,9 @@ const N: usize = 5;
 const IMAGE_LEN: usize = 1536;
 
 fn image() -> Vec<u8> {
-    (0..IMAGE_LEN as u32).map(|i| (i * 37 % 251) as u8).collect()
+    (0..IMAGE_LEN as u32)
+        .map(|i| (i * 37 % 251) as u8)
+        .collect()
 }
 
 fn lr_params() -> LrSelugeParams {
@@ -79,7 +81,10 @@ fn deluge_is_corrupted_by_bogus_data_while_lr_seluge_is_not() {
     let corrupted = (1..=N as u32)
         .filter(|&i| {
             let node = dsim.node(NodeId(i)).honest().expect("honest");
-            node.scheme().image().map(|got| got != image()).unwrap_or(true)
+            node.scheme()
+                .image()
+                .map(|got| got != image())
+                .unwrap_or(true)
         })
         .count();
     assert!(
@@ -200,8 +205,7 @@ fn spoofed_denial_of_receipt_evades_budget_without_leap_but_not_with_it() {
             per_neighbor_item_budget: Some(2 * p.n as u32),
             ..EngineConfig::default()
         };
-        let mut deployment =
-            Deployment::new(&image(), p, b"spoof").with_engine_config(engine);
+        let mut deployment = Deployment::new(&image(), p, b"spoof").with_engine_config(engine);
         if leap {
             deployment = deployment.with_leap(b"initial network key");
         }

@@ -36,7 +36,10 @@ fn grid_routes_around_a_dead_relay() {
     // Kill an interior relay shortly after dissemination starts.
     sim.schedule_failure(NodeId(5), SimTime(2_000_000));
     let report = sim.run(Duration::from_secs(36_000));
-    assert!(report.all_complete, "grid should route around the dead node");
+    assert!(
+        report.all_complete,
+        "grid should route around the dead node"
+    );
     assert!(sim.is_failed(NodeId(5)));
     for i in 1..16u32 {
         if i == 5 {
