@@ -1,5 +1,6 @@
 //! Microbenchmarks for the primitives every packet exercises: hashing,
-//! erasure coding, Merkle verification, signature verification and the
+//! GF(256) slice kernels, erasure coding (with and without the decode-
+//! matrix cache), Merkle verification, signature verification and the
 //! TX scheduler. These quantify the per-packet computation overhead
 //! discussed in the paper's §V-B.
 //!
@@ -7,7 +8,12 @@
 //! environment, so Criterion is unavailable. Each benchmark warms up,
 //! then reports the median of several timed batches.
 //!
-//! Run with `cargo bench -p lrs-bench`.
+//! Run with `cargo bench -p lrs-bench --bench microbench`. Options
+//! (after `--`):
+//!
+//! * `--smoke`       short batches — a fast CI regression canary
+//! * `--json PATH`   also write results as JSON (compare against the
+//!   committed `BENCH_micro.json` baseline; see EXPERIMENTS.md)
 
 use lr_seluge::GreedyRoundRobinPolicy;
 use lrs_crypto::merkle::MerkleTree;
@@ -15,13 +21,32 @@ use lrs_crypto::schnorr::Keypair;
 use lrs_crypto::sha256::sha256;
 use lrs_deluge::policy::{TxPolicy, UnionPolicy};
 use lrs_deluge::wire::BitVec;
+use lrs_erasure::gf256::{slice_mul_add_assign, slice_mul_add_assign_scalar, Gf};
+use lrs_erasure::matrix::Matrix;
 use lrs_erasure::{ErasureCode, ReedSolomon};
 use lrs_netsim::node::NodeId;
 use std::hint::black_box;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
-/// Times `f` over enough iterations to fill ~50 ms batches and prints
-/// the median per-iteration latency (and throughput when `bytes > 0`).
+/// Target duration of one timed batch (shrunk by `--smoke`).
+static BATCH: OnceLock<Duration> = OnceLock::new();
+/// Number of timed batches per benchmark (shrunk by `--smoke`).
+static SAMPLES: OnceLock<usize> = OnceLock::new();
+/// Collected `(name, median_seconds, bytes)` rows for `--json`.
+static RESULTS: Mutex<Vec<(String, f64, u64)>> = Mutex::new(Vec::new());
+
+fn batch_target() -> Duration {
+    *BATCH.get_or_init(|| Duration::from_millis(50))
+}
+
+fn sample_count() -> usize {
+    *SAMPLES.get_or_init(|| 5)
+}
+
+/// Times `f` over enough iterations to fill batches of the target
+/// duration and prints the median per-iteration latency (and throughput
+/// when `bytes > 0`).
 fn bench(name: &str, bytes: u64, mut f: impl FnMut()) {
     // Calibrate: how many iterations fit in one batch?
     let mut iters = 1u64;
@@ -31,12 +56,12 @@ fn bench(name: &str, bytes: u64, mut f: impl FnMut()) {
             f();
         }
         let dt = t.elapsed();
-        if dt > Duration::from_millis(50) || iters > 1 << 24 {
+        if dt > batch_target() || iters > 1 << 24 {
             break;
         }
         iters = (iters * 4).max(4);
     }
-    let mut samples: Vec<f64> = (0..5)
+    let mut samples: Vec<f64> = (0..sample_count())
         .map(|_| {
             let t = Instant::now();
             for _ in 0..iters {
@@ -56,6 +81,10 @@ fn bench(name: &str, bytes: u64, mut f: impl FnMut()) {
     } else {
         println!("{name:<32} {:>12.3} µs/iter", median * 1e6);
     }
+    RESULTS
+        .lock()
+        .expect("results lock")
+        .push((name.to_string(), median, bytes));
 }
 
 fn bench_sha256() {
@@ -65,6 +94,38 @@ fn bench_sha256() {
             black_box(sha256(black_box(&data)));
         });
     }
+}
+
+fn bench_gf_kernels() {
+    // 72 B is the paper's block length; 4 KiB stresses throughput.
+    for size in [72usize, 4096] {
+        let src: Vec<u8> = (0..size).map(|i| (i * 37 % 256) as u8).collect();
+        let mut dst: Vec<u8> = (0..size).map(|i| (i * 11 % 256) as u8).collect();
+        let coeff = Gf(0x8e);
+        let label = if size < 1024 {
+            format!("{size}B")
+        } else {
+            format!("{}KiB", size / 1024)
+        };
+        bench(&format!("gf/mul_slice_{label}"), size as u64, || {
+            slice_mul_add_assign(black_box(&mut dst), black_box(coeff), black_box(&src));
+        });
+        bench(&format!("gf/mul_slice_scalar_{label}"), size as u64, || {
+            slice_mul_add_assign_scalar(black_box(&mut dst), black_box(coeff), black_box(&src));
+        });
+    }
+}
+
+fn bench_matrix() {
+    // The decode-time inversion at the paper's k = 32: a random
+    // Vandermonde row subset, as produced by a parity-heavy reception.
+    let k = 32;
+    let v = Matrix::vandermonde(48, k);
+    let rows: Vec<usize> = (16..48).collect();
+    let sub = v.select_rows(&rows);
+    bench("matrix/inverse_k32", 0, || {
+        black_box(black_box(&sub).inverse().unwrap());
+    });
 }
 
 fn bench_reed_solomon() {
@@ -77,10 +138,22 @@ fn bench_reed_solomon() {
     bench("rs/encode_k32_n48", (32 * 72) as u64, || {
         black_box(code.encode(black_box(&blocks)).unwrap());
     });
-    // Worst-case decode: all parity blocks.
+    // Worst-case decode: all parity blocks, repeated pattern (the decode
+    // matrix cache is warm after the first iteration — this is the
+    // repeated-erasure-pattern case dominant in sim runs).
     let parity: Vec<(usize, Vec<u8>)> = (16..48).map(|i| (i, encoded[i].clone())).collect();
     bench("rs/decode_parity_k32_n48", (32 * 72) as u64, || {
         black_box(code.decode(black_box(&parity), 72).unwrap());
+    });
+    let parity_refs: Vec<(usize, &[u8])> = (16..48).map(|i| (i, encoded[i].as_slice())).collect();
+    bench("rs/decode_cached_k32_n48", (32 * 72) as u64, || {
+        black_box(code.decode_refs(black_box(&parity_refs), 72).unwrap());
+    });
+    // The same pattern with the cache disabled: every decode pays the
+    // full Gauss-Jordan inversion.
+    let uncached = ReedSolomon::with_cache_capacity(32, 48, 0).unwrap();
+    bench("rs/decode_uncached_k32_n48", (32 * 72) as u64, || {
+        black_box(uncached.decode_refs(black_box(&parity_refs), 72).unwrap());
     });
     // Best-case decode: systematic blocks (memcpy path).
     let systematic: Vec<(usize, Vec<u8>)> = (0..32).map(|i| (i, encoded[i].clone())).collect();
@@ -155,14 +228,55 @@ fn bench_scheduler() {
     });
 }
 
+/// Writes the collected results as a small hand-rolled JSON document
+/// with the same shape as the committed `BENCH_micro.json` baseline.
+fn write_json(path: &str) {
+    let results = RESULTS.lock().expect("results lock");
+    let mut out = String::from("{\n  \"benchmarks\": {\n");
+    for (i, (name, median, bytes)) in results.iter().enumerate() {
+        let sep = if i + 1 < results.len() { "," } else { "" };
+        let us = median * 1e6;
+        if *bytes > 0 {
+            let mibps = *bytes as f64 / median / (1024.0 * 1024.0);
+            out.push_str(&format!(
+                "    \"{name}\": {{\"median_us\": {us:.3}, \"mib_per_s\": {mibps:.1}}}{sep}\n"
+            ));
+        } else {
+            out.push_str(&format!(
+                "    \"{name}\": {{\"median_us\": {us:.3}}}{sep}\n"
+            ));
+        }
+    }
+    out.push_str("  }\n}\n");
+    std::fs::write(path, out).expect("write json");
+    eprintln!("wrote {path}");
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--smoke") {
+        // Short batches: noisy numbers, but enough to catch a kernel
+        // that stopped compiling or regressed by an order of magnitude.
+        BATCH.set(Duration::from_millis(5)).expect("set once");
+        SAMPLES.set(3).expect("set once");
+    }
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     println!(
         "{:<32} {:>17} {:>16}",
         "benchmark", "median latency", "throughput"
     );
     bench_sha256();
+    bench_gf_kernels();
+    bench_matrix();
     bench_reed_solomon();
     bench_merkle();
     bench_signature();
     bench_scheduler();
+    if let Some(path) = json_path {
+        write_json(&path);
+    }
 }

@@ -47,6 +47,7 @@ fn mean_receiver_cost<S: Scheme, P: lrs_deluge::policy::TxPolicy>(
         puzzle_checks: acc.puzzle_checks / d,
         decodes: acc.decodes / d,
         encodes: acc.encodes / d,
+        ..CryptoCost::default()
     }
 }
 

@@ -189,8 +189,12 @@ pub fn run_lr(spec: &RunSpec, params: LrSelugeParams, seed: u64) -> ExperimentMe
     let cfg = SimConfig {
         medium: spec.medium,
     };
+    // One digest memo per run: a broadcast hashed by one receiver is
+    // served from memory at the others (per-node `hashes` counters are
+    // unaffected; hits land in `memoized_hashes`).
+    let digests = lr_seluge::scheme::PacketDigestCache::default();
     let mut sim = Simulator::new(spec.topology.clone(), cfg, seed, |id| {
-        deployment.node(id, NodeId(0))
+        deployment.node_cached(id, NodeId(0), &digests)
     });
     let report = sim.run(spec.deadline);
     // Correctness check: completed nodes must hold the exact image.
@@ -218,12 +222,14 @@ pub fn run_seluge(spec: &RunSpec, params: SelugeParams, seed: u64) -> Experiment
         medium: spec.medium,
     };
     let engine = spec.engine;
+    let digests = lrs_seluge::scheme::PacketDigestCache::default();
     let mut sim = Simulator::new(spec.topology.clone(), cfg, seed, |id| {
-        let scheme = if id == NodeId(0) {
+        let mut scheme = if id == NodeId(0) {
             SelugeScheme::base(&artifacts, kp.public(), puzzle)
         } else {
             SelugeScheme::receiver(params, kp.public(), puzzle)
         };
+        scheme.attach_digest_cache(digests.clone());
         DisseminationNode::new(scheme, UnionPolicy::new(), key.clone(), engine)
     });
     let report = sim.run(spec.deadline);

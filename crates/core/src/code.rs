@@ -84,15 +84,28 @@ impl ErasureCode for PageCode {
         }
     }
 
-    fn decode(
+    fn decode_refs(
         &self,
-        blocks: &[(usize, Vec<u8>)],
+        blocks: &[(usize, &[u8])],
         block_len: usize,
     ) -> Result<Vec<Vec<u8>>, CodeError> {
         match self {
-            PageCode::Rs(c) => c.decode(blocks, block_len),
-            PageCode::Xor(c) => c.decode(blocks, block_len),
-            PageCode::Lt(c) => c.decode(blocks, block_len),
+            PageCode::Rs(c) => c.decode_refs(blocks, block_len),
+            PageCode::Xor(c) => c.decode_refs(blocks, block_len),
+            PageCode::Lt(c) => c.decode_refs(blocks, block_len),
+        }
+    }
+
+    fn decode_into(
+        &self,
+        blocks: &[(usize, &[u8])],
+        block_len: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodeError> {
+        match self {
+            PageCode::Rs(c) => c.decode_into(blocks, block_len, out),
+            PageCode::Xor(c) => c.decode_into(blocks, block_len, out),
+            PageCode::Lt(c) => c.decode_into(blocks, block_len, out),
         }
     }
 }

@@ -4,7 +4,7 @@
 use crate::params::LrSelugeParams;
 use crate::preprocess::LrArtifacts;
 use crate::scheduler::GreedyRoundRobinPolicy;
-use crate::scheme::LrScheme;
+use crate::scheme::{LrScheme, PacketDigestCache};
 use lrs_crypto::cluster::ClusterKey;
 use lrs_crypto::leap::LeapKeyring;
 use lrs_crypto::puzzle::{Puzzle, PuzzleKeyChain};
@@ -118,6 +118,16 @@ impl Deployment {
             Some(seed) => node.with_leap(LeapKeyring::bootstrap(seed, id.0)),
             None => node,
         }
+    }
+
+    /// Like [`Deployment::node`], but shares a per-run packet-digest memo
+    /// across the run's nodes. The cache is `Rc`-based and deliberately
+    /// *not* stored in the deployment (which is shared across harness
+    /// threads): create one per sim run and pass it to every node.
+    pub fn node_cached(&self, id: NodeId, base_id: NodeId, cache: &PacketDigestCache) -> LrNode {
+        let mut node = self.node(id, base_id);
+        node.scheme_mut().attach_digest_cache(cache.clone());
+        node
     }
 }
 

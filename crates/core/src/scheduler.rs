@@ -31,33 +31,36 @@ struct Table {
     entries: Vec<Entry>,
     last_sent: Option<usize>,
     n: usize,
+    /// Reused popularity counters — `pick()` runs once per transmitted
+    /// packet, so the per-call `Vec` allocation is worth avoiding.
+    pop_scratch: Vec<usize>,
 }
 
 impl Table {
-    fn popularity(&self) -> Vec<usize> {
-        let mut pop = vec![0usize; self.n];
+    fn popularity(&mut self) -> &[usize] {
+        self.pop_scratch.clear();
+        self.pop_scratch.resize(self.n, 0);
         for e in &self.entries {
             for j in e.bits.iter_ones() {
-                pop[j] += 1;
+                self.pop_scratch[j] += 1;
             }
         }
-        pop
+        &self.pop_scratch
     }
 
     /// Picks the next packet index per the paper's rule.
-    fn pick(&self) -> Option<usize> {
+    fn pick(&mut self) -> Option<usize> {
+        let n = self.n;
+        let start = match self.last_sent {
+            Some(x) => (x + 1) % n,
+            None => 0,
+        };
         let pop = self.popularity();
         let max = *pop.iter().max()?;
         if max == 0 {
             return None;
         }
-        let start = match self.last_sent {
-            Some(x) => (x + 1) % self.n,
-            None => 0,
-        };
-        (0..self.n)
-            .map(|off| (start + off) % self.n)
-            .find(|&j| pop[j] == max)
+        (0..n).map(|off| (start + off) % n).find(|&j| pop[j] == max)
     }
 
     /// Applies the post-transmission update for packet `x`.
@@ -100,6 +103,7 @@ impl TxPolicy for GreedyRoundRobinPolicy {
             entries: Vec::new(),
             last_sent: None,
             n: bits.len(),
+            pop_scratch: Vec::new(),
         });
         if let Some(entry) = table.entries.iter_mut().find(|e| e.node == from) {
             // Refresh to the neighbor's latest view (§IV-D-3: "node u

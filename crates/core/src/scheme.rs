@@ -18,8 +18,12 @@ use lrs_crypto::schnorr::{PublicKey, Signature};
 use lrs_deluge::engine::{CryptoCost, PacketDisposition, Scheme};
 use lrs_deluge::wire::BitVec;
 use lrs_erasure::{CodeError, ErasureCode};
+use lrs_netsim::digest::DigestCache;
 use lrs_netsim::node::PacketKind;
 use std::collections::HashMap;
+
+/// The shared per-run packet-digest memo used by LR-Seluge schemes.
+pub type PacketDigestCache = DigestCache<HashImage>;
 
 /// Per-node LR-Seluge state (base station or receiver).
 #[derive(Clone, Debug)]
@@ -48,6 +52,10 @@ pub struct LrScheme {
     page_inputs: Vec<Vec<u8>>,
     /// Re-encoded packets per completed page, built on first serve.
     encoded_cache: HashMap<u16, Vec<Vec<u8>>>,
+    /// Scratch buffer for decoded pages, reused across decodes.
+    decode_scratch: Vec<u8>,
+    /// Optional run-wide packet-digest memo (see [`PacketDigestCache`]).
+    digest_cache: Option<PacketDigestCache>,
     cost: CryptoCost,
 }
 
@@ -75,8 +83,24 @@ impl LrScheme {
             expected: Vec::new(),
             page_inputs: Vec::new(),
             encoded_cache: HashMap::new(),
+            decode_scratch: Vec::new(),
+            digest_cache: None,
             cost: CryptoCost::default(),
         }
+    }
+
+    /// Attaches a run-wide digest memo shared by all nodes of a sim run.
+    /// Purely an observer-level optimization: dispositions, decoded
+    /// bytes, and the `hashes` cost counter are unchanged; cache hits
+    /// are tallied in `CryptoCost::memoized_hashes`.
+    pub fn with_digest_cache(mut self, cache: PacketDigestCache) -> Self {
+        self.attach_digest_cache(cache);
+        self
+    }
+
+    /// In-place form of [`LrScheme::with_digest_cache`].
+    pub fn attach_digest_cache(&mut self, cache: PacketDigestCache) {
+        self.digest_cache = Some(cache);
     }
 
     /// The base station: everything precomputed and complete.
@@ -181,23 +205,27 @@ impl LrScheme {
         self.hp_received[index as usize] = Some(payload.to_vec());
         self.hp_count += 1;
         if self.hp_count >= self.params.k0_prime() as usize {
-            let subset: Vec<(usize, Vec<u8>)> = self
-                .hp_received
-                .iter()
-                .enumerate()
-                .filter_map(|(j, s)| s.as_ref().map(|p| (j, p[..block_len].to_vec())))
-                .collect();
-            self.cost.decodes += 1;
-            match self.code0.decode(&subset, block_len) {
-                Ok(blocks) => {
-                    let m0: Vec<u8> = blocks.concat();
+            let decoded = {
+                let subset: Vec<(usize, &[u8])> = self
+                    .hp_received
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(j, s)| s.as_ref().map(|p| (j, &p[..block_len])))
+                    .collect();
+                self.cost.decodes += 1;
+                self.code0
+                    .decode_into(&subset, block_len, &mut self.decode_scratch)
+            };
+            match decoded {
+                Ok(()) => {
+                    let m0 = &self.decode_scratch;
                     self.expected = (0..self.params.n as usize)
                         .map(|j| {
                             HashImage::from_slice(&m0[j * HASH_IMAGE_LEN..(j + 1) * HASH_IMAGE_LEN])
                                 .expect("block sizing")
                         })
                         .collect();
-                    self.hp_blocks = Some(blocks);
+                    self.hp_blocks = Some(m0.chunks_exact(block_len).map(|c| c.to_vec()).collect());
                     self.complete = 2;
                 }
                 Err(CodeError::NotEnoughBlocks { .. }) => {
@@ -221,27 +249,44 @@ impl LrScheme {
             return PacketDisposition::Duplicate;
         }
         self.cost.hashes += 1;
-        let h = packet_hash(self.params.version, item, index, payload);
+        let h = match &self.digest_cache {
+            Some(cache) => match cache.lookup(self.params.version, item, index, payload) {
+                Some(h) => {
+                    self.cost.memoized_hashes += 1;
+                    h
+                }
+                None => {
+                    let h = packet_hash(self.params.version, item, index, payload);
+                    cache.insert(self.params.version, item, index, payload, h);
+                    h
+                }
+            },
+            None => packet_hash(self.params.version, item, index, payload),
+        };
         if h != self.expected[index as usize] {
             return PacketDisposition::Rejected;
         }
         self.cur_received[index as usize] = Some(payload.to_vec());
         self.cur_count += 1;
         if self.cur_count >= self.params.k_prime() as usize {
-            let subset: Vec<(usize, Vec<u8>)> = self
-                .cur_received
-                .iter()
-                .enumerate()
-                .filter_map(|(j, s)| s.as_ref().map(|p| (j, p.clone())))
-                .collect();
-            self.cost.decodes += 1;
-            match self.code.decode(&subset, self.params.payload_len) {
-                Ok(blocks) => {
+            let decoded = {
+                let subset: Vec<(usize, &[u8])> = self
+                    .cur_received
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(j, s)| s.as_deref().map(|p| (j, p)))
+                    .collect();
+                self.cost.decodes += 1;
+                self.code
+                    .decode_into(&subset, self.params.payload_len, &mut self.decode_scratch)
+            };
+            match decoded {
+                Ok(()) => {
                     for slot in self.cur_received.iter_mut() {
                         *slot = None;
                     }
                     self.cur_count = 0;
-                    let input: Vec<u8> = blocks.concat();
+                    let input = std::mem::take(&mut self.decode_scratch);
                     // The hash region authenticates the next page.
                     self.expected = input[self.params.page_capacity()..]
                         .chunks(HASH_IMAGE_LEN)

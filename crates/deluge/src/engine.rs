@@ -56,6 +56,11 @@ pub struct CryptoCost {
     pub decodes: u64,
     /// Erasure encode operations.
     pub encodes: u64,
+    /// Of the `hashes` above, how many were served from a simulator-level
+    /// digest memo instead of being recomputed. A real mote always
+    /// recomputes, so `hashes` remains the paper-faithful per-node count;
+    /// this field only quantifies the simulator optimization.
+    pub memoized_hashes: u64,
 }
 
 /// Protocol-specific behaviour plugged into the engine.
@@ -251,6 +256,12 @@ impl<S: Scheme, P: TxPolicy> DisseminationNode<S, P> {
     /// The scheme, for end-of-run assertions (image bytes, crypto cost).
     pub fn scheme(&self) -> &S {
         &self.scheme
+    }
+
+    /// Mutable scheme access, for post-construction wiring (e.g.
+    /// attaching a per-run digest memo).
+    pub fn scheme_mut(&mut self) -> &mut S {
+        &mut self.scheme
     }
 
     /// Per-node statistics.

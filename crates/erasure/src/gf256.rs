@@ -119,6 +119,39 @@ impl Gf {
     }
 }
 
+/// Full 256 × 256 multiplication table: `MUL[c][b] = c · b`.
+///
+/// 64 KiB, built lazily on first use. A slice operation loads the one
+/// 256-byte row for its coefficient and turns every byte into a single
+/// branch-free lookup, instead of the two log lookups + add + exp lookup
+/// (plus a zero test) of the log/exp path.
+struct MulTable {
+    rows: Box<[[u8; 256]; 256]>,
+}
+
+fn mul_table() -> &'static MulTable {
+    use std::sync::OnceLock;
+    static MUL: OnceLock<MulTable> = OnceLock::new();
+    MUL.get_or_init(|| {
+        let t = tables();
+        let mut rows = vec![[0u8; 256]; 256].into_boxed_slice();
+        for (c, row) in rows.iter_mut().enumerate().skip(1) {
+            let log_c = t.log[c] as usize;
+            for (b, out) in row.iter_mut().enumerate().skip(1) {
+                *out = t.exp[log_c + t.log[b] as usize];
+            }
+        }
+        let rows: Box<[[u8; 256]; 256]> = rows.try_into().expect("256 rows");
+        MulTable { rows }
+    })
+}
+
+/// The 256-entry multiplication row for `coeff`: `row[b] = coeff · b`.
+#[inline]
+pub(crate) fn mul_row(coeff: Gf) -> &'static [u8; 256] {
+    &mul_table().rows[coeff.0 as usize]
+}
+
 /// XORs `src` into `dst` (vector addition over GF(256)).
 ///
 /// # Panics
@@ -132,12 +165,70 @@ pub fn slice_add_assign(dst: &mut [u8], src: &[u8]) {
 }
 
 /// Adds `coeff * src` into `dst` (the row operation of RS encoding and
-/// Gaussian elimination).
+/// Gaussian elimination), via the per-coefficient multiplication row.
 ///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
 pub fn slice_mul_add_assign(dst: &mut [u8], coeff: Gf, src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "slice length mismatch");
+    if coeff.0 == 0 {
+        return;
+    }
+    if coeff.0 == 1 {
+        slice_add_assign(dst, src);
+        return;
+    }
+    let row = mul_row(coeff);
+    // Unrolled 8-byte chunks keep the single-row lookups pipelined.
+    let mut d_chunks = dst.chunks_exact_mut(8);
+    let mut s_chunks = src.chunks_exact(8);
+    for (d, s) in d_chunks.by_ref().zip(s_chunks.by_ref()) {
+        d[0] ^= row[s[0] as usize];
+        d[1] ^= row[s[1] as usize];
+        d[2] ^= row[s[2] as usize];
+        d[3] ^= row[s[3] as usize];
+        d[4] ^= row[s[4] as usize];
+        d[5] ^= row[s[5] as usize];
+        d[6] ^= row[s[6] as usize];
+        d[7] ^= row[s[7] as usize];
+    }
+    for (d, s) in d_chunks
+        .into_remainder()
+        .iter_mut()
+        .zip(s_chunks.remainder())
+    {
+        *d ^= row[*s as usize];
+    }
+}
+
+/// Multiplies every byte of `buf` by `coeff` in place, via the
+/// per-coefficient multiplication row.
+pub fn slice_scale(buf: &mut [u8], coeff: Gf) {
+    if coeff.0 == 1 {
+        return;
+    }
+    let row = mul_row(coeff);
+    let mut chunks = buf.chunks_exact_mut(8);
+    for b in chunks.by_ref() {
+        b[0] = row[b[0] as usize];
+        b[1] = row[b[1] as usize];
+        b[2] = row[b[2] as usize];
+        b[3] = row[b[3] as usize];
+        b[4] = row[b[4] as usize];
+        b[5] = row[b[5] as usize];
+        b[6] = row[b[6] as usize];
+        b[7] = row[b[7] as usize];
+    }
+    for b in chunks.into_remainder() {
+        *b = row[*b as usize];
+    }
+}
+
+/// Scalar reference implementation of [`slice_mul_add_assign`] (the
+/// original per-byte log/exp loop). Kept for equivalence property tests
+/// and kernel microbenchmarks; not used on the hot path.
+pub fn slice_mul_add_assign_scalar(dst: &mut [u8], coeff: Gf, src: &[u8]) {
     assert_eq!(dst.len(), src.len(), "slice length mismatch");
     if coeff.0 == 0 {
         return;
@@ -155,8 +246,9 @@ pub fn slice_mul_add_assign(dst: &mut [u8], coeff: Gf, src: &[u8]) {
     }
 }
 
-/// Multiplies every byte of `buf` by `coeff` in place.
-pub fn slice_scale(buf: &mut [u8], coeff: Gf) {
+/// Scalar reference implementation of [`slice_scale`]. Kept for
+/// equivalence property tests and kernel microbenchmarks.
+pub fn slice_scale_scalar(buf: &mut [u8], coeff: Gf) {
     if coeff.0 == 1 {
         return;
     }

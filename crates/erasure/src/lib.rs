@@ -120,7 +120,10 @@ pub trait ErasureCode {
     /// wrong.
     fn encode(&self, blocks: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, CodeError>;
 
-    /// Decodes the original `k` blocks from `(index, block)` pairs.
+    /// Decodes the original `k` blocks from borrowed `(index, block)`
+    /// pairs. This is the primary decode entry point: callers that
+    /// already hold the received blocks elsewhere (e.g. a scheme's
+    /// reception buffer) can decode without cloning each block first.
     ///
     /// `block_len` is the expected block length (used to validate input).
     ///
@@ -129,16 +132,58 @@ pub trait ErasureCode {
     /// Returns [`CodeError::NotEnoughBlocks`] if fewer than the required
     /// number of distinct valid blocks are provided, and other variants
     /// for malformed input.
+    fn decode_refs(
+        &self,
+        blocks: &[(usize, &[u8])],
+        block_len: usize,
+    ) -> Result<Vec<Vec<u8>>, CodeError>;
+
+    /// Decodes from owned `(index, block)` pairs by forwarding to
+    /// [`ErasureCode::decode_refs`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ErasureCode::decode_refs`].
     fn decode(
         &self,
         blocks: &[(usize, Vec<u8>)],
         block_len: usize,
-    ) -> Result<Vec<Vec<u8>>, CodeError>;
+    ) -> Result<Vec<Vec<u8>>, CodeError> {
+        let refs: Vec<(usize, &[u8])> = blocks.iter().map(|(i, b)| (*i, b.as_slice())).collect();
+        self.decode_refs(&refs, block_len)
+    }
+
+    /// Decodes directly into a contiguous page buffer (`k * block_len`
+    /// bytes), replacing the contents of `out`. Lets callers reuse a
+    /// scratch buffer across decodes instead of concatenating `k`
+    /// freshly allocated blocks.
+    ///
+    /// The default implementation concatenates the blocks from
+    /// [`ErasureCode::decode_refs`]; implementations may write rows
+    /// in place.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ErasureCode::decode_refs`].
+    fn decode_into(
+        &self,
+        blocks: &[(usize, &[u8])],
+        block_len: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodeError> {
+        let decoded = self.decode_refs(blocks, block_len)?;
+        out.clear();
+        out.reserve(decoded.len() * block_len);
+        for b in &decoded {
+            out.extend_from_slice(b);
+        }
+        Ok(())
+    }
 }
 
 /// Validates common decode-input invariants shared by implementations.
 pub(crate) fn check_decode_input(
-    blocks: &[(usize, Vec<u8>)],
+    blocks: &[(usize, &[u8])],
     n: usize,
     block_len: usize,
 ) -> Result<(), CodeError> {
@@ -205,19 +250,21 @@ mod tests {
 
     #[test]
     fn check_decode_input_catches_errors() {
-        let ok = vec![(0usize, vec![0u8; 4]), (2, vec![0u8; 4])];
+        let b4: &[u8] = &[0u8; 4];
+        let b3: &[u8] = &[0u8; 3];
+        let ok = vec![(0usize, b4), (2, b4)];
         assert!(check_decode_input(&ok, 4, 4).is_ok());
-        let dup = vec![(1usize, vec![0u8; 4]), (1, vec![0u8; 4])];
+        let dup = vec![(1usize, b4), (1, b4)];
         assert_eq!(
             check_decode_input(&dup, 4, 4),
             Err(CodeError::DuplicateIndex(1))
         );
-        let oor = vec![(9usize, vec![0u8; 4])];
+        let oor = vec![(9usize, b4)];
         assert_eq!(
             check_decode_input(&oor, 4, 4),
             Err(CodeError::IndexOutOfRange(9))
         );
-        let short = vec![(0usize, vec![0u8; 3])];
+        let short = vec![(0usize, b3)];
         assert!(matches!(
             check_decode_input(&short, 4, 4),
             Err(CodeError::BadInput(_))

@@ -157,9 +157,9 @@ impl ErasureCode for Lt {
         Ok(out)
     }
 
-    fn decode(
+    fn decode_refs(
         &self,
-        blocks: &[(usize, Vec<u8>)],
+        blocks: &[(usize, &[u8])],
         block_len: usize,
     ) -> Result<Vec<Vec<u8>>, CodeError> {
         check_decode_input(blocks, self.n, block_len)?;
@@ -174,7 +174,7 @@ impl ErasureCode for Lt {
         let mut decoded: Vec<Option<Vec<u8>>> = vec![None; self.k];
         let mut symbols: Vec<(Vec<usize>, Vec<u8>)> = blocks
             .iter()
-            .map(|(idx, data)| (self.neighbors(*idx), data.clone()))
+            .map(|(idx, data)| (self.neighbors(*idx), data.to_vec()))
             .collect();
         // Source index -> symbol positions that reference it.
         let mut uses: Vec<Vec<usize>> = vec![Vec::new(); self.k];

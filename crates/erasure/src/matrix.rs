@@ -3,7 +3,7 @@
 //! Used to build the systematic Reed-Solomon generator matrix and to
 //! invert the received-row submatrix during decoding.
 
-use crate::gf256::Gf;
+use crate::gf256::{mul_row, Gf};
 use crate::CodeError;
 
 /// A dense row-major matrix over GF(256).
@@ -153,29 +153,53 @@ impl Matrix {
         Ok(inv)
     }
 
+    /// A mutable view of row `r`.
+    fn row_mut(&mut self, r: usize) -> &mut [Gf] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Disjoint mutable views of rows `a` and `b` (`a != b`).
+    fn two_rows_mut(&mut self, a: usize, b: usize) -> (&mut [Gf], &mut [Gf]) {
+        debug_assert_ne!(a, b);
+        let (lo, hi) = (a.min(b), a.max(b));
+        let cols = self.cols;
+        let (head, tail) = self.data.split_at_mut(hi * cols);
+        let lo_row = &mut head[lo * cols..(lo + 1) * cols];
+        let hi_row = &mut tail[..cols];
+        if a < b {
+            (lo_row, hi_row)
+        } else {
+            (hi_row, lo_row)
+        }
+    }
+
     fn swap_rows(&mut self, r1: usize, r2: usize) {
         if r1 == r2 {
             return;
         }
-        for c in 0..self.cols {
-            let t = self.get(r1, c);
-            self.set(r1, c, self.get(r2, c));
-            self.set(r2, c, t);
-        }
+        let (a, b) = self.two_rows_mut(r1, r2);
+        a.swap_with_slice(b);
     }
 
     fn scale_row(&mut self, r: usize, factor: Gf) {
-        for c in 0..self.cols {
-            let v = self.get(r, c);
-            self.set(r, c, v.mul(factor));
+        if factor == Gf::ONE {
+            return;
+        }
+        let row = mul_row(factor);
+        for v in self.row_mut(r) {
+            *v = Gf(row[v.0 as usize]);
         }
     }
 
     /// row[dst] += factor * row[src]
     fn add_scaled_row(&mut self, dst: usize, src: usize, factor: Gf) {
-        for c in 0..self.cols {
-            let v = self.get(dst, c).add(factor.mul(self.get(src, c)));
-            self.set(dst, c, v);
+        if factor == Gf::ZERO {
+            return;
+        }
+        let row = mul_row(factor);
+        let (d, s) = self.two_rows_mut(dst, src);
+        for (dv, sv) in d.iter_mut().zip(s.iter()) {
+            dv.0 ^= row[sv.0 as usize];
         }
     }
 }

@@ -9,26 +9,66 @@
 //! that already decoded a page re-encode it cheaply (paper §IV-D-3: a TX
 //! node "applies the same erasure code f" before serving SNACKs).
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
 use crate::gf256::{slice_mul_add_assign, Gf};
 use crate::matrix::Matrix;
 use crate::{check_decode_input, CodeError, ErasureCode};
 
+/// Default bound on the number of cached inverted decode matrices.
+///
+/// A cached entry is `k × k` bytes plus the key; at the paper's
+/// `k = 32` that is ~1 KiB per entry, so the default bound costs at
+/// most a few hundred KiB while covering far more erasure patterns
+/// than a sim run typically produces.
+pub const DEFAULT_DECODE_CACHE_CAPACITY: usize = 256;
+
+/// Bounded LRU map from a received-index set to the inverted generator
+/// submatrix for that set.
+#[derive(Debug, Default)]
+struct DecodeCache {
+    /// key → (last-touch stamp, inverse). Indices fit in `u8` (n ≤ 255).
+    map: HashMap<Box<[u8]>, (u64, Arc<Matrix>)>,
+    stamp: u64,
+    hits: u64,
+    misses: u64,
+}
+
 /// A systematic `(k, n)` Reed-Solomon code with `k' = k`.
+///
+/// Cloning shares the decode-matrix cache: all clones of one instance
+/// (e.g. the per-node schemes of a sim run) reuse each other's inverted
+/// matrices. The cache only short-circuits Gauss-Jordan elimination —
+/// decoded bytes are identical with the cache on, off, warm, or cold.
 #[derive(Clone, Debug)]
 pub struct ReedSolomon {
     k: usize,
     n: usize,
     /// The systematic generator matrix (n × k); top k rows are identity.
     generator: Matrix,
+    /// LRU of inverted decode matrices keyed by the received-index set.
+    cache: Arc<Mutex<DecodeCache>>,
+    cache_capacity: usize,
 }
 
 impl ReedSolomon {
-    /// Constructs the code.
+    /// Constructs the code with [`DEFAULT_DECODE_CACHE_CAPACITY`].
     ///
     /// # Errors
     ///
     /// Returns [`CodeError::BadParameters`] unless `1 ≤ k ≤ n ≤ 255`.
     pub fn new(k: usize, n: usize) -> Result<Self, CodeError> {
+        Self::with_cache_capacity(k, n, DEFAULT_DECODE_CACHE_CAPACITY)
+    }
+
+    /// Constructs the code with an explicit decode-matrix cache bound.
+    /// A capacity of 0 disables caching (every parity decode re-inverts).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::BadParameters`] unless `1 ≤ k ≤ n ≤ 255`.
+    pub fn with_cache_capacity(k: usize, n: usize, capacity: usize) -> Result<Self, CodeError> {
         if k == 0 || n < k || n > 255 {
             return Err(CodeError::BadParameters { k, n });
         }
@@ -38,12 +78,77 @@ impl ReedSolomon {
             .inverse()
             .expect("top Vandermonde block is always invertible");
         let generator = v.mul(&top_inv);
-        Ok(ReedSolomon { k, n, generator })
+        Ok(ReedSolomon {
+            k,
+            n,
+            generator,
+            cache: Arc::new(Mutex::new(DecodeCache::default())),
+            cache_capacity: capacity,
+        })
     }
 
     /// The systematic generator matrix row for encoded block `idx`.
     fn gen_row(&self, idx: usize) -> &[Gf] {
         self.generator.row(idx)
+    }
+
+    /// Decode-matrix cache counters `(hits, misses)` since construction.
+    pub fn cache_counters(&self) -> (u64, u64) {
+        let c = self.cache.lock().expect("decode cache lock");
+        (c.hits, c.misses)
+    }
+
+    /// The inverted generator submatrix for the given (sorted, distinct)
+    /// row indices, from cache when warm.
+    fn inverse_for(&self, indices: &[usize]) -> Arc<Matrix> {
+        let invert =
+            || {
+                Arc::new(self.generator.select_rows(indices).inverse().expect(
+                    "any k rows of a systematic Vandermonde-derived matrix are independent",
+                ))
+            };
+        if self.cache_capacity == 0 {
+            return invert();
+        }
+        let key: Box<[u8]> = indices.iter().map(|&i| i as u8).collect();
+        let mut cache = self.cache.lock().expect("decode cache lock");
+        cache.stamp += 1;
+        let stamp = cache.stamp;
+        if let Some((touched, inv)) = cache.map.get_mut(&key) {
+            *touched = stamp;
+            let inv = Arc::clone(inv);
+            cache.hits += 1;
+            return inv;
+        }
+        cache.misses += 1;
+        let inv = invert();
+        if cache.map.len() >= self.cache_capacity {
+            if let Some(oldest) = cache
+                .map
+                .iter()
+                .min_by_key(|(_, (t, _))| *t)
+                .map(|(k, _)| k.clone())
+            {
+                cache.map.remove(&oldest);
+            }
+        }
+        cache.map.insert(key, (stamp, Arc::clone(&inv)));
+        inv
+    }
+
+    /// Picks the `k`-row subset to decode from: systematic blocks first.
+    ///
+    /// Systematic indices (`< k`) sort before parity ones, so an
+    /// ascending sort + truncate prefers them explicitly; whenever ≥ k
+    /// systematic blocks are present — however interleaved with parity
+    /// blocks in the input — the chosen subset is exactly `0..k` and the
+    /// identity fast path applies. Any full-rank choice decodes to the
+    /// same bytes (the code is MDS), so this only affects speed.
+    fn choose_rows<'a>(&self, blocks: &[(usize, &'a [u8])]) -> Vec<(usize, &'a [u8])> {
+        let mut chosen: Vec<(usize, &'a [u8])> = blocks.to_vec();
+        chosen.sort_unstable_by_key(|(idx, _)| *idx);
+        chosen.truncate(self.k);
+        chosen
     }
 }
 
@@ -89,9 +194,9 @@ impl ErasureCode for ReedSolomon {
         Ok(out)
     }
 
-    fn decode(
+    fn decode_refs(
         &self,
-        blocks: &[(usize, Vec<u8>)],
+        blocks: &[(usize, &[u8])],
         block_len: usize,
     ) -> Result<Vec<Vec<u8>>, CodeError> {
         check_decode_input(blocks, self.n, block_len)?;
@@ -101,21 +206,16 @@ impl ErasureCode for ReedSolomon {
                 need: self.k,
             });
         }
-        // Prefer systematic blocks; take the first k distinct indices.
-        let mut chosen: Vec<&(usize, Vec<u8>)> = blocks.iter().collect();
-        chosen.sort_by_key(|(idx, _)| *idx);
-        chosen.truncate(self.k);
+        let chosen = self.choose_rows(blocks);
 
-        // Fast path: all k systematic blocks present.
-        if chosen.iter().enumerate().all(|(i, (idx, _))| *idx == i) {
-            return Ok(chosen.into_iter().map(|(_, b)| b.clone()).collect());
+        // Fast path: all k systematic blocks present (indices are
+        // distinct and all < k, hence exactly 0..k in order).
+        if chosen.last().is_some_and(|(idx, _)| *idx < self.k) {
+            return Ok(chosen.into_iter().map(|(_, b)| b.to_vec()).collect());
         }
 
         let indices: Vec<usize> = chosen.iter().map(|(idx, _)| *idx).collect();
-        let sub = self.generator.select_rows(&indices);
-        let inv = sub
-            .inverse()
-            .expect("any k rows of a systematic Vandermonde-derived matrix are independent");
+        let inv = self.inverse_for(&indices);
         let mut out = Vec::with_capacity(self.k);
         for r in 0..self.k {
             let mut acc = vec![0u8; block_len];
@@ -125,6 +225,43 @@ impl ErasureCode for ReedSolomon {
             out.push(acc);
         }
         Ok(out)
+    }
+
+    fn decode_into(
+        &self,
+        blocks: &[(usize, &[u8])],
+        block_len: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodeError> {
+        check_decode_input(blocks, self.n, block_len)?;
+        if blocks.len() < self.k {
+            return Err(CodeError::NotEnoughBlocks {
+                have: blocks.len(),
+                need: self.k,
+            });
+        }
+        let chosen = self.choose_rows(blocks);
+        out.clear();
+        out.resize(self.k * block_len, 0);
+        if block_len == 0 {
+            return Ok(());
+        }
+
+        if chosen.last().is_some_and(|(idx, _)| *idx < self.k) {
+            for (dst, (_, src)) in out.chunks_exact_mut(block_len).zip(&chosen) {
+                dst.copy_from_slice(src);
+            }
+            return Ok(());
+        }
+
+        let indices: Vec<usize> = chosen.iter().map(|(idx, _)| *idx).collect();
+        let inv = self.inverse_for(&indices);
+        for (r, acc) in out.chunks_exact_mut(block_len).enumerate() {
+            for (c, (_, data)) in chosen.iter().enumerate() {
+                slice_mul_add_assign(acc, inv.get(r, c), data);
+            }
+        }
+        Ok(())
     }
 }
 

@@ -140,9 +140,9 @@ impl ErasureCode for SparseXor {
         Ok(out)
     }
 
-    fn decode(
+    fn decode_refs(
         &self,
-        blocks: &[(usize, Vec<u8>)],
+        blocks: &[(usize, &[u8])],
         block_len: usize,
     ) -> Result<Vec<Vec<u8>>, CodeError> {
         check_decode_input(blocks, self.n, block_len)?;
@@ -155,7 +155,7 @@ impl ErasureCode for SparseXor {
         // Gaussian elimination over GF(2) on (mask, data) rows.
         let mut rows: Vec<(Vec<u64>, Vec<u8>)> = blocks
             .iter()
-            .map(|(idx, data)| (self.mask(*idx).to_vec(), data.clone()))
+            .map(|(idx, data)| (self.mask(*idx).to_vec(), data.to_vec()))
             .collect();
         // pivot_of[col] = row index holding the pivot for that column.
         let mut pivot_of: Vec<Option<usize>> = vec![None; self.k];

@@ -1,0 +1,168 @@
+//! Shared packet-digest memoization for a simulation run.
+//!
+//! A broadcast is one transmission heard by many receivers, and every
+//! receiver hashes the identical bytes to authenticate the packet. The
+//! real deployment cannot avoid that work — each mote owns its CPU — but
+//! the *simulator* can: a [`DigestCache`] shared by all nodes of a run
+//! computes each distinct `(version, item, index, payload)` digest once
+//! and serves the rest from memory. Schemes still count every logical
+//! hash in their per-node cost (the paper's §V-B computation counts stay
+//! honest); hits are reported separately as *memoized* hashes.
+//!
+//! The cache is deliberately `Rc`-based: the simulator is single-threaded
+//! per run, and keeping the cache out of cross-thread types (it is
+//! created per run, never stored in shared deployment state) preserves
+//! the harness's thread-count invariance.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// Default bound on distinct cached packet digests.
+///
+/// Keys are `(version, item, index)`, so a run caches at most one entry
+/// per protocol packet position; the bound is a safety valve against
+/// adversarial payload churn, not a working-set limit.
+pub const DEFAULT_DIGEST_CACHE_CAPACITY: usize = 1 << 16;
+
+struct Inner<D> {
+    /// (version, item, index) → (payload bytes, digest).
+    map: HashMap<(u16, u16, u16), (Vec<u8>, D)>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+/// A per-run, clone-to-share memo of packet digests.
+///
+/// Generic over the digest type so netsim stays independent of any
+/// particular hash implementation.
+pub struct DigestCache<D> {
+    inner: Rc<RefCell<Inner<D>>>,
+}
+
+impl<D> Clone for DigestCache<D> {
+    fn clone(&self) -> Self {
+        DigestCache {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<D> fmt::Debug for DigestCache<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("DigestCache")
+            .field("entries", &inner.map.len())
+            .field("hits", &inner.hits)
+            .field("misses", &inner.misses)
+            .finish()
+    }
+}
+
+impl<D: Copy> Default for DigestCache<D> {
+    fn default() -> Self {
+        Self::new(DEFAULT_DIGEST_CACHE_CAPACITY)
+    }
+}
+
+impl<D: Copy> DigestCache<D> {
+    /// Creates a cache bounded to `capacity` distinct packet positions.
+    pub fn new(capacity: usize) -> Self {
+        DigestCache {
+            inner: Rc::new(RefCell::new(Inner {
+                map: HashMap::new(),
+                capacity,
+                hits: 0,
+                misses: 0,
+            })),
+        }
+    }
+
+    /// Returns the memoized digest for this packet position if — and
+    /// only if — the cached payload is byte-identical to `payload`.
+    ///
+    /// A byte comparison is far cheaper than recomputing a cryptographic
+    /// digest, and insisting on it means a spoofed packet reusing a
+    /// genuine packet's position can never be served a genuine digest.
+    pub fn lookup(&self, version: u16, item: u16, index: u16, payload: &[u8]) -> Option<D> {
+        let mut inner = self.inner.borrow_mut();
+        match inner.map.get(&(version, item, index)) {
+            Some((bytes, digest)) if bytes == payload => {
+                let d = *digest;
+                inner.hits += 1;
+                Some(d)
+            }
+            _ => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records `digest` for this packet position. First writer wins: an
+    /// existing entry (even for different bytes) is kept, so adversarial
+    /// payload churn cannot evict genuine packets.
+    pub fn insert(&self, version: u16, item: u16, index: u16, payload: &[u8], digest: D) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.map.len() >= inner.capacity {
+            return;
+        }
+        inner
+            .map
+            .entry((version, item, index))
+            .or_insert_with(|| (payload.to_vec(), digest));
+    }
+
+    /// `(hits, misses)` counters since creation.
+    pub fn counters(&self) -> (u64, u64) {
+        let inner = self.inner.borrow();
+        (inner.hits, inner.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_requires_identical_bytes() {
+        let cache: DigestCache<u64> = DigestCache::new(8);
+        assert_eq!(cache.lookup(1, 2, 3, b"payload"), None);
+        cache.insert(1, 2, 3, b"payload", 42);
+        assert_eq!(cache.lookup(1, 2, 3, b"payload"), Some(42));
+        // Same position, different bytes: miss, and the entry survives.
+        assert_eq!(cache.lookup(1, 2, 3, b"tampered"), None);
+        assert_eq!(cache.lookup(1, 2, 3, b"payload"), Some(42));
+    }
+
+    #[test]
+    fn first_writer_wins() {
+        let cache: DigestCache<u64> = DigestCache::new(8);
+        cache.insert(0, 0, 0, b"aaa", 1);
+        cache.insert(0, 0, 0, b"bbb", 2);
+        assert_eq!(cache.lookup(0, 0, 0, b"aaa"), Some(1));
+        assert_eq!(cache.lookup(0, 0, 0, b"bbb"), None);
+    }
+
+    #[test]
+    fn capacity_bounds_insertions() {
+        let cache: DigestCache<u64> = DigestCache::new(2);
+        cache.insert(0, 0, 0, b"a", 1);
+        cache.insert(0, 0, 1, b"b", 2);
+        cache.insert(0, 0, 2, b"c", 3);
+        assert_eq!(cache.lookup(0, 0, 2, b"c"), None);
+        assert_eq!(cache.lookup(0, 0, 0, b"a"), Some(1));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let cache: DigestCache<u64> = DigestCache::new(8);
+        let other = cache.clone();
+        cache.insert(7, 1, 0, b"x", 9);
+        assert_eq!(other.lookup(7, 1, 0, b"x"), Some(9));
+        let (hits, misses) = cache.counters();
+        assert_eq!((hits, misses), (1, 0));
+    }
+}

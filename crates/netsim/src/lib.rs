@@ -57,6 +57,7 @@
 //! assert!(report.all_complete);
 //! ```
 
+pub mod digest;
 pub mod energy;
 pub mod event;
 pub mod medium;

@@ -13,7 +13,11 @@ use lrs_crypto::puzzle::Puzzle;
 use lrs_crypto::schnorr::{PublicKey, Signature};
 use lrs_deluge::engine::{CryptoCost, PacketDisposition, Scheme};
 use lrs_deluge::wire::BitVec;
+use lrs_netsim::digest::DigestCache;
 use lrs_netsim::node::PacketKind;
+
+/// The shared per-run packet-digest memo used by Seluge schemes.
+pub type PacketDigestCache = DigestCache<HashImage>;
 
 /// Per-node Seluge state (base station or receiver).
 #[derive(Clone, Debug)]
@@ -31,6 +35,8 @@ pub struct SelugeScheme {
     current: Vec<Option<Vec<u8>>>,
     /// Expected hash images for the packets of the next incomplete page.
     expected: Vec<HashImage>,
+    /// Optional run-wide packet-digest memo (see [`PacketDigestCache`]).
+    digest_cache: Option<PacketDigestCache>,
     cost: CryptoCost,
 }
 
@@ -48,8 +54,17 @@ impl SelugeScheme {
             pages: Vec::new(),
             current: vec![None; params.packets_per_page as usize],
             expected: Vec::new(),
+            digest_cache: None,
             cost: CryptoCost::default(),
         }
+    }
+
+    /// Attaches a run-wide digest memo shared by all nodes of a sim run.
+    /// Purely an observer-level optimization: dispositions and the
+    /// `hashes` cost counter are unchanged; cache hits are tallied in
+    /// `CryptoCost::memoized_hashes`.
+    pub fn attach_digest_cache(&mut self, cache: PacketDigestCache) {
+        self.digest_cache = Some(cache);
     }
 
     /// The base station: everything precomputed and complete.
@@ -75,6 +90,7 @@ impl SelugeScheme {
             pages,
             current: Vec::new(),
             expected: Vec::new(),
+            digest_cache: None,
             cost: CryptoCost::default(),
         }
     }
@@ -188,7 +204,20 @@ impl SelugeScheme {
             return PacketDisposition::Duplicate;
         }
         self.cost.hashes += 1;
-        let h = packet_hash(self.params.version, item, index, payload);
+        let h = match &self.digest_cache {
+            Some(cache) => match cache.lookup(self.params.version, item, index, payload) {
+                Some(h) => {
+                    self.cost.memoized_hashes += 1;
+                    h
+                }
+                None => {
+                    let h = packet_hash(self.params.version, item, index, payload);
+                    cache.insert(self.params.version, item, index, payload, h);
+                    h
+                }
+            },
+            None => packet_hash(self.params.version, item, index, payload),
+        };
         if h != self.expected[index as usize] {
             return PacketDisposition::Rejected;
         }
