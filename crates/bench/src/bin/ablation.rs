@@ -38,6 +38,7 @@ where
             app_loss: p_loss,
             ..MediumConfig::default()
         },
+        ..SimConfig::default()
     };
     let mut sim = Simulator::new(Topology::star(21), cfg, seed, |id| {
         deployment.node_with_policy(id, NodeId(0), make_policy())

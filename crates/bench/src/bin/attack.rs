@@ -85,6 +85,7 @@ fn run_lr_under_attack(
         Topology::star(N_HONEST + 2),
         SimConfig {
             medium: MediumConfig::default(),
+            ..SimConfig::default()
         },
         seed,
         |id| {
@@ -145,6 +146,7 @@ fn run_deluge_under_attack(image_len: usize, interval: Duration, seed: u64) -> F
         Topology::star(N_HONEST + 2),
         SimConfig {
             medium: MediumConfig::default(),
+            ..SimConfig::default()
         },
         seed,
         |id| {
@@ -207,6 +209,7 @@ fn run_denial_of_receipt(image_len: usize, budget: Option<u32>, seed: u64) -> (u
         Topology::star(N_HONEST + 2),
         SimConfig {
             medium: MediumConfig::default(),
+            ..SimConfig::default()
         },
         seed,
         |id| {

@@ -87,6 +87,7 @@ fn main() {
             app_loss: p_loss,
             ..MediumConfig::default()
         },
+        ..SimConfig::default()
     };
 
     // Interleaved (scheme) points: row 0 LR-Seluge, row 1 Seluge.

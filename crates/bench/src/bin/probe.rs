@@ -44,6 +44,7 @@ fn main() {
             app_loss: p_loss,
             ..MediumConfig::default()
         },
+        ..SimConfig::default()
     };
     let mut sim = Simulator::new(Topology::star(n_rx + 1), cfg, seed, |id| {
         deployment.node(id, NodeId(0))

@@ -188,6 +188,7 @@ pub fn run_lr(spec: &RunSpec, params: LrSelugeParams, seed: u64) -> ExperimentMe
     let deployment = Deployment::new(&image, params, b"bench keys").with_engine_config(spec.engine);
     let cfg = SimConfig {
         medium: spec.medium,
+        ..SimConfig::default()
     };
     // One digest memo per run: a broadcast hashed by one receiver is
     // served from memory at the others (per-node `hashes` counters are
@@ -220,6 +221,7 @@ pub fn run_seluge(spec: &RunSpec, params: SelugeParams, seed: u64) -> Experiment
     let key = ClusterKey::derive(b"bench keys", 0);
     let cfg = SimConfig {
         medium: spec.medium,
+        ..SimConfig::default()
     };
     let engine = spec.engine;
     let digests = lrs_seluge::scheme::PacketDigestCache::default();
@@ -257,6 +259,7 @@ pub fn run_deluge(spec: &RunSpec, params: ImageParams, seed: u64) -> ExperimentM
     };
     let cfg = SimConfig {
         medium: spec.medium,
+        ..SimConfig::default()
     };
     let mut sim = Simulator::new(spec.topology.clone(), cfg, seed, |id| {
         let scheme = if id == NodeId(0) {

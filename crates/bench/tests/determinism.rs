@@ -109,6 +109,7 @@ fn traced_run(
             app_loss: 0.2,
             ..MediumConfig::default()
         },
+        ..SimConfig::default()
     };
     let mut sim = Simulator::new(Topology::star(4), cfg, 11, |id| {
         deployment.node(id, NodeId(0))
@@ -158,6 +159,7 @@ fn trace_sink_sees_every_event_family() {
             app_loss: 0.3,
             ..MediumConfig::default()
         },
+        ..SimConfig::default()
     };
     let events = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
     let mut sim = Simulator::new(Topology::star(4), cfg, 1, |id| {

@@ -331,6 +331,91 @@ impl LrScheme {
         self.hp_cache.as_ref()
     }
 
+    /// Checks the protocol invariants the chaos layer enforces after
+    /// every delivery (see DESIGN.md §7):
+    ///
+    /// 1. every buffered packet is byte-identical to the authentic one
+    ///    (nothing unauthenticated sits in a buffer),
+    /// 2. buffer occupancy never exceeds the paper's `n` (resp. `n0`)
+    ///    packet bound and the counters match the slots,
+    /// 3. every completed page's decoded input matches preprocessing,
+    /// 4. a complete node's reassembled image is byte-identical to the
+    ///    origin image.
+    pub fn verify_invariants(&self, artifacts: &LrArtifacts, image: &[u8]) -> Result<(), String> {
+        let n_items = self.params.num_items();
+        if self.complete > n_items {
+            return Err(format!(
+                "complete={} exceeds {} items",
+                self.complete, n_items
+            ));
+        }
+        let hp_held = self.hp_received.iter().flatten().count();
+        if self.hp_received.len() != self.params.n0 as usize || hp_held != self.hp_count {
+            return Err(format!(
+                "hash-page buffer bound violated: {} slots, {} held, count {}",
+                self.hp_received.len(),
+                hp_held,
+                self.hp_count
+            ));
+        }
+        for (j, slot) in self.hp_received.iter().enumerate() {
+            if let Some(p) = slot {
+                if p.as_slice() != artifacts.hash_page_packet(j as u16) {
+                    return Err(format!("unauthentic hash-page packet buffered at {j}"));
+                }
+            }
+        }
+        let cur_held = self.cur_received.iter().flatten().count();
+        if self.cur_received.len() != self.params.n as usize || cur_held != self.cur_count {
+            return Err(format!(
+                "page buffer bound violated: {} slots, {} held, count {}",
+                self.cur_received.len(),
+                cur_held,
+                self.cur_count
+            ));
+        }
+        if self.cur_count > 0 {
+            if self.complete < 2 || self.complete >= n_items {
+                return Err(format!(
+                    "page packets buffered while complete={}",
+                    self.complete
+                ));
+            }
+            let page = self.complete - 2;
+            for (j, slot) in self.cur_received.iter().enumerate() {
+                if let Some(p) = slot {
+                    if p.as_slice() != artifacts.page_packet(page, j as u16) {
+                        return Err(format!("unauthentic packet buffered: page {page} idx {j}"));
+                    }
+                }
+            }
+        }
+        if self.complete >= 1 && self.signature_body.as_deref() != Some(artifacts.signature_body())
+        {
+            return Err("signature item complete but body does not match".into());
+        }
+        let pages_done = (self.complete as usize).saturating_sub(2);
+        if self.page_inputs.len() < pages_done {
+            return Err(format!(
+                "complete={} but only {} decoded pages held",
+                self.complete,
+                self.page_inputs.len()
+            ));
+        }
+        for (i, input) in self.page_inputs.iter().take(pages_done).enumerate() {
+            if input.as_slice() != artifacts.page_input(i as u16) {
+                return Err(format!("decoded page {i} differs from preprocessing"));
+            }
+        }
+        if self.complete == n_items {
+            match self.image() {
+                Some(img) if img == image => {}
+                _ => return Err("complete node's image differs from origin".into()),
+            }
+        }
+        Ok(())
+    }
+
     /// Re-encodes a completed page on first serve (§IV-D-3).
     fn ensure_page_cache(&mut self, page: u16) -> Option<&Vec<Vec<u8>>> {
         if !self.encoded_cache.contains_key(&page) {
@@ -441,6 +526,56 @@ impl Scheme for LrScheme {
 
     fn cost(&self) -> CryptoCost {
         self.cost
+    }
+
+    fn reboot(&mut self) {
+        // Flash (survives): the verified signature body, the decoded
+        // `M0` blocks, and every completed page's decoded input — real
+        // motes write each verified page to external flash before
+        // advancing (Seluge §V). RAM (lost): partially received packets
+        // of the in-progress item and all serving caches.
+        let has_m0 = self.hp_blocks.is_some() || self.hp_cache.is_some();
+        for slot in &mut self.hp_received {
+            *slot = None;
+        }
+        self.hp_count = 0;
+        for slot in &mut self.cur_received {
+            *slot = None;
+        }
+        self.cur_count = 0;
+        self.decode_scratch = Vec::new();
+        self.encoded_cache.clear();
+        if self.hp_blocks.is_some() {
+            // Regenerable from the flash-resident blocks; the base
+            // station's precomputed cache (no blocks) must be kept.
+            self.hp_cache = None;
+        }
+        self.complete = if self.signature_body.is_none() {
+            0
+        } else if !has_m0 {
+            1
+        } else {
+            2 + self.page_inputs.len() as u16
+        };
+        // Rebuild the hash images authenticating the next page.
+        self.expected = match self.page_inputs.last() {
+            Some(input) => input[self.params.page_capacity()..]
+                .chunks(HASH_IMAGE_LEN)
+                .map(|c| HashImage::from_slice(c).expect("region sizing"))
+                .collect(),
+            None => match &self.hp_blocks {
+                Some(blocks) => {
+                    let m0: Vec<u8> = blocks.concat();
+                    (0..self.params.n as usize)
+                        .map(|j| {
+                            HashImage::from_slice(&m0[j * HASH_IMAGE_LEN..(j + 1) * HASH_IMAGE_LEN])
+                                .expect("block sizing")
+                        })
+                        .collect()
+                }
+                None => Vec::new(),
+            },
+        };
     }
 }
 
@@ -621,6 +756,122 @@ mod tests {
         assert_eq!(rx.handle_packet(1, 0, &hp), PacketDisposition::Accepted);
         assert_eq!(rx.handle_packet(1, 0, &hp), PacketDisposition::Duplicate);
         assert_eq!(rx.complete_items(), 1);
+    }
+
+    fn setup_with_artifacts() -> (LrScheme, LrScheme, Vec<u8>, LrArtifacts) {
+        let params = LrSelugeParams {
+            version: 1,
+            image_len: 700,
+            k: 4,
+            n: 6,
+            payload_len: 48,
+            k0: 2,
+            n0: 4,
+            puzzle_strength: 4,
+            ..LrSelugeParams::default()
+        };
+        let image: Vec<u8> = (0..params.image_len as u32)
+            .map(|i| (i % 241) as u8)
+            .collect();
+        let kp = Keypair::from_seed(b"bs");
+        let chain = PuzzleKeyChain::generate(b"puzzles", 4);
+        let art = LrArtifacts::build(&image, params, &kp, &chain);
+        let puzzle = Puzzle::new(chain.anchor(), params.puzzle_strength);
+        let base = LrScheme::base(&art, kp.public(), puzzle);
+        let rx = LrScheme::receiver(params, kp.public(), puzzle);
+        (base, rx, image, art)
+    }
+
+    /// Advances `rx` until `level` items are complete.
+    fn advance_to(base: &mut LrScheme, rx: &mut LrScheme, level: u16) {
+        while rx.complete_items() < level {
+            let item = rx.complete_items();
+            for idx in rx.wanted(item).iter_ones().collect::<Vec<_>>() {
+                let p = base.packet_payload(item, idx as u16).unwrap();
+                rx.handle_packet(item, idx as u16, &p);
+                if rx.complete_items() > item {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reboot_mid_page_keeps_flash_and_drops_ram() {
+        let (mut base, mut rx, image, art) = setup_with_artifacts();
+        advance_to(&mut base, &mut rx, 3); // signature + M0 + one page
+                                           // Partially fill page 1.
+        for idx in 0..2u16 {
+            let p = base.packet_payload(3, idx).unwrap();
+            rx.handle_packet(3, idx, &p);
+        }
+        assert_eq!(rx.wanted(3).count_ones() as u16, rx.params().n - 2);
+        rx.reboot();
+        assert_eq!(rx.complete_items(), 3, "flash items survive the reboot");
+        assert_eq!(
+            rx.wanted(3).count_ones() as u16,
+            rx.params().n,
+            "partially received page is RAM and is lost"
+        );
+        rx.verify_invariants(&art, &image).unwrap();
+        // The transfer still finishes, and the node can serve afterwards.
+        let total = rx.num_items();
+        advance_to(&mut base, &mut rx, total);
+        assert_eq!(rx.image().unwrap(), image);
+        rx.verify_invariants(&art, &image).unwrap();
+        for item in 0..rx.num_items() {
+            for idx in 0..rx.item_packets(item) {
+                assert_eq!(rx.packet_payload(item, idx), base.packet_payload(item, idx));
+            }
+        }
+    }
+
+    #[test]
+    fn reboot_during_m0_keeps_the_signature_only() {
+        let (mut base, mut rx, image, art) = setup_with_artifacts();
+        advance_to(&mut base, &mut rx, 1);
+        // One hash-page packet of the k0' needed.
+        let p = base.packet_payload(1, 0).unwrap();
+        rx.handle_packet(1, 0, &p);
+        rx.reboot();
+        assert_eq!(rx.complete_items(), 1, "verified signature is flash");
+        assert_eq!(rx.wanted(1).count_ones() as u16, rx.params().n0);
+        rx.verify_invariants(&art, &image).unwrap();
+        let total = rx.num_items();
+        advance_to(&mut base, &mut rx, total);
+        assert_eq!(rx.image().unwrap(), image);
+    }
+
+    #[test]
+    fn reboot_of_a_base_station_keeps_it_serving() {
+        let (mut base, _, image, art) = setup_with_artifacts();
+        base.reboot();
+        assert_eq!(base.complete_items(), base.num_items());
+        base.verify_invariants(&art, &image).unwrap();
+        assert!(base.packet_payload(0, 0).is_some());
+        assert!(base.packet_payload(1, 0).is_some());
+        assert!(base.packet_payload(2, 0).is_some());
+    }
+
+    #[test]
+    fn invariants_catch_a_corrupted_buffer() {
+        let (mut base, mut rx, image, art) = setup_with_artifacts();
+        advance_to(&mut base, &mut rx, 2);
+        let p = base.packet_payload(2, 0).unwrap();
+        rx.handle_packet(2, 0, &p);
+        rx.verify_invariants(&art, &image).unwrap();
+        // Corrupt the buffered packet behind the scheme's back.
+        rx.cur_received[0].as_mut().unwrap()[3] ^= 1;
+        assert!(rx.verify_invariants(&art, &image).is_err());
+    }
+
+    #[test]
+    fn invariants_catch_a_wrong_image() {
+        let (base, _, image, art) = setup_with_artifacts();
+        let mut wrong = image.clone();
+        wrong[0] ^= 1;
+        base.verify_invariants(&art, &image).unwrap();
+        assert!(base.verify_invariants(&art, &wrong).is_err());
     }
 
     #[test]

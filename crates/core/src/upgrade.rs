@@ -157,6 +157,7 @@ mod tests {
                     app_loss: 0.1,
                     ..MediumConfig::default()
                 },
+                ..SimConfig::default()
             },
             3,
             |id| {

@@ -41,6 +41,7 @@ fn run(
             app_loss,
             ..MediumConfig::default()
         },
+        ..SimConfig::default()
     };
     let mut sim = Simulator::new(topo, cfg, seed, |id| deployment.node(id, NodeId(0)));
     let report = sim.run(Duration::from_secs(7_200));
@@ -137,6 +138,7 @@ fn sparse_xor_code_also_disseminates() {
             app_loss: 0.2,
             ..MediumConfig::default()
         },
+        ..SimConfig::default()
     };
     let mut sim = Simulator::new(Topology::star(5), cfg, 17, |id| {
         deployment.node(id, NodeId(0))
@@ -175,6 +177,7 @@ fn lt_code_also_disseminates() {
             app_loss: 0.15,
             ..MediumConfig::default()
         },
+        ..SimConfig::default()
     };
     let mut sim = Simulator::new(Topology::star(5), cfg, 23, |id| {
         deployment.node(id, NodeId(0))

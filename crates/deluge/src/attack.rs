@@ -69,6 +69,9 @@ pub struct Attacker {
     version: u16,
     /// Highest level overheard from honest advertisements.
     observed_level: u16,
+    /// Optional packet-storm duty cycle `(on, off)`: injection happens
+    /// only during the on-phase of each cycle.
+    burst: Option<(Duration, Duration)>,
     /// Packets injected.
     pub injected: u64,
 }
@@ -84,6 +87,7 @@ impl Attacker {
             key: None,
             version,
             observed_level: 0,
+            burst: None,
             injected: 0,
         }
     }
@@ -93,6 +97,26 @@ impl Attacker {
         Attacker {
             key: Some(key),
             ..Self::outsider(kind, interval, version)
+        }
+    }
+
+    /// Restricts injection to a periodic packet-storm duty cycle: `on`
+    /// of injection followed by `off` of silence, repeating. Bursty
+    /// interference stresses loss recovery harder than the same packet
+    /// budget spread evenly.
+    pub fn with_burst(mut self, on: Duration, off: Duration) -> Self {
+        self.burst = Some((on, off));
+        self
+    }
+
+    /// Whether the duty cycle allows injecting at `now`.
+    fn burst_active(&self, now: lrs_netsim::time::SimTime) -> bool {
+        match self.burst {
+            None => true,
+            Some((on, off)) => {
+                let cycle = (on.as_micros() + off.as_micros()).max(1);
+                now.as_micros() % cycle < on.as_micros()
+            }
         }
     }
 
@@ -188,9 +212,11 @@ impl Protocol for Attacker {
         if timer != TIMER_INJECT {
             return;
         }
-        if let Some((kind, bytes)) = self.forge(ctx) {
-            ctx.broadcast(kind, bytes);
-            self.injected += 1;
+        if self.burst_active(ctx.now) {
+            if let Some((kind, bytes)) = self.forge(ctx) {
+                ctx.broadcast(kind, bytes);
+                self.injected += 1;
+            }
         }
         ctx.set_timer(TIMER_INJECT, self.interval);
     }
@@ -252,6 +278,24 @@ impl<P: Protocol> Protocol for MaybeAdversary<P> {
             MaybeAdversary::Attacker(a) => a.is_complete(),
         }
     }
+    fn on_reboot(&mut self, ctx: &mut Context<'_>) {
+        match self {
+            MaybeAdversary::Honest(p) => p.on_reboot(ctx),
+            MaybeAdversary::Attacker(a) => a.on_reboot(ctx),
+        }
+    }
+    fn progress(&self) -> u64 {
+        match self {
+            MaybeAdversary::Honest(p) => p.progress(),
+            MaybeAdversary::Attacker(a) => a.progress(),
+        }
+    }
+    fn diagnostic(&self) -> String {
+        match self {
+            MaybeAdversary::Honest(p) => p.diagnostic(),
+            MaybeAdversary::Attacker(a) => a.diagnostic(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -273,6 +317,21 @@ mod tests {
         // (Exercised indirectly: injected stays 0 after a timer fire.)
         assert!(a.key.is_none());
         assert_eq!(a.injected, 0);
+    }
+
+    #[test]
+    fn burst_duty_cycle_gates_injection() {
+        use lrs_netsim::time::SimTime;
+        let a = Attacker::outsider(AttackKind::ForgedAdv, Duration::from_millis(50), 1)
+            .with_burst(Duration::from_secs(1), Duration::from_secs(3));
+        assert!(a.burst_active(SimTime(0)));
+        assert!(a.burst_active(SimTime(999_999)));
+        assert!(!a.burst_active(SimTime(1_000_000)));
+        assert!(!a.burst_active(SimTime(3_999_999)));
+        assert!(a.burst_active(SimTime(4_000_000)));
+        // No duty cycle: always active.
+        let b = Attacker::outsider(AttackKind::ForgedAdv, Duration::from_millis(50), 1);
+        assert!(b.burst_active(SimTime(123_456_789)));
     }
 
     #[test]

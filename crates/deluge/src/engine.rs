@@ -107,6 +107,14 @@ pub trait Scheme {
         PacketKind::Data
     }
 
+    /// Flash-recovery hook invoked when the node reboots after a crash:
+    /// in-RAM reception state (partially received items, regenerable
+    /// caches) is lost, while flash-resident state (completed items)
+    /// survives, so the node re-enters dissemination from its last
+    /// completed item instead of silently keeping volatile state. The
+    /// default treats the whole scheme as flash-resident (no-op).
+    fn reboot(&mut self) {}
+
     /// Cryptographic work performed so far.
     fn cost(&self) -> CryptoCost {
         CryptoCost::default()
@@ -768,5 +776,52 @@ impl<S: Scheme, P: TxPolicy> Protocol for DisseminationNode<S, P> {
 
     fn is_complete(&self) -> bool {
         self.done()
+    }
+
+    fn on_reboot(&mut self, ctx: &mut Context<'_>) {
+        // RAM dies with the crash: engine state, the neighbor table and
+        // reception buffers are gone; the scheme keeps whatever its
+        // flash model persists. Stats and crypto-cost counters survive
+        // deliberately — they are run observability, not node state.
+        self.scheme.reboot();
+        self.policy.clear();
+        self.state = State::Maintain;
+        self.trickle = Trickle::new(self.cfg.trickle);
+        self.neighbors.clear();
+        self.served.clear();
+        self.suppress_count = 0;
+        self.fast_rerequests = (0, 3);
+        self.awaiting_reply = false;
+        self.on_init(ctx);
+    }
+
+    fn progress(&self) -> u64 {
+        // Level in the high bits; packets buffered toward the next item
+        // in the low bits. Any accepted packet or completed item raises
+        // it, which is what the simulator's stall watchdog samples.
+        let level = u64::from(self.level());
+        let held = if self.done() {
+            0
+        } else {
+            let item = self.level();
+            u64::from(self.scheme.item_packets(item)) - self.scheme.wanted(item).count_ones() as u64
+        };
+        (level << 32) | held
+    }
+
+    fn diagnostic(&self) -> String {
+        let total = self.scheme.num_items();
+        if self.done() {
+            return format!("level={total}/{total} complete");
+        }
+        let item = self.level();
+        let bits = self.scheme.wanted(item);
+        let wanted: String = (0..bits.len())
+            .map(|i| if bits.get(i) { '1' } else { '0' })
+            .collect();
+        format!(
+            "level={item}/{total} state={:?} wanted[{item}]={wanted}",
+            self.state
+        )
     }
 }

@@ -194,6 +194,14 @@ impl Scheme for DelugeScheme {
     fn item_kind(&self, _item: u16) -> PacketKind {
         PacketKind::Data
     }
+
+    fn reboot(&mut self) {
+        // Completed pages live in `assembled` (flash); only the partially
+        // received page is RAM and is lost.
+        for slot in &mut self.current {
+            *slot = None;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -297,6 +305,34 @@ mod tests {
         let w = rx.wanted(0);
         assert_eq!(w.count_ones(), 3);
         assert!(!w.get(2));
+    }
+
+    #[test]
+    fn reboot_keeps_flash_pages_and_drops_the_partial_one() {
+        let img = test_image();
+        let mut base = DelugeScheme::base(&img);
+        let mut rx = DelugeScheme::receiver(params());
+        // Complete page 0, then half-fill page 1.
+        for idx in 0..4 {
+            let p = base.packet_payload(0, idx).unwrap();
+            rx.handle_packet(0, idx, &p);
+        }
+        for idx in 0..2 {
+            let p = base.packet_payload(1, idx).unwrap();
+            rx.handle_packet(1, idx, &p);
+        }
+        assert_eq!(rx.wanted(1).count_ones(), 2);
+        rx.reboot();
+        assert_eq!(rx.complete_items(), 1, "flash page survives");
+        assert_eq!(rx.wanted(1).count_ones(), 4, "RAM partial page lost");
+        // The run still completes after the reboot.
+        for page in 1..4 {
+            for idx in 0..4 {
+                let p = base.packet_payload(page, idx).unwrap();
+                rx.handle_packet(page, idx, &p);
+            }
+        }
+        assert_eq!(rx.image().unwrap(), img.bytes());
     }
 
     #[test]

@@ -43,6 +43,7 @@ fn build_sim(topo: Topology, image_len: usize, app_loss: f64, seed: u64) -> Simu
             app_loss,
             ..MediumConfig::default()
         },
+        ..SimConfig::default()
     };
     Simulator::new(topo, cfg, seed, move |id| {
         let scheme = if id == NodeId(0) {

@@ -91,6 +91,7 @@ fn sim_with(engine: EngineConfig, app_loss: f64, seed: u64, n: usize) -> Simulat
             app_loss,
             ..MediumConfig::default()
         },
+        ..SimConfig::default()
     };
     Simulator::new(Topology::star(n), cfg, seed, move |id| {
         DisseminationNode::new(
@@ -121,6 +122,7 @@ fn out_of_order_data_is_dropped_not_buffered() {
     let key = ClusterKey::derive(b"engine-test", 0);
     let cfg = SimConfig {
         medium: MediumConfig::default(),
+        ..SimConfig::default()
     };
     // Two nodes: an attacker spraying item-2 data and one honest node
     // with no server available (level stays 0).

@@ -95,6 +95,12 @@ impl EventQueue {
         self.heap.len()
     }
 
+    /// Iterates over pending events in arbitrary (heap) order, without
+    /// draining them. Used for diagnostic dumps.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, &Event)> {
+        self.heap.iter().map(|Reverse(s)| (s.at, &s.event))
+    }
+
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()

@@ -1,0 +1,542 @@
+//! Composable, deterministic fault injection.
+//!
+//! A [`FaultPlan`] is a time-sorted schedule of [`FaultEvent`]s applied
+//! by the [`Simulator`](crate::sim::Simulator) as virtual time passes:
+//! node crashes and reboots (RAM state is lost; protocols recover what
+//! their flash model retains), link churn (links flap down and up with
+//! configurable sojourn times), asymmetric per-direction degradation,
+//! and per-node clock drift.
+//!
+//! Plans are either hand-built through the push helpers or generated
+//! from a [`FaultConfig`] with [`FaultPlan::generate`], which draws
+//! every decision from its own `DetRng` stream. The fault layer never
+//! touches the medium's or the nodes' RNGs, so an *empty* plan leaves a
+//! run bit-identical to one with no fault layer at all, and any plan is
+//! reproducible from `(config, topology, seed)`.
+//!
+//! Every event serializes to a single JSON object in the same shape as
+//! a [`TraceEvent`](crate::trace::TraceEvent) line, and a whole plan
+//! round-trips through [`FaultPlan::to_jsonl`] /
+//! [`FaultPlan::from_jsonl`]. Replaying a parsed plan reproduces the
+//! original run exactly; `tests/properties.rs` pins this.
+
+use crate::node::NodeId;
+use crate::time::{Duration, SimTime};
+use crate::topology::Topology;
+use lrs_rng::DetRng;
+
+/// Parts-per-million fixed point: the identity scale factor.
+pub const PPM_ONE: u32 = 1_000_000;
+
+/// One scheduled fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Node halts: no transmission, reception, or timer activity.
+    Crash {
+        /// The crashing node.
+        node: NodeId,
+        /// Crash time.
+        at: SimTime,
+    },
+    /// A crashed node restarts. Its RAM state is lost; the protocol's
+    /// reboot hook decides what the flash model restores.
+    Reboot {
+        /// The restarting node.
+        node: NodeId,
+        /// Restart time.
+        at: SimTime,
+    },
+    /// The directed link `from → to` stops delivering entirely.
+    LinkDown {
+        /// Transmitter side.
+        from: NodeId,
+        /// Receiver side.
+        to: NodeId,
+        /// Outage start.
+        at: SimTime,
+    },
+    /// The directed link `from → to` recovers (degradation, if any,
+    /// still applies).
+    LinkUp {
+        /// Transmitter side.
+        from: NodeId,
+        /// Receiver side.
+        to: NodeId,
+        /// Recovery time.
+        at: SimTime,
+    },
+    /// The directed link `from → to` keeps only `ppm`/1e6 of its
+    /// deliveries from now on. Applying it to one direction only models
+    /// an asymmetric link.
+    Degrade {
+        /// Transmitter side.
+        from: NodeId,
+        /// Receiver side.
+        to: NodeId,
+        /// Delivery scale factor in parts per million ([`PPM_ONE`] = no
+        /// degradation).
+        ppm: u32,
+        /// When the degradation starts.
+        at: SimTime,
+    },
+    /// The node's local clock runs at `ppm`/1e6 of nominal speed from
+    /// now on: every timer it arms is stretched (ppm > 1e6) or
+    /// compressed (ppm < 1e6) by that factor.
+    ClockDrift {
+        /// The drifting node.
+        node: NodeId,
+        /// Clock rate in parts per million of nominal ([`PPM_ONE`] =
+        /// perfect clock).
+        ppm: u32,
+        /// When the drift takes effect.
+        at: SimTime,
+    },
+}
+
+impl FaultEvent {
+    /// The event's scheduled time.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            FaultEvent::Crash { at, .. }
+            | FaultEvent::Reboot { at, .. }
+            | FaultEvent::LinkDown { at, .. }
+            | FaultEvent::LinkUp { at, .. }
+            | FaultEvent::Degrade { at, .. }
+            | FaultEvent::ClockDrift { at, .. } => at,
+        }
+    }
+
+    /// Renders the event as one JSON object in trace-event shape
+    /// (`"t"` in microseconds of virtual time).
+    pub fn to_json(&self) -> String {
+        match *self {
+            FaultEvent::Crash { node, at } => format!(
+                r#"{{"t":{},"ev":"fault_crash","node":{}}}"#,
+                at.as_micros(),
+                node.0
+            ),
+            FaultEvent::Reboot { node, at } => format!(
+                r#"{{"t":{},"ev":"fault_reboot","node":{}}}"#,
+                at.as_micros(),
+                node.0
+            ),
+            FaultEvent::LinkDown { from, to, at } => format!(
+                r#"{{"t":{},"ev":"fault_link_down","from":{},"to":{}}}"#,
+                at.as_micros(),
+                from.0,
+                to.0
+            ),
+            FaultEvent::LinkUp { from, to, at } => format!(
+                r#"{{"t":{},"ev":"fault_link_up","from":{},"to":{}}}"#,
+                at.as_micros(),
+                from.0,
+                to.0
+            ),
+            FaultEvent::Degrade { from, to, ppm, at } => format!(
+                r#"{{"t":{},"ev":"fault_degrade","from":{},"to":{},"ppm":{}}}"#,
+                at.as_micros(),
+                from.0,
+                to.0,
+                ppm
+            ),
+            FaultEvent::ClockDrift { node, ppm, at } => format!(
+                r#"{{"t":{},"ev":"fault_drift","node":{},"ppm":{}}}"#,
+                at.as_micros(),
+                node.0,
+                ppm
+            ),
+        }
+    }
+
+    /// Parses one event from its [`to_json`](Self::to_json) form.
+    /// Returns `None` on any malformed or unknown input.
+    pub fn from_json(line: &str) -> Option<Self> {
+        let ev = json_str_field(line, "ev")?;
+        let at = SimTime(json_u64_field(line, "t")?);
+        let node = || json_u64_field(line, "node").map(|n| NodeId(n as u32));
+        let from = || json_u64_field(line, "from").map(|n| NodeId(n as u32));
+        let to = || json_u64_field(line, "to").map(|n| NodeId(n as u32));
+        let ppm = || json_u64_field(line, "ppm").map(|p| p as u32);
+        Some(match ev {
+            "fault_crash" => FaultEvent::Crash { node: node()?, at },
+            "fault_reboot" => FaultEvent::Reboot { node: node()?, at },
+            "fault_link_down" => FaultEvent::LinkDown {
+                from: from()?,
+                to: to()?,
+                at,
+            },
+            "fault_link_up" => FaultEvent::LinkUp {
+                from: from()?,
+                to: to()?,
+                at,
+            },
+            "fault_degrade" => FaultEvent::Degrade {
+                from: from()?,
+                to: to()?,
+                ppm: ppm()?,
+                at,
+            },
+            "fault_drift" => FaultEvent::ClockDrift {
+                node: node()?,
+                ppm: ppm()?,
+                at,
+            },
+            _ => return None,
+        })
+    }
+}
+
+/// Extracts the numeric value of `"key":<digits>` from a flat JSON object.
+fn json_u64_field(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    if end == 0 {
+        return None;
+    }
+    rest[..end].parse().ok()
+}
+
+/// Extracts the string value of `"key":"<value>"` from a flat JSON object.
+fn json_str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find('"')?;
+    Some(&rest[..end])
+}
+
+/// Knobs for [`FaultPlan::generate`]. Rates are per-horizon
+/// probabilities; all sampling is driven by the seed passed to
+/// `generate`, never by wall-clock state.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultConfig {
+    /// Probability that each eligible node crashes once in the horizon.
+    pub crash_rate: f64,
+    /// Downtime range for crashed nodes; `None` makes crashes permanent.
+    pub reboot_after: Option<(Duration, Duration)>,
+    /// Fraction of directed links that flap down/up for the whole horizon.
+    pub link_flap_rate: f64,
+    /// Mean outage length of a flapping link.
+    pub down_sojourn: Duration,
+    /// Mean healthy stretch of a flapping link.
+    pub up_sojourn: Duration,
+    /// Fraction of directed links that are permanently degraded
+    /// (asymmetric: each direction is drawn independently).
+    pub degrade_rate: f64,
+    /// Degradation factor range in ppm (applied per delivery).
+    pub degrade_ppm: (u32, u32),
+    /// Maximum absolute clock-drift deviation in ppm; each node draws a
+    /// rate uniformly from `[PPM_ONE - d, PPM_ONE + d]` at time zero.
+    pub drift_ppm: u32,
+    /// Time window faults are scheduled within.
+    pub horizon: Duration,
+    /// Node ids below this never crash (protects the base station).
+    pub protect_first: u32,
+}
+
+impl Default for FaultConfig {
+    /// A quiet config: no faults, one protected base node, a one-hour
+    /// horizon.
+    fn default() -> Self {
+        FaultConfig {
+            crash_rate: 0.0,
+            reboot_after: None,
+            link_flap_rate: 0.0,
+            down_sojourn: Duration::from_secs(30),
+            up_sojourn: Duration::from_secs(120),
+            degrade_rate: 0.0,
+            degrade_ppm: (300_000, 800_000),
+            drift_ppm: 0,
+            horizon: Duration::from_secs(3600),
+            protect_first: 1,
+        }
+    }
+}
+
+/// A deterministic, time-sorted fault schedule.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Appends one event (kept sorted by time, stable for ties).
+    pub fn push(&mut self, event: FaultEvent) {
+        self.events.push(event);
+        self.events.sort_by_key(FaultEvent::at);
+    }
+
+    /// Schedules a permanent crash.
+    pub fn crash(&mut self, node: NodeId, at: SimTime) {
+        self.push(FaultEvent::Crash { node, at });
+    }
+
+    /// Schedules a crash followed by a reboot after `downtime`.
+    pub fn crash_and_reboot(&mut self, node: NodeId, at: SimTime, downtime: Duration) {
+        self.push(FaultEvent::Crash { node, at });
+        self.push(FaultEvent::Reboot {
+            node,
+            at: at + downtime,
+        });
+    }
+
+    /// Schedules a directed-link outage over `[at, at + outage)`.
+    pub fn link_outage(&mut self, from: NodeId, to: NodeId, at: SimTime, outage: Duration) {
+        self.push(FaultEvent::LinkDown { from, to, at });
+        self.push(FaultEvent::LinkUp {
+            from,
+            to,
+            at: at + outage,
+        });
+    }
+
+    /// Schedules a permanent directed-link degradation.
+    pub fn degrade(&mut self, from: NodeId, to: NodeId, ppm: u32, at: SimTime) {
+        self.push(FaultEvent::Degrade { from, to, ppm, at });
+    }
+
+    /// Sets a node's clock rate from `at` onward.
+    pub fn clock_drift(&mut self, node: NodeId, ppm: u32, at: SimTime) {
+        self.push(FaultEvent::ClockDrift { node, ppm, at });
+    }
+
+    /// The scheduled events, sorted by time.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Generates a schedule from `config` for `topology`, drawing every
+    /// decision from a `DetRng` seeded with `seed`. Same inputs, same
+    /// plan — byte for byte.
+    pub fn generate(config: &FaultConfig, topology: &Topology, seed: u64) -> Self {
+        let mut rng = DetRng::seed_from_u64(seed ^ 0x00FA_B17F_A017_u64);
+        let mut plan = FaultPlan::new();
+        let horizon_us = config.horizon.as_micros().max(1);
+
+        // Node crashes (optionally followed by reboots).
+        for i in config.protect_first..topology.len() as u32 {
+            if config.crash_rate > 0.0 && rng.gen_bool(config.crash_rate) {
+                let at = SimTime(rng.gen_range(0..horizon_us));
+                match config.reboot_after {
+                    Some((lo, hi)) => {
+                        let down = sample_range_us(&mut rng, lo, hi);
+                        plan.crash_and_reboot(NodeId(i), at, Duration::from_micros(down));
+                    }
+                    None => plan.crash(NodeId(i), at),
+                }
+            }
+        }
+
+        // Per-node clock drift, fixed at time zero.
+        if config.drift_ppm > 0 {
+            for i in 0..topology.len() as u32 {
+                let d = rng.gen_range(0..=2 * config.drift_ppm as u64) as u32;
+                let ppm = PPM_ONE - config.drift_ppm + d;
+                if ppm != PPM_ONE {
+                    plan.clock_drift(NodeId(i), ppm, SimTime::ZERO);
+                }
+            }
+        }
+
+        // Link churn and degradation over every directed link.
+        for from in 0..topology.len() as u32 {
+            for link in topology.links_from(NodeId(from)) {
+                let to = link.to;
+                if config.degrade_rate > 0.0 && rng.gen_bool(config.degrade_rate) {
+                    let (lo, hi) = config.degrade_ppm;
+                    let ppm = rng.gen_range(u64::from(lo)..=u64::from(hi.max(lo))) as u32;
+                    plan.degrade(NodeId(from), to, ppm, SimTime::ZERO);
+                }
+                if config.link_flap_rate > 0.0 && rng.gen_bool(config.link_flap_rate) {
+                    // Alternate up/down sojourns across the horizon;
+                    // sojourns are uniform in [mean/2, 3·mean/2].
+                    let mut t = sample_sojourn_us(&mut rng, config.up_sojourn);
+                    while t < horizon_us {
+                        let down = sample_sojourn_us(&mut rng, config.down_sojourn);
+                        plan.link_outage(NodeId(from), to, SimTime(t), Duration::from_micros(down));
+                        t += down + sample_sojourn_us(&mut rng, config.up_sojourn);
+                    }
+                }
+            }
+        }
+        plan
+    }
+
+    /// Serializes the plan to JSON Lines (one event per line), its
+    /// trace-event form.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for event in &self.events {
+            out.push_str(&event.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a plan back from [`to_jsonl`](Self::to_jsonl) output.
+    /// Returns `None` if any non-blank line fails to parse.
+    pub fn from_jsonl(text: &str) -> Option<Self> {
+        let mut plan = FaultPlan::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            plan.push(FaultEvent::from_json(line)?);
+        }
+        Some(plan)
+    }
+}
+
+/// Uniform draw from `[lo, hi]` in microseconds (handles `hi < lo`).
+fn sample_range_us(rng: &mut DetRng, lo: Duration, hi: Duration) -> u64 {
+    let (a, b) = (lo.as_micros(), hi.as_micros().max(lo.as_micros()));
+    rng.gen_range(a..=b)
+}
+
+/// Sojourn draw: uniform in `[mean/2, 3·mean/2]`, floor 1 µs.
+fn sample_sojourn_us(rng: &mut DetRng, mean: Duration) -> u64 {
+    let m = mean.as_micros().max(2);
+    rng.gen_range(m / 2..=m + m / 2).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn busy_config() -> FaultConfig {
+        FaultConfig {
+            crash_rate: 0.5,
+            reboot_after: Some((Duration::from_secs(5), Duration::from_secs(50))),
+            link_flap_rate: 0.4,
+            degrade_rate: 0.3,
+            drift_ppm: 50_000,
+            horizon: Duration::from_secs(600),
+            ..FaultConfig::default()
+        }
+    }
+
+    #[test]
+    fn every_variant_round_trips_through_json() {
+        let events = [
+            FaultEvent::Crash {
+                node: NodeId(3),
+                at: SimTime(17),
+            },
+            FaultEvent::Reboot {
+                node: NodeId(3),
+                at: SimTime(1_000_017),
+            },
+            FaultEvent::LinkDown {
+                from: NodeId(1),
+                to: NodeId(2),
+                at: SimTime(0),
+            },
+            FaultEvent::LinkUp {
+                from: NodeId(1),
+                to: NodeId(2),
+                at: SimTime(99),
+            },
+            FaultEvent::Degrade {
+                from: NodeId(4),
+                to: NodeId(0),
+                ppm: 420_000,
+                at: SimTime(5),
+            },
+            FaultEvent::ClockDrift {
+                node: NodeId(7),
+                ppm: 1_030_000,
+                at: SimTime::ZERO,
+            },
+        ];
+        for event in events {
+            let json = event.to_json();
+            assert_eq!(FaultEvent::from_json(&json), Some(event), "{json}");
+        }
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert_eq!(FaultEvent::from_json(r#"{"t":5,"ev":"tx","node":1}"#), None);
+        assert_eq!(FaultEvent::from_json(r#"{"t":5,"ev":"fault_crash"}"#), None);
+        assert_eq!(FaultEvent::from_json("not json"), None);
+        assert!(FaultPlan::from_jsonl("{}\n").is_none());
+    }
+
+    #[test]
+    fn generate_is_deterministic_and_sorted() {
+        let topo = Topology::grid(4, 10.0, 7);
+        let cfg = busy_config();
+        let a = FaultPlan::generate(&cfg, &topo, 42);
+        let b = FaultPlan::generate(&cfg, &topo, 42);
+        let c = FaultPlan::generate(&cfg, &topo, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds should differ for a busy config");
+        assert!(!a.is_empty());
+        assert!(a.events().windows(2).all(|w| w[0].at() <= w[1].at()));
+    }
+
+    #[test]
+    fn generate_respects_protection_and_horizon() {
+        let cfg = FaultConfig {
+            crash_rate: 1.0,
+            reboot_after: None,
+            horizon: Duration::from_secs(100),
+            protect_first: 2,
+            ..FaultConfig::default()
+        };
+        let topo = Topology::star(6);
+        let plan = FaultPlan::generate(&cfg, &topo, 9);
+        let mut crashed: Vec<u32> = plan
+            .events()
+            .iter()
+            .map(|e| match *e {
+                FaultEvent::Crash { node, at } => {
+                    assert!(at.as_micros() < 100_000_000);
+                    node.0
+                }
+                ref other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        crashed.sort_unstable();
+        assert_eq!(crashed, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn plan_jsonl_round_trip_is_exact() {
+        let topo = Topology::grid(3, 10.0, 1);
+        let plan = FaultPlan::generate(&busy_config(), &topo, 5);
+        let text = plan.to_jsonl();
+        let parsed = FaultPlan::from_jsonl(&text).expect("parse");
+        assert_eq!(plan, parsed);
+        assert_eq!(parsed.to_jsonl(), text);
+    }
+
+    #[test]
+    fn push_keeps_events_sorted() {
+        let mut plan = FaultPlan::new();
+        plan.crash(NodeId(1), SimTime(500));
+        plan.crash_and_reboot(NodeId(2), SimTime(100), Duration::from_micros(50));
+        let times: Vec<u64> = plan.events().iter().map(|e| e.at().as_micros()).collect();
+        assert_eq!(times, vec![100, 150, 500]);
+    }
+}

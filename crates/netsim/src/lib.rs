@@ -21,6 +21,10 @@
 //!   and random deployments.
 //! * [`trickle`] implements the Trickle advertisement timer used by the
 //!   MAINTAIN state, and [`metrics`] the counters behind every figure.
+//! * [`fault`] schedules deterministic crash/reboot, link-churn,
+//!   asymmetric-degradation, and clock-drift faults; the simulator's
+//!   stall watchdog and per-delivery invariant hooks turn livelocks and
+//!   protocol violations into structured diagnostics instead of hangs.
 //!
 //! # Example
 //!
@@ -60,6 +64,7 @@
 pub mod digest;
 pub mod energy;
 pub mod event;
+pub mod fault;
 pub mod medium;
 pub mod metrics;
 pub mod node;
@@ -70,9 +75,10 @@ pub mod topology;
 pub mod trace;
 pub mod trickle;
 
+pub use fault::{FaultConfig, FaultEvent, FaultPlan, PPM_ONE};
 pub use metrics::Metrics;
 pub use node::{Context, NodeId, PacketKind, Protocol, TimerId};
-pub use sim::{SimConfig, Simulator};
+pub use sim::{DiagnosticDump, NodeDiag, Outcome, RunReport, SimConfig, Simulator};
 pub use time::{Duration, SimTime};
 pub use topology::Topology;
-pub use trace::{JsonlTrace, LossCause, RingTrace, TraceEvent, TraceSink};
+pub use trace::{JsonlTrace, LossCause, RingTrace, SharedRingTrace, TraceEvent, TraceSink};

@@ -148,6 +148,30 @@ pub trait Protocol {
     /// simulator records the first time this becomes true and can stop
     /// early once every node is complete.
     fn is_complete(&self) -> bool;
+
+    /// Called when the node restarts after a crash fault. The protocol
+    /// must drop whatever its model considers volatile RAM state and
+    /// resume from what survives in "flash". The default treats the
+    /// whole protocol as flash-resident and simply re-runs
+    /// [`on_init`](Self::on_init).
+    fn on_reboot(&mut self, ctx: &mut Context<'_>) {
+        self.on_init(ctx);
+    }
+
+    /// A monotone-per-node goodput indicator for the simulator's stall
+    /// watchdog: any genuine forward progress (a buffered packet, a
+    /// completed page) must eventually increase it. The default only
+    /// distinguishes incomplete from complete.
+    fn progress(&self) -> u64 {
+        u64::from(self.is_complete())
+    }
+
+    /// One-line state description (page/packet bit-vectors and the
+    /// like) included in the watchdog's diagnostic dump. Empty by
+    /// default.
+    fn diagnostic(&self) -> String {
+        String::new()
+    }
 }
 
 #[cfg(test)]

@@ -2,33 +2,186 @@
 
 use crate::energy::EnergyLedger;
 use crate::event::{Event, EventQueue};
+use crate::fault::{FaultEvent, FaultPlan, PPM_ONE};
 use crate::medium::{Delivery, Medium, MediumConfig};
 use crate::metrics::Metrics;
 use crate::node::{Action, Context, NodeId, Protocol};
 use crate::time::{Duration, SimTime};
 use crate::topology::Topology;
-use crate::trace::{LossCause, TraceEvent, TraceSink};
+use crate::trace::{LossCause, RingTrace, TraceEvent, TraceSink};
 use lrs_rng::DetRng;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
 /// Simulation-wide configuration.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug)]
 pub struct SimConfig {
     /// Radio and loss-process parameters.
     pub medium: MediumConfig,
+    /// Hard virtual-time limit; a run that reaches it stops with
+    /// [`Outcome::TimedOut`] regardless of the `run` deadline argument.
+    /// `None` leaves only the per-run deadline.
+    pub max_sim_time: Option<Duration>,
+    /// Stall watchdog: if no node makes [`Protocol::progress`] within a
+    /// window of this length, the run aborts with [`Outcome::Stalled`]
+    /// and a [`DiagnosticDump`]. `None` disables the watchdog.
+    pub stall_window: Option<Duration>,
+    /// How many recent trace events the simulator retains internally
+    /// for diagnostic dumps (0 disables retention).
+    pub diag_events: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            medium: MediumConfig::default(),
+            max_sim_time: None,
+            stall_window: None,
+            diag_events: 64,
+        }
+    }
+}
+
+/// Why a run stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Every (non-failed) node reported completion.
+    Complete,
+    /// The virtual-time limit (`run` deadline or
+    /// [`SimConfig::max_sim_time`]) passed first.
+    TimedOut,
+    /// The event queue drained with nodes still incomplete.
+    Drained,
+    /// The stall watchdog saw no progress across its window.
+    Stalled,
+    /// The attached invariant checker reported a violation.
+    InvariantViolated,
+}
+
+impl Outcome {
+    /// Stable lowercase label for JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Outcome::Complete => "complete",
+            Outcome::TimedOut => "timed_out",
+            Outcome::Drained => "drained",
+            Outcome::Stalled => "stalled",
+            Outcome::InvariantViolated => "invariant_violated",
+        }
+    }
+}
+
+/// One node's state snapshot inside a [`DiagnosticDump`].
+#[derive(Clone, Debug)]
+pub struct NodeDiag {
+    /// The node.
+    pub node: NodeId,
+    /// Whether it reported completion.
+    pub complete: bool,
+    /// Whether it is crash-failed right now.
+    pub failed: bool,
+    /// Its [`Protocol::progress`] value.
+    pub progress: u64,
+    /// Its [`Protocol::diagnostic`] line (page/packet bit-vectors).
+    pub detail: String,
+}
+
+/// Structured post-mortem emitted when the watchdog trips or an
+/// invariant fails: enough to explain a stall without rerunning under a
+/// debugger.
+#[derive(Clone, Debug)]
+pub struct DiagnosticDump {
+    /// Virtual time of the dump.
+    pub at: SimTime,
+    /// Why the dump was taken.
+    pub reason: String,
+    /// Pending events in the queue.
+    pub queue_len: usize,
+    /// Pending *live* timers (superseded generations excluded).
+    pub pending_timers: usize,
+    /// Per-node state snapshots.
+    pub nodes: Vec<NodeDiag>,
+    /// The most recent trace events (bounded by
+    /// [`SimConfig::diag_events`]).
+    pub recent: Vec<TraceEvent>,
+}
+
+/// Escapes `"` and `\` for embedding in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+impl DiagnosticDump {
+    /// Renders the dump as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut nodes = String::new();
+        for d in &self.nodes {
+            if !nodes.is_empty() {
+                nodes.push(',');
+            }
+            nodes.push_str(&format!(
+                r#"{{"node":{},"complete":{},"failed":{},"progress":{},"detail":"{}"}}"#,
+                d.node.0,
+                d.complete,
+                d.failed,
+                d.progress,
+                escape_json(&d.detail)
+            ));
+        }
+        let mut recent = String::new();
+        for event in &self.recent {
+            if !recent.is_empty() {
+                recent.push(',');
+            }
+            recent.push_str(&event.to_json());
+        }
+        format!(
+            r#"{{"t":{},"ev":"diagnostic","reason":"{}","queue":{},"pending_timers":{},"nodes":[{}],"recent":[{}]}}"#,
+            self.at.as_micros(),
+            escape_json(&self.reason),
+            self.queue_len,
+            self.pending_timers,
+            nodes,
+            recent
+        )
+    }
 }
 
 /// Result of a run.
 #[derive(Clone, Debug)]
 pub struct RunReport {
+    /// Why the run stopped.
+    pub outcome: Outcome,
     /// Whether every node reported completion.
     pub all_complete: bool,
     /// Virtual time when the run stopped.
     pub final_time: SimTime,
     /// Dissemination latency (time the last node completed), if all did.
     pub latency: Option<SimTime>,
+    /// Post-mortem attached on [`Outcome::Stalled`] and
+    /// [`Outcome::InvariantViolated`].
+    pub diagnostic: Option<DiagnosticDump>,
 }
+
+/// Fault overlay on one directed link.
+#[derive(Clone, Copy, Debug)]
+struct LinkFault {
+    up: bool,
+    ppm: u32,
+}
+
+impl Default for LinkFault {
+    fn default() -> Self {
+        LinkFault {
+            up: true,
+            ppm: PPM_ONE,
+        }
+    }
+}
+
+/// Per-delivery hook validating protocol invariants; an `Err` aborts
+/// the run with [`Outcome::InvariantViolated`].
+pub type InvariantChecker<P> = Box<dyn FnMut(&P, NodeId) -> Result<(), String>>;
 
 /// A deterministic discrete-event simulation over one protocol type.
 pub struct Simulator<P: Protocol> {
@@ -42,10 +195,28 @@ pub struct Simulator<P: Protocol> {
     energy: EnergyLedger,
     now: SimTime,
     complete: Vec<bool>,
-    /// Nodes removed from the simulation (crash-failure injection).
+    /// Nodes currently crash-failed (a pending reboot can clear this).
     failed: Vec<bool>,
-    /// Pending failure times, applied as virtual time passes.
-    failures: Vec<(NodeId, SimTime)>,
+    /// Scheduled faults, applied as virtual time passes.
+    faults: VecDeque<FaultEvent>,
+    /// Fault overlay per directed link `(from, to)`.
+    link_state: HashMap<(u32, u32), LinkFault>,
+    /// Per-node clock rate in ppm of nominal.
+    drift_ppm: Vec<u32>,
+    /// Dedicated stream for fault-layer draws (link degradation), so an
+    /// empty fault plan leaves runs bit-identical.
+    fault_rng: DetRng,
+    /// Reboots applied so far.
+    reboots: u64,
+    /// Optional per-delivery invariant checker.
+    invariant: Option<InvariantChecker<P>>,
+    /// First invariant violation, if any.
+    violation: Option<(SimTime, NodeId, String)>,
+    /// Always-on bounded event ring feeding diagnostic dumps.
+    diag: RingTrace,
+    diag_capacity: usize,
+    max_sim_time: Option<Duration>,
+    stall_window: Option<Duration>,
     /// Optional structured event sink (purely observational).
     trace: Option<Box<dyn TraceSink>>,
 }
@@ -77,7 +248,17 @@ impl<P: Protocol> Simulator<P> {
             now: SimTime::ZERO,
             complete: vec![false; n],
             failed: vec![false; n],
-            failures: Vec::new(),
+            faults: VecDeque::new(),
+            link_state: HashMap::new(),
+            drift_ppm: vec![PPM_ONE; n],
+            fault_rng: DetRng::seed_from_u64(seed.wrapping_mul(0xa076_1d64_78bd_642f) ^ 0xFA),
+            reboots: 0,
+            invariant: None,
+            violation: None,
+            diag: RingTrace::new(config.diag_events.max(1)),
+            diag_capacity: config.diag_events,
+            max_sim_time: config.max_sim_time,
+            stall_window: config.stall_window,
             trace: None,
         }
     }
@@ -98,8 +279,25 @@ impl<P: Protocol> Simulator<P> {
         sink
     }
 
+    /// Attaches a per-delivery invariant checker: called with the
+    /// receiving node's state after every accepted packet, aborting the
+    /// run with [`Outcome::InvariantViolated`] on the first `Err`.
+    /// Runtime-toggleable (attach for chaos runs, skip for perf runs);
+    /// checkers receive `&P` and so can never alter the run.
+    pub fn set_invariant_checker(&mut self, check: InvariantChecker<P>) {
+        self.invariant = Some(check);
+    }
+
+    /// The first invariant violation `(time, node, message)`, if any.
+    pub fn invariant_violation(&self) -> Option<&(SimTime, NodeId, String)> {
+        self.violation.as_ref()
+    }
+
     #[inline]
     fn emit(&mut self, event: TraceEvent) {
+        if self.diag_capacity > 0 {
+            self.diag.record(&event);
+        }
         if let Some(sink) = self.trace.as_mut() {
             sink.record(&event);
         }
@@ -109,12 +307,29 @@ impl<P: Protocol> Simulator<P> {
     /// transmits nor receives, and no longer gates run completion.
     /// Call before [`run`](Self::run).
     pub fn schedule_failure(&mut self, node: NodeId, at: SimTime) {
-        self.failures.push((node, at));
+        self.faults.push_back(FaultEvent::Crash { node, at });
     }
 
-    /// Whether `node` has crash-failed.
+    /// Schedules a reboot of a (by then) crashed node: RAM state is
+    /// lost and [`Protocol::on_reboot`] decides what flash restores.
+    /// Call before [`run`](Self::run).
+    pub fn schedule_reboot(&mut self, node: NodeId, at: SimTime) {
+        self.faults.push_back(FaultEvent::Reboot { node, at });
+    }
+
+    /// Schedules every event of `plan`. Call before [`run`](Self::run).
+    pub fn inject_faults(&mut self, plan: &FaultPlan) {
+        self.faults.extend(plan.events().iter().copied());
+    }
+
+    /// Whether `node` is currently crash-failed.
     pub fn is_failed(&self, node: NodeId) -> bool {
         self.failed[node.index()]
+    }
+
+    /// Reboots applied so far.
+    pub fn reboots(&self) -> u64 {
+        self.reboots
     }
 
     /// Per-node radio energy ledger.
@@ -122,21 +337,68 @@ impl<P: Protocol> Simulator<P> {
         &self.energy
     }
 
-    fn apply_due_failures(&mut self) {
-        let now = self.now;
-        let mut newly: Vec<NodeId> = Vec::new();
-        self.failures.retain(|&(node, at)| {
-            if at <= now {
-                newly.push(node);
-                false
-            } else {
-                true
+    fn apply_fault(&mut self, event: FaultEvent) {
+        match event {
+            FaultEvent::Crash { node, .. } => {
+                let i = node.index();
+                if self.failed[i] {
+                    return;
+                }
+                self.failed[i] = true;
+                self.emit(TraceEvent::Note {
+                    at: self.now,
+                    node,
+                    label: "fault_crash",
+                    a: 0,
+                    b: 0,
+                });
             }
-        });
-        for node in newly {
-            self.failed[node.index()] = true;
-            // A dead node no longer gates completion.
-            self.complete[node.index()] = true;
+            FaultEvent::Reboot { node, .. } => {
+                let i = node.index();
+                if !self.failed[i] {
+                    return;
+                }
+                self.failed[i] = false;
+                self.reboots += 1;
+                // Timers armed before the crash died with the RAM.
+                for ((owner, _), gen) in self.timer_gens.iter_mut() {
+                    if *owner == node.0 {
+                        *gen += 1;
+                    }
+                }
+                // Completion is re-evaluated from what flash restored.
+                self.complete[i] = false;
+                self.emit(TraceEvent::Note {
+                    at: self.now,
+                    node,
+                    label: "fault_reboot",
+                    a: 0,
+                    b: 0,
+                });
+                self.with_node(i, |n, ctx| n.on_reboot(ctx));
+            }
+            FaultEvent::LinkDown { from, to, .. } => {
+                self.link_state.entry((from.0, to.0)).or_default().up = false;
+            }
+            FaultEvent::LinkUp { from, to, .. } => {
+                self.link_state.entry((from.0, to.0)).or_default().up = true;
+            }
+            FaultEvent::Degrade { from, to, ppm, .. } => {
+                self.link_state.entry((from.0, to.0)).or_default().ppm = ppm;
+            }
+            FaultEvent::ClockDrift { node, ppm, .. } => {
+                self.drift_ppm[node.index()] = ppm;
+            }
+        }
+    }
+
+    /// Whether the fault overlay blocks this delivery (link forced
+    /// down, or a degradation draw fails).
+    fn fault_blocks_delivery(&mut self, from: NodeId, to: NodeId) -> bool {
+        match self.link_state.get(&(from.0, to.0)).copied() {
+            Some(f) if !f.up => true,
+            Some(f) if f.ppm < PPM_ONE => !self.fault_rng.gen_bool(f.ppm as f64 / PPM_ONE as f64),
+            _ => false,
         }
     }
 
@@ -166,25 +428,119 @@ impl<P: Protocol> Simulator<P> {
             .expect("node is not mid-callback")
     }
 
-    /// Runs until every node completes, the event queue drains, or
-    /// `deadline` passes. Returns a report; metrics stay accessible.
+    /// Sum of per-node progress over live nodes, for the watchdog.
+    fn total_progress(&self) -> u128 {
+        self.protocols
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !self.failed[i])
+            .filter_map(|(_, p)| p.as_ref())
+            .map(|p| p.progress() as u128)
+            .sum()
+    }
+
+    /// Takes a structured state snapshot (any time; the watchdog calls
+    /// this when it trips).
+    pub fn dump(&self, reason: impl Into<String>) -> DiagnosticDump {
+        let pending_timers = self
+            .queue
+            .iter()
+            .filter(|(_, event)| match event {
+                Event::Timer {
+                    node,
+                    timer,
+                    generation,
+                } => {
+                    !self.failed[node.index()]
+                        && *generation
+                            == self
+                                .timer_gens
+                                .get(&(node.0, timer.0))
+                                .copied()
+                                .unwrap_or(0)
+                }
+                _ => false,
+            })
+            .count();
+        let nodes = self
+            .protocols
+            .iter()
+            .enumerate()
+            .map(|(i, p)| NodeDiag {
+                node: NodeId(i as u32),
+                complete: self.complete[i],
+                failed: self.failed[i],
+                progress: p.as_ref().map_or(0, |p| p.progress()),
+                detail: p.as_ref().map(|p| p.diagnostic()).unwrap_or_default(),
+            })
+            .collect();
+        DiagnosticDump {
+            at: self.now,
+            reason: reason.into(),
+            queue_len: self.queue.len(),
+            pending_timers,
+            nodes,
+            recent: self.diag.events().cloned().collect(),
+        }
+    }
+
+    /// Runs until every node completes, the event queue drains, a time
+    /// limit (`deadline` or [`SimConfig::max_sim_time`]) passes, the
+    /// stall watchdog trips, or an invariant fails. Returns a report;
+    /// metrics stay accessible.
     pub fn run(&mut self, deadline: Duration) -> RunReport {
-        let deadline = SimTime::ZERO + deadline;
+        let mut deadline = SimTime::ZERO + deadline;
+        if let Some(limit) = self.max_sim_time {
+            let limit = SimTime::ZERO + limit;
+            if limit < deadline {
+                deadline = limit;
+            }
+        }
+        self.faults.make_contiguous().sort_by_key(FaultEvent::at);
+        // Faults at t = 0 (clock drift, pre-severed links) take effect
+        // before node init, so the very first timer arm sees them.
+        while self
+            .faults
+            .front()
+            .is_some_and(|event| event.at() <= self.now)
+        {
+            let fault = self.faults.pop_front().expect("peeked");
+            self.apply_fault(fault);
+        }
         // Initialize every node.
         for i in 0..self.protocols.len() {
             self.with_node(i, |node, ctx| node.on_init(ctx));
         }
         self.refresh_completion();
+        let mut stopped = None;
+        let mut watch_progress = self.total_progress();
+        let mut watch_since = self.now;
         while !self.all_complete() {
-            let Some(at) = self.queue.peek_time() else {
-                break; // stalled: no pending events
+            // Faults are events too: a reboot must fire even if the
+            // packet/timer queue has drained, and a crash scheduled
+            // between two queued events applies at its exact time.
+            let next_fault = self.faults.front().map(FaultEvent::at);
+            let at = match (next_fault, self.queue.peek_time()) {
+                (Some(f), Some(e)) => f.min(e),
+                (Some(f), None) => f,
+                (None, Some(e)) => e,
+                (None, None) => {
+                    stopped = Some(Outcome::Drained);
+                    break;
+                }
             };
             if at > deadline {
+                stopped = Some(Outcome::TimedOut);
                 break;
+            }
+            if next_fault.is_some_and(|f| f <= at) {
+                self.now = at;
+                let fault = self.faults.pop_front().expect("peeked");
+                self.apply_fault(fault);
+                continue;
             }
             let (at, event) = self.queue.pop().expect("peeked");
             self.now = at;
-            self.apply_due_failures();
             match event {
                 Event::Deliver {
                     to,
@@ -196,7 +552,6 @@ impl<P: Protocol> Simulator<P> {
                     if self.failed[to.index()] {
                         continue;
                     }
-                    let outcome = self.medium.deliver(self.now, tx_id, to, &self.topology);
                     let loss = |cause| TraceEvent::Loss {
                         at,
                         to,
@@ -205,6 +560,12 @@ impl<P: Protocol> Simulator<P> {
                         cause,
                         tx_id,
                     };
+                    if self.fault_blocks_delivery(from, to) {
+                        self.metrics.count_phy_loss();
+                        self.emit(loss(LossCause::Fault));
+                        continue;
+                    }
+                    let outcome = self.medium.deliver(self.now, tx_id, to, &self.topology);
                     match outcome {
                         Delivery::Received => {
                             self.metrics.count_rx(data.len());
@@ -220,6 +581,7 @@ impl<P: Protocol> Simulator<P> {
                             self.with_node(to.index(), |node, ctx| {
                                 node.on_packet(ctx, from, &data)
                             });
+                            self.check_invariant(to);
                         }
                         Delivery::Collision => {
                             self.metrics.count_collision();
@@ -257,21 +619,92 @@ impl<P: Protocol> Simulator<P> {
                     }
                 }
             }
+            if self.violation.is_some() {
+                stopped = Some(Outcome::InvariantViolated);
+                break;
+            }
+            if let Some(window) = self.stall_window {
+                if self.now.saturating_since(watch_since).as_micros() >= window.as_micros() {
+                    let p = self.total_progress();
+                    if p > watch_progress {
+                        watch_progress = p;
+                        watch_since = self.now;
+                    } else {
+                        stopped = Some(Outcome::Stalled);
+                        break;
+                    }
+                }
+            }
         }
+        let outcome = stopped.unwrap_or(if self.all_complete() {
+            Outcome::Complete
+        } else {
+            Outcome::Drained
+        });
+        let diagnostic = match outcome {
+            Outcome::Stalled => Some(self.dump(format!(
+                "stall: no goodput progress within the {:.0}s watchdog window",
+                self.stall_window.map_or(0.0, |w| w.as_secs_f64())
+            ))),
+            Outcome::InvariantViolated => {
+                let (at, node, msg) = self.violation.as_ref().expect("violation recorded");
+                Some(self.dump(format!(
+                    "invariant violated at t={}us on n{}: {}",
+                    at.as_micros(),
+                    node.0,
+                    msg
+                )))
+            }
+            _ => None,
+        };
         let latency = if self.all_complete() {
             self.metrics.dissemination_latency()
         } else {
             None
         };
         RunReport {
+            outcome,
             all_complete: self.all_complete(),
             final_time: self.now,
             latency,
+            diagnostic,
         }
     }
 
+    /// Runs the invariant checker (if attached) against `node`.
+    fn check_invariant(&mut self, node: NodeId) {
+        if self.violation.is_some() {
+            return;
+        }
+        let Some(mut check) = self.invariant.take() else {
+            return;
+        };
+        if let Some(p) = self.protocols[node.index()].as_ref() {
+            if let Err(msg) = check(p, node) {
+                self.violation = Some((self.now, node, msg));
+            }
+        }
+        self.invariant = Some(check);
+    }
+
+    /// Whether every node is complete or crash-failed (a dead node no
+    /// longer gates completion).
     fn all_complete(&self) -> bool {
-        self.complete.iter().all(|&c| c)
+        // A crash-failed node only counts as "complete" if no reboot is
+        // pending for it: a permanent casualty must not hold the run
+        // open forever, but a node that is about to come back still has
+        // dissemination work left.
+        self.complete
+            .iter()
+            .enumerate()
+            .all(|(i, &c)| c || (self.failed[i] && !self.reboot_pending(NodeId(i as u32))))
+    }
+
+    /// Whether the remaining fault schedule reboots `node`.
+    fn reboot_pending(&self, node: NodeId) -> bool {
+        self.faults
+            .iter()
+            .any(|f| matches!(f, FaultEvent::Reboot { node: n, .. } if *n == node))
     }
 
     fn refresh_completion(&mut self) {
@@ -356,6 +789,15 @@ impl<P: Protocol> Simulator<P> {
                 }
             }
             Action::SetTimer { timer, delay } => {
+                // A drifting clock stretches or compresses every arm.
+                let ppm = self.drift_ppm[from.index()];
+                let delay = if ppm == PPM_ONE {
+                    delay
+                } else {
+                    Duration::from_micros(
+                        (delay.as_micros() as u128 * ppm as u128 / PPM_ONE as u128) as u64,
+                    )
+                };
                 let gen = self.timer_gens.entry((from.0, timer.0)).or_insert(0);
                 *gen += 1;
                 self.queue.push(
@@ -412,10 +854,17 @@ mod tests {
         fn is_complete(&self) -> bool {
             self.is_source || self.pings_heard >= self.goal
         }
+        fn progress(&self) -> u64 {
+            u64::from(self.pings_heard)
+        }
     }
 
     fn pinger_sim(seed: u64) -> Simulator<Pinger> {
-        Simulator::new(Topology::star(4), SimConfig::default(), seed, |id| Pinger {
+        pinger_sim_with(seed, SimConfig::default())
+    }
+
+    fn pinger_sim_with(seed: u64, config: SimConfig) -> Simulator<Pinger> {
+        Simulator::new(Topology::star(4), config, seed, |id| Pinger {
             is_source: id == NodeId(0),
             pings_heard: 0,
             goal: 3,
@@ -427,7 +876,9 @@ mod tests {
         let mut sim = pinger_sim(1);
         let report = sim.run(Duration::from_secs(60));
         assert!(report.all_complete);
+        assert_eq!(report.outcome, Outcome::Complete);
         assert!(report.latency.is_some());
+        assert!(report.diagnostic.is_none());
         assert_eq!(sim.metrics().tx_packets(PacketKind::Data), 3);
         // 3 broadcasts × 3 receivers.
         assert_eq!(sim.metrics().rx_packets(), 9);
@@ -448,6 +899,153 @@ mod tests {
         let report = sim.run(Duration::from_millis(500));
         assert!(!report.all_complete);
         assert!(report.latency.is_none());
+        assert_eq!(report.outcome, Outcome::TimedOut);
+    }
+
+    #[test]
+    fn max_sim_time_overrides_longer_deadlines() {
+        let mut sim = pinger_sim_with(
+            3,
+            SimConfig {
+                max_sim_time: Some(Duration::from_millis(500)),
+                ..SimConfig::default()
+            },
+        );
+        let report = sim.run(Duration::from_secs(3600));
+        assert_eq!(report.outcome, Outcome::TimedOut);
+        assert!(!report.all_complete);
+        assert!(report.final_time <= SimTime::ZERO + Duration::from_millis(500));
+    }
+
+    #[test]
+    fn empty_fault_plan_leaves_run_identical() {
+        let baseline = pinger_sim(7).run(Duration::from_secs(60));
+        let mut sim = pinger_sim(7);
+        sim.inject_faults(&FaultPlan::new());
+        let report = sim.run(Duration::from_secs(60));
+        assert_eq!(report.final_time, baseline.final_time);
+        assert_eq!(report.latency, baseline.latency);
+    }
+
+    #[test]
+    fn crash_then_reboot_restores_a_node() {
+        // The source crashes after its second ping and reboots two
+        // seconds later; `on_reboot` re-runs `on_init`, so pings resume
+        // and receivers still reach their goal.
+        let mut sim = pinger_sim(1);
+        sim.schedule_failure(NodeId(0), SimTime(2_500_000));
+        sim.schedule_reboot(NodeId(0), SimTime(4_500_000));
+        let report = sim.run(Duration::from_secs(60));
+        assert!(report.all_complete);
+        assert_eq!(report.outcome, Outcome::Complete);
+        assert_eq!(sim.reboots(), 1);
+        assert!(!sim.is_failed(NodeId(0)));
+    }
+
+    #[test]
+    fn link_down_blocks_and_link_up_restores_delivery() {
+        let mut plan = FaultPlan::new();
+        // Node 1 is deaf to the source for the first 2.5 s.
+        plan.link_outage(
+            NodeId(0),
+            NodeId(1),
+            SimTime::ZERO,
+            Duration::from_millis(2500),
+        );
+        let mut sim = pinger_sim(1);
+        sim.inject_faults(&plan);
+        let report = sim.run(Duration::from_secs(60));
+        assert!(report.all_complete);
+        // Nodes 2/3 heard the early pings node 1 missed.
+        assert!(sim.node(NodeId(2)).pings_heard > sim.node(NodeId(1)).pings_heard - 1);
+        assert!(sim.node(NodeId(1)).pings_heard >= 3);
+    }
+
+    #[test]
+    fn degraded_link_loses_some_deliveries() {
+        let mut plan = FaultPlan::new();
+        plan.degrade(NodeId(0), NodeId(1), 200_000, SimTime::ZERO);
+        let mut sim = pinger_sim(1);
+        sim.inject_faults(&plan);
+        let report = sim.run(Duration::from_secs(120));
+        // Node 1 eventually completes, but needs more source pings than
+        // the healthy receivers did.
+        assert!(report.all_complete);
+        assert!(sim.metrics().tx_packets(PacketKind::Data) > 3);
+    }
+
+    #[test]
+    fn clock_drift_slows_a_node_down() {
+        let mut plan = FaultPlan::new();
+        // The source's clock runs at half speed: timers take twice as
+        // long, so pings land at 2 s, 4 s, 6 s instead of 1/2/3 s.
+        plan.clock_drift(NodeId(0), 2_000_000, SimTime::ZERO);
+        let mut sim = pinger_sim(1);
+        sim.inject_faults(&plan);
+        let report = sim.run(Duration::from_secs(60));
+        assert!(report.all_complete);
+        let drifted = report.latency.expect("complete");
+        let baseline = pinger_sim(1)
+            .run(Duration::from_secs(60))
+            .latency
+            .expect("complete");
+        assert!(drifted.as_micros() >= 2 * baseline.as_micros() - 1_000_000);
+    }
+
+    #[test]
+    fn watchdog_trips_on_stall_with_a_dump() {
+        // Sever every source link: receivers can never progress, but
+        // the source's timer keeps the queue alive forever.
+        let mut plan = FaultPlan::new();
+        for to in 1..4 {
+            plan.push(FaultEvent::LinkDown {
+                from: NodeId(0),
+                to: NodeId(to),
+                at: SimTime::ZERO,
+            });
+        }
+        let mut sim = pinger_sim_with(
+            1,
+            SimConfig {
+                stall_window: Some(Duration::from_secs(5)),
+                ..SimConfig::default()
+            },
+        );
+        sim.inject_faults(&plan);
+        let report = sim.run(Duration::from_secs(3600));
+        assert_eq!(report.outcome, Outcome::Stalled);
+        assert!(!report.all_complete);
+        let dump = report.diagnostic.expect("stall dump");
+        assert_eq!(dump.nodes.len(), 4);
+        assert!(dump.pending_timers >= 1);
+        assert!(!dump.recent.is_empty());
+        let json = dump.to_json();
+        assert!(json.contains(r#""ev":"diagnostic""#));
+        assert!(json.contains(r#""reason":"stall"#));
+        // Aborted after roughly one window, not at the deadline.
+        assert!(report.final_time < SimTime::ZERO + Duration::from_secs(60));
+    }
+
+    #[test]
+    fn invariant_checker_aborts_the_run() {
+        let mut sim = pinger_sim(1);
+        sim.set_invariant_checker(Box::new(|node: &Pinger, _id| {
+            if node.pings_heard >= 2 {
+                Err(format!("pings_heard reached {}", node.pings_heard))
+            } else {
+                Ok(())
+            }
+        }));
+        let report = sim.run(Duration::from_secs(60));
+        assert_eq!(report.outcome, Outcome::InvariantViolated);
+        let (_, node, msg) = sim.invariant_violation().expect("violation");
+        assert_ne!(*node, NodeId(0));
+        assert!(msg.contains("pings_heard"));
+        assert!(report
+            .diagnostic
+            .expect("dump")
+            .to_json()
+            .contains("invariant violated"));
     }
 
     /// A node whose re-armed timer must fire only once.
@@ -473,8 +1071,9 @@ mod tests {
         let mut sim = Simulator::new(Topology::star(1), SimConfig::default(), 0, |_| Rearmer {
             fires: 0,
         });
-        let _ = sim.run(Duration::from_secs(10));
+        let report = sim.run(Duration::from_secs(10));
         assert_eq!(sim.node(NodeId(0)).fires, 1);
+        assert_eq!(report.outcome, Outcome::Drained);
     }
 
     /// Cancel prevents firing entirely.

@@ -32,6 +32,9 @@ pub enum LossCause {
     Phy,
     /// Application-layer drop (queue overflow model).
     AppDrop,
+    /// Injected link fault (outage or degradation) from a
+    /// [`FaultPlan`](crate::fault::FaultPlan).
+    Fault,
 }
 
 impl LossCause {
@@ -41,6 +44,7 @@ impl LossCause {
             LossCause::Collision => "collision",
             LossCause::Phy => "phy",
             LossCause::AppDrop => "app_drop",
+            LossCause::Fault => "fault",
         }
     }
 }
@@ -286,6 +290,41 @@ impl TraceSink for RingTrace {
     }
 }
 
+/// A cloneable handle around a shared [`RingTrace`].
+///
+/// [`Simulator::set_trace`](crate::sim::Simulator::set_trace) takes
+/// ownership of its sink, which makes post-run inspection awkward;
+/// cloning a `SharedRingTrace`, handing one clone to the simulator and
+/// keeping the other lets a test read the recorded events afterwards
+/// without taking the sink back out.
+#[derive(Clone, Debug, Default)]
+pub struct SharedRingTrace(std::rc::Rc<std::cell::RefCell<RingTrace>>);
+
+impl SharedRingTrace {
+    /// A shared ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        SharedRingTrace(std::rc::Rc::new(std::cell::RefCell::new(RingTrace::new(
+            capacity,
+        ))))
+    }
+
+    /// Total events recorded (including evicted ones).
+    pub fn seen(&self) -> u64 {
+        self.0.borrow().seen()
+    }
+
+    /// Clones out the retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.0.borrow().events().cloned().collect()
+    }
+}
+
+impl TraceSink for SharedRingTrace {
+    fn record(&mut self, event: &TraceEvent) {
+        self.0.borrow_mut().record(event);
+    }
+}
+
 /// Streams every event as one JSON object per line (JSON Lines).
 pub struct JsonlTrace<W: Write> {
     out: BufWriter<W>,
@@ -370,6 +409,15 @@ mod tests {
         ring.record(&ev(1));
         ring.record(&ev(2));
         assert_eq!(ring.len(), 1);
+    }
+
+    #[test]
+    fn shared_ring_is_readable_from_a_clone() {
+        let shared = SharedRingTrace::new(8);
+        let mut sink = shared.clone();
+        sink.record(&ev(5));
+        assert_eq!(shared.seen(), 1);
+        assert!(matches!(shared.events()[0], TraceEvent::Note { a: 5, .. }));
     }
 
     #[test]

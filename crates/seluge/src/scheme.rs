@@ -115,6 +115,87 @@ impl SelugeScheme {
         self.params
     }
 
+    /// Checks the protocol invariants the chaos layer enforces after
+    /// every delivery (see DESIGN.md §7): only authenticated packets
+    /// buffered, buffer occupancy within the per-page packet bound,
+    /// completed pages identical to preprocessing, and a complete
+    /// node's image byte-identical to the origin.
+    pub fn verify_invariants(
+        &self,
+        artifacts: &SelugeArtifacts,
+        image: &[u8],
+    ) -> Result<(), String> {
+        let n_items = self.params.num_items();
+        if self.complete > n_items {
+            return Err(format!(
+                "complete={} exceeds {} items",
+                self.complete, n_items
+            ));
+        }
+        if self.hash_page.len() != self.params.hash_page_chunks as usize {
+            return Err(format!(
+                "hash-page buffer bound violated: {} slots",
+                self.hash_page.len()
+            ));
+        }
+        for (j, slot) in self.hash_page.iter().enumerate() {
+            if let Some(p) = slot {
+                if p.as_slice() != artifacts.hash_page_packet(j as u16) {
+                    return Err(format!("unauthentic hash-page packet buffered at {j}"));
+                }
+            }
+        }
+        if self.current.len() > self.params.packets_per_page as usize {
+            return Err(format!(
+                "page buffer bound violated: {} slots",
+                self.current.len()
+            ));
+        }
+        let cur_held = self.current.iter().flatten().count();
+        if cur_held > 0 {
+            if self.complete < 2 || self.complete >= n_items {
+                return Err(format!(
+                    "page packets buffered while complete={}",
+                    self.complete
+                ));
+            }
+            let page = self.complete - 2;
+            for (j, slot) in self.current.iter().enumerate() {
+                if let Some(p) = slot {
+                    if p.as_slice() != artifacts.page_packet(page, j as u16) {
+                        return Err(format!("unauthentic packet buffered: page {page} idx {j}"));
+                    }
+                }
+            }
+        }
+        if self.complete >= 1 && self.signature_body.as_deref() != Some(artifacts.signature_body())
+        {
+            return Err("signature item complete but body does not match".into());
+        }
+        let pages_done = (self.complete as usize).saturating_sub(2);
+        if self.pages.len() < pages_done {
+            return Err(format!(
+                "complete={} but only {} pages held",
+                self.complete,
+                self.pages.len()
+            ));
+        }
+        for (i, page) in self.pages.iter().take(pages_done).enumerate() {
+            for (j, packet) in page.iter().enumerate() {
+                if packet.as_slice() != artifacts.page_packet(i as u16, j as u16) {
+                    return Err(format!("completed page {i} packet {j} differs"));
+                }
+            }
+        }
+        if self.complete == n_items {
+            match self.image() {
+                Some(img) if img == image => {}
+                _ => return Err("complete node's image differs from origin".into()),
+            }
+        }
+        Ok(())
+    }
+
     fn handle_signature(&mut self, payload: &[u8]) -> PacketDisposition {
         if self.signature_body.is_some() {
             return PacketDisposition::Duplicate;
@@ -330,6 +411,53 @@ impl Scheme for SelugeScheme {
     fn cost(&self) -> CryptoCost {
         self.cost
     }
+
+    fn reboot(&mut self) {
+        // Flash (survives): the verified signature body, the *complete*
+        // hash page, and every completed page — Seluge writes each
+        // verified page to external flash before advancing. RAM (lost):
+        // the in-progress item's partial packets. A partially received
+        // hash page counts as RAM: its packets only reach flash once
+        // the whole of M0 is assembled.
+        for slot in &mut self.current {
+            *slot = None;
+        }
+        let m0_done = !self.hash_page.is_empty() && self.hash_page.iter().all(|s| s.is_some());
+        if !m0_done {
+            for slot in &mut self.hash_page {
+                *slot = None;
+            }
+        }
+        self.complete = if self.signature_body.is_none() {
+            0
+        } else if !m0_done {
+            1
+        } else {
+            2 + self.pages.len() as u16
+        };
+        // Rebuild the hash images authenticating the next page.
+        self.expected = if let Some(page) = self.pages.last() {
+            page.iter()
+                .map(|p| {
+                    HashImage::from_slice(&p[self.params.slice_len..]).expect("payload sizing")
+                })
+                .collect()
+        } else if m0_done {
+            let chunk_len = self.params.chunk_len();
+            let mut m0 = Vec::new();
+            for slot in &self.hash_page {
+                m0.extend_from_slice(&slot.as_ref().expect("all present")[..chunk_len]);
+            }
+            (0..self.params.packets_per_page as usize)
+                .map(|j| {
+                    HashImage::from_slice(&m0[j * HASH_IMAGE_LEN..(j + 1) * HASH_IMAGE_LEN])
+                        .expect("chunk sizing")
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+    }
 }
 
 #[cfg(test)]
@@ -443,6 +571,98 @@ mod tests {
         let hp = base.packet_payload(1, 1).unwrap();
         assert_eq!(rx.handle_packet(1, 1, &hp), PacketDisposition::Accepted);
         assert_eq!(rx.handle_packet(1, 1, &hp), PacketDisposition::Duplicate);
+    }
+
+    fn setup_with_artifacts() -> (SelugeScheme, SelugeScheme, Vec<u8>, SelugeArtifacts) {
+        let params = SelugeParams {
+            version: 1,
+            image_len: 500,
+            packets_per_page: 4,
+            slice_len: 32,
+            hash_page_chunks: 4,
+            puzzle_strength: 4,
+        };
+        let image: Vec<u8> = (0..500u32).map(|i| (i % 249) as u8).collect();
+        let kp = Keypair::from_seed(b"bs");
+        let chain = PuzzleKeyChain::generate(b"puzzles", 4);
+        let art = SelugeArtifacts::build(&image, params, &kp, &chain);
+        let puzzle = Puzzle::new(chain.anchor(), params.puzzle_strength);
+        let base = SelugeScheme::base(&art, kp.public(), puzzle);
+        let rx = SelugeScheme::receiver(params, kp.public(), puzzle);
+        (base, rx, image, art)
+    }
+
+    fn advance_to(base: &mut SelugeScheme, rx: &mut SelugeScheme, level: u16) {
+        while rx.complete_items() < level {
+            let item = rx.complete_items();
+            for idx in rx.wanted(item).iter_ones().collect::<Vec<_>>() {
+                let p = base.packet_payload(item, idx as u16).unwrap();
+                rx.handle_packet(item, idx as u16, &p);
+            }
+        }
+    }
+
+    #[test]
+    fn reboot_mid_page_keeps_flash_and_drops_ram() {
+        let (mut base, mut rx, image, art) = setup_with_artifacts();
+        advance_to(&mut base, &mut rx, 3); // signature + M0 + one page
+        for idx in 0..2u16 {
+            let p = base.packet_payload(3, idx).unwrap();
+            rx.handle_packet(3, idx, &p);
+        }
+        rx.reboot();
+        assert_eq!(rx.complete_items(), 3, "flash items survive");
+        assert_eq!(
+            rx.wanted(3).count_ones() as u16,
+            rx.params().packets_per_page,
+            "partial page is RAM"
+        );
+        rx.verify_invariants(&art, &image).unwrap();
+        let total = rx.num_items();
+        advance_to(&mut base, &mut rx, total);
+        assert_eq!(rx.image().unwrap(), image);
+        rx.verify_invariants(&art, &image).unwrap();
+    }
+
+    #[test]
+    fn reboot_during_m0_drops_the_partial_hash_page() {
+        let (mut base, mut rx, image, art) = setup_with_artifacts();
+        advance_to(&mut base, &mut rx, 1);
+        let p = base.packet_payload(1, 0).unwrap();
+        rx.handle_packet(1, 0, &p);
+        rx.reboot();
+        assert_eq!(rx.complete_items(), 1, "verified signature is flash");
+        assert_eq!(
+            rx.wanted(1).count_ones() as u16,
+            rx.params().hash_page_chunks,
+            "partial M0 is RAM until fully assembled"
+        );
+        rx.verify_invariants(&art, &image).unwrap();
+        let total = rx.num_items();
+        advance_to(&mut base, &mut rx, total);
+        assert_eq!(rx.image().unwrap(), image);
+    }
+
+    #[test]
+    fn reboot_of_a_base_station_keeps_it_serving() {
+        let (mut base, _, image, art) = setup_with_artifacts();
+        base.reboot();
+        assert_eq!(base.complete_items(), base.num_items());
+        base.verify_invariants(&art, &image).unwrap();
+        assert!(base.packet_payload(0, 0).is_some());
+        assert!(base.packet_payload(1, 0).is_some());
+        assert!(base.packet_payload(2, 3).is_some());
+    }
+
+    #[test]
+    fn invariants_catch_a_corrupted_buffer() {
+        let (mut base, mut rx, image, art) = setup_with_artifacts();
+        advance_to(&mut base, &mut rx, 2);
+        let p = base.packet_payload(2, 0).unwrap();
+        rx.handle_packet(2, 0, &p);
+        rx.verify_invariants(&art, &image).unwrap();
+        rx.current[0].as_mut().unwrap()[3] ^= 1;
+        assert!(rx.verify_invariants(&art, &image).is_err());
     }
 
     #[test]

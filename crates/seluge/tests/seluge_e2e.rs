@@ -71,6 +71,7 @@ fn one_hop_secure_dissemination() {
             app_loss: 0.1,
             ..MediumConfig::default()
         },
+        ..SimConfig::default()
     };
     let mut sim = Simulator::new(Topology::star(6), cfg, 21, |id| make_node(&s, id));
     let report = sim.run(Duration::from_secs(3_600));

@@ -41,6 +41,7 @@ fn main() {
             noise: NoiseModel::Bursty(BurstyNoise::heavy()),
             ..MediumConfig::default()
         },
+        ..SimConfig::default()
     };
     let mut sim = Simulator::new(topo, config, 99, |id| deployment.node(id, NodeId(0)));
     let report = sim.run(Duration::from_secs(40_000));

@@ -45,6 +45,7 @@ fn main() {
             app_loss: 0.20,
             ..MediumConfig::default()
         },
+        ..SimConfig::default()
     };
     let mut sim = Simulator::new(Topology::star(9), config, 42, |id| {
         deployment.node(id, NodeId(0))

@@ -43,6 +43,7 @@ fn main() {
                 app_loss: 0.15,
                 ..MediumConfig::default()
             },
+            ..SimConfig::default()
         },
         11,
         |id| {

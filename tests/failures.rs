@@ -1,14 +1,22 @@
 //! Crash-failure injection: dissemination must route around dead relays
 //! when the topology allows it, and partitioned segments must be the
-//! only casualties when it does not. Also exercises the per-node energy
-//! ledger.
+//! only casualties when it does not. Crash→reboot cycles must resume
+//! from flash without re-downloading completed pages. Also exercises
+//! the per-node energy ledger.
 
 use lr_seluge::{Deployment, LrSelugeParams};
+use lrs_crypto::cluster::ClusterKey;
+use lrs_crypto::puzzle::{Puzzle, PuzzleKeyChain};
+use lrs_crypto::schnorr::Keypair;
+use lrs_deluge::engine::{DisseminationNode, EngineConfig, Scheme as _};
+use lrs_deluge::policy::UnionPolicy;
 use lrs_netsim::energy::EnergyModel;
 use lrs_netsim::node::NodeId;
 use lrs_netsim::sim::{SimConfig, Simulator};
 use lrs_netsim::time::{Duration, SimTime};
 use lrs_netsim::topology::Topology;
+use lrs_netsim::trace::{SharedRingTrace, TraceEvent};
+use lrs_seluge::{SelugeArtifacts, SelugeScheme};
 
 fn params() -> LrSelugeParams {
     LrSelugeParams {
@@ -75,6 +83,156 @@ fn line_partition_stops_at_the_dead_node() {
     for i in [4u32, 5] {
         assert_eq!(sim.node(NodeId(i)).scheme().image(), None, "node {i}");
     }
+}
+
+/// Levels at which `node` announced a completed item, in emission order.
+/// Flash recovery shows up here as a strictly increasing sequence: a
+/// node that lost its completed pages would re-announce old levels.
+fn completion_levels(trace: &SharedRingTrace, node: NodeId) -> Vec<u64> {
+    trace
+        .events()
+        .iter()
+        .filter_map(|ev| match *ev {
+            TraceEvent::Note {
+                node: n,
+                label: "page_complete",
+                a,
+                ..
+            } if n == node => Some(a),
+            _ => None,
+        })
+        .collect()
+}
+
+fn assert_strictly_increasing(levels: &[u64]) {
+    assert!(
+        levels.windows(2).all(|w| w[0] < w[1]),
+        "levels repeated after reboot (completed pages re-downloaded): {levels:?}"
+    );
+}
+
+/// Crash an LR-Seluge receiver mid-page (signature, M0 and page 0 in
+/// flash, a partial page in RAM) and reboot it. It must finish without
+/// re-decoding any completed item and without re-verifying the
+/// signature.
+#[test]
+fn lr_reboot_mid_page_resumes_from_flash() {
+    let deployment = Deployment::new(&image(), params(), b"failures");
+    let trace = SharedRingTrace::new(100_000);
+    let mut sim = Simulator::new(Topology::star(3), SimConfig::default(), 11, |id| {
+        deployment.node(id, NodeId(0))
+    });
+    sim.set_trace(Box::new(trace.clone()));
+    // At 1.3s (seed 11) the receiver holds three completed items.
+    sim.schedule_failure(NodeId(2), SimTime(1_300_000));
+    sim.schedule_reboot(NodeId(2), SimTime(2_000_000));
+    let report = sim.run(Duration::from_secs(36_000));
+    assert!(report.all_complete, "rebooted node should still finish");
+    assert_eq!(sim.reboots(), 1);
+    let scheme = sim.node(NodeId(2)).scheme();
+    assert_eq!(scheme.image().as_deref(), Some(&image()[..]));
+    let items = u64::from(scheme.num_items());
+    let cost = scheme.cost();
+    assert_eq!(
+        cost.decodes,
+        items - 1,
+        "every item except the signature decodes exactly once"
+    );
+    assert_eq!(cost.signature_verifications, 1);
+    let levels = completion_levels(&trace, NodeId(2));
+    assert!(levels.len() as u64 == items, "levels: {levels:?}");
+    assert_strictly_increasing(&levels);
+}
+
+/// Crash an LR-Seluge receiver while it is still collecting M0 (only
+/// the verified signature is in flash). The reboot drops the partial
+/// hash page but must not force a second signature download.
+#[test]
+fn lr_reboot_during_m0_keeps_the_signature() {
+    let deployment = Deployment::new(&image(), params(), b"failures");
+    let trace = SharedRingTrace::new(100_000);
+    let mut sim = Simulator::new(Topology::star(3), SimConfig::default(), 11, |id| {
+        deployment.node(id, NodeId(0))
+    });
+    sim.set_trace(Box::new(trace.clone()));
+    // At 0.4s (seed 11) the receiver has the signature but not M0.
+    sim.schedule_failure(NodeId(2), SimTime(400_000));
+    sim.schedule_reboot(NodeId(2), SimTime(1_200_000));
+    let report = sim.run(Duration::from_secs(36_000));
+    assert!(report.all_complete);
+    assert_eq!(sim.reboots(), 1);
+    let scheme = sim.node(NodeId(2)).scheme();
+    assert_eq!(scheme.image().as_deref(), Some(&image()[..]));
+    assert_eq!(
+        scheme.cost().signature_verifications,
+        1,
+        "the flash-held signature must not be re-verified after reboot"
+    );
+    assert_eq!(scheme.cost().decodes, u64::from(scheme.num_items()) - 1);
+    assert_strictly_increasing(&completion_levels(&trace, NodeId(2)));
+}
+
+type SelugeNode = DisseminationNode<SelugeScheme, UnionPolicy>;
+
+fn seluge_sim(trace: &SharedRingTrace) -> (Simulator<SelugeNode>, Vec<u8>) {
+    let sp = lrs_bench::runner::matched_seluge_params(&params());
+    let image = image();
+    let kp = Keypair::from_seed(b"failures keys");
+    let chain = PuzzleKeyChain::generate(b"failures keys", sp.version as u32 + 4);
+    let artifacts = SelugeArtifacts::build(&image, sp, &kp, &chain);
+    let puzzle = Puzzle::new(chain.anchor(), sp.puzzle_strength);
+    let key = ClusterKey::derive(b"failures keys", 0);
+    let mut sim = Simulator::new(Topology::star(3), SimConfig::default(), 11, |id| {
+        let scheme = if id == NodeId(0) {
+            SelugeScheme::base(&artifacts, kp.public(), puzzle)
+        } else {
+            SelugeScheme::receiver(sp, kp.public(), puzzle)
+        };
+        DisseminationNode::new(
+            scheme,
+            UnionPolicy::new(),
+            key.clone(),
+            EngineConfig::default(),
+        )
+    });
+    sim.set_trace(Box::new(trace.clone()));
+    (sim, image)
+}
+
+/// The Seluge baseline persists whole received pages to flash too: a
+/// mid-page crash→reboot loses only the partial page.
+#[test]
+fn seluge_reboot_mid_page_resumes_from_flash() {
+    let trace = SharedRingTrace::new(100_000);
+    let (mut sim, image) = seluge_sim(&trace);
+    sim.schedule_failure(NodeId(2), SimTime(1_300_000));
+    sim.schedule_reboot(NodeId(2), SimTime(2_000_000));
+    let report = sim.run(Duration::from_secs(36_000));
+    assert!(report.all_complete);
+    assert_eq!(sim.reboots(), 1);
+    let scheme = sim.node(NodeId(2)).scheme();
+    assert_eq!(scheme.image().as_deref(), Some(&image[..]));
+    assert_eq!(scheme.cost().signature_verifications, 1);
+    let levels = completion_levels(&trace, NodeId(2));
+    assert!(levels.len() as u64 == u64::from(scheme.num_items()));
+    assert_strictly_increasing(&levels);
+}
+
+/// Seluge treats a partially received hash page as RAM: a crash during
+/// M0 re-collects it from scratch but keeps the verified signature.
+#[test]
+fn seluge_reboot_during_m0_keeps_the_signature() {
+    let trace = SharedRingTrace::new(100_000);
+    let (mut sim, image) = seluge_sim(&trace);
+    sim.schedule_failure(NodeId(2), SimTime(400_000));
+    sim.schedule_reboot(NodeId(2), SimTime(1_200_000));
+    let report = sim.run(Duration::from_secs(36_000));
+    assert!(report.all_complete);
+    assert_eq!(sim.reboots(), 1);
+    let scheme = sim.node(NodeId(2)).scheme();
+    assert_eq!(scheme.image().as_deref(), Some(&image[..]));
+    assert_eq!(scheme.cost().signature_verifications, 1);
+    assert_strictly_increasing(&completion_levels(&trace, NodeId(2)));
 }
 
 #[test]
