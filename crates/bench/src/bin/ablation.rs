@@ -16,9 +16,11 @@ use lrs_bench::{
 use lrs_deluge::policy::UnionPolicy;
 use lrs_netsim::medium::MediumConfig;
 use lrs_netsim::node::{NodeId, PacketKind, Protocol};
-use lrs_netsim::sim::{SimConfig, Simulator};
+use lrs_netsim::sim::SimConfig;
+
 use lrs_netsim::time::Duration;
 use lrs_netsim::topology::Topology;
+use lrs_netsim::SimBuilder;
 
 fn run_with<P, F>(
     params: LrSelugeParams,
@@ -27,7 +29,7 @@ fn run_with<P, F>(
     make_policy: F,
 ) -> ExperimentMetrics
 where
-    P: lrs_deluge::policy::TxPolicy,
+    P: lrs_deluge::policy::TxPolicy + 'static,
     F: Fn() -> P,
     lrs_deluge::engine::DisseminationNode<lr_seluge::LrScheme, P>: Protocol,
 {
@@ -40,9 +42,11 @@ where
         },
         ..SimConfig::default()
     };
-    let mut sim = Simulator::new(Topology::star(21), cfg, seed, |id| {
+    let mut sim = SimBuilder::new(Topology::star(21), seed, |id| {
         deployment.node_with_policy(id, NodeId(0), make_policy())
-    });
+    })
+    .config(cfg)
+    .build();
     let report = sim.run(Duration::from_secs(100_000));
     assert!(report.all_complete, "run stalled");
     let m = sim.metrics();

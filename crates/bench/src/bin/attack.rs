@@ -20,9 +20,11 @@ use lrs_deluge::image::{DelugeImage, DelugeScheme, ImageParams};
 use lrs_deluge::policy::UnionPolicy;
 use lrs_netsim::medium::MediumConfig;
 use lrs_netsim::node::NodeId;
-use lrs_netsim::sim::{SimConfig, Simulator};
+use lrs_netsim::sim::SimConfig;
+
 use lrs_netsim::time::Duration;
 use lrs_netsim::topology::Topology;
+use lrs_netsim::SimBuilder;
 
 const N_HONEST: usize = 10;
 
@@ -81,27 +83,24 @@ fn run_lr_under_attack(
     let deployment = Deployment::new(&image, p, b"attack keys").with_engine_config(engine);
     let insider_key = deployment.cluster_key().clone();
     let attacker_id = NodeId((N_HONEST + 1) as u32);
-    let mut sim = Simulator::new(
-        Topology::star(N_HONEST + 2),
-        SimConfig {
-            medium: MediumConfig::default(),
-            ..SimConfig::default()
-        },
-        seed,
-        |id| {
-            if id == attacker_id {
-                let a = match &kind {
-                    AttackKind::DenialOfReceipt { .. } => {
-                        Attacker::insider(kind.clone(), interval, p.version, insider_key.clone())
-                    }
-                    other => Attacker::outsider(other.clone(), interval, p.version),
-                };
-                MaybeAdversary::Attacker(a)
-            } else {
-                MaybeAdversary::Honest(deployment.node(id, NodeId(0)))
-            }
-        },
-    );
+    let mut sim = SimBuilder::new(Topology::star(N_HONEST + 2), seed, |id| {
+        if id == attacker_id {
+            let a = match &kind {
+                AttackKind::DenialOfReceipt { .. } => {
+                    Attacker::insider(kind.clone(), interval, p.version, insider_key.clone())
+                }
+                other => Attacker::outsider(other.clone(), interval, p.version),
+            };
+            MaybeAdversary::Attacker(a)
+        } else {
+            MaybeAdversary::Honest(deployment.node(id, NodeId(0)))
+        }
+    })
+    .config(SimConfig {
+        medium: MediumConfig::default(),
+        ..SimConfig::default()
+    })
+    .build();
     let report = sim.run(Duration::from_secs(20_000));
     let mut wrong = 0usize;
     let mut rejects = 0u64;
@@ -142,38 +141,35 @@ fn run_deluge_under_attack(image_len: usize, interval: Duration, seed: u64) -> F
         ..EngineConfig::default()
     };
     let attacker_id = NodeId((N_HONEST + 1) as u32);
-    let mut sim = Simulator::new(
-        Topology::star(N_HONEST + 2),
-        SimConfig {
-            medium: MediumConfig::default(),
-            ..SimConfig::default()
-        },
-        seed,
-        |id| {
-            if id == attacker_id {
-                MaybeAdversary::Attacker(Attacker::outsider(
-                    AttackKind::BogusData {
-                        payload_len: ip.payload_len,
-                        index_space: ip.packets_per_page,
-                    },
-                    interval,
-                    1,
-                ))
+    let mut sim = SimBuilder::new(Topology::star(N_HONEST + 2), seed, |id| {
+        if id == attacker_id {
+            MaybeAdversary::Attacker(Attacker::outsider(
+                AttackKind::BogusData {
+                    payload_len: ip.payload_len,
+                    index_space: ip.packets_per_page,
+                },
+                interval,
+                1,
+            ))
+        } else {
+            let scheme = if id == NodeId(0) {
+                DelugeScheme::base(&deluge_image)
             } else {
-                let scheme = if id == NodeId(0) {
-                    DelugeScheme::base(&deluge_image)
-                } else {
-                    DelugeScheme::receiver(ip)
-                };
-                MaybeAdversary::Honest(DisseminationNode::new(
-                    scheme,
-                    UnionPolicy::new(),
-                    key.clone(),
-                    engine,
-                ))
-            }
-        },
-    );
+                DelugeScheme::receiver(ip)
+            };
+            MaybeAdversary::Honest(DisseminationNode::new(
+                scheme,
+                UnionPolicy::new(),
+                key.clone(),
+                engine,
+            ))
+        }
+    })
+    .config(SimConfig {
+        medium: MediumConfig::default(),
+        ..SimConfig::default()
+    })
+    .build();
     let report = sim.run(Duration::from_secs(20_000));
     let mut wrong = 0usize;
     for i in 1..=N_HONEST as u32 {
@@ -205,30 +201,27 @@ fn run_denial_of_receipt(image_len: usize, budget: Option<u32>, seed: u64) -> (u
     let deployment = Deployment::new(&image, p, b"attack keys").with_engine_config(engine);
     let insider_key = deployment.cluster_key().clone();
     let attacker_id = NodeId((N_HONEST + 1) as u32);
-    let mut sim = Simulator::new(
-        Topology::star(N_HONEST + 2),
-        SimConfig {
-            medium: MediumConfig::default(),
-            ..SimConfig::default()
-        },
-        seed,
-        |id| {
-            if id == attacker_id {
-                MaybeAdversary::Attacker(Attacker::insider(
-                    AttackKind::DenialOfReceipt {
-                        target: NodeId(0),
-                        item: 2,
-                        n_bits: p.n as usize,
-                    },
-                    Duration::from_millis(250),
-                    p.version,
-                    insider_key.clone(),
-                ))
-            } else {
-                MaybeAdversary::Honest(deployment.node(id, NodeId(0)))
-            }
-        },
-    );
+    let mut sim = SimBuilder::new(Topology::star(N_HONEST + 2), seed, |id| {
+        if id == attacker_id {
+            MaybeAdversary::Attacker(Attacker::insider(
+                AttackKind::DenialOfReceipt {
+                    target: NodeId(0),
+                    item: 2,
+                    n_bits: p.n as usize,
+                },
+                Duration::from_millis(250),
+                p.version,
+                insider_key.clone(),
+            ))
+        } else {
+            MaybeAdversary::Honest(deployment.node(id, NodeId(0)))
+        }
+    })
+    .config(SimConfig {
+        medium: MediumConfig::default(),
+        ..SimConfig::default()
+    })
+    .build();
     // Fixed observation window: the unbounded variant is a total DoS and
     // would otherwise run to any deadline.
     let _ = sim.run(Duration::from_secs(2_000));

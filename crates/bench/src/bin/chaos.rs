@@ -27,9 +27,11 @@ use lrs_deluge::policy::UnionPolicy;
 use lrs_netsim::fault::{FaultConfig, FaultPlan};
 use lrs_netsim::medium::MediumConfig;
 use lrs_netsim::node::NodeId;
-use lrs_netsim::sim::{Outcome, SimConfig, Simulator};
+use lrs_netsim::sim::{Outcome, SimConfig};
+
 use lrs_netsim::time::{Duration, SimTime};
 use lrs_netsim::topology::Topology;
+use lrs_netsim::SimBuilder;
 use lrs_seluge::{SelugeArtifacts, SelugeScheme};
 
 /// Honest receivers; one more node is either an extra receiver or the
@@ -194,13 +196,15 @@ fn run_lr_chaos(image_len: usize, sc: &Scenario, seed: u64) -> ChaosOutcome {
     let attacker_id = NodeId((N_HONEST + 1) as u32);
     let storm = sc.storm;
     let topo = Topology::star(N_HONEST + 2);
-    let mut sim = Simulator::new(topo.clone(), sim_config(), seed, |id| {
+    let mut sim = SimBuilder::new(topo.clone(), seed, |id| {
         if storm && id == attacker_id {
             MaybeAdversary::Attacker(storm_attacker(p.payload_len, p.n, p.version))
         } else {
             MaybeAdversary::Honest(deployment.node(id, NodeId(0)))
         }
-    });
+    })
+    .config(sim_config())
+    .build();
     sim.inject_faults(&FaultPlan::generate(&fault_config(sc), &topo, seed));
     let check_art = artifacts.clone();
     let check_img = image.clone();
@@ -245,7 +249,7 @@ fn run_seluge_chaos(image_len: usize, sc: &Scenario, seed: u64) -> ChaosOutcome 
     let attacker_id = NodeId((N_HONEST + 1) as u32);
     let storm = sc.storm;
     let topo = Topology::star(N_HONEST + 2);
-    let mut sim = Simulator::new(topo.clone(), sim_config(), seed, |id| {
+    let mut sim = SimBuilder::new(topo.clone(), seed, |id| {
         if storm && id == attacker_id {
             MaybeAdversary::Attacker(storm_attacker(
                 sp.data_payload_len(),
@@ -265,7 +269,9 @@ fn run_seluge_chaos(image_len: usize, sc: &Scenario, seed: u64) -> ChaosOutcome 
                 EngineConfig::default(),
             ))
         }
-    });
+    })
+    .config(sim_config())
+    .build();
     sim.inject_faults(&FaultPlan::generate(&fault_config(sc), &topo, seed));
     let check_art = artifacts.clone();
     let check_img = image.clone();
@@ -309,15 +315,12 @@ fn watchdog_demo(image_len: usize) -> String {
     let image = test_image(image_len);
     let deployment = Deployment::new(&image, p, b"chaos keys");
     let topo = Topology::star(4);
-    let mut sim = Simulator::new(
-        topo.clone(),
-        SimConfig {
+    let mut sim = SimBuilder::new(topo.clone(), 3, |id| deployment.node(id, NodeId(0)))
+        .config(SimConfig {
             stall_window: Some(Duration::from_secs(60)),
             ..sim_config()
-        },
-        3,
-        |id| deployment.node(id, NodeId(0)),
-    );
+        })
+        .build();
     // Cut the base station off in both directions, forever: receivers
     // keep advertising and requesting but can never make progress.
     let mut plan = FaultPlan::new();

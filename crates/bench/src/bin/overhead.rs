@@ -23,8 +23,10 @@ use lrs_deluge::policy::UnionPolicy;
 use lrs_netsim::medium::MediumConfig;
 use lrs_netsim::node::NodeId;
 use lrs_netsim::sim::{SimConfig, Simulator};
+
 use lrs_netsim::time::Duration;
 use lrs_netsim::topology::Topology;
+use lrs_netsim::SimBuilder;
 use lrs_seluge::{SelugeArtifacts, SelugeParams, SelugeScheme};
 
 fn mean_receiver_cost<S: Scheme, P: lrs_deluge::policy::TxPolicy>(
@@ -95,9 +97,11 @@ fn main() {
     let costs = sample_grid(&schemes, seeds, threads, |&is_lr, seed| {
         if is_lr {
             let deployment = Deployment::new(&image, lr_params, b"overhead");
-            let mut sim = Simulator::new(Topology::star(n_rx + 1), cfg, seed, |id| {
+            let mut sim = SimBuilder::new(Topology::star(n_rx + 1), seed, |id| {
                 deployment.node(id, NodeId(0))
-            });
+            })
+            .config(cfg)
+            .build();
             assert!(sim.run(Duration::from_secs(100_000)).all_complete);
             mean_receiver_cost(&sim)
         } else {
@@ -106,7 +110,7 @@ fn main() {
             let artifacts = SelugeArtifacts::build(&image, s_params, &kp, &chain);
             let puzzle = Puzzle::new(chain.anchor(), s_params.puzzle_strength);
             let key = ClusterKey::derive(b"overhead", 0);
-            let mut sim = Simulator::new(Topology::star(n_rx + 1), cfg, seed, |id| {
+            let mut sim = SimBuilder::new(Topology::star(n_rx + 1), seed, |id| {
                 let scheme = if id == NodeId(0) {
                     SelugeScheme::base(&artifacts, kp.public(), puzzle)
                 } else {
@@ -118,7 +122,9 @@ fn main() {
                     key.clone(),
                     EngineConfig::default(),
                 )
-            });
+            })
+            .config(cfg)
+            .build();
             assert!(sim.run(Duration::from_secs(100_000)).all_complete);
             mean_receiver_cost(&sim)
         }

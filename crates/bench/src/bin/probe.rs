@@ -13,10 +13,12 @@ use lrs_bench::{write_json, Json};
 use lrs_deluge::engine::Scheme as _;
 use lrs_netsim::medium::MediumConfig;
 use lrs_netsim::node::{NodeId, PacketKind};
-use lrs_netsim::sim::{SimConfig, Simulator};
+use lrs_netsim::sim::SimConfig;
+
 use lrs_netsim::time::Duration;
 use lrs_netsim::topology::Topology;
 use lrs_netsim::trace::JsonlTrace;
+use lrs_netsim::SimBuilder;
 use std::io::Write as _;
 
 fn main() {
@@ -46,9 +48,11 @@ fn main() {
         },
         ..SimConfig::default()
     };
-    let mut sim = Simulator::new(Topology::star(n_rx + 1), cfg, seed, |id| {
+    let mut sim = SimBuilder::new(Topology::star(n_rx + 1), seed, |id| {
         deployment.node(id, NodeId(0))
-    });
+    })
+    .config(cfg)
+    .build();
     if let Some(path) = &trace_path {
         sim.set_trace(Box::new(
             JsonlTrace::create(path).expect("create trace file"),

@@ -10,8 +10,10 @@ use lrs_deluge::policy::UnionPolicy;
 use lrs_netsim::medium::MediumConfig;
 use lrs_netsim::node::{NodeId, PacketKind};
 use lrs_netsim::sim::{SimConfig, Simulator};
+
 use lrs_netsim::time::Duration;
 use lrs_netsim::topology::Topology;
+use lrs_netsim::SimBuilder;
 use lrs_seluge::{SelugeArtifacts, SelugeParams, SelugeScheme};
 
 /// The metrics the paper reports, per run (or averaged over seeds).
@@ -194,9 +196,11 @@ pub fn run_lr(spec: &RunSpec, params: LrSelugeParams, seed: u64) -> ExperimentMe
     // served from memory at the others (per-node `hashes` counters are
     // unaffected; hits land in `memoized_hashes`).
     let digests = lr_seluge::scheme::PacketDigestCache::default();
-    let mut sim = Simulator::new(spec.topology.clone(), cfg, seed, |id| {
+    let mut sim = SimBuilder::new(spec.topology.clone(), seed, |id| {
         deployment.node_cached(id, NodeId(0), &digests)
-    });
+    })
+    .config(cfg)
+    .build();
     let report = sim.run(spec.deadline);
     // Correctness check: completed nodes must hold the exact image.
     if report.all_complete {
@@ -225,15 +229,17 @@ pub fn run_seluge(spec: &RunSpec, params: SelugeParams, seed: u64) -> Experiment
     };
     let engine = spec.engine;
     let digests = lrs_seluge::scheme::PacketDigestCache::default();
-    let mut sim = Simulator::new(spec.topology.clone(), cfg, seed, |id| {
-        let mut scheme = if id == NodeId(0) {
+    let mut sim = SimBuilder::new(spec.topology.clone(), seed, |id| {
+        let scheme = if id == NodeId(0) {
             SelugeScheme::base(&artifacts, kp.public(), puzzle)
         } else {
             SelugeScheme::receiver(params, kp.public(), puzzle)
         };
-        scheme.attach_digest_cache(digests.clone());
+        let scheme = scheme.with_digest_cache(digests.clone());
         DisseminationNode::new(scheme, UnionPolicy::new(), key.clone(), engine)
-    });
+    })
+    .config(cfg)
+    .build();
     let report = sim.run(spec.deadline);
     if report.all_complete {
         for i in 1..sim.topology().len() {
@@ -261,14 +267,16 @@ pub fn run_deluge(spec: &RunSpec, params: ImageParams, seed: u64) -> ExperimentM
         medium: spec.medium,
         ..SimConfig::default()
     };
-    let mut sim = Simulator::new(spec.topology.clone(), cfg, seed, |id| {
+    let mut sim = SimBuilder::new(spec.topology.clone(), seed, |id| {
         let scheme = if id == NodeId(0) {
             DelugeScheme::base(&deluge_image)
         } else {
             DelugeScheme::receiver(params)
         };
         DisseminationNode::new(scheme, UnionPolicy::new(), key.clone(), engine)
-    });
+    })
+    .config(cfg)
+    .build();
     let report = sim.run(spec.deadline);
     collect(&sim, report.all_complete, report.latency)
 }

@@ -17,10 +17,12 @@ use lrs_bench::{
 use lrs_deluge::image::ImageParams;
 use lrs_netsim::medium::MediumConfig;
 use lrs_netsim::node::{NodeId, PacketKind};
-use lrs_netsim::sim::{SimConfig, Simulator};
+use lrs_netsim::sim::SimConfig;
+
 use lrs_netsim::time::Duration;
 use lrs_netsim::topology::Topology;
 use lrs_netsim::trace::{JsonlTrace, RingTrace};
+use lrs_netsim::SimBuilder;
 
 fn tiny_lr() -> LrSelugeParams {
     LrSelugeParams {
@@ -111,9 +113,9 @@ fn traced_run(
         },
         ..SimConfig::default()
     };
-    let mut sim = Simulator::new(Topology::star(4), cfg, 11, |id| {
-        deployment.node(id, NodeId(0))
-    });
+    let mut sim = SimBuilder::new(Topology::star(4), 11, |id| deployment.node(id, NodeId(0)))
+        .config(cfg)
+        .build();
     if let Some(sink) = trace {
         sim.set_trace(sink);
     }
@@ -162,9 +164,9 @@ fn trace_sink_sees_every_event_family() {
         ..SimConfig::default()
     };
     let events = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
-    let mut sim = Simulator::new(Topology::star(4), cfg, 1, |id| {
-        deployment.node(id, NodeId(0))
-    });
+    let mut sim = SimBuilder::new(Topology::star(4), 1, |id| deployment.node(id, NodeId(0)))
+        .config(cfg)
+        .build();
     sim.set_trace(Box::new(SharedSink(events.clone())));
     let report = sim.run(Duration::from_secs(100_000));
     assert!(report.all_complete);

@@ -103,11 +103,30 @@ impl Deployment {
 
     /// Builds the protocol node for `id` (`base_id` gets the full image).
     pub fn node(&self, id: NodeId, base_id: NodeId) -> LrNode {
-        let scheme = if id == base_id {
+        self.wrap(self.make_scheme(id, base_id), id)
+    }
+
+    /// Like [`Deployment::node`], but shares a per-run packet-digest memo
+    /// across the run's nodes. The cache is `Rc`-based and deliberately
+    /// *not* stored in the deployment (which is shared across harness
+    /// threads): create one per sim run and pass it to every node.
+    pub fn node_cached(&self, id: NodeId, base_id: NodeId, cache: &PacketDigestCache) -> LrNode {
+        self.wrap(
+            self.make_scheme(id, base_id)
+                .with_digest_cache(cache.clone()),
+            id,
+        )
+    }
+
+    fn make_scheme(&self, id: NodeId, base_id: NodeId) -> LrScheme {
+        if id == base_id {
             LrScheme::base(&self.artifacts, self.pubkey, self.puzzle)
         } else {
             LrScheme::receiver(self.params(), self.pubkey, self.puzzle)
-        };
+        }
+    }
+
+    fn wrap(&self, scheme: LrScheme, id: NodeId) -> LrNode {
         let node = DisseminationNode::new(
             scheme,
             GreedyRoundRobinPolicy::new(),
@@ -118,16 +137,6 @@ impl Deployment {
             Some(seed) => node.with_leap(LeapKeyring::bootstrap(seed, id.0)),
             None => node,
         }
-    }
-
-    /// Like [`Deployment::node`], but shares a per-run packet-digest memo
-    /// across the run's nodes. The cache is `Rc`-based and deliberately
-    /// *not* stored in the deployment (which is shared across harness
-    /// threads): create one per sim run and pass it to every node.
-    pub fn node_cached(&self, id: NodeId, base_id: NodeId, cache: &PacketDigestCache) -> LrNode {
-        let mut node = self.node(id, base_id);
-        node.scheme_mut().attach_digest_cache(cache.clone());
-        node
     }
 }
 

@@ -34,7 +34,7 @@
 //!
 //! ```
 //! use lr_seluge::{LrSelugeParams, Deployment};
-//! use lrs_netsim::{sim::{SimConfig, Simulator}, topology::Topology, time::Duration};
+//! use lrs_netsim::{SimBuilder, topology::Topology, time::Duration};
 //!
 //! // A 4 KiB image, small pages for the doctest.
 //! let image: Vec<u8> = (0..4096u32).map(|i| i as u8).collect();
@@ -42,8 +42,9 @@
 //!                               ..LrSelugeParams::default() };
 //! let deployment = Deployment::new(&image, params, b"demo keys");
 //!
-//! let mut sim = Simulator::new(Topology::star(4), SimConfig::default(), 7,
-//!                              |id| deployment.node(id, lrs_netsim::node::NodeId(0)));
+//! let mut sim = SimBuilder::new(Topology::star(4), 7,
+//!                               |id| deployment.node(id, lrs_netsim::node::NodeId(0)))
+//!     .build();
 //! let report = sim.run(Duration::from_secs(3600));
 //! assert!(report.all_complete);
 //! # use lrs_deluge::engine::Scheme;

@@ -20,6 +20,7 @@ use lrs_deluge::wire::BitVec;
 use lrs_erasure::{CodeError, ErasureCode};
 use lrs_netsim::digest::DigestCache;
 use lrs_netsim::node::PacketKind;
+use lrs_netsim::violation::{BufferKind, ContentDigest, InvariantViolation};
 use std::collections::HashMap;
 
 /// The shared per-run packet-digest memo used by LR-Seluge schemes.
@@ -94,13 +95,8 @@ impl LrScheme {
     /// bytes, and the `hashes` cost counter are unchanged; cache hits
     /// are tallied in `CryptoCost::memoized_hashes`.
     pub fn with_digest_cache(mut self, cache: PacketDigestCache) -> Self {
-        self.attach_digest_cache(cache);
-        self
-    }
-
-    /// In-place form of [`LrScheme::with_digest_cache`].
-    pub fn attach_digest_cache(&mut self, cache: PacketDigestCache) {
         self.digest_cache = Some(cache);
+        self
     }
 
     /// The base station: everything precomputed and complete.
@@ -341,76 +337,111 @@ impl LrScheme {
     /// 3. every completed page's decoded input matches preprocessing,
     /// 4. a complete node's reassembled image is byte-identical to the
     ///    origin image.
-    pub fn verify_invariants(&self, artifacts: &LrArtifacts, image: &[u8]) -> Result<(), String> {
+    pub fn verify_invariants(
+        &self,
+        artifacts: &LrArtifacts,
+        image: &[u8],
+    ) -> Result<(), InvariantViolation> {
         let n_items = self.params.num_items();
         if self.complete > n_items {
-            return Err(format!(
-                "complete={} exceeds {} items",
-                self.complete, n_items
-            ));
+            return Err(InvariantViolation::CompletionOverflow {
+                complete: u64::from(self.complete),
+                total: u64::from(n_items),
+            });
         }
         let hp_held = self.hp_received.iter().flatten().count();
         if self.hp_received.len() != self.params.n0 as usize || hp_held != self.hp_count {
-            return Err(format!(
-                "hash-page buffer bound violated: {} slots, {} held, count {}",
-                self.hp_received.len(),
-                hp_held,
-                self.hp_count
-            ));
+            return Err(InvariantViolation::BufferBound {
+                buffer: BufferKind::HashPage,
+                slots: self.hp_received.len() as u64,
+                held: hp_held as u64,
+                count: self.hp_count as u64,
+            });
         }
         for (j, slot) in self.hp_received.iter().enumerate() {
             if let Some(p) = slot {
-                if p.as_slice() != artifacts.hash_page_packet(j as u16) {
-                    return Err(format!("unauthentic hash-page packet buffered at {j}"));
+                let authentic = artifacts.hash_page_packet(j as u16);
+                if p.as_slice() != authentic {
+                    return Err(InvariantViolation::UnauthenticPacket {
+                        buffer: BufferKind::HashPage,
+                        page: None,
+                        index: j as u32,
+                        expected: ContentDigest::of(authentic),
+                        actual: ContentDigest::of(p),
+                    });
                 }
             }
         }
         let cur_held = self.cur_received.iter().flatten().count();
         if self.cur_received.len() != self.params.n as usize || cur_held != self.cur_count {
-            return Err(format!(
-                "page buffer bound violated: {} slots, {} held, count {}",
-                self.cur_received.len(),
-                cur_held,
-                self.cur_count
-            ));
+            return Err(InvariantViolation::BufferBound {
+                buffer: BufferKind::Page,
+                slots: self.cur_received.len() as u64,
+                held: cur_held as u64,
+                count: self.cur_count as u64,
+            });
         }
         if self.cur_count > 0 {
             if self.complete < 2 || self.complete >= n_items {
-                return Err(format!(
-                    "page packets buffered while complete={}",
-                    self.complete
-                ));
+                return Err(InvariantViolation::UnexpectedBufferOccupancy {
+                    complete: u64::from(self.complete),
+                });
             }
             let page = self.complete - 2;
             for (j, slot) in self.cur_received.iter().enumerate() {
                 if let Some(p) = slot {
-                    if p.as_slice() != artifacts.page_packet(page, j as u16) {
-                        return Err(format!("unauthentic packet buffered: page {page} idx {j}"));
+                    let authentic = artifacts.page_packet(page, j as u16);
+                    if p.as_slice() != authentic {
+                        return Err(InvariantViolation::UnauthenticPacket {
+                            buffer: BufferKind::Page,
+                            page: Some(u32::from(page)),
+                            index: j as u32,
+                            expected: ContentDigest::of(authentic),
+                            actual: ContentDigest::of(p),
+                        });
                     }
                 }
             }
         }
         if self.complete >= 1 && self.signature_body.as_deref() != Some(artifacts.signature_body())
         {
-            return Err("signature item complete but body does not match".into());
+            return Err(InvariantViolation::SignatureMismatch {
+                expected: ContentDigest::of(artifacts.signature_body()),
+                actual: self
+                    .signature_body
+                    .as_deref()
+                    .map_or(ContentDigest::MISSING, ContentDigest::of),
+            });
         }
         let pages_done = (self.complete as usize).saturating_sub(2);
         if self.page_inputs.len() < pages_done {
-            return Err(format!(
-                "complete={} but only {} decoded pages held",
-                self.complete,
-                self.page_inputs.len()
-            ));
+            return Err(InvariantViolation::PagesMissing {
+                complete: u64::from(self.complete),
+                held: self.page_inputs.len() as u64,
+            });
         }
         for (i, input) in self.page_inputs.iter().take(pages_done).enumerate() {
-            if input.as_slice() != artifacts.page_input(i as u16) {
-                return Err(format!("decoded page {i} differs from preprocessing"));
+            let authentic = artifacts.page_input(i as u16);
+            if input.as_slice() != authentic {
+                return Err(InvariantViolation::PageMismatch {
+                    page: i as u32,
+                    packet: None,
+                    expected: ContentDigest::of(authentic),
+                    actual: ContentDigest::of(input),
+                });
             }
         }
         if self.complete == n_items {
             match self.image() {
                 Some(img) if img == image => {}
-                _ => return Err("complete node's image differs from origin".into()),
+                other => {
+                    return Err(InvariantViolation::ImageMismatch {
+                        expected: ContentDigest::of(image),
+                        actual: other
+                            .as_deref()
+                            .map_or(ContentDigest::MISSING, ContentDigest::of),
+                    })
+                }
             }
         }
         Ok(())

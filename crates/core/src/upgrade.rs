@@ -121,9 +121,11 @@ mod tests {
     use super::*;
     use crate::params::LrSelugeParams;
     use lrs_netsim::medium::MediumConfig;
-    use lrs_netsim::sim::{SimConfig, Simulator};
+    use lrs_netsim::sim::SimConfig;
+
     use lrs_netsim::time::Duration;
     use lrs_netsim::topology::Topology;
+    use lrs_netsim::SimBuilder;
 
     fn params(version: u16) -> LrSelugeParams {
         LrSelugeParams {
@@ -150,26 +152,23 @@ mod tests {
         let d1 = Deployment::new(&image(1), params(1), b"upgrade demo");
         let d2 = Deployment::new(&image(2), params(2), b"upgrade demo");
         let base_id = NodeId(0);
-        let mut sim = Simulator::new(
-            Topology::star(5),
-            SimConfig {
-                medium: MediumConfig {
-                    app_loss: 0.1,
-                    ..MediumConfig::default()
-                },
-                ..SimConfig::default()
+        let mut sim = SimBuilder::new(Topology::star(5), 3, |id| {
+            if id == base_id {
+                // The base already runs v2: its first advertisement
+                // triggers the network-wide upgrade.
+                VersionedNode::new(&d2, id, base_id)
+            } else {
+                VersionedNode::new(&d1, id, base_id).with_upgrade(d2.clone())
+            }
+        })
+        .config(SimConfig {
+            medium: MediumConfig {
+                app_loss: 0.1,
+                ..MediumConfig::default()
             },
-            3,
-            |id| {
-                if id == base_id {
-                    // The base already runs v2: its first advertisement
-                    // triggers the network-wide upgrade.
-                    VersionedNode::new(&d2, id, base_id)
-                } else {
-                    VersionedNode::new(&d1, id, base_id).with_upgrade(d2.clone())
-                }
-            },
-        );
+            ..SimConfig::default()
+        })
+        .build();
         let report = sim.run(Duration::from_secs(36_000));
         assert!(
             report.all_complete,

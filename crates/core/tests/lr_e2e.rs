@@ -5,8 +5,10 @@ use lrs_deluge::engine::Scheme as _;
 use lrs_netsim::medium::MediumConfig;
 use lrs_netsim::node::NodeId;
 use lrs_netsim::sim::{SimConfig, Simulator};
+
 use lrs_netsim::time::Duration;
 use lrs_netsim::topology::Topology;
+use lrs_netsim::SimBuilder;
 
 fn small_params(image_len: usize) -> LrSelugeParams {
     LrSelugeParams {
@@ -43,7 +45,9 @@ fn run(
         },
         ..SimConfig::default()
     };
-    let mut sim = Simulator::new(topo, cfg, seed, |id| deployment.node(id, NodeId(0)));
+    let mut sim = SimBuilder::new(topo, seed, |id| deployment.node(id, NodeId(0)))
+        .config(cfg)
+        .build();
     let report = sim.run(Duration::from_secs(7_200));
     assert!(report.all_complete, "stalled at {:?}", report.final_time);
     (sim, image)
@@ -140,9 +144,9 @@ fn sparse_xor_code_also_disseminates() {
         },
         ..SimConfig::default()
     };
-    let mut sim = Simulator::new(Topology::star(5), cfg, 17, |id| {
-        deployment.node(id, NodeId(0))
-    });
+    let mut sim = SimBuilder::new(Topology::star(5), 17, |id| deployment.node(id, NodeId(0)))
+        .config(cfg)
+        .build();
     let report = sim.run(Duration::from_secs(36_000));
     assert!(report.all_complete, "stalled at {:?}", report.final_time);
     for i in 1..5u32 {
@@ -179,9 +183,9 @@ fn lt_code_also_disseminates() {
         },
         ..SimConfig::default()
     };
-    let mut sim = Simulator::new(Topology::star(5), cfg, 23, |id| {
-        deployment.node(id, NodeId(0))
-    });
+    let mut sim = SimBuilder::new(Topology::star(5), 23, |id| deployment.node(id, NodeId(0)))
+        .config(cfg)
+        .build();
     let report = sim.run(Duration::from_secs(36_000));
     assert!(report.all_complete, "stalled at {:?}", report.final_time);
     for i in 1..5u32 {
@@ -208,9 +212,8 @@ fn single_page_and_exact_multiple_images() {
         let params = small_params(image_len);
         let image = test_image(image_len);
         let deployment = Deployment::new(&image, params, b"edges");
-        let mut sim = Simulator::new(Topology::star(3), SimConfig::default(), 7, |id| {
-            deployment.node(id, NodeId(0))
-        });
+        let mut sim =
+            SimBuilder::new(Topology::star(3), 7, |id| deployment.node(id, NodeId(0))).build();
         let report = sim.run(Duration::from_secs(36_000));
         assert!(report.all_complete, "{len_kind} stalled");
         for i in 1..3u32 {

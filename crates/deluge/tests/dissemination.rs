@@ -7,8 +7,10 @@ use lrs_deluge::policy::UnionPolicy;
 use lrs_netsim::medium::MediumConfig;
 use lrs_netsim::node::NodeId;
 use lrs_netsim::sim::{SimConfig, Simulator};
+
 use lrs_netsim::time::Duration;
 use lrs_netsim::topology::Topology;
+use lrs_netsim::SimBuilder;
 
 type DelugeNode = DisseminationNode<DelugeScheme, UnionPolicy>;
 
@@ -45,7 +47,7 @@ fn build_sim(topo: Topology, image_len: usize, app_loss: f64, seed: u64) -> Simu
         },
         ..SimConfig::default()
     };
-    Simulator::new(topo, cfg, seed, move |id| {
+    SimBuilder::new(topo, seed, move |id| {
         let scheme = if id == NodeId(0) {
             DelugeScheme::base(&image)
         } else {
@@ -53,6 +55,8 @@ fn build_sim(topo: Topology, image_len: usize, app_loss: f64, seed: u64) -> Simu
         };
         DisseminationNode::new(scheme, UnionPolicy::new(), key.clone(), engine_config())
     })
+    .config(cfg)
+    .build()
 }
 
 fn assert_all_received(sim: &Simulator<DelugeNode>, image_len: usize) {

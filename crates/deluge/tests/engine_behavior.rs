@@ -9,8 +9,10 @@ use lrs_deluge::wire::BitVec;
 use lrs_netsim::medium::MediumConfig;
 use lrs_netsim::node::{NodeId, PacketKind};
 use lrs_netsim::sim::{SimConfig, Simulator};
+
 use lrs_netsim::time::Duration;
 use lrs_netsim::topology::Topology;
+use lrs_netsim::SimBuilder;
 
 /// Three items of four accept-anything packets each.
 struct TestScheme {
@@ -93,7 +95,7 @@ fn sim_with(engine: EngineConfig, app_loss: f64, seed: u64, n: usize) -> Simulat
         },
         ..SimConfig::default()
     };
-    Simulator::new(Topology::star(n), cfg, seed, move |id| {
+    SimBuilder::new(Topology::star(n), seed, move |id| {
         DisseminationNode::new(
             TestScheme::new(id == NodeId(0)),
             UnionPolicy::new(),
@@ -101,6 +103,8 @@ fn sim_with(engine: EngineConfig, app_loss: f64, seed: u64, n: usize) -> Simulat
             engine,
         )
     })
+    .config(cfg)
+    .build()
 }
 
 #[test]
@@ -126,7 +130,7 @@ fn out_of_order_data_is_dropped_not_buffered() {
     };
     // Two nodes: an attacker spraying item-2 data and one honest node
     // with no server available (level stays 0).
-    let mut sim = Simulator::new(Topology::star(2), cfg, 7, move |id| {
+    let mut sim = SimBuilder::new(Topology::star(2), 7, move |id| {
         if id == NodeId(0) {
             MaybeAdversary::Attacker(Attacker::outsider(
                 AttackKind::BogusData {
@@ -146,7 +150,9 @@ fn out_of_order_data_is_dropped_not_buffered() {
                 EngineConfig::default(),
             ))
         }
-    });
+    })
+    .config(cfg)
+    .build();
     // Bounded observation window (the honest node can never complete).
     let _ = sim.run(Duration::from_secs(120));
     let honest = sim.node(NodeId(1)).honest().expect("honest");

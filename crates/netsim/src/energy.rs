@@ -31,7 +31,7 @@ impl Default for EnergyModel {
 }
 
 /// Per-node byte counters, maintained by the simulator.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct EnergyLedger {
     tx_bytes: Vec<u64>,
     rx_bytes: Vec<u64>,
@@ -66,6 +66,19 @@ impl EnergyLedger {
     /// Bytes received by `node`.
     pub fn rx_bytes(&self, node: NodeId) -> u64 {
         self.rx_bytes[node.index()]
+    }
+
+    /// Adds `other`'s counters elementwise. Both ledgers must cover the
+    /// same node count; the sharded engine merges per-shard ledgers
+    /// (each zero outside its own nodes) into one network-wide view.
+    pub fn merge(&mut self, other: &EnergyLedger) {
+        assert_eq!(self.tx_bytes.len(), other.tx_bytes.len());
+        for (a, b) in self.tx_bytes.iter_mut().zip(&other.tx_bytes) {
+            *a += b;
+        }
+        for (a, b) in self.rx_bytes.iter_mut().zip(&other.rx_bytes) {
+            *a += b;
+        }
     }
 
     /// Energy spent by `node` under `model` (joules).

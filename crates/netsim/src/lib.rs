@@ -26,11 +26,17 @@
 //!   stall watchdog and per-delivery invariant hooks turn livelocks and
 //!   protocol violations into structured diagnostics instead of hangs.
 //!
+//! * [`builder`] provides the fluent [`SimBuilder`] entry point, and
+//!   [`shard`] a conservatively-synchronized parallel engine that
+//!   partitions the topology into spatial shards with per-shard event
+//!   queues and worker threads; for a fixed seed its results are
+//!   identical at every shard count.
+//!
 //! # Example
 //!
 //! ```
 //! use lrs_netsim::{
-//!     sim::{Simulator, SimConfig},
+//!     builder::SimBuilder,
 //!     topology::Topology,
 //!     node::{Context, NodeId, PacketKind, Protocol, TimerId},
 //!     time::Duration,
@@ -56,11 +62,12 @@
 //! }
 //!
 //! let topo = Topology::line(5, 1.0);
-//! let mut sim = Simulator::new(topo, SimConfig::default(), 42, |_| Flood { seen: false });
+//! let mut sim = SimBuilder::new(topo, 42, |_| Flood { seen: false }).build();
 //! let report = sim.run(Duration::from_secs(60));
 //! assert!(report.all_complete);
 //! ```
 
+pub mod builder;
 pub mod digest;
 pub mod energy;
 pub mod event;
@@ -69,16 +76,22 @@ pub mod medium;
 pub mod metrics;
 pub mod node;
 pub mod noise;
+pub mod shard;
 pub mod sim;
 pub mod time;
 pub mod topology;
 pub mod trace;
 pub mod trickle;
+pub mod violation;
 
+pub use builder::SimBuilder;
+pub use event::OrderKey;
 pub use fault::{FaultConfig, FaultEvent, FaultPlan, PPM_ONE};
 pub use metrics::Metrics;
 pub use node::{Context, NodeId, PacketKind, Protocol, TimerId};
+pub use shard::ShardedRun;
 pub use sim::{DiagnosticDump, NodeDiag, Outcome, RunReport, SimConfig, Simulator};
 pub use time::{Duration, SimTime};
 pub use topology::Topology;
 pub use trace::{JsonlTrace, LossCause, RingTrace, SharedRingTrace, TraceEvent, TraceSink};
+pub use violation::{BufferKind, ContentDigest, InvariantViolation, ViolationRecord};

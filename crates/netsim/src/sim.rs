@@ -9,9 +9,10 @@ use crate::node::{Action, Context, NodeId, Protocol};
 use crate::time::{Duration, SimTime};
 use crate::topology::Topology;
 use crate::trace::{LossCause, RingTrace, TraceEvent, TraceSink};
+use crate::violation::{InvariantViolation, ViolationRecord};
 use lrs_rng::DetRng;
 use std::collections::{HashMap, VecDeque};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Simulation-wide configuration.
 #[derive(Clone, Copy, Debug)]
@@ -104,6 +105,10 @@ pub struct DiagnosticDump {
     /// The most recent trace events (bounded by
     /// [`SimConfig::diag_events`]).
     pub recent: Vec<TraceEvent>,
+    /// The violated invariant, when the dump was taken for
+    /// [`Outcome::InvariantViolated`] — serialized structurally by
+    /// [`DiagnosticDump::to_json`].
+    pub violation: Option<ViolationRecord>,
 }
 
 /// Escapes `"` and `\` for embedding in a JSON string literal.
@@ -135,14 +140,19 @@ impl DiagnosticDump {
             }
             recent.push_str(&event.to_json());
         }
+        let violation = match &self.violation {
+            Some(record) => format!(r#","violation":{}"#, record.to_json()),
+            None => String::new(),
+        };
         format!(
-            r#"{{"t":{},"ev":"diagnostic","reason":"{}","queue":{},"pending_timers":{},"nodes":[{}],"recent":[{}]}}"#,
+            r#"{{"t":{},"ev":"diagnostic","reason":"{}","queue":{},"pending_timers":{},"nodes":[{}],"recent":[{}]{}}}"#,
             self.at.as_micros(),
             escape_json(&self.reason),
             self.queue_len,
             self.pending_timers,
             nodes,
-            recent
+            recent,
+            violation
         )
     }
 }
@@ -181,7 +191,7 @@ impl Default for LinkFault {
 
 /// Per-delivery hook validating protocol invariants; an `Err` aborts
 /// the run with [`Outcome::InvariantViolated`].
-pub type InvariantChecker<P> = Box<dyn FnMut(&P, NodeId) -> Result<(), String>>;
+pub type InvariantChecker<P> = Box<dyn FnMut(&P, NodeId) -> Result<(), InvariantViolation>>;
 
 /// A deterministic discrete-event simulation over one protocol type.
 pub struct Simulator<P: Protocol> {
@@ -211,7 +221,7 @@ pub struct Simulator<P: Protocol> {
     /// Optional per-delivery invariant checker.
     invariant: Option<InvariantChecker<P>>,
     /// First invariant violation, if any.
-    violation: Option<(SimTime, NodeId, String)>,
+    violation: Option<ViolationRecord>,
     /// Always-on bounded event ring feeding diagnostic dumps.
     diag: RingTrace,
     diag_capacity: usize,
@@ -224,7 +234,23 @@ pub struct Simulator<P: Protocol> {
 impl<P: Protocol> Simulator<P> {
     /// Builds a simulator; `make_node` constructs the protocol instance
     /// for each node id.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use lrs_netsim::SimBuilder, which also configures tracing, \
+                invariants, fault plans, and sharding fluently"
+    )]
     pub fn new(
+        topology: Topology,
+        config: SimConfig,
+        seed: u64,
+        make_node: impl FnMut(NodeId) -> P,
+    ) -> Self {
+        Self::from_parts(topology, config, seed, make_node)
+    }
+
+    /// Non-deprecated constructor backing both the shim above and
+    /// [`SimBuilder::build`](crate::builder::SimBuilder::build).
+    pub(crate) fn from_parts(
         topology: Topology,
         config: SimConfig,
         seed: u64,
@@ -288,8 +314,8 @@ impl<P: Protocol> Simulator<P> {
         self.invariant = Some(check);
     }
 
-    /// The first invariant violation `(time, node, message)`, if any.
-    pub fn invariant_violation(&self) -> Option<&(SimTime, NodeId, String)> {
+    /// The first invariant violation, if any.
+    pub fn invariant_violation(&self) -> Option<&ViolationRecord> {
         self.violation.as_ref()
     }
 
@@ -481,6 +507,7 @@ impl<P: Protocol> Simulator<P> {
             pending_timers,
             nodes,
             recent: self.diag.events().cloned().collect(),
+            violation: self.violation.clone(),
         }
     }
 
@@ -647,13 +674,8 @@ impl<P: Protocol> Simulator<P> {
                 self.stall_window.map_or(0.0, |w| w.as_secs_f64())
             ))),
             Outcome::InvariantViolated => {
-                let (at, node, msg) = self.violation.as_ref().expect("violation recorded");
-                Some(self.dump(format!(
-                    "invariant violated at t={}us on n{}: {}",
-                    at.as_micros(),
-                    node.0,
-                    msg
-                )))
+                let record = self.violation.as_ref().expect("violation recorded");
+                Some(self.dump(record.to_string()))
             }
             _ => None,
         };
@@ -680,8 +702,12 @@ impl<P: Protocol> Simulator<P> {
             return;
         };
         if let Some(p) = self.protocols[node.index()].as_ref() {
-            if let Err(msg) = check(p, node) {
-                self.violation = Some((self.now, node, msg));
+            if let Err(violation) = check(p, node) {
+                self.violation = Some(ViolationRecord {
+                    at: self.now,
+                    node,
+                    violation,
+                });
             }
         }
         self.invariant = Some(check);
@@ -774,14 +800,14 @@ impl<P: Protocol> Simulator<P> {
                     bytes: data.len(),
                     tx_id: tx.id,
                 });
-                let shared = Rc::new(data);
+                let shared = Arc::new(data);
                 for link in self.topology.links_from(from) {
                     self.queue.push(
                         tx.end,
                         Event::Deliver {
                             to: link.to,
                             from,
-                            data: Rc::clone(&shared),
+                            data: Arc::clone(&shared),
                             kind,
                             tx_id: tx.id,
                         },
@@ -829,6 +855,7 @@ impl<P: Protocol> Simulator<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::SimBuilder;
     use crate::node::{PacketKind, TimerId};
 
     /// Node 0 pings every second; others count pings.
@@ -864,11 +891,27 @@ mod tests {
     }
 
     fn pinger_sim_with(seed: u64, config: SimConfig) -> Simulator<Pinger> {
-        Simulator::new(Topology::star(4), config, seed, |id| Pinger {
+        SimBuilder::new(Topology::star(4), seed, |id| Pinger {
             is_source: id == NodeId(0),
             pings_heard: 0,
             goal: 3,
         })
+        .config(config)
+        .build()
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructor_still_matches_builder() {
+        let mut legacy = Simulator::new(Topology::star(4), SimConfig::default(), 7, |id| Pinger {
+            is_source: id == NodeId(0),
+            pings_heard: 0,
+            goal: 3,
+        });
+        let legacy_report = legacy.run(Duration::from_secs(60));
+        let builder_report = pinger_sim(7).run(Duration::from_secs(60));
+        assert_eq!(legacy_report.final_time, builder_report.final_time);
+        assert_eq!(legacy_report.latency, builder_report.latency);
     }
 
     #[test]
@@ -1031,21 +1074,23 @@ mod tests {
         let mut sim = pinger_sim(1);
         sim.set_invariant_checker(Box::new(|node: &Pinger, _id| {
             if node.pings_heard >= 2 {
-                Err(format!("pings_heard reached {}", node.pings_heard))
+                Err(InvariantViolation::Custom {
+                    message: format!("pings_heard reached {}", node.pings_heard),
+                })
             } else {
                 Ok(())
             }
         }));
         let report = sim.run(Duration::from_secs(60));
         assert_eq!(report.outcome, Outcome::InvariantViolated);
-        let (_, node, msg) = sim.invariant_violation().expect("violation");
-        assert_ne!(*node, NodeId(0));
-        assert!(msg.contains("pings_heard"));
-        assert!(report
-            .diagnostic
-            .expect("dump")
-            .to_json()
-            .contains("invariant violated"));
+        let record = sim.invariant_violation().expect("violation");
+        assert_ne!(record.node, NodeId(0));
+        assert!(record.violation.to_string().contains("pings_heard"));
+        let json = report.diagnostic.expect("dump").to_json();
+        assert!(json.contains("invariant violated"));
+        // The violation is serialized structurally, not only as a string.
+        assert!(json.contains(r#""violation":{"t":"#), "{json}");
+        assert!(json.contains(r#""kind":"custom""#), "{json}");
     }
 
     /// A node whose re-armed timer must fire only once.
@@ -1068,9 +1113,7 @@ mod tests {
 
     #[test]
     fn rearmed_timer_fires_once() {
-        let mut sim = Simulator::new(Topology::star(1), SimConfig::default(), 0, |_| Rearmer {
-            fires: 0,
-        });
+        let mut sim = SimBuilder::new(Topology::star(1), 0, |_| Rearmer { fires: 0 }).build();
         let report = sim.run(Duration::from_secs(10));
         assert_eq!(sim.node(NodeId(0)).fires, 1);
         assert_eq!(report.outcome, Outcome::Drained);
@@ -1096,9 +1139,7 @@ mod tests {
 
     #[test]
     fn canceled_timer_never_fires() {
-        let mut sim = Simulator::new(Topology::star(1), SimConfig::default(), 0, |_| Canceler {
-            fires: 0,
-        });
+        let mut sim = SimBuilder::new(Topology::star(1), 0, |_| Canceler { fires: 0 }).build();
         let _ = sim.run(Duration::from_secs(10));
         assert_eq!(sim.node(NodeId(0)).fires, 0);
     }

@@ -3,9 +3,11 @@
 
 use lrs_netsim::energy::EnergyModel;
 use lrs_netsim::node::{Context, NodeId, PacketKind, Protocol, TimerId};
-use lrs_netsim::sim::{SimConfig, Simulator};
+use lrs_netsim::sim::Simulator;
+
 use lrs_netsim::time::{Duration, SimTime};
 use lrs_netsim::topology::Topology;
+use lrs_netsim::SimBuilder;
 
 /// Node 0 beacons every 100 ms; others count beacons.
 struct Beacon {
@@ -32,10 +34,11 @@ impl Protocol for Beacon {
 }
 
 fn beacon_sim(seed: u64) -> Simulator<Beacon> {
-    Simulator::new(Topology::star(3), SimConfig::default(), seed, |id| Beacon {
+    SimBuilder::new(Topology::star(3), seed, |id| Beacon {
         source: id == NodeId(0),
         heard: 0,
     })
+    .build()
 }
 
 #[test]

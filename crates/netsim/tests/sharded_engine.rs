@@ -1,0 +1,149 @@
+//! Shard-count independence of the parallel engine, exercised with a
+//! self-clocking gossip flood on spatial grids.
+
+use lrs_netsim::fault::FaultPlan;
+use lrs_netsim::node::{Context, NodeId, PacketKind, Protocol, TimerId};
+use lrs_netsim::sim::Outcome;
+use lrs_netsim::time::{Duration, SimTime};
+use lrs_netsim::topology::Topology;
+use lrs_netsim::{ShardedRun, SimBuilder};
+
+/// Node 0 seeds a payload; every node rebroadcasts it on a jittered
+/// timer until the whole network has heard it.
+struct Gossip {
+    heard: bool,
+    relayed: u32,
+}
+
+const RETX: TimerId = TimerId(7);
+
+impl Gossip {
+    fn arm(ctx: &mut Context<'_>) {
+        let jitter = ctx.rng().gen_range(0..150_000u64);
+        ctx.set_timer(RETX, Duration::from_micros(200_000 + jitter));
+    }
+}
+
+impl Protocol for Gossip {
+    fn on_init(&mut self, ctx: &mut Context<'_>) {
+        if ctx.id == NodeId(0) {
+            self.heard = true;
+            Gossip::arm(ctx);
+        }
+    }
+    fn on_packet(&mut self, ctx: &mut Context<'_>, _from: NodeId, _data: &[u8]) {
+        if !self.heard {
+            self.heard = true;
+            Gossip::arm(ctx);
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Context<'_>, _t: TimerId) {
+        ctx.broadcast(PacketKind::Data, vec![0xAB; 32]);
+        self.relayed += 1;
+        Gossip::arm(ctx);
+    }
+    fn is_complete(&self) -> bool {
+        self.heard
+    }
+    fn progress(&self) -> u64 {
+        u64::from(self.heard)
+    }
+}
+
+fn run_gossip(seed: u64, shards: usize, faults: FaultPlan) -> ShardedRun<(bool, u32)> {
+    SimBuilder::new(Topology::grid(6, 10.0, 11), seed, |_| Gossip {
+        heard: false,
+        relayed: 0,
+    })
+    .faults(faults)
+    .shards(shards)
+    .collect_trace(true)
+    .run_sharded(Duration::from_secs(120), |_, g| (g.heard, g.relayed))
+}
+
+#[test]
+fn gossip_floods_the_grid() {
+    let run = run_gossip(42, 2, FaultPlan::new());
+    assert_eq!(run.report.outcome, Outcome::Complete);
+    assert!(run.report.all_complete);
+    assert!(run.harvest.iter().all(|(heard, _)| *heard));
+    assert_eq!(run.metrics.completed_count(), 36);
+    assert!(run.report.latency.is_some());
+    assert!(!run.trace.is_empty());
+}
+
+#[test]
+fn results_identical_across_shard_counts() {
+    let baseline = run_gossip(7, 1, FaultPlan::new());
+    for shards in [2, 4, 8] {
+        let run = run_gossip(7, shards, FaultPlan::new());
+        assert_eq!(run.shards, shards);
+        assert_eq!(
+            run.report.outcome, baseline.report.outcome,
+            "outcome @ {shards} shards"
+        );
+        assert_eq!(
+            run.report.final_time, baseline.report.final_time,
+            "final time @ {shards} shards"
+        );
+        assert_eq!(run.metrics, baseline.metrics, "metrics @ {shards} shards");
+        assert_eq!(run.energy, baseline.energy, "energy @ {shards} shards");
+        assert_eq!(run.harvest, baseline.harvest, "harvest @ {shards} shards");
+        assert_eq!(run.trace, baseline.trace, "trace @ {shards} shards");
+    }
+}
+
+#[test]
+fn seeds_differ() {
+    let a = run_gossip(1, 2, FaultPlan::new());
+    let b = run_gossip(2, 2, FaultPlan::new());
+    assert_ne!(a.trace, b.trace, "different seeds must diverge");
+}
+
+#[test]
+fn faults_apply_identically_across_shard_counts() {
+    // Crash one node mid-flood in each far corner of the grid (distinct
+    // shards at every multi-shard count) and reboot one of them later.
+    let mut plan = FaultPlan::new();
+    plan.crash(NodeId(5), SimTime(150_000));
+    plan.crash_and_reboot(
+        NodeId(30),
+        SimTime(150_000),
+        Duration::from_micros(1_850_000),
+    );
+    let baseline = run_gossip(3, 1, plan.clone());
+    assert_eq!(baseline.report.outcome, Outcome::Complete);
+    // Node 5 stays down (completion waived); node 30 reboots and must
+    // re-hear the payload.
+    assert!(!baseline.harvest[5].0);
+    assert!(baseline.harvest[30].0);
+    assert_eq!(baseline.metrics.completed_count(), 35);
+    for shards in [2, 4, 8] {
+        let run = run_gossip(3, shards, plan.clone());
+        assert_eq!(run.metrics, baseline.metrics, "metrics @ {shards} shards");
+        assert_eq!(run.harvest, baseline.harvest, "harvest @ {shards} shards");
+        assert_eq!(run.trace, baseline.trace, "trace @ {shards} shards");
+    }
+}
+
+#[test]
+fn timeout_is_shard_count_independent() {
+    let deadline = Duration::from_millis(350);
+    let run1 = SimBuilder::new(Topology::grid(6, 10.0, 11), 9, |_| Gossip {
+        heard: false,
+        relayed: 0,
+    })
+    .shards(1)
+    .run_sharded(deadline, |_, g| g.heard);
+    let run4 = SimBuilder::new(Topology::grid(6, 10.0, 11), 9, |_| Gossip {
+        heard: false,
+        relayed: 0,
+    })
+    .shards(4)
+    .run_sharded(deadline, |_, g| g.heard);
+    assert_eq!(run1.report.outcome, Outcome::TimedOut);
+    assert_eq!(run4.report.outcome, Outcome::TimedOut);
+    assert_eq!(run1.report.final_time, run4.report.final_time);
+    assert_eq!(run1.metrics, run4.metrics);
+    assert_eq!(run1.harvest, run4.harvest);
+}

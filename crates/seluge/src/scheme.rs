@@ -15,6 +15,7 @@ use lrs_deluge::engine::{CryptoCost, PacketDisposition, Scheme};
 use lrs_deluge::wire::BitVec;
 use lrs_netsim::digest::DigestCache;
 use lrs_netsim::node::PacketKind;
+use lrs_netsim::violation::{BufferKind, ContentDigest, InvariantViolation};
 
 /// The shared per-run packet-digest memo used by Seluge schemes.
 pub type PacketDigestCache = DigestCache<HashImage>;
@@ -63,8 +64,9 @@ impl SelugeScheme {
     /// Purely an observer-level optimization: dispositions and the
     /// `hashes` cost counter are unchanged; cache hits are tallied in
     /// `CryptoCost::memoized_hashes`.
-    pub fn attach_digest_cache(&mut self, cache: PacketDigestCache) {
+    pub fn with_digest_cache(mut self, cache: PacketDigestCache) -> Self {
         self.digest_cache = Some(cache);
+        self
     }
 
     /// The base station: everything precomputed and complete.
@@ -124,73 +126,108 @@ impl SelugeScheme {
         &self,
         artifacts: &SelugeArtifacts,
         image: &[u8],
-    ) -> Result<(), String> {
+    ) -> Result<(), InvariantViolation> {
         let n_items = self.params.num_items();
         if self.complete > n_items {
-            return Err(format!(
-                "complete={} exceeds {} items",
-                self.complete, n_items
-            ));
+            return Err(InvariantViolation::CompletionOverflow {
+                complete: u64::from(self.complete),
+                total: u64::from(n_items),
+            });
         }
         if self.hash_page.len() != self.params.hash_page_chunks as usize {
-            return Err(format!(
-                "hash-page buffer bound violated: {} slots",
-                self.hash_page.len()
-            ));
+            return Err(InvariantViolation::BufferBound {
+                buffer: BufferKind::HashPage,
+                slots: self.hash_page.len() as u64,
+                held: self.hash_page.iter().flatten().count() as u64,
+                count: self.params.hash_page_chunks as u64,
+            });
         }
         for (j, slot) in self.hash_page.iter().enumerate() {
             if let Some(p) = slot {
-                if p.as_slice() != artifacts.hash_page_packet(j as u16) {
-                    return Err(format!("unauthentic hash-page packet buffered at {j}"));
+                let authentic = artifacts.hash_page_packet(j as u16);
+                if p.as_slice() != authentic {
+                    return Err(InvariantViolation::UnauthenticPacket {
+                        buffer: BufferKind::HashPage,
+                        page: None,
+                        index: j as u32,
+                        expected: ContentDigest::of(authentic),
+                        actual: ContentDigest::of(p),
+                    });
                 }
             }
         }
-        if self.current.len() > self.params.packets_per_page as usize {
-            return Err(format!(
-                "page buffer bound violated: {} slots",
-                self.current.len()
-            ));
-        }
         let cur_held = self.current.iter().flatten().count();
+        if self.current.len() > self.params.packets_per_page as usize {
+            return Err(InvariantViolation::BufferBound {
+                buffer: BufferKind::Page,
+                slots: self.current.len() as u64,
+                held: cur_held as u64,
+                count: self.params.packets_per_page as u64,
+            });
+        }
         if cur_held > 0 {
             if self.complete < 2 || self.complete >= n_items {
-                return Err(format!(
-                    "page packets buffered while complete={}",
-                    self.complete
-                ));
+                return Err(InvariantViolation::UnexpectedBufferOccupancy {
+                    complete: u64::from(self.complete),
+                });
             }
             let page = self.complete - 2;
             for (j, slot) in self.current.iter().enumerate() {
                 if let Some(p) = slot {
-                    if p.as_slice() != artifacts.page_packet(page, j as u16) {
-                        return Err(format!("unauthentic packet buffered: page {page} idx {j}"));
+                    let authentic = artifacts.page_packet(page, j as u16);
+                    if p.as_slice() != authentic {
+                        return Err(InvariantViolation::UnauthenticPacket {
+                            buffer: BufferKind::Page,
+                            page: Some(u32::from(page)),
+                            index: j as u32,
+                            expected: ContentDigest::of(authentic),
+                            actual: ContentDigest::of(p),
+                        });
                     }
                 }
             }
         }
         if self.complete >= 1 && self.signature_body.as_deref() != Some(artifacts.signature_body())
         {
-            return Err("signature item complete but body does not match".into());
+            return Err(InvariantViolation::SignatureMismatch {
+                expected: ContentDigest::of(artifacts.signature_body()),
+                actual: self
+                    .signature_body
+                    .as_deref()
+                    .map_or(ContentDigest::MISSING, ContentDigest::of),
+            });
         }
         let pages_done = (self.complete as usize).saturating_sub(2);
         if self.pages.len() < pages_done {
-            return Err(format!(
-                "complete={} but only {} pages held",
-                self.complete,
-                self.pages.len()
-            ));
+            return Err(InvariantViolation::PagesMissing {
+                complete: u64::from(self.complete),
+                held: self.pages.len() as u64,
+            });
         }
         for (i, page) in self.pages.iter().take(pages_done).enumerate() {
             for (j, packet) in page.iter().enumerate() {
-                if packet.as_slice() != artifacts.page_packet(i as u16, j as u16) {
-                    return Err(format!("completed page {i} packet {j} differs"));
+                let authentic = artifacts.page_packet(i as u16, j as u16);
+                if packet.as_slice() != authentic {
+                    return Err(InvariantViolation::PageMismatch {
+                        page: i as u32,
+                        packet: Some(j as u32),
+                        expected: ContentDigest::of(authentic),
+                        actual: ContentDigest::of(packet),
+                    });
                 }
             }
         }
         if self.complete == n_items {
             match self.image() {
                 Some(img) if img == image => {}
-                _ => return Err("complete node's image differs from origin".into()),
+                other => {
+                    return Err(InvariantViolation::ImageMismatch {
+                        expected: ContentDigest::of(image),
+                        actual: other
+                            .as_deref()
+                            .map_or(ContentDigest::MISSING, ContentDigest::of),
+                    })
+                }
             }
         }
         Ok(())

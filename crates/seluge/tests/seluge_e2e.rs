@@ -8,9 +8,11 @@ use lrs_deluge::engine::{DisseminationNode, EngineConfig, Scheme};
 use lrs_deluge::policy::UnionPolicy;
 use lrs_netsim::medium::MediumConfig;
 use lrs_netsim::node::NodeId;
-use lrs_netsim::sim::{SimConfig, Simulator};
+use lrs_netsim::sim::SimConfig;
+
 use lrs_netsim::time::Duration;
 use lrs_netsim::topology::Topology;
+use lrs_netsim::SimBuilder;
 use lrs_seluge::{SelugeArtifacts, SelugeParams, SelugeScheme};
 
 type SelugeNode = DisseminationNode<SelugeScheme, UnionPolicy>;
@@ -73,7 +75,9 @@ fn one_hop_secure_dissemination() {
         },
         ..SimConfig::default()
     };
-    let mut sim = Simulator::new(Topology::star(6), cfg, 21, |id| make_node(&s, id));
+    let mut sim = SimBuilder::new(Topology::star(6), 21, |id| make_node(&s, id))
+        .config(cfg)
+        .build();
     let report = sim.run(Duration::from_secs(3_600));
     assert!(report.all_complete, "stalled at {:?}", report.final_time);
     for i in 1..6u32 {
@@ -86,9 +90,7 @@ fn one_hop_secure_dissemination() {
 #[test]
 fn multi_hop_secure_dissemination() {
     let s = setup(1_200);
-    let mut sim = Simulator::new(Topology::line(4, 0.9), SimConfig::default(), 5, |id| {
-        make_node(&s, id)
-    });
+    let mut sim = SimBuilder::new(Topology::line(4, 0.9), 5, |id| make_node(&s, id)).build();
     let report = sim.run(Duration::from_secs(3_600));
     assert!(report.all_complete, "stalled at {:?}", report.final_time);
     for i in 1..4u32 {
@@ -101,7 +103,7 @@ fn bogus_data_flood_is_rejected_and_dissemination_completes() {
     let s = setup(1_200);
     let payload_len = s.params.data_payload_len();
     let cfg = SimConfig::default();
-    let mut sim = Simulator::new(Topology::star(6), cfg, 9, |id| {
+    let mut sim = SimBuilder::new(Topology::star(6), 9, |id| {
         if id == NodeId(5) {
             MaybeAdversary::Attacker(Attacker::outsider(
                 AttackKind::BogusData {
@@ -114,7 +116,9 @@ fn bogus_data_flood_is_rejected_and_dissemination_completes() {
         } else {
             MaybeAdversary::Honest(make_node(&s, id))
         }
-    });
+    })
+    .config(cfg)
+    .build();
     let report = sim.run(Duration::from_secs(3_600));
     assert!(report.all_complete, "stalled at {:?}", report.final_time);
     let mut total_rejects = 0;
@@ -137,7 +141,7 @@ fn bogus_data_flood_is_rejected_and_dissemination_completes() {
 fn forged_signature_flood_never_triggers_expensive_verification() {
     let s = setup(1_200);
     let body_len = SelugeArtifacts::signature_body_len();
-    let mut sim = Simulator::new(Topology::star(5), SimConfig::default(), 13, |id| {
+    let mut sim = SimBuilder::new(Topology::star(5), 13, |id| {
         if id == NodeId(4) {
             MaybeAdversary::Attacker(Attacker::outsider(
                 AttackKind::ForgedSignature { body_len },
@@ -147,7 +151,8 @@ fn forged_signature_flood_never_triggers_expensive_verification() {
         } else {
             MaybeAdversary::Honest(make_node(&s, id))
         }
-    });
+    })
+    .build();
     let report = sim.run(Duration::from_secs(3_600));
     assert!(report.all_complete);
     for i in 1..4u32 {
@@ -163,7 +168,7 @@ fn forged_signature_flood_never_triggers_expensive_verification() {
 #[test]
 fn forged_control_packets_rejected_by_mac() {
     let s = setup(800);
-    let mut sim = Simulator::new(Topology::star(5), SimConfig::default(), 17, |id| {
+    let mut sim = SimBuilder::new(Topology::star(5), 17, |id| {
         if id == NodeId(4) {
             MaybeAdversary::Attacker(Attacker::outsider(
                 AttackKind::ForgedAdv,
@@ -173,7 +178,8 @@ fn forged_control_packets_rejected_by_mac() {
         } else {
             MaybeAdversary::Honest(make_node(&s, id))
         }
-    });
+    })
+    .build();
     let report = sim.run(Duration::from_secs(3_600));
     assert!(report.all_complete);
     let mut mac_rejects = 0;
@@ -192,9 +198,7 @@ fn forged_control_packets_rejected_by_mac() {
 fn tiny_image_single_page() {
     let s = setup(100); // far less than one page
     assert_eq!(s.params.pages(), 1);
-    let mut sim = Simulator::new(Topology::star(3), SimConfig::default(), 31, |id| {
-        make_node(&s, id)
-    });
+    let mut sim = SimBuilder::new(Topology::star(3), 31, |id| make_node(&s, id)).build();
     let report = sim.run(Duration::from_secs(3_600));
     assert!(report.all_complete);
     for i in 1..3u32 {

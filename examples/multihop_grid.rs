@@ -14,9 +14,11 @@ use lrs_deluge::engine::Scheme as _;
 use lrs_netsim::medium::MediumConfig;
 use lrs_netsim::node::{NodeId, PacketKind};
 use lrs_netsim::noise::{BurstyNoise, NoiseModel};
-use lrs_netsim::sim::{SimConfig, Simulator};
+use lrs_netsim::sim::SimConfig;
+
 use lrs_netsim::time::Duration;
 use lrs_netsim::topology::Topology;
+use lrs_netsim::SimBuilder;
 
 fn main() {
     let image: Vec<u8> = (0..6 * 1024u32).map(|i| (i * 131 % 250) as u8).collect();
@@ -43,7 +45,9 @@ fn main() {
         },
         ..SimConfig::default()
     };
-    let mut sim = Simulator::new(topo, config, 99, |id| deployment.node(id, NodeId(0)));
+    let mut sim = SimBuilder::new(topo, 99, |id| deployment.node(id, NodeId(0)))
+        .config(config)
+        .build();
     let report = sim.run(Duration::from_secs(40_000));
     assert!(report.all_complete, "dissemination stalled");
 

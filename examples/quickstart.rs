@@ -8,9 +8,11 @@
 use lr_seluge::{Deployment, LrSelugeParams};
 use lrs_netsim::medium::MediumConfig;
 use lrs_netsim::node::{NodeId, PacketKind};
-use lrs_netsim::sim::{SimConfig, Simulator};
+use lrs_netsim::sim::SimConfig;
+
 use lrs_netsim::time::Duration;
 use lrs_netsim::topology::Topology;
+use lrs_netsim::SimBuilder;
 
 fn main() {
     // 1. The new code image the base station wants to push (8 KiB of
@@ -47,9 +49,9 @@ fn main() {
         },
         ..SimConfig::default()
     };
-    let mut sim = Simulator::new(Topology::star(9), config, 42, |id| {
-        deployment.node(id, NodeId(0))
-    });
+    let mut sim = SimBuilder::new(Topology::star(9), 42, |id| deployment.node(id, NodeId(0)))
+        .config(config)
+        .build();
 
     // 5. Run until every node holds the verified image.
     let report = sim.run(Duration::from_secs(3_600));

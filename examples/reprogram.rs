@@ -12,9 +12,11 @@ use lr_seluge::upgrade::VersionedNode;
 use lr_seluge::{Deployment, LrSelugeParams};
 use lrs_netsim::medium::MediumConfig;
 use lrs_netsim::node::NodeId;
-use lrs_netsim::sim::{SimConfig, Simulator};
+use lrs_netsim::sim::SimConfig;
+
 use lrs_netsim::time::Duration;
 use lrs_netsim::topology::Topology;
+use lrs_netsim::SimBuilder;
 
 fn firmware(version: u16, len: usize) -> Vec<u8> {
     (0..len as u32)
@@ -36,24 +38,21 @@ fn main() {
     // triggers the upgrade network-wide.
     let base = NodeId(0);
     let n = 8usize;
-    let mut sim = Simulator::new(
-        Topology::star(n + 1),
-        SimConfig {
-            medium: MediumConfig {
-                app_loss: 0.15,
-                ..MediumConfig::default()
-            },
-            ..SimConfig::default()
+    let mut sim = SimBuilder::new(Topology::star(n + 1), 11, |id| {
+        if id == base {
+            VersionedNode::new(&v2, id, base)
+        } else {
+            VersionedNode::new(&v1, id, base).with_upgrade(v2.clone())
+        }
+    })
+    .config(SimConfig {
+        medium: MediumConfig {
+            app_loss: 0.15,
+            ..MediumConfig::default()
         },
-        11,
-        |id| {
-            if id == base {
-                VersionedNode::new(&v2, id, base)
-            } else {
-                VersionedNode::new(&v1, id, base).with_upgrade(v2.clone())
-            }
-        },
-    );
+        ..SimConfig::default()
+    })
+    .build();
     let report = sim.run(Duration::from_secs(36_000));
     assert!(report.all_complete, "upgrade stalled");
 

@@ -16,9 +16,10 @@ use lrs_deluge::engine::{DisseminationNode, EngineConfig};
 use lrs_deluge::image::{DelugeImage, DelugeScheme, ImageParams};
 use lrs_deluge::policy::UnionPolicy;
 use lrs_netsim::node::NodeId;
-use lrs_netsim::sim::{SimConfig, Simulator};
+
 use lrs_netsim::time::Duration;
 use lrs_netsim::topology::Topology;
+use lrs_netsim::SimBuilder;
 
 const N: usize = 6; // honest receivers
 const IMAGE_LEN: usize = 4 * 1024;
@@ -46,7 +47,7 @@ fn main() {
         authenticate_control: false,
         ..EngineConfig::default()
     };
-    let mut deluge_sim = Simulator::new(Topology::star(N + 2), SimConfig::default(), 5, |id| {
+    let mut deluge_sim = SimBuilder::new(Topology::star(N + 2), 5, |id| {
         if id == attacker_id {
             MaybeAdversary::Attacker(Attacker::outsider(
                 AttackKind::BogusData {
@@ -69,7 +70,8 @@ fn main() {
                 engine,
             ))
         }
-    });
+    })
+    .build();
     let _ = deluge_sim.run(Duration::from_secs(40_000));
     let corrupted = (1..=N as u32)
         .filter(|&i| {
@@ -89,7 +91,7 @@ fn main() {
         ..LrSelugeParams::default()
     };
     let deployment = Deployment::new(&image(), params, b"demo");
-    let mut lr_sim = Simulator::new(Topology::star(N + 2), SimConfig::default(), 5, |id| {
+    let mut lr_sim = SimBuilder::new(Topology::star(N + 2), 5, |id| {
         if id == attacker_id {
             MaybeAdversary::Attacker(Attacker::outsider(
                 AttackKind::BogusData {
@@ -102,7 +104,8 @@ fn main() {
         } else {
             MaybeAdversary::Honest(deployment.node(id, NodeId(0)))
         }
-    });
+    })
+    .build();
     let report = lr_sim.run(Duration::from_secs(40_000));
     let mut rejects = 0u64;
     for i in 1..=N as u32 {

@@ -9,9 +9,10 @@ use lrs_deluge::engine::{DisseminationNode, EngineConfig};
 use lrs_deluge::image::{DelugeImage, DelugeScheme, ImageParams};
 use lrs_deluge::policy::UnionPolicy;
 use lrs_netsim::node::NodeId;
-use lrs_netsim::sim::{SimConfig, Simulator};
+
 use lrs_netsim::time::Duration;
 use lrs_netsim::topology::Topology;
+use lrs_netsim::SimBuilder;
 
 const N: usize = 5;
 const IMAGE_LEN: usize = 1536;
@@ -53,7 +54,7 @@ fn deluge_is_corrupted_by_bogus_data_while_lr_seluge_is_not() {
         authenticate_control: false,
         ..EngineConfig::default()
     };
-    let mut dsim = Simulator::new(Topology::star(N + 2), SimConfig::default(), 3, |id| {
+    let mut dsim = SimBuilder::new(Topology::star(N + 2), 3, |id| {
         if id == attacker_id {
             MaybeAdversary::Attacker(Attacker::outsider(
                 AttackKind::BogusData {
@@ -76,7 +77,8 @@ fn deluge_is_corrupted_by_bogus_data_while_lr_seluge_is_not() {
                 engine,
             ))
         }
-    });
+    })
+    .build();
     let _ = dsim.run(Duration::from_secs(40_000));
     let corrupted = (1..=N as u32)
         .filter(|&i| {
@@ -94,7 +96,7 @@ fn deluge_is_corrupted_by_bogus_data_while_lr_seluge_is_not() {
 
     // LR-Seluge run under the identical flood.
     let deployment = Deployment::new(&image(), lr_params(), b"adv");
-    let mut lsim = Simulator::new(Topology::star(N + 2), SimConfig::default(), 3, |id| {
+    let mut lsim = SimBuilder::new(Topology::star(N + 2), 3, |id| {
         if id == attacker_id {
             MaybeAdversary::Attacker(Attacker::outsider(
                 AttackKind::BogusData {
@@ -107,7 +109,8 @@ fn deluge_is_corrupted_by_bogus_data_while_lr_seluge_is_not() {
         } else {
             MaybeAdversary::Honest(deployment.node(id, NodeId(0)))
         }
-    });
+    })
+    .build();
     let report = lsim.run(Duration::from_secs(40_000));
     assert!(report.all_complete, "LR-Seluge must complete under attack");
     for i in 1..=N as u32 {
@@ -127,7 +130,7 @@ fn denial_of_receipt_budget_caps_victim_transmissions() {
         let deployment = Deployment::new(&image(), p, b"dor").with_engine_config(engine);
         let insider_key = deployment.cluster_key().clone();
         let attacker_id = NodeId((N + 1) as u32);
-        let mut sim = Simulator::new(Topology::star(N + 2), SimConfig::default(), 9, |id| {
+        let mut sim = SimBuilder::new(Topology::star(N + 2), 9, |id| {
             if id == attacker_id {
                 MaybeAdversary::Attacker(Attacker::insider(
                     AttackKind::DenialOfReceipt {
@@ -142,7 +145,8 @@ fn denial_of_receipt_budget_caps_victim_transmissions() {
             } else {
                 MaybeAdversary::Honest(deployment.node(id, NodeId(0)))
             }
-        });
+        })
+        .build();
         // The unbounded attack is a total DoS (the victim never escapes
         // the attacker's lowest-item requests), so measure over a fixed
         // observation window instead of waiting for completion.
@@ -170,7 +174,7 @@ fn insider_snack_flood_does_not_prevent_completion() {
     });
     let insider_key = deployment.cluster_key().clone();
     let attacker_id = NodeId((N + 1) as u32);
-    let mut sim = Simulator::new(Topology::star(N + 2), SimConfig::default(), 21, |id| {
+    let mut sim = SimBuilder::new(Topology::star(N + 2), 21, |id| {
         if id == attacker_id {
             MaybeAdversary::Attacker(Attacker::insider(
                 AttackKind::DenialOfReceipt {
@@ -185,7 +189,8 @@ fn insider_snack_flood_does_not_prevent_completion() {
         } else {
             MaybeAdversary::Honest(deployment.node(id, NodeId(0)))
         }
-    });
+    })
+    .build();
     let report = sim.run(Duration::from_secs(40_000));
     assert!(report.all_complete);
     for i in 1..=N as u32 {
@@ -211,7 +216,7 @@ fn spoofed_denial_of_receipt_evades_budget_without_leap_but_not_with_it() {
         }
         let insider_key = deployment.cluster_key().clone();
         let attacker_id = NodeId((N + 1) as u32);
-        let mut sim = Simulator::new(Topology::star(N + 2), SimConfig::default(), 13, |id| {
+        let mut sim = SimBuilder::new(Topology::star(N + 2), 13, |id| {
             if id == attacker_id {
                 MaybeAdversary::Attacker(Attacker::insider(
                     AttackKind::SpoofedDenialOfReceipt {
@@ -227,7 +232,8 @@ fn spoofed_denial_of_receipt_evades_budget_without_leap_but_not_with_it() {
             } else {
                 MaybeAdversary::Honest(deployment.node(id, NodeId(0)))
             }
-        });
+        })
+        .build();
         let _ = sim.run(Duration::from_secs(600));
         let base = sim.node(NodeId(0)).honest().expect("base");
         (base.stats().data_sent, base.stats().mac_rejects)

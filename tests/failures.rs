@@ -12,10 +12,12 @@ use lrs_deluge::engine::{DisseminationNode, EngineConfig, Scheme as _};
 use lrs_deluge::policy::UnionPolicy;
 use lrs_netsim::energy::EnergyModel;
 use lrs_netsim::node::NodeId;
-use lrs_netsim::sim::{SimConfig, Simulator};
+use lrs_netsim::sim::Simulator;
+
 use lrs_netsim::time::{Duration, SimTime};
 use lrs_netsim::topology::Topology;
 use lrs_netsim::trace::{SharedRingTrace, TraceEvent};
+use lrs_netsim::SimBuilder;
 use lrs_seluge::{SelugeArtifacts, SelugeScheme};
 
 fn params() -> LrSelugeParams {
@@ -38,9 +40,10 @@ fn image() -> Vec<u8> {
 #[test]
 fn grid_routes_around_a_dead_relay() {
     let deployment = Deployment::new(&image(), params(), b"failures");
-    let mut sim = Simulator::new(Topology::grid(4, 10.0, 21), SimConfig::default(), 4, |id| {
+    let mut sim = SimBuilder::new(Topology::grid(4, 10.0, 21), 4, |id| {
         deployment.node(id, NodeId(0))
-    });
+    })
+    .build();
     // Kill an interior relay shortly after dissemination starts.
     sim.schedule_failure(NodeId(5), SimTime(2_000_000));
     let report = sim.run(Duration::from_secs(36_000));
@@ -64,9 +67,10 @@ fn grid_routes_around_a_dead_relay() {
 #[test]
 fn line_partition_stops_at_the_dead_node() {
     let deployment = Deployment::new(&image(), params(), b"failures");
-    let mut sim = Simulator::new(Topology::line(6, 1.0), SimConfig::default(), 9, |id| {
+    let mut sim = SimBuilder::new(Topology::line(6, 1.0), 9, |id| {
         deployment.node(id, NodeId(0))
-    });
+    })
+    .build();
     // Node 3 dies immediately: nodes 4 and 5 are partitioned from the base.
     sim.schedule_failure(NodeId(3), SimTime(1));
     let report = sim.run(Duration::from_secs(2_000));
@@ -119,9 +123,8 @@ fn assert_strictly_increasing(levels: &[u64]) {
 fn lr_reboot_mid_page_resumes_from_flash() {
     let deployment = Deployment::new(&image(), params(), b"failures");
     let trace = SharedRingTrace::new(100_000);
-    let mut sim = Simulator::new(Topology::star(3), SimConfig::default(), 11, |id| {
-        deployment.node(id, NodeId(0))
-    });
+    let mut sim =
+        SimBuilder::new(Topology::star(3), 11, |id| deployment.node(id, NodeId(0))).build();
     sim.set_trace(Box::new(trace.clone()));
     // At 1.3s (seed 11) the receiver holds three completed items.
     sim.schedule_failure(NodeId(2), SimTime(1_300_000));
@@ -151,9 +154,8 @@ fn lr_reboot_mid_page_resumes_from_flash() {
 fn lr_reboot_during_m0_keeps_the_signature() {
     let deployment = Deployment::new(&image(), params(), b"failures");
     let trace = SharedRingTrace::new(100_000);
-    let mut sim = Simulator::new(Topology::star(3), SimConfig::default(), 11, |id| {
-        deployment.node(id, NodeId(0))
-    });
+    let mut sim =
+        SimBuilder::new(Topology::star(3), 11, |id| deployment.node(id, NodeId(0))).build();
     sim.set_trace(Box::new(trace.clone()));
     // At 0.4s (seed 11) the receiver has the signature but not M0.
     sim.schedule_failure(NodeId(2), SimTime(400_000));
@@ -182,7 +184,7 @@ fn seluge_sim(trace: &SharedRingTrace) -> (Simulator<SelugeNode>, Vec<u8>) {
     let artifacts = SelugeArtifacts::build(&image, sp, &kp, &chain);
     let puzzle = Puzzle::new(chain.anchor(), sp.puzzle_strength);
     let key = ClusterKey::derive(b"failures keys", 0);
-    let mut sim = Simulator::new(Topology::star(3), SimConfig::default(), 11, |id| {
+    let mut sim = SimBuilder::new(Topology::star(3), 11, |id| {
         let scheme = if id == NodeId(0) {
             SelugeScheme::base(&artifacts, kp.public(), puzzle)
         } else {
@@ -194,7 +196,8 @@ fn seluge_sim(trace: &SharedRingTrace) -> (Simulator<SelugeNode>, Vec<u8>) {
             key.clone(),
             EngineConfig::default(),
         )
-    });
+    })
+    .build();
     sim.set_trace(Box::new(trace.clone()));
     (sim, image)
 }
@@ -238,9 +241,8 @@ fn seluge_reboot_during_m0_keeps_the_signature() {
 #[test]
 fn energy_ledger_tracks_radio_work() {
     let deployment = Deployment::new(&image(), params(), b"energy");
-    let mut sim = Simulator::new(Topology::star(5), SimConfig::default(), 2, |id| {
-        deployment.node(id, NodeId(0))
-    });
+    let mut sim =
+        SimBuilder::new(Topology::star(5), 2, |id| deployment.node(id, NodeId(0))).build();
     let report = sim.run(Duration::from_secs(36_000));
     assert!(report.all_complete);
     let model = EnergyModel::default();

@@ -5,9 +5,11 @@ use lr_seluge::{Deployment, LrSelugeParams};
 use lrs_netsim::fault::{FaultConfig, FaultPlan};
 use lrs_netsim::medium::MediumConfig;
 use lrs_netsim::node::{NodeId, Protocol};
-use lrs_netsim::sim::{SimConfig, Simulator};
+use lrs_netsim::sim::SimConfig;
+
 use lrs_netsim::time::Duration;
 use lrs_netsim::topology::Topology;
+use lrs_netsim::SimBuilder;
 use lrs_rng::DetRng;
 
 fn arbitrary_params(rng: &mut DetRng) -> (LrSelugeParams, u64) {
@@ -57,9 +59,9 @@ fn pipeline_roundtrip_arbitrary_geometry() {
             },
             ..SimConfig::default()
         };
-        let mut sim = Simulator::new(Topology::star(4), cfg, seed, |id| {
-            deployment.node(id, NodeId(0))
-        });
+        let mut sim = SimBuilder::new(Topology::star(4), seed, |id| deployment.node(id, NodeId(0)))
+            .config(cfg)
+            .build();
         let report = sim.run(Duration::from_secs(100_000));
         assert!(report.all_complete, "stalled: params {params:?}");
         for i in 1..4u32 {
@@ -133,9 +135,10 @@ fn fault_plans_round_trip_and_replay_identically() {
                 stall_window: Some(Duration::from_secs(300)),
                 ..SimConfig::default()
             };
-            let mut sim = Simulator::new(topology.clone(), cfg, case, |id| {
-                deployment.node(id, NodeId(0))
-            });
+            let mut sim =
+                SimBuilder::new(topology.clone(), case, |id| deployment.node(id, NodeId(0)))
+                    .config(cfg)
+                    .build();
             sim.inject_faults(p);
             let report = sim.run(Duration::from_secs(2_000));
             let progress: Vec<u64> = (0..topology.len() as u32)
@@ -185,9 +188,10 @@ fn latency_is_monotone_ish_in_loss() {
                 },
                 ..SimConfig::default()
             };
-            let mut sim = Simulator::new(Topology::star(5), cfg, seed, |id| {
-                deployment.node(id, NodeId(0))
-            });
+            let mut sim =
+                SimBuilder::new(Topology::star(5), seed, |id| deployment.node(id, NodeId(0)))
+                    .config(cfg)
+                    .build();
             let report = sim.run(Duration::from_secs(100_000));
             assert!(report.all_complete);
             total += report.latency.expect("complete").as_secs_f64();

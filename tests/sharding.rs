@@ -1,0 +1,187 @@
+//! Cross-shard determinism of the parallel engine for both real
+//! schemes: a fixed seed must produce identical metrics, final images,
+//! and merged trace order at every shard count, and PR 3's chaos and
+//! invariant machinery must keep working under sharding.
+
+use lr_seluge::{Deployment, LrSelugeParams};
+use lrs_bench::matched_seluge_params;
+use lrs_crypto::cluster::ClusterKey;
+use lrs_crypto::puzzle::{Puzzle, PuzzleKeyChain};
+use lrs_crypto::schnorr::Keypair;
+use lrs_deluge::engine::DisseminationNode;
+use lrs_deluge::policy::UnionPolicy;
+use lrs_netsim::fault::FaultPlan;
+use lrs_netsim::node::NodeId;
+use lrs_netsim::sim::Outcome;
+use lrs_netsim::time::{Duration, SimTime};
+use lrs_netsim::topology::Topology;
+use lrs_netsim::SimBuilder;
+use lrs_seluge::preprocess::SelugeArtifacts;
+use lrs_seluge::scheme::SelugeScheme;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn small_lr(image_len: usize) -> LrSelugeParams {
+    LrSelugeParams {
+        image_len,
+        k: 8,
+        n: 16,
+        payload_len: 56,
+        k0: 4,
+        n0: 8,
+        puzzle_strength: 6,
+        ..LrSelugeParams::default()
+    }
+}
+
+fn test_image(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i * 31 % 251) as u8).collect()
+}
+
+/// Harvested per-node state compared across shard counts.
+type NodeResult = (bool, Option<Vec<u8>>);
+
+fn run_lr_sharded(
+    grid_side: usize,
+    seed: u64,
+    shards: usize,
+    faults: FaultPlan,
+    with_invariants: bool,
+) -> lrs_netsim::ShardedRun<NodeResult> {
+    let image = test_image(1024);
+    let deployment = Deployment::new(&image, small_lr(image.len()), b"sharding tests");
+    let artifacts = deployment.artifacts().clone();
+    let check_image = image.clone();
+    // No shared digest cache here: the memo is Rc-based and nodes are
+    // constructed inside shard worker threads.
+    let builder = SimBuilder::new(Topology::grid(grid_side, 10.0, 77), seed, |id| {
+        deployment.node(id, NodeId(0))
+    })
+    .faults(faults)
+    .shards(shards)
+    .collect_trace(true);
+    let builder = if with_invariants {
+        builder.invariants(move |node: &lr_seluge::deployment::LrNode, _id| {
+            node.scheme().verify_invariants(&artifacts, &check_image)
+        })
+    } else {
+        builder
+    };
+    builder.run_sharded(Duration::from_secs(100_000), |_, node| {
+        (
+            lrs_netsim::node::Protocol::is_complete(node),
+            node.scheme().image(),
+        )
+    })
+}
+
+fn run_seluge_sharded(
+    grid_side: usize,
+    seed: u64,
+    shards: usize,
+) -> lrs_netsim::ShardedRun<NodeResult> {
+    let image = test_image(1024);
+    let params = matched_seluge_params(&small_lr(image.len()));
+    let kp = Keypair::from_seed(b"sharding tests");
+    let chain = PuzzleKeyChain::generate(b"sharding tests", params.version as u32 + 4);
+    let artifacts = SelugeArtifacts::build(&image, params, &kp, &chain);
+    let puzzle = Puzzle::new(chain.anchor(), params.puzzle_strength);
+    let key = ClusterKey::derive(b"sharding tests", 0);
+    SimBuilder::new(Topology::grid(grid_side, 10.0, 77), seed, |id| {
+        let scheme = if id == NodeId(0) {
+            SelugeScheme::base(&artifacts, kp.public(), puzzle)
+        } else {
+            SelugeScheme::receiver(params, kp.public(), puzzle)
+        };
+        DisseminationNode::new(scheme, UnionPolicy::new(), key.clone(), Default::default())
+    })
+    .shards(shards)
+    .collect_trace(true)
+    .run_sharded(Duration::from_secs(100_000), |_, node| {
+        (
+            lrs_netsim::node::Protocol::is_complete(node),
+            node.scheme().image(),
+        )
+    })
+}
+
+#[test]
+fn lr_seluge_is_shard_count_independent_on_20x20_grid() {
+    let baseline = run_lr_sharded(20, 42, 1, FaultPlan::new(), false);
+    assert_eq!(baseline.report.outcome, Outcome::Complete);
+    let image = test_image(1024);
+    for (complete, img) in &baseline.harvest {
+        assert!(complete);
+        assert_eq!(img.as_deref(), Some(&image[..]));
+    }
+    for shards in &SHARD_COUNTS[1..] {
+        let run = run_lr_sharded(20, 42, *shards, FaultPlan::new(), false);
+        assert_eq!(run.report.outcome, Outcome::Complete, "@ {shards} shards");
+        assert_eq!(
+            run.report.final_time, baseline.report.final_time,
+            "final time @ {shards} shards"
+        );
+        assert_eq!(run.metrics, baseline.metrics, "metrics @ {shards} shards");
+        assert_eq!(run.energy, baseline.energy, "energy @ {shards} shards");
+        assert_eq!(run.harvest, baseline.harvest, "images @ {shards} shards");
+        assert_eq!(run.trace, baseline.trace, "trace order @ {shards} shards");
+    }
+}
+
+#[test]
+fn seluge_is_shard_count_independent_on_20x20_grid() {
+    let baseline = run_seluge_sharded(20, 7, 1);
+    assert_eq!(baseline.report.outcome, Outcome::Complete);
+    let image = test_image(1024);
+    for (complete, img) in &baseline.harvest {
+        assert!(complete);
+        assert_eq!(img.as_deref(), Some(&image[..]));
+    }
+    for shards in &SHARD_COUNTS[1..] {
+        let run = run_seluge_sharded(20, 7, *shards);
+        assert_eq!(run.report.outcome, Outcome::Complete, "@ {shards} shards");
+        assert_eq!(run.metrics, baseline.metrics, "metrics @ {shards} shards");
+        assert_eq!(run.harvest, baseline.harvest, "images @ {shards} shards");
+        assert_eq!(run.trace, baseline.trace, "trace order @ {shards} shards");
+    }
+}
+
+#[test]
+fn chaos_under_sharding_keeps_invariants() {
+    // A fault plan that spans two shards at every multi-shard count: a
+    // crash-and-reboot in the north-west corner and a link outage plus a
+    // permanent crash in the south-east one, mid-dissemination.
+    let side = 8;
+    let n = (side * side) as u32;
+    let mut plan = FaultPlan::new();
+    plan.crash_and_reboot(
+        NodeId(side as u32 + 1),
+        SimTime(400_000),
+        Duration::from_secs(2),
+    );
+    plan.crash(NodeId(n - 2), SimTime(700_000));
+    plan.link_outage(
+        NodeId(n - 1),
+        NodeId(n - side as u32 - 1),
+        SimTime(300_000),
+        Duration::from_secs(1),
+    );
+    let baseline = run_lr_sharded(side, 3, 1, plan.clone(), true);
+    assert_eq!(
+        baseline.report.outcome,
+        Outcome::Complete,
+        "diagnostic: {:?}",
+        baseline.report.diagnostic.as_ref().map(|d| &d.reason)
+    );
+    assert!(
+        baseline.report.diagnostic.is_none(),
+        "zero violations expected"
+    );
+    for shards in [2usize, 4] {
+        let run = run_lr_sharded(side, 3, shards, plan.clone(), true);
+        assert_eq!(run.report.outcome, Outcome::Complete, "@ {shards} shards");
+        assert!(run.report.diagnostic.is_none(), "@ {shards} shards");
+        assert_eq!(run.metrics, baseline.metrics, "metrics @ {shards} shards");
+        assert_eq!(run.trace, baseline.trace, "trace @ {shards} shards");
+    }
+}
