@@ -15,41 +15,31 @@
 //! `--smoke` runs a reduced grid with fixed seeds for CI; `--quick`
 //! trims seeds for local iteration.
 
-use lr_seluge::{Deployment, LrSelugeParams};
+use lr_seluge::Deployment;
+use lrs_bench::capsules::{
+    chaos_params as params, chaos_sim_config as sim_config, storm_attacker, ScenarioTags,
+};
 use lrs_bench::runner::{matched_seluge_params, test_image};
 use lrs_bench::{configured_threads, sample_grid, stat_json, write_csv, write_json, Json, Table};
 use lrs_crypto::cluster::ClusterKey;
 use lrs_crypto::puzzle::{Puzzle, PuzzleKeyChain};
 use lrs_crypto::schnorr::Keypair;
-use lrs_deluge::attack::{AttackKind, Attacker, MaybeAdversary};
+use lrs_deluge::attack::MaybeAdversary;
 use lrs_deluge::engine::{DisseminationNode, EngineConfig};
 use lrs_deluge::policy::UnionPolicy;
 use lrs_netsim::fault::{FaultConfig, FaultPlan};
-use lrs_netsim::medium::MediumConfig;
 use lrs_netsim::node::NodeId;
-use lrs_netsim::sim::{Outcome, SimConfig};
+use lrs_netsim::sim::Outcome;
 
 use lrs_netsim::time::{Duration, SimTime};
 use lrs_netsim::topology::Topology;
-use lrs_netsim::SimBuilder;
+use lrs_netsim::{CapsuleSpec, SimBuilder};
 use lrs_seluge::{SelugeArtifacts, SelugeScheme};
+use std::path::{Path, PathBuf};
 
 /// Honest receivers; one more node is either an extra receiver or the
 /// packet-storm attacker, and node 0 is the base station.
 const N_HONEST: usize = 8;
-
-fn params(image_len: usize) -> LrSelugeParams {
-    LrSelugeParams {
-        image_len,
-        k: 8,
-        n: 12,
-        payload_len: 56,
-        k0: 4,
-        n0: 8,
-        puzzle_strength: 4,
-        ..LrSelugeParams::default()
-    }
-}
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum SchemeKind {
@@ -134,28 +124,29 @@ fn fault_config(sc: &Scenario) -> FaultConfig {
     }
 }
 
-fn sim_config() -> SimConfig {
-    SimConfig {
-        medium: MediumConfig {
-            app_loss: 0.05,
-            ..MediumConfig::default()
-        },
-        max_sim_time: Some(Duration::from_secs(3_000)),
-        stall_window: Some(Duration::from_secs(400)),
-        ..SimConfig::default()
+/// Flight-recorder spec for one sweep cell: a capsule lands in
+/// `dir` under a name encoding the scenario, tagged so the `replay`
+/// binary can reconstruct the node population.
+fn capsule_spec(
+    dir: &Path,
+    sc: &Scenario,
+    seed: u64,
+    image_len: usize,
+    attacker_id: NodeId,
+) -> CapsuleSpec {
+    let name = format!(
+        "chaos-{}-c{:02}-f{:02}-{}-seed{}.jsonl",
+        sc.scheme.label(),
+        (sc.crash_rate * 100.0) as u32,
+        (sc.link_flap * 100.0) as u32,
+        if sc.storm { "storm" } else { "calm" },
+        seed,
+    );
+    let mut tags = ScenarioTags::new(sc.scheme.label(), "chaos", image_len, "chaos keys");
+    if sc.storm {
+        tags = tags.with_attacker(attacker_id);
     }
-}
-
-fn storm_attacker(payload_len: usize, index_space: u16, version: u16) -> Attacker {
-    Attacker::outsider(
-        AttackKind::BogusData {
-            payload_len,
-            index_space,
-        },
-        Duration::from_millis(80),
-        version,
-    )
-    .with_burst(Duration::from_secs(5), Duration::from_secs(15))
+    tags.apply(CapsuleSpec::new(dir.join(name)))
 }
 
 /// Summarizes a finished run. `images_ok(i)` reports whether honest
@@ -188,7 +179,12 @@ fn outcome_from(
 }
 
 /// Runs LR-Seluge under the scenario's fault plan and invariant checker.
-fn run_lr_chaos(image_len: usize, sc: &Scenario, seed: u64) -> ChaosOutcome {
+fn run_lr_chaos(
+    image_len: usize,
+    sc: &Scenario,
+    seed: u64,
+    capsule_dir: Option<&Path>,
+) -> ChaosOutcome {
     let p = params(image_len);
     let image = test_image(image_len);
     let deployment = Deployment::new(&image, p, b"chaos keys");
@@ -206,6 +202,9 @@ fn run_lr_chaos(image_len: usize, sc: &Scenario, seed: u64) -> ChaosOutcome {
     .config(sim_config())
     .build();
     sim.inject_faults(&FaultPlan::generate(&fault_config(sc), &topo, seed));
+    if let Some(dir) = capsule_dir {
+        sim.set_capsule_on_failure(capsule_spec(dir, sc, seed, image_len, attacker_id));
+    }
     let check_art = artifacts.clone();
     let check_img = image.clone();
     sim.set_invariant_checker(Box::new(move |node, _id| match node.honest() {
@@ -238,7 +237,12 @@ fn run_lr_chaos(image_len: usize, sc: &Scenario, seed: u64) -> ChaosOutcome {
 }
 
 /// Runs Seluge under the same fault plan and its invariant checker.
-fn run_seluge_chaos(image_len: usize, sc: &Scenario, seed: u64) -> ChaosOutcome {
+fn run_seluge_chaos(
+    image_len: usize,
+    sc: &Scenario,
+    seed: u64,
+    capsule_dir: Option<&Path>,
+) -> ChaosOutcome {
     let sp = matched_seluge_params(&params(image_len));
     let image = test_image(image_len);
     let kp = Keypair::from_seed(b"chaos keys");
@@ -273,6 +277,9 @@ fn run_seluge_chaos(image_len: usize, sc: &Scenario, seed: u64) -> ChaosOutcome 
     .config(sim_config())
     .build();
     sim.inject_faults(&FaultPlan::generate(&fault_config(sc), &topo, seed));
+    if let Some(dir) = capsule_dir {
+        sim.set_capsule_on_failure(capsule_spec(dir, sc, seed, image_len, attacker_id));
+    }
     let check_art = artifacts.clone();
     let check_img = image.clone();
     sim.set_invariant_checker(Box::new(move |node, _id| match node.honest() {
@@ -301,26 +308,38 @@ fn run_seluge_chaos(image_len: usize, sc: &Scenario, seed: u64) -> ChaosOutcome 
     outcome_from(&report, sim.reboots(), injected, violations, unfinished)
 }
 
-fn run_scenario(image_len: usize, sc: &Scenario, seed: u64) -> ChaosOutcome {
+fn run_scenario(
+    image_len: usize,
+    sc: &Scenario,
+    seed: u64,
+    capsule_dir: Option<&Path>,
+) -> ChaosOutcome {
     match sc.scheme {
-        SchemeKind::LrSeluge => run_lr_chaos(image_len, sc, seed),
-        SchemeKind::Seluge => run_seluge_chaos(image_len, sc, seed),
+        SchemeKind::LrSeluge => run_lr_chaos(image_len, sc, seed, capsule_dir),
+        SchemeKind::Seluge => run_seluge_chaos(image_len, sc, seed, capsule_dir),
     }
 }
 
 /// Deliberately partitions a network and shows the watchdog converting
-/// the resulting livelock into a structured diagnostic dump.
-fn watchdog_demo(image_len: usize) -> String {
+/// the resulting livelock into a structured diagnostic dump — and, when
+/// the flight recorder is armed, a replay capsule.
+fn watchdog_demo(image_len: usize, capsule_dir: Option<&Path>) -> String {
     let p = params(image_len);
     let image = test_image(image_len);
     let deployment = Deployment::new(&image, p, b"chaos keys");
     let topo = Topology::star(4);
     let mut sim = SimBuilder::new(topo.clone(), 3, |id| deployment.node(id, NodeId(0)))
-        .config(SimConfig {
+        .config(lrs_netsim::sim::SimConfig {
             stall_window: Some(Duration::from_secs(60)),
             ..sim_config()
         })
         .build();
+    if let Some(dir) = capsule_dir {
+        sim.set_capsule_on_failure(
+            ScenarioTags::new("lr-seluge", "chaos", image_len, "chaos keys")
+                .apply(CapsuleSpec::new(dir.join("chaos-watchdog-demo.jsonl"))),
+        );
+    }
     // Cut the base station off in both directions, forever: receivers
     // keep advertising and requesting but can never make progress.
     let mut plan = FaultPlan::new();
@@ -353,6 +372,16 @@ fn watchdog_demo(image_len: usize) -> String {
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let quick = std::env::args().any(|a| a == "--quick");
+    // `--capsule <dir>` arms the flight recorder: any run that ends in
+    // a diagnostic outcome drops a replay capsule into <dir>, loadable
+    // by `cargo run -p lrs-bench --bin replay -- --replay <file>`.
+    let capsule_dir: Option<PathBuf> = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--capsule")
+            .and_then(|i| args.get(i + 1))
+            .map(PathBuf::from)
+    };
     let seeds: u64 = if smoke || quick { 2 } else { 5 };
     let image_len = if smoke {
         2 * 1024
@@ -392,7 +421,7 @@ fn main() {
     }
 
     let grid = sample_grid(&scenarios, seeds, threads, |sc, seed| {
-        run_scenario(image_len, sc, seed)
+        run_scenario(image_len, sc, seed, capsule_dir.as_deref())
     });
 
     let mut t = Table::new(vec![
@@ -479,15 +508,22 @@ fn main() {
         link_flap: 0.4,
         storm: true,
     };
-    let a = run_scenario(image_len, &probe, 7).canonical();
-    let b = run_scenario(image_len, &probe, 7).canonical();
+    let a = run_scenario(image_len, &probe, 7, None).canonical();
+    let b = run_scenario(image_len, &probe, 7, None).canonical();
     assert_eq!(a, b, "same seed must reproduce the identical outcome");
     println!("determinism: seed 7 reproduced bit-identically\n");
 
     // Watchdog demonstration: a partitioned network terminates with a
     // structured dump instead of spinning to the deadline.
-    let dump = watchdog_demo(image_len.min(2 * 1024));
+    let dump = watchdog_demo(image_len.min(2 * 1024), capsule_dir.as_deref());
     println!("watchdog demo (partitioned star) diagnostic dump:\n{dump}\n");
+    if let Some(dir) = &capsule_dir {
+        println!(
+            "flight recorder armed: diagnostic runs dump capsules to {} \
+             (the watchdog demo always writes chaos-watchdog-demo.jsonl)\n",
+            dir.display()
+        );
+    }
 
     println!("wrote {}", write_csv("chaos", &t));
     let report = Json::Obj(vec![

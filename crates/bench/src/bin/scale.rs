@@ -20,7 +20,8 @@
 //! synchronization overhead, not parallel speedup — see
 //! `BENCH_scale.json`).
 
-use lr_seluge::{Deployment, LrSelugeParams};
+use lr_seluge::Deployment;
+use lrs_bench::capsules::{scale_image as test_image, scale_params as small_lr, ScenarioTags};
 use lrs_bench::{matched_seluge_params, write_json, Json, Table};
 use lrs_crypto::cluster::ClusterKey;
 use lrs_crypto::puzzle::{Puzzle, PuzzleKeyChain};
@@ -32,29 +33,13 @@ use lrs_netsim::sim::Outcome;
 use lrs_netsim::time::Duration;
 use lrs_netsim::topology::Topology;
 use lrs_netsim::{ShardedRun, SimBuilder};
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 const SEED: u64 = 1;
 
 fn deadline() -> Duration {
     Duration::from_secs(100_000)
-}
-
-fn small_lr(image_len: usize) -> LrSelugeParams {
-    LrSelugeParams {
-        image_len,
-        k: 8,
-        n: 16,
-        payload_len: 56,
-        k0: 4,
-        n0: 8,
-        puzzle_strength: 6,
-        ..LrSelugeParams::default()
-    }
-}
-
-fn test_image(len: usize) -> Vec<u8> {
-    (0..len).map(|i| (i * 31 % 251) as u8).collect()
 }
 
 /// Per-run record: completion fraction plus the numbers that must be
@@ -77,21 +62,44 @@ fn summarize(run: ShardedRun<bool>, wall_s: f64) -> CaseRun {
     }
 }
 
-fn run_lr(side: usize, shards: usize) -> CaseRun {
+/// Arms the flight recorder when `--capsule <dir>` was given: a run
+/// ending in a diagnostic outcome (stall, invariant violation, worker
+/// panic) drops a tagged replay capsule into the directory.
+fn with_capsule<P, F>(
+    builder: SimBuilder<P, F>,
+    capsule_dir: Option<&Path>,
+    scheme: &str,
+    side: usize,
+    shards: usize,
+) -> SimBuilder<P, F> {
+    let Some(dir) = capsule_dir else {
+        return builder;
+    };
+    let tags = ScenarioTags::new(scheme, "scale", 1024, "scale sweep");
+    let mut b = builder
+        .capsule_on_failure(dir.join(format!("scale-{scheme}-{side}x{side}-s{shards}.jsonl")));
+    for (key, value) in tags.pairs() {
+        b = b.scenario(key, value);
+    }
+    b
+}
+
+fn run_lr(side: usize, shards: usize, capsule_dir: Option<&Path>) -> CaseRun {
     let image = test_image(1024);
     let deployment = Deployment::new(&image, small_lr(image.len()), b"scale sweep");
     let start = Instant::now();
-    let run = SimBuilder::new(Topology::grid(side, 10.0, 77), SEED, |id| {
+    let builder = SimBuilder::new(Topology::grid(side, 10.0, 77), SEED, |id| {
         // No shared digest cache: the memo is Rc-based and nodes are
         // constructed inside shard worker threads.
         deployment.node(id, NodeId(0))
     })
-    .shards(shards)
-    .run_sharded(deadline(), |_, node| Protocol::is_complete(node));
+    .shards(shards);
+    let run = with_capsule(builder, capsule_dir, "lr-seluge", side, shards)
+        .run_sharded(deadline(), |_, node| Protocol::is_complete(node));
     summarize(run, start.elapsed().as_secs_f64())
 }
 
-fn run_seluge(side: usize, shards: usize) -> CaseRun {
+fn run_seluge(side: usize, shards: usize, capsule_dir: Option<&Path>) -> CaseRun {
     let image = test_image(1024);
     let params = matched_seluge_params(&small_lr(image.len()));
     let kp = Keypair::from_seed(b"scale sweep");
@@ -100,7 +108,7 @@ fn run_seluge(side: usize, shards: usize) -> CaseRun {
     let puzzle = Puzzle::new(chain.anchor(), params.puzzle_strength);
     let key = ClusterKey::derive(b"scale sweep", 0);
     let start = Instant::now();
-    let run = SimBuilder::new(Topology::grid(side, 10.0, 77), SEED, |id| {
+    let builder = SimBuilder::new(Topology::grid(side, 10.0, 77), SEED, |id| {
         let scheme = if id == NodeId(0) {
             lrs_seluge::scheme::SelugeScheme::base(&artifacts, kp.public(), puzzle)
         } else {
@@ -108,14 +116,23 @@ fn run_seluge(side: usize, shards: usize) -> CaseRun {
         };
         DisseminationNode::new(scheme, UnionPolicy::new(), key.clone(), Default::default())
     })
-    .shards(shards)
-    .run_sharded(deadline(), |_, node| Protocol::is_complete(node));
+    .shards(shards);
+    let run = with_capsule(builder, capsule_dir, "seluge", side, shards)
+        .run_sharded(deadline(), |_, node| Protocol::is_complete(node));
     summarize(run, start.elapsed().as_secs_f64())
 }
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let quick = std::env::args().any(|a| a == "--quick");
+    // `--capsule <dir>`: arm the flight recorder on every run.
+    let capsule_dir: Option<PathBuf> = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--capsule")
+            .and_then(|i| args.get(i + 1))
+            .map(PathBuf::from)
+    };
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -143,8 +160,8 @@ fn main() {
             let mut runs_json = Vec::new();
             for &shards in shard_counts {
                 let run = match scheme {
-                    "lr-seluge" => run_lr(side, shards),
-                    _ => run_seluge(side, shards),
+                    "lr-seluge" => run_lr(side, shards, capsule_dir.as_deref()),
+                    _ => run_seluge(side, shards, capsule_dir.as_deref()),
                 };
                 assert_eq!(
                     run.outcome,

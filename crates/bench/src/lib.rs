@@ -14,11 +14,15 @@
 //! | `ablation` | design choices | Greedy scheduler vs union rule; RS vs XOR vs LT page codes |
 //! | `overhead` | §V-B           | Per-receiver hashes / signature verifications / erasure ops |
 //! | `probe`    | diagnostics    | One run with per-node statistics (`LRS_TRACE=1` for a TX/SNACK trace) |
+//! | `chaos`    | robustness     | Fault-intensity sweep with invariant checking and a watchdog demo |
+//! | `scale`    | engine         | Shard-scaling sweep of the parallel engine |
+//! | `replay`   | flight recorder| Capture, replay, and bisect run capsules (see `capsules`) |
 //!
 //! Run any of them with `cargo run -p lrs-bench --release --bin <name>`.
 //! Each prints the paper-style series and writes a CSV next to it under
 //! `results/`.
 
+pub mod capsules;
 pub mod harness;
 pub mod json;
 pub mod runner;

@@ -1,7 +1,7 @@
 //! A convenience facade bundling key material, preprocessing and node
 //! construction for a whole deployment.
 
-use crate::params::LrSelugeParams;
+use crate::params::{LrSelugeParams, ParamError};
 use crate::preprocess::LrArtifacts;
 use crate::scheduler::GreedyRoundRobinPolicy;
 use crate::scheme::{LrScheme, PacketDigestCache};
@@ -35,19 +35,34 @@ impl Deployment {
     /// # Panics
     ///
     /// Panics if the parameters are inconsistent or the image length does
-    /// not match `params.image_len`.
+    /// not match `params.image_len`; use [`try_new`](Self::try_new) to
+    /// get a typed error instead.
     pub fn new(image: &[u8], params: LrSelugeParams, seed_material: &[u8]) -> Self {
+        match Self::try_new(image, params, seed_material) {
+            Ok(deployment) => deployment,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Fallible [`new`](Self::new): rejects inconsistent parameters or
+    /// a mismatched image with a [`ParamError`] instead of panicking —
+    /// the entry point when the configuration comes from user input.
+    pub fn try_new(
+        image: &[u8],
+        params: LrSelugeParams,
+        seed_material: &[u8],
+    ) -> Result<Self, ParamError> {
         let keypair = Keypair::from_seed(seed_material);
         let chain = PuzzleKeyChain::generate(seed_material, params.version as u32 + 4);
-        let artifacts = LrArtifacts::build(image, params, &keypair, &chain);
-        Deployment {
+        let artifacts = LrArtifacts::try_build(image, params, &keypair, &chain)?;
+        Ok(Deployment {
             artifacts,
             pubkey: keypair.public(),
             puzzle: Puzzle::new(chain.anchor(), params.puzzle_strength),
             cluster_key: ClusterKey::derive(seed_material, 0),
             engine: EngineConfig::default(),
             leap_seed: None,
-        }
+        })
     }
 
     /// Enables LEAP pairwise source authentication of SNACK packets (the
@@ -164,5 +179,29 @@ mod tests {
         assert!(base.is_complete());
         assert!(!rx.is_complete());
         assert_eq!(base.scheme().image().unwrap(), image);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_configuration_without_panicking() {
+        let good = LrSelugeParams {
+            image_len: 512,
+            k: 4,
+            n: 6,
+            payload_len: 48,
+            k0: 2,
+            n0: 4,
+            puzzle_strength: 4,
+            ..LrSelugeParams::default()
+        };
+        // Inconsistent code dimensions.
+        let err = match Deployment::try_new(&[0u8; 512], LrSelugeParams { n: 2, ..good }, b"seed") {
+            Ok(_) => panic!("n < k must be rejected"),
+            Err(err) => err,
+        };
+        assert!(err.to_string().contains("invalid LR-Seluge configuration"));
+        // Image/params length mismatch.
+        assert!(Deployment::try_new(&[0u8; 100], good, b"seed").is_err());
+        // The good configuration still builds.
+        assert!(Deployment::try_new(&[0u8; 512], good, b"seed").is_ok());
     }
 }

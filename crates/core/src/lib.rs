@@ -61,7 +61,7 @@ pub mod upgrade;
 
 pub use code::{CodeKind, PageCode};
 pub use deployment::{Deployment, LrNode};
-pub use params::LrSelugeParams;
+pub use params::{LrSelugeParams, ParamError};
 pub use preprocess::LrArtifacts;
 pub use scheduler::GreedyRoundRobinPolicy;
 pub use scheme::LrScheme;

@@ -12,7 +12,7 @@
 
 use crate::code::PageCode;
 use crate::packet_hash;
-use crate::params::LrSelugeParams;
+use crate::params::{LrSelugeParams, ParamError};
 use lrs_crypto::hash::Digest;
 use lrs_crypto::merkle::MerkleTree;
 use lrs_crypto::puzzle::{PuzzleKeyChain, PuzzleSolution};
@@ -41,15 +41,37 @@ impl LrArtifacts {
     /// # Panics
     ///
     /// Panics if `image.len() != params.image_len` or the parameters are
-    /// inconsistent (see [`LrSelugeParams::validate`]).
+    /// inconsistent (see [`LrSelugeParams::validate`]); use
+    /// [`try_build`](Self::try_build) to get a typed error instead.
     pub fn build(
         image: &[u8],
         params: LrSelugeParams,
         keypair: &Keypair,
         puzzle_chain: &PuzzleKeyChain,
     ) -> Self {
-        params.validate().expect("invalid parameters");
-        assert_eq!(image.len(), params.image_len, "image length mismatch");
+        match Self::try_build(image, params, keypair, puzzle_chain) {
+            Ok(artifacts) => artifacts,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Fallible [`build`](Self::build): rejects inconsistent parameters
+    /// or a mismatched image with a [`ParamError`] instead of panicking
+    /// — the entry point for user-supplied configuration.
+    pub fn try_build(
+        image: &[u8],
+        params: LrSelugeParams,
+        keypair: &Keypair,
+        puzzle_chain: &PuzzleKeyChain,
+    ) -> Result<Self, ParamError> {
+        params.validate().map_err(ParamError)?;
+        if image.len() != params.image_len {
+            return Err(ParamError(format!(
+                "image is {} bytes but params.image_len is {}",
+                image.len(),
+                params.image_len
+            )));
+        }
         let g = params.pages() as usize;
         let code = PageCode::new(params.code_kind, params.k as usize, params.n as usize)
             .expect("params validated");
@@ -121,14 +143,14 @@ impl LrArtifacts {
         signature_body.extend_from_slice(&puzzle_sol.key.0);
         signature_body.extend_from_slice(&puzzle_sol.solution.to_be_bytes());
 
-        LrArtifacts {
+        Ok(LrArtifacts {
             params,
             page_packets,
             page_inputs,
             hash_page_packets,
             signature_body,
             root,
-        }
+        })
     }
 
     /// The message covered by the signature (binds root to parameters).

@@ -9,7 +9,7 @@
 
 use crate::code::PageCode;
 use crate::packet_hash;
-use crate::params::LrSelugeParams;
+use crate::params::{LrSelugeParams, ParamError};
 use crate::preprocess::LrArtifacts;
 use lrs_crypto::hash::{Digest, HashImage, HASH_IMAGE_LEN};
 use lrs_crypto::merkle::{MerkleProof, MerkleTree};
@@ -62,9 +62,29 @@ pub struct LrScheme {
 
 impl LrScheme {
     /// A receiver that has nothing yet.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent parameters (see
+    /// [`LrSelugeParams::validate`]); use
+    /// [`try_receiver`](Self::try_receiver) to get a typed error
+    /// instead.
     pub fn receiver(params: LrSelugeParams, pubkey: PublicKey, puzzle: Puzzle) -> Self {
-        params.validate().expect("invalid parameters");
-        LrScheme {
+        match Self::try_receiver(params, pubkey, puzzle) {
+            Ok(scheme) => scheme,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Fallible [`receiver`](Self::receiver): rejects inconsistent
+    /// parameters with a [`ParamError`] instead of panicking.
+    pub fn try_receiver(
+        params: LrSelugeParams,
+        pubkey: PublicKey,
+        puzzle: Puzzle,
+    ) -> Result<Self, ParamError> {
+        params.validate().map_err(ParamError)?;
+        Ok(LrScheme {
             params,
             pubkey,
             puzzle,
@@ -87,7 +107,7 @@ impl LrScheme {
             decode_scratch: Vec::new(),
             digest_cache: None,
             cost: CryptoCost::default(),
-        }
+        })
     }
 
     /// Attaches a run-wide digest memo shared by all nodes of a sim run.

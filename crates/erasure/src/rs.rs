@@ -10,7 +10,7 @@
 //! node "applies the same erasure code f" before serving SNACKs).
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use crate::gf256::{slice_mul_add_assign, Gf};
 use crate::matrix::Matrix;
@@ -94,7 +94,10 @@ impl ReedSolomon {
 
     /// Decode-matrix cache counters `(hits, misses)` since construction.
     pub fn cache_counters(&self) -> (u64, u64) {
-        let c = self.cache.lock().expect("decode cache lock");
+        // Poison-tolerant: the cache is pure memoization, so state left
+        // by a panicking thread (e.g. a crashed shard worker) is still
+        // coherent and safe to read.
+        let c = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
         (c.hits, c.misses)
     }
 
@@ -111,7 +114,11 @@ impl ReedSolomon {
             return invert();
         }
         let key: Box<[u8]> = indices.iter().map(|&i| i as u8).collect();
-        let mut cache = self.cache.lock().expect("decode cache lock");
+        // Poison-tolerant for the same reason as `cache_counters`: every
+        // mutation below leaves the map consistent at each step, so a
+        // panicked holder cannot have left it half-updated in a way that
+        // matters for a memo table.
+        let mut cache = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
         cache.stamp += 1;
         let stamp = cache.stamp;
         if let Some((touched, inv)) = cache.map.get_mut(&key) {

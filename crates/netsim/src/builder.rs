@@ -34,6 +34,7 @@
 //!   intentionally *not* bit-identical to the sequential engine, whose
 //!   single global RNG cannot be partitioned — see `DESIGN.md` §9.
 
+use crate::capsule::CapsuleSpec;
 use crate::fault::FaultPlan;
 use crate::node::{NodeId, Protocol};
 use crate::shard::{self, ShardedRun};
@@ -42,6 +43,7 @@ use crate::time::Duration;
 use crate::topology::Topology;
 use crate::trace::TraceSink;
 use crate::violation::InvariantViolation;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// A shareable per-delivery invariant check, callable from any shard.
@@ -59,6 +61,8 @@ pub struct SimBuilder<P, F> {
     pub(crate) faults: FaultPlan,
     pub(crate) shards: usize,
     pub(crate) collect_trace: bool,
+    pub(crate) capsule_path: Option<PathBuf>,
+    pub(crate) scenario: Vec<(String, String)>,
 }
 
 impl<P, F> SimBuilder<P, F> {
@@ -75,6 +79,8 @@ impl<P, F> SimBuilder<P, F> {
             faults: FaultPlan::new(),
             shards: 1,
             collect_trace: false,
+            capsule_path: None,
+            scenario: Vec::new(),
         }
     }
 
@@ -132,6 +138,25 @@ impl<P, F> SimBuilder<P, F> {
         self.collect_trace = collect;
         self
     }
+
+    /// Arms the flight recorder: if the run ends in a diagnostic
+    /// outcome (stall, invariant violation, worker panic), a replay
+    /// [`Capsule`](crate::capsule::Capsule) is written to `path` —
+    /// framed binary when the extension is `lrsc`/`bin`, JSONL
+    /// otherwise. See `crate::replay` for loading and re-running it.
+    pub fn capsule_on_failure(mut self, path: impl Into<PathBuf>) -> Self {
+        self.capsule_path = Some(path.into());
+        self
+    }
+
+    /// Tags the capsule with a free-form scenario key/value pair (for
+    /// example the scheme name and image length a replay harness needs
+    /// to reconstruct `make_node`). No effect unless
+    /// [`capsule_on_failure`](Self::capsule_on_failure) is also set.
+    pub fn scenario(mut self, key: impl Into<String>, value: impl ToString) -> Self {
+        self.scenario.push((key.into(), value.to_string()));
+        self
+    }
 }
 
 impl<P: Protocol + 'static, F: FnMut(NodeId) -> P> SimBuilder<P, F> {
@@ -158,6 +183,12 @@ impl<P: Protocol + 'static, F: FnMut(NodeId) -> P> SimBuilder<P, F> {
         }
         if !self.faults.is_empty() {
             sim.inject_faults(&self.faults);
+        }
+        if let Some(path) = self.capsule_path {
+            sim.set_capsule_on_failure(CapsuleSpec {
+                path,
+                scenario: self.scenario,
+            });
         }
         sim
     }

@@ -202,7 +202,7 @@ impl FaultEvent {
 }
 
 /// Extracts the numeric value of `"key":<digits>` from a flat JSON object.
-fn json_u64_field(line: &str, key: &str) -> Option<u64> {
+pub(crate) fn json_u64_field(line: &str, key: &str) -> Option<u64> {
     let pat = format!("\"{key}\":");
     let start = line.find(&pat)? + pat.len();
     let rest = &line[start..];
@@ -216,7 +216,7 @@ fn json_u64_field(line: &str, key: &str) -> Option<u64> {
 }
 
 /// Extracts the string value of `"key":"<value>"` from a flat JSON object.
-fn json_str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+pub(crate) fn json_str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     let pat = format!("\"{key}\":\"");
     let start = line.find(&pat)? + pat.len();
     let rest = &line[start..];

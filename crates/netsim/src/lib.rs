@@ -68,6 +68,7 @@
 //! ```
 
 pub mod builder;
+pub mod capsule;
 pub mod digest;
 pub mod energy;
 pub mod event;
@@ -76,7 +77,9 @@ pub mod medium;
 pub mod metrics;
 pub mod node;
 pub mod noise;
+pub mod replay;
 pub mod shard;
+pub mod shrink;
 pub mod sim;
 pub mod time;
 pub mod topology;
@@ -85,11 +88,18 @@ pub mod trickle;
 pub mod violation;
 
 pub use builder::SimBuilder;
+pub use capsule::{Capsule, CapsuleError, CapsuleSpec, EngineDigest, RunDigest};
 pub use event::OrderKey;
 pub use fault::{FaultConfig, FaultEvent, FaultPlan, PPM_ONE};
 pub use metrics::Metrics;
 pub use node::{Context, NodeId, PacketKind, Protocol, TimerId};
+pub use replay::{
+    bisect_engines, bisect_shard_counts, first_divergence, first_keyed_divergence,
+    replay_sequential, replay_sharded, verify_replay, DigestMismatch, Divergence, ReplayError,
+    ReplayRun,
+};
 pub use shard::ShardedRun;
+pub use shrink::{ddmin, shrink_fault_plan, ShrinkStats};
 pub use sim::{DiagnosticDump, NodeDiag, Outcome, RunReport, SimConfig, Simulator};
 pub use time::{Duration, SimTime};
 pub use topology::Topology;

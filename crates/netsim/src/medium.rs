@@ -21,7 +21,7 @@ use crate::topology::Topology;
 use lrs_rng::DetRng;
 
 /// Radio and loss-process parameters.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct MediumConfig {
     /// Microseconds of airtime per payload byte (19.2 kbps ≈ 416 µs/B).
     pub us_per_byte: u64,
@@ -80,6 +80,10 @@ pub enum Delivery {
     PhyLoss,
     /// Dropped by the application-layer loss process.
     AppDrop,
+    /// The transmission record was pruned before the delivery event
+    /// fired (e.g. a fault handler cleared the air while the delivery
+    /// was in flight); the packet silently never arrives.
+    Pruned,
 }
 
 #[derive(Clone, Debug)]
@@ -177,12 +181,9 @@ impl Medium {
     /// Must be called at the reception-complete time (the simulator's
     /// delivery event).
     pub fn deliver(&mut self, now: SimTime, tx_id: u64, to: NodeId, topo: &Topology) -> Delivery {
-        let tx = self
-            .transmissions
-            .iter()
-            .find(|t| t.id == tx_id)
-            .cloned()
-            .expect("delivery for pruned transmission");
+        let Some(tx) = self.transmissions.iter().find(|t| t.id == tx_id).cloned() else {
+            return Delivery::Pruned;
+        };
         // Collision / half-duplex check.
         if self.config.collisions {
             let collided = self.transmissions.iter().any(|other| {

@@ -39,6 +39,7 @@
 //! same per-draw distributions). See `DESIGN.md` §9.
 
 use crate::builder::{SharedInvariant, SimBuilder};
+use crate::capsule::{Capsule, CapsuleSpec, EngineDigest, RunDigest, SHARDED_ENGINE};
 use crate::energy::EnergyLedger;
 use crate::event::OrderKey;
 use crate::fault::{FaultEvent, PPM_ONE};
@@ -48,12 +49,13 @@ use crate::noise::NoiseState;
 use crate::sim::{DiagnosticDump, NodeDiag, Outcome, RunReport, SimConfig};
 use crate::time::{Duration, SimTime};
 use crate::topology::{SpatialPartition, Topology};
-use crate::trace::{merge_keyed_traces, KeyedTraceEvent, LossCause, TraceEvent};
+use crate::trace::{merge_keyed, merge_keyed_traces, KeyedTraceEvent, LossCause, TraceEvent};
 use crate::violation::ViolationRecord;
 use lrs_rng::DetRng;
 use std::cmp::{Ordering, Reverse};
 use std::collections::{BinaryHeap, HashMap, VecDeque};
-use std::sync::{Arc, Barrier, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Barrier, Mutex, MutexGuard, PoisonError};
 
 /// Result of a sharded run: the merged view a sequential caller would
 /// have had, plus the per-node `harvest` extracted before the protocol
@@ -69,7 +71,13 @@ pub struct ShardedRun<R> {
     /// sink was attached or
     /// [`collect_trace`](SimBuilder::collect_trace) was enabled.
     pub trace: Vec<TraceEvent>,
-    /// One harvest value per node, indexed by node id.
+    /// The same trace with each event's [`OrderKey`] and emit sequence
+    /// attached — the content-based order replay digests are built
+    /// over. Empty whenever `trace` is.
+    pub keyed_trace: Vec<KeyedTraceEvent>,
+    /// One harvest value per node, indexed by node id. May be shorter
+    /// than the node count if a worker panicked mid-callback (the node
+    /// being called when the panic hit cannot be harvested).
     pub harvest: Vec<R>,
     /// The shard count the run used.
     pub shards: usize,
@@ -158,6 +166,82 @@ struct Shared {
     inboxes: Vec<Mutex<Vec<Inbound>>>,
     statuses: Vec<Mutex<Status>>,
     control: Mutex<Control>,
+    /// First worker panic, surfaced as [`Outcome::WorkerPanicked`]
+    /// instead of the poisoned-mutex cascade the other workers would
+    /// otherwise die with.
+    panic: Mutex<Option<String>>,
+}
+
+/// Locks a mutex whether or not a panicking thread poisoned it. Every
+/// engine lock goes through this: shared state here is only ever
+/// replaced wholesale (never left half-written), so a poisoned value is
+/// still coherent, and propagating the poison would bury the original
+/// panic under "control poisoned" noise from every surviving worker.
+fn lock_tolerant<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Records the FIRST worker panic; later ones are usually cascades, so
+/// the surfaced message stays the root cause.
+fn record_panic(shared: &Shared, sid: usize, payload: &(dyn std::any::Any + Send), during: &str) {
+    let mut slot = lock_tolerant(&shared.panic);
+    if slot.is_none() {
+        *slot = Some(format!(
+            "shard {sid} worker panicked while {during}: {}",
+            panic_message(payload)
+        ));
+    }
+}
+
+/// Barrier-participation loop for a worker whose node construction
+/// panicked. std's [`Barrier`] has no poisoning: a participant that
+/// simply exits would hang every live shard forever, so the dead worker
+/// keeps the window protocol alive — reporting an always-satisfied
+/// empty shard — until the coordinator sees the recorded panic and
+/// publishes a stop verdict. If shard 0 itself is the dead one, it
+/// must still coordinate, so it stops the run directly.
+fn zombie_run(sid: usize, shared: &Shared) {
+    loop {
+        if matches!(*lock_tolerant(&shared.control), Control::Stop { .. }) {
+            return;
+        }
+        shared.barrier.wait();
+        lock_tolerant(&shared.inboxes[sid]).clear();
+        *lock_tolerant(&shared.statuses[sid]) = Status {
+            satisfied: true,
+            ..Status::default()
+        };
+        shared.barrier.wait();
+        if sid == 0 {
+            let final_time = SimTime(
+                shared
+                    .statuses
+                    .iter()
+                    .map(|s| lock_tolerant(s).max_processed)
+                    .max()
+                    .unwrap_or(0),
+            );
+            let reason = lock_tolerant(&shared.panic).clone();
+            *lock_tolerant(&shared.control) = Control::Stop {
+                outcome: Outcome::WorkerPanicked,
+                final_time,
+                violation: None,
+                reason,
+            };
+        }
+        shared.barrier.wait();
+    }
 }
 
 /// An event in a shard's queue, ordered purely by content.
@@ -250,7 +334,10 @@ where
         faults,
         shards,
         collect_trace,
+        capsule_path,
+        scenario,
     } = builder;
+    let capsule_spec = capsule_path.map(|path| CapsuleSpec { path, scenario });
     let n = topology.len();
     let mut deadline_us = deadline.as_micros();
     if let Some(limit) = config.max_sim_time {
@@ -268,6 +355,7 @@ where
             metrics: Metrics::new(),
             energy: EnergyLedger::new(0),
             trace: Vec::new(),
+            keyed_trace: Vec::new(),
             harvest: Vec::new(),
             shards,
         };
@@ -305,9 +393,12 @@ where
         inboxes: (0..shards).map(|_| Mutex::new(Vec::new())).collect(),
         statuses: (0..shards).map(|_| Mutex::new(Status::default())).collect(),
         control: Mutex::new(Control::Continue { window: 0 }),
+        panic: Mutex::new(None),
     };
 
-    let outputs: Vec<WorkerOut<R>> = std::thread::scope(|scope| {
+    let mut outputs: Vec<WorkerOut<R>> = Vec::with_capacity(shards);
+    let mut join_panic: Option<String> = None;
+    std::thread::scope(|scope| {
         let handles: Vec<_> = (0..shards)
             .map(|sid| {
                 let plan = &plan;
@@ -316,28 +407,78 @@ where
                 let harvest = &harvest;
                 let invariant = invariant.clone();
                 scope.spawn(move || {
-                    let mut worker = Worker::new(plan, sid as u32, make_node, invariant);
-                    worker.run(shared);
-                    worker.finish(shared, harvest)
+                    // Node construction runs user code too; a panic here
+                    // would otherwise kill the thread before its first
+                    // barrier wait and hang every other shard.
+                    let built = catch_unwind(AssertUnwindSafe(|| {
+                        Worker::new(plan, sid as u32, make_node, invariant)
+                    }));
+                    match built {
+                        Ok(mut worker) => {
+                            worker.run(shared);
+                            worker.finish(shared, harvest)
+                        }
+                        Err(payload) => {
+                            record_panic(shared, sid, &*payload, "constructing nodes");
+                            zombie_run(sid, shared);
+                            WorkerOut {
+                                metrics: Metrics::new(),
+                                energy: EnergyLedger::new(plan.topology.len()),
+                                trace_full: Vec::new(),
+                                trace_ring: Vec::new(),
+                                harvest: Vec::new(),
+                                diags: Vec::new(),
+                                queue_len: 0,
+                                pending_timers: 0,
+                            }
+                        }
+                    }
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("shard worker panicked"))
-            .collect()
+        for h in handles {
+            match h.join() {
+                Ok(out) => outputs.push(out),
+                // Harvest closures run after the stop verdict, outside
+                // the catch_unwind umbrella; no barriers remain, so a
+                // panic here cannot hang anyone — record and continue.
+                Err(payload) => {
+                    if join_panic.is_none() {
+                        join_panic = Some(panic_message(&*payload));
+                    }
+                }
+            }
+        }
     });
 
-    let control = shared.control.into_inner().expect("control poisoned");
-    let Control::Stop {
-        outcome,
-        final_time,
-        violation,
-        reason,
-    } = control
-    else {
-        unreachable!("workers exited without a stop verdict");
+    let control = shared
+        .control
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
+    let recorded_panic = shared
+        .panic
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
+    let (mut outcome, final_time, violation, mut reason) = match control {
+        Control::Stop {
+            outcome,
+            final_time,
+            violation,
+            reason,
+        } => (outcome, final_time, violation, reason),
+        // Only reachable if a worker died in a way that bypassed every
+        // zombie path; surface it rather than panic over it.
+        Control::Continue { .. } => (Outcome::WorkerPanicked, SimTime::ZERO, None, None),
     };
+    if let Some(msg) = join_panic {
+        if outcome != Outcome::WorkerPanicked {
+            outcome = Outcome::WorkerPanicked;
+            reason = Some(format!("shard worker panicked during harvest: {msg}"));
+        }
+    }
+    if outcome == Outcome::WorkerPanicked && reason.is_none() {
+        reason = recorded_panic.or_else(|| Some("shard worker panicked".to_string()));
+    }
 
     let mut metrics = Metrics::new();
     let mut energy = EnergyLedger::new(n);
@@ -360,15 +501,21 @@ where
     harvested.sort_by_key(|(i, _)| *i);
     let harvest: Vec<R> = harvested.into_iter().map(|(_, r)| r).collect();
 
-    let merged = merge_keyed_traces(full);
+    let keyed = merge_keyed(full);
     if let Some(sink) = trace.as_mut() {
-        for event in &merged {
+        for (_, _, event) in &keyed {
             sink.record(event);
         }
         sink.flush();
     }
+    // `keyed` is empty unless `plan.collect` — workers only fill
+    // `trace_full` when collecting — so these are both empty otherwise.
+    let merged: Vec<TraceEvent> = keyed.iter().map(|(_, _, event)| event.clone()).collect();
 
-    let diagnostic = if matches!(outcome, Outcome::Stalled | Outcome::InvariantViolated) {
+    let diagnostic = if matches!(
+        outcome,
+        Outcome::Stalled | Outcome::InvariantViolated | Outcome::WorkerPanicked
+    ) {
         diags.sort_by_key(|d| d.node.0);
         let mut recent = merge_keyed_traces(rings);
         let keep = config.diag_events.min(recent.len());
@@ -392,17 +539,46 @@ where
     } else {
         None
     };
+    let report = RunReport {
+        outcome,
+        all_complete,
+        final_time,
+        latency,
+        diagnostic,
+    };
+    if matches!(
+        report.outcome,
+        Outcome::Stalled | Outcome::InvariantViolated | Outcome::WorkerPanicked
+    ) {
+        if let Some(spec) = capsule_spec.as_ref() {
+            let digest = if plan.collect {
+                RunDigest::compute(&report, &metrics, &merged, Some(&keyed))
+            } else {
+                RunDigest::metrics_only(report.outcome, report.final_time, &metrics)
+            };
+            spec.write(&Capsule {
+                seed,
+                engine: SHARDED_ENGINE.to_string(),
+                shards,
+                deadline,
+                config,
+                topology: topology.clone(),
+                faults: faults.clone(),
+                scenario: spec.scenario.clone(),
+                digests: vec![EngineDigest {
+                    engine: SHARDED_ENGINE.to_string(),
+                    shards,
+                    digest,
+                }],
+            });
+        }
+    }
     ShardedRun {
-        report: RunReport {
-            outcome,
-            all_complete,
-            final_time,
-            latency,
-            diagnostic,
-        },
+        report,
         metrics,
         energy,
-        trace: if plan.collect { merged } else { Vec::new() },
+        trace: merged,
+        keyed_trace: keyed,
         harvest,
         shards,
     }
@@ -545,30 +721,72 @@ where
     }
 
     /// The barrier-synchronized main loop.
+    ///
+    /// Window processing runs protocol callbacks (user code), so it is
+    /// wrapped in `catch_unwind`: a panicking worker turns into a
+    /// *zombie* that keeps the barrier protocol alive (std's [`Barrier`]
+    /// has no poisoning — a missing participant would hang every live
+    /// shard forever) while the coordinator surfaces the recorded panic
+    /// as [`Outcome::WorkerPanicked`].
     fn run(&mut self, shared: &Shared) {
+        let mut dead = false;
         loop {
-            let control = shared.control.lock().expect("control").clone();
+            let control = lock_tolerant(&shared.control).clone();
             let window = match control {
                 Control::Stop { .. } => return,
                 Control::Continue { window } => window,
             };
-            self.process_window(window);
+            if !dead {
+                let processed = catch_unwind(AssertUnwindSafe(|| self.process_window(window)));
+                if let Err(payload) = processed {
+                    dead = true;
+                    // Never publish a half-processed window.
+                    self.outbox.clear();
+                    record_panic(shared, self.sid as usize, &*payload, "processing a window");
+                }
+            }
             // Phase 1: publish cross-shard mail produced by this window.
             for (target, item) in self.outbox.drain(..) {
-                shared.inboxes[target].lock().expect("inbox").push(item);
+                lock_tolerant(&shared.inboxes[target]).push(item);
             }
             shared.barrier.wait();
             // Phase 2: absorb mail, then report status (the status must
             // see deliveries that just arrived, or the coordinator would
             // declare a drained queue that is about to refill).
-            self.drain_inbox(shared);
-            let status = self.status();
-            *shared.statuses[self.sid as usize].lock().expect("status") = status;
+            if dead {
+                // Zombie: drop incoming mail and report an
+                // always-satisfied idle shard; the coordinator stops the
+                // run as soon as it sees the recorded panic.
+                lock_tolerant(&shared.inboxes[self.sid as usize]).clear();
+                *lock_tolerant(&shared.statuses[self.sid as usize]) = Status {
+                    satisfied: true,
+                    max_processed: self.max_processed,
+                    violation: self.violation.clone(),
+                    ..Status::default()
+                };
+            } else {
+                self.drain_inbox(shared);
+                let status = self.status();
+                *lock_tolerant(&shared.statuses[self.sid as usize]) = status;
+            }
             shared.barrier.wait();
-            // Phase 3: shard 0 merges statuses into a verdict.
+            // Phase 3: shard 0 merges statuses into a verdict. A panic
+            // in the coordinator itself must still produce a verdict or
+            // phase-1 readers would spin on a stale Continue.
             if self.sid == 0 {
-                let verdict = self.coordinate(shared);
-                *shared.control.lock().expect("control") = verdict;
+                let verdict = match catch_unwind(AssertUnwindSafe(|| self.coordinate(shared))) {
+                    Ok(verdict) => verdict,
+                    Err(payload) => Control::Stop {
+                        outcome: Outcome::WorkerPanicked,
+                        final_time: SimTime(self.global_max),
+                        violation: None,
+                        reason: Some(format!(
+                            "coordinator panicked: {}",
+                            panic_message(&*payload)
+                        )),
+                    },
+                };
+                *lock_tolerant(&shared.control) = verdict;
             }
             shared.barrier.wait();
         }
@@ -653,11 +871,16 @@ where
             self.emit(loss(LossCause::Fault));
             return;
         }
-        let tx = *self
-            .txs
-            .iter()
-            .find(|t| t.id == tx_id)
-            .expect("delivery for pruned transmission");
+        // A fault plan can in principle prune a transmission whose
+        // delivery is already queued across a shard boundary (the
+        // retention horizon and the inbox hand-off race at the window
+        // edge); dropping the orphan with a structured loss event is
+        // always safer than panicking the worker.
+        let Some(tx) = self.txs.iter().find(|t| t.id == tx_id).copied() else {
+            self.metrics.count_phy_loss();
+            self.emit(loss(LossCause::Pruned));
+            return;
+        };
         if self.plan.config.medium.collisions && self.collided(&tx, to, window) {
             self.metrics.count_collision();
             self.emit(loss(LossCause::Collision));
@@ -949,7 +1172,7 @@ where
     }
 
     fn drain_inbox(&mut self, shared: &Shared) {
-        let items = std::mem::take(&mut *shared.inboxes[self.sid as usize].lock().expect("inbox"));
+        let items = std::mem::take(&mut *lock_tolerant(&shared.inboxes[self.sid as usize]));
         for item in items {
             match item {
                 Inbound::Deliver {
@@ -1038,12 +1261,23 @@ where
         let statuses: Vec<Status> = shared
             .statuses
             .iter()
-            .map(|s| s.lock().expect("status").clone())
+            .map(|s| lock_tolerant(s).clone())
             .collect();
         for s in &statuses {
             self.global_max = self.global_max.max(s.max_processed);
         }
         let final_time = SimTime(self.global_max);
+        // A recorded panic preempts every other verdict: zombie shards
+        // report themselves satisfied to keep the barriers moving, so
+        // without this check a panic could masquerade as Complete.
+        if let Some(reason) = lock_tolerant(&shared.panic).clone() {
+            return Control::Stop {
+                outcome: Outcome::WorkerPanicked,
+                final_time,
+                violation: None,
+                reason: Some(reason),
+            };
+        }
         if let Some((_, record)) = statuses
             .iter()
             .filter_map(|s| s.violation.as_ref())
@@ -1108,11 +1342,11 @@ where
     where
         H: Fn(NodeId, &P) -> R,
     {
-        let control = shared.control.lock().expect("control").clone();
+        let control = lock_tolerant(&shared.control).clone();
         let needs_dump = matches!(
             control,
             Control::Stop {
-                outcome: Outcome::Stalled | Outcome::InvariantViolated,
+                outcome: Outcome::Stalled | Outcome::InvariantViolated | Outcome::WorkerPanicked,
                 ..
             }
         );
@@ -1122,7 +1356,11 @@ where
             if !self.local[i] {
                 continue;
             }
-            let p = self.protocols[i].as_ref().expect("local protocol");
+            // A panic inside `with_node` leaves that node's slot taken;
+            // harvest what survives.
+            let Some(p) = self.protocols[i].as_ref() else {
+                continue;
+            };
             harvested.push((i as u32, harvest(NodeId(i as u32), p)));
             if needs_dump {
                 diags.push(NodeDiag {
@@ -1181,5 +1419,75 @@ where
         if self.plan.collect {
             self.trace_full.push(keyed);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::TimerId;
+
+    struct Null;
+    impl Protocol for Null {
+        fn on_init(&mut self, _ctx: &mut Context<'_>) {}
+        fn on_packet(&mut self, _ctx: &mut Context<'_>, _from: NodeId, _data: &[u8]) {}
+        fn on_timer(&mut self, _ctx: &mut Context<'_>, _timer: TimerId) {}
+        fn is_complete(&self) -> bool {
+            false
+        }
+    }
+
+    /// Regression for the `expect("delivery for pruned transmission")`
+    /// panic: a delivery whose `TxRec` is no longer in the table (a
+    /// fault plan pruned it while the delivery was queued across a
+    /// shard boundary) must drop with a structured `Pruned` loss event,
+    /// not kill the worker.
+    #[test]
+    fn delivery_for_pruned_transmission_is_dropped_not_panicked() {
+        let topology = Topology::star(2);
+        let plan = Plan {
+            topology: &topology,
+            config: SimConfig::default(),
+            seed: 1,
+            assign: vec![0, 0],
+            cell: vec![0, 0],
+            announce_mask: vec![0, 0],
+            faults: Vec::new(),
+            lookahead: 2_000,
+            deadline: 1_000_000,
+            collect: true,
+        };
+        let make = |_: NodeId| Null;
+        let mut worker = Worker::new(&plan, 0, &make, None);
+        worker.now = SimTime(42);
+        worker.cur_key = OrderKey::deliver(SimTime(42), NodeId(1), NodeId(0), 999);
+        let losses_before = worker.metrics.phy_losses();
+        worker.deliver(
+            0,
+            NodeId(1),
+            NodeId(0),
+            &Arc::new(vec![1, 2, 3]),
+            PacketKind::Data,
+            999,
+        );
+        assert_eq!(worker.metrics.phy_losses(), losses_before + 1);
+        assert!(worker.trace_full.iter().any(|(_, _, event)| matches!(
+            event,
+            TraceEvent::Loss {
+                cause: LossCause::Pruned,
+                tx_id: 999,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn panic_message_extracts_str_and_string_payloads() {
+        let from_str: Box<dyn std::any::Any + Send> = Box::new("boom");
+        assert_eq!(panic_message(&*from_str), "boom");
+        let from_string: Box<dyn std::any::Any + Send> = Box::new(String::from("kaboom"));
+        assert_eq!(panic_message(&*from_string), "kaboom");
+        let opaque: Box<dyn std::any::Any + Send> = Box::new(17u32);
+        assert_eq!(panic_message(&*opaque), "non-string panic payload");
     }
 }

@@ -1,5 +1,6 @@
 //! The simulator main loop.
 
+use crate::capsule::{Capsule, CapsuleSpec, EngineDigest, RunDigest, SEQUENTIAL_ENGINE};
 use crate::energy::EnergyLedger;
 use crate::event::{Event, EventQueue};
 use crate::fault::{FaultEvent, FaultPlan, PPM_ONE};
@@ -15,7 +16,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 /// Simulation-wide configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SimConfig {
     /// Radio and loss-process parameters.
     pub medium: MediumConfig,
@@ -57,6 +58,10 @@ pub enum Outcome {
     Stalled,
     /// The attached invariant checker reported a violation.
     InvariantViolated,
+    /// A worker thread of the sharded engine panicked. The first panic
+    /// message is surfaced in the report's diagnostic reason, instead of
+    /// cascading into `"control poisoned"` secondary panics.
+    WorkerPanicked,
 }
 
 impl Outcome {
@@ -68,6 +73,7 @@ impl Outcome {
             Outcome::Drained => "drained",
             Outcome::Stalled => "stalled",
             Outcome::InvariantViolated => "invariant_violated",
+            Outcome::WorkerPanicked => "worker_panicked",
         }
     }
 }
@@ -229,6 +235,15 @@ pub struct Simulator<P: Protocol> {
     stall_window: Option<Duration>,
     /// Optional structured event sink (purely observational).
     trace: Option<Box<dyn TraceSink>>,
+    /// The full configuration, retained for failure capsules.
+    config: SimConfig,
+    /// The run seed, retained for failure capsules.
+    seed: u64,
+    /// Every scheduled fault in arrival order, retained for failure
+    /// capsules (`faults` itself is consumed as virtual time passes).
+    fault_log: Vec<FaultEvent>,
+    /// When set, a watchdog/invariant failure writes a replay capsule.
+    capsule: Option<CapsuleSpec>,
 }
 
 impl<P: Protocol> Simulator<P> {
@@ -286,6 +301,10 @@ impl<P: Protocol> Simulator<P> {
             max_sim_time: config.max_sim_time,
             stall_window: config.stall_window,
             trace: None,
+            config,
+            seed,
+            fault_log: Vec::new(),
+            capsule: None,
         }
     }
 
@@ -334,6 +353,7 @@ impl<P: Protocol> Simulator<P> {
     /// Call before [`run`](Self::run).
     pub fn schedule_failure(&mut self, node: NodeId, at: SimTime) {
         self.faults.push_back(FaultEvent::Crash { node, at });
+        self.fault_log.push(FaultEvent::Crash { node, at });
     }
 
     /// Schedules a reboot of a (by then) crashed node: RAM state is
@@ -341,11 +361,23 @@ impl<P: Protocol> Simulator<P> {
     /// Call before [`run`](Self::run).
     pub fn schedule_reboot(&mut self, node: NodeId, at: SimTime) {
         self.faults.push_back(FaultEvent::Reboot { node, at });
+        self.fault_log.push(FaultEvent::Reboot { node, at });
     }
 
     /// Schedules every event of `plan`. Call before [`run`](Self::run).
     pub fn inject_faults(&mut self, plan: &FaultPlan) {
         self.faults.extend(plan.events().iter().copied());
+        self.fault_log.extend(plan.events().iter().copied());
+    }
+
+    /// Arms the flight recorder: when the run ends in
+    /// [`Outcome::Stalled`] or [`Outcome::InvariantViolated`], a replay
+    /// capsule (seed, config, topology, full fault schedule, scenario
+    /// tags) is written to the spec's path so the failure ships its own
+    /// reproducer. The write is best-effort: an I/O error is reported on
+    /// stderr but never changes the run's report.
+    pub fn set_capsule_on_failure(&mut self, spec: CapsuleSpec) {
+        self.capsule = Some(spec);
     }
 
     /// Whether `node` is currently crash-failed.
@@ -516,6 +548,7 @@ impl<P: Protocol> Simulator<P> {
     /// stall watchdog trips, or an invariant fails. Returns a report;
     /// metrics stay accessible.
     pub fn run(&mut self, deadline: Duration) -> RunReport {
+        let requested_deadline = deadline;
         let mut deadline = SimTime::ZERO + deadline;
         if let Some(limit) = self.max_sim_time {
             let limit = SimTime::ZERO + limit;
@@ -625,6 +658,10 @@ impl<P: Protocol> Simulator<P> {
                             self.metrics.count_app_drop();
                             self.emit(loss(LossCause::AppDrop));
                         }
+                        Delivery::Pruned => {
+                            self.metrics.count_phy_loss();
+                            self.emit(loss(LossCause::Pruned));
+                        }
                     }
                 }
                 Event::Timer {
@@ -674,11 +711,17 @@ impl<P: Protocol> Simulator<P> {
                 self.stall_window.map_or(0.0, |w| w.as_secs_f64())
             ))),
             Outcome::InvariantViolated => {
-                let record = self.violation.as_ref().expect("violation recorded");
+                let record = self
+                    .violation
+                    .as_ref()
+                    .expect("outcome is InvariantViolated only when a violation was recorded");
                 Some(self.dump(record.to_string()))
             }
             _ => None,
         };
+        if matches!(outcome, Outcome::Stalled | Outcome::InvariantViolated) {
+            self.write_failure_capsule(outcome, requested_deadline);
+        }
         let latency = if self.all_complete() {
             self.metrics.dissemination_latency()
         } else {
@@ -691,6 +734,38 @@ impl<P: Protocol> Simulator<P> {
             latency,
             diagnostic,
         }
+    }
+
+    /// Writes the armed failure capsule, if any. The sequential engine
+    /// does not retain its full trace, so the recorded digest covers
+    /// outcome, final time, and metrics; trace/order digests are
+    /// [`ContentDigest::MISSING`](crate::violation::ContentDigest::MISSING)
+    /// and skipped by replay verification.
+    fn write_failure_capsule(&self, outcome: Outcome, deadline: Duration) {
+        let Some(spec) = self.capsule.as_ref() else {
+            return;
+        };
+        let mut faults = FaultPlan::new();
+        for event in &self.fault_log {
+            faults.push(*event);
+        }
+        let digest = RunDigest::metrics_only(outcome, self.now, &self.metrics);
+        let capsule = Capsule {
+            seed: self.seed,
+            engine: SEQUENTIAL_ENGINE.to_string(),
+            shards: 1,
+            deadline,
+            config: self.config,
+            topology: self.topology.clone(),
+            faults,
+            scenario: spec.scenario.clone(),
+            digests: vec![EngineDigest {
+                engine: SEQUENTIAL_ENGINE.to_string(),
+                shards: 1,
+                digest,
+            }],
+        };
+        spec.write(&capsule);
     }
 
     /// Runs the invariant checker (if attached) against `node`.

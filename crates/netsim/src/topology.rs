@@ -37,7 +37,7 @@ pub struct Link {
 }
 
 /// A static network topology: positions plus a directed PRR link table.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Topology {
     positions: Vec<Position>,
     /// Outgoing links per node (only links with prr > 0 are stored).
@@ -86,6 +86,36 @@ impl LinkModel {
 }
 
 impl Topology {
+    /// Reassembles a topology from explicit positions and per-node link
+    /// tables.
+    ///
+    /// This is the flight-recorder path: a capsule stores the exact
+    /// link table of the captured run, and replay must reuse it verbatim
+    /// rather than resample any link model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `links.len() != positions.len()` or a link targets a
+    /// node outside the position table.
+    pub fn from_parts(positions: Vec<Position>, links: Vec<Vec<Link>>) -> Self {
+        assert_eq!(
+            positions.len(),
+            links.len(),
+            "one link table per node required"
+        );
+        let n = positions.len();
+        for out in &links {
+            for link in out {
+                assert!(
+                    (link.to.0 as usize) < n,
+                    "link target n{} out of range (n={n})",
+                    link.to.0
+                );
+            }
+        }
+        Topology { positions, links }
+    }
+
     /// Builds a topology from explicit positions and a link model.
     ///
     /// Per-link shadowing jitter is sampled deterministically from `seed`.

@@ -36,9 +36,20 @@ pub type KeyedTraceEvent = (OrderKey, u32, TraceEvent);
 /// totally orders the union; the merged stream is identical no matter
 /// how nodes were split across shards. Buffers need not be pre-sorted.
 pub fn merge_keyed_traces(buffers: Vec<Vec<KeyedTraceEvent>>) -> Vec<TraceEvent> {
+    merge_keyed(buffers)
+        .into_iter()
+        .map(|(_, _, event)| event)
+        .collect()
+}
+
+/// The keyed form of [`merge_keyed_traces`]: merges per-shard buffers
+/// into one globally ordered stream but keeps the `(OrderKey, emit
+/// index)` tags, which the flight recorder's divergence bisector needs
+/// to name the first point where two runs disagree.
+pub fn merge_keyed(buffers: Vec<Vec<KeyedTraceEvent>>) -> Vec<KeyedTraceEvent> {
     let mut all: Vec<KeyedTraceEvent> = buffers.into_iter().flatten().collect();
     all.sort_by_key(|(key, seq, _)| (*key, *seq));
-    all.into_iter().map(|(_, _, event)| event).collect()
+    all
 }
 
 /// Why a delivery failed.
@@ -53,6 +64,11 @@ pub enum LossCause {
     /// Injected link fault (outage or degradation) from a
     /// [`FaultPlan`](crate::fault::FaultPlan).
     Fault,
+    /// The delivery's transmission record had already been pruned when
+    /// the delivery was processed. Defensive path in the engines: the
+    /// packet is dropped with this structured event instead of
+    /// panicking mid-run.
+    Pruned,
 }
 
 impl LossCause {
@@ -63,6 +79,7 @@ impl LossCause {
             LossCause::Phy => "phy",
             LossCause::AppDrop => "app_drop",
             LossCause::Fault => "fault",
+            LossCause::Pruned => "pruned_tx",
         }
     }
 }

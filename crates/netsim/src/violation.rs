@@ -22,9 +22,22 @@ use std::fmt;
 pub struct ContentDigest(pub u64);
 
 impl ContentDigest {
+    /// The FNV-1a offset basis — the digest of the empty byte string,
+    /// and the seed for incremental digests built with [`absorb`].
+    ///
+    /// [`absorb`]: ContentDigest::absorb
+    pub const EMPTY: ContentDigest = ContentDigest(0xcbf2_9ce4_8422_2325);
+
     /// Digests `bytes` (FNV-1a 64).
     pub fn of(bytes: &[u8]) -> Self {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        ContentDigest::EMPTY.absorb(bytes)
+    }
+
+    /// Folds `bytes` into a running digest, so multi-part streams can
+    /// be digested without concatenating:
+    /// `EMPTY.absorb(a).absorb(b) == ContentDigest::of(a ++ b)`.
+    pub fn absorb(self, bytes: &[u8]) -> Self {
+        let mut h = self.0;
         for &b in bytes {
             h ^= u64::from(b);
             h = h.wrapping_mul(0x0000_0100_0000_01b3);

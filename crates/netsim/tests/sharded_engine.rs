@@ -127,6 +127,104 @@ fn faults_apply_identically_across_shard_counts() {
 }
 
 #[test]
+fn crash_inside_lookahead_window_with_inflight_deliveries_is_graceful() {
+    // Regression companion for the pruned-transmission panic: crash a
+    // mid-grid relay at a time strictly inside a lookahead window (the
+    // default window is 2 ms; 151 ms is mid-window) while the flood is
+    // in full swing, so deliveries to and from it are already queued —
+    // including across shard boundaries. The run must stay panic-free
+    // and shard-count independent.
+    let mut plan = FaultPlan::new();
+    plan.crash(NodeId(17), SimTime(151_000));
+    let baseline = run_gossip(11, 1, plan.clone());
+    assert_eq!(baseline.report.outcome, Outcome::Complete);
+    for shards in [2, 4, 8] {
+        let run = run_gossip(11, shards, plan.clone());
+        assert_eq!(
+            run.report.outcome, baseline.report.outcome,
+            "outcome @ {shards} shards"
+        );
+        assert_eq!(run.metrics, baseline.metrics, "metrics @ {shards} shards");
+        assert_eq!(run.trace, baseline.trace, "trace @ {shards} shards");
+    }
+}
+
+/// Gossip wrapper that panics deliberately inside a protocol callback,
+/// for the worker-panic regression tests.
+struct PanicBomb {
+    inner: Gossip,
+}
+
+impl Protocol for PanicBomb {
+    fn on_init(&mut self, ctx: &mut Context<'_>) {
+        self.inner.on_init(ctx);
+    }
+    fn on_packet(&mut self, ctx: &mut Context<'_>, from: NodeId, data: &[u8]) {
+        self.inner.on_packet(ctx, from, data);
+    }
+    fn on_timer(&mut self, ctx: &mut Context<'_>, t: TimerId) {
+        if ctx.id == NodeId(21) && self.inner.relayed >= 1 {
+            panic!("fuse blown on node 21");
+        }
+        self.inner.on_timer(ctx, t);
+    }
+    fn is_complete(&self) -> bool {
+        self.inner.is_complete()
+    }
+    fn progress(&self) -> u64 {
+        self.inner.progress()
+    }
+}
+
+#[test]
+fn worker_panic_surfaces_original_message_not_poisoned_mutexes() {
+    // Before the fix, a panic in one shard worker poisoned the shared
+    // mutexes and the caller died with "control poisoned" — the
+    // original message lost. Now the run must finish with a structured
+    // WorkerPanicked outcome carrying the root-cause panic text.
+    let run = SimBuilder::new(Topology::grid(6, 10.0, 11), 5, |_| PanicBomb {
+        inner: Gossip {
+            heard: false,
+            relayed: 0,
+        },
+    })
+    .shards(4)
+    .run_sharded(Duration::from_secs(120), |_, g| g.inner.heard);
+    assert_eq!(run.report.outcome, Outcome::WorkerPanicked);
+    let dump = run
+        .report
+        .diagnostic
+        .expect("worker panic must carry a diagnostic dump");
+    assert!(
+        dump.reason.contains("fuse blown on node 21"),
+        "dump reason should carry the original panic message, got: {}",
+        dump.reason
+    );
+    // The node mid-callback when the panic hit cannot be harvested;
+    // everyone else can.
+    assert!(run.harvest.len() >= 35);
+}
+
+#[test]
+fn worker_panic_outcome_is_shard_count_independent() {
+    for shards in [1, 2, 8] {
+        let run = SimBuilder::new(Topology::grid(6, 10.0, 11), 5, |_| PanicBomb {
+            inner: Gossip {
+                heard: false,
+                relayed: 0,
+            },
+        })
+        .shards(shards)
+        .run_sharded(Duration::from_secs(120), |_, g| g.inner.heard);
+        assert_eq!(
+            run.report.outcome,
+            Outcome::WorkerPanicked,
+            "@ {shards} shards"
+        );
+    }
+}
+
+#[test]
 fn timeout_is_shard_count_independent() {
     let deadline = Duration::from_millis(350);
     let run1 = SimBuilder::new(Topology::grid(6, 10.0, 11), 9, |_| Gossip {
