@@ -25,7 +25,9 @@
 pub mod binomial;
 pub mod lr;
 pub mod seluge;
+pub mod streaming;
 
 pub use binomial::binomial_pmf;
 pub use lr::{ack_lr_exact_single, ack_lr_expected_data_packets, AckLrModel};
 pub use seluge::{seluge_expected_data_packets, seluge_expected_heterogeneous};
+pub use streaming::{P2Quantile, StreamingSummary, Welford};

@@ -1,0 +1,203 @@
+//! Campaign front-end: checkpointed Monte-Carlo fleets over a grid spec.
+//!
+//! ```text
+//! campaign --spec <file> [--out <dir>] [--threads N] [--kill-after K]
+//!     Start a campaign from a TOML/JSON grid spec (see
+//!     `lrs_bench::spec`). Writes <dir>/manifest.json, streams per-job
+//!     records into <dir>/jobs.log, and on completion emits
+//!     <dir>/report.json with per-cell mean/95% CI/p50/p95. The default
+//!     <dir> is results/campaign-<name>. --kill-after stops (without a
+//!     report) after K new jobs — the knob CI uses to exercise crash
+//!     recovery deterministically.
+//!
+//! campaign --resume <dir> [--threads N] [--kill-after K]
+//!     Reopen a campaign from its manifest: completed jobs are loaded
+//!     from jobs.log (torn final lines from a kill -9 are discarded),
+//!     only the remainder executes, and the final report is
+//!     byte-identical to an uninterrupted run.
+//!
+//! campaign --export-job <id> (--spec <file> | --resume <dir>)
+//!     Print job <id> as a replay capsule (JSONL) without running it —
+//!     any grid point is a bit-exact reproducer for the `replay` bin.
+//!
+//! campaign --smoke [--kill-after K]
+//!     CI gate: a built-in 24-job grid (both schemes × two loss rates ×
+//!     quiet/crashy faults × 3 seeds) into results/campaign-smoke.
+//! ```
+//!
+//! Jobs that end diagnostically (stalled, invariant violated, worker
+//! panicked) dump failure capsules under `<dir>/failures/`, loadable by
+//! `replay --replay`.
+
+use lrs_bench::campaign::{Campaign, CampaignReport, JOB_LOG, REPORT};
+use lrs_bench::capsules::replay_capsule;
+use lrs_bench::{configured_threads, CampaignSpec, Json};
+use lrs_netsim::capsule::EngineDigest;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// The CI smoke grid: small enough for one core, wide enough to cover
+/// both schemes, a lossy cell, and a crash-faulted cell.
+const SMOKE_SPEC: &str = r#"
+name = "smoke"
+schemes = ["lr-seluge", "seluge"]
+topologies = ["star:6"]
+loss_ppm = [50_000, 200_000]
+faults = ["none", "crash=0.5"]
+seeds = 3
+image_bytes = 768
+deadline_s = 3000
+"#;
+
+fn arg_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn arg_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+fn open_campaign() -> Result<Campaign, String> {
+    if let Some(dir) = arg_value("--resume") {
+        return Campaign::resume(dir);
+    }
+    let (text, source) = if arg_flag("--smoke") {
+        (SMOKE_SPEC.to_string(), "built-in smoke grid".to_string())
+    } else if let Some(path) = arg_value("--spec") {
+        let text = std::fs::read_to_string(&path).map_err(|e| format!("read spec {path}: {e}"))?;
+        (text, path)
+    } else {
+        return Err("usage: campaign --spec <file> | --resume <dir> | --smoke \
+             [--out <dir>] [--threads N] [--kill-after K] [--export-job <id>]"
+            .to_string());
+    };
+    let spec = CampaignSpec::parse(&text).map_err(|e| format!("{source}: {e}"))?;
+    let dir = arg_value("--out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results").join(format!("campaign-{}", spec.name)));
+    Campaign::create(spec, dir)
+}
+
+fn print_summary(campaign: &Campaign, report: &CampaignReport) {
+    println!(
+        "campaign {:?}: {} jobs over {} cells -> {}",
+        campaign.spec().name,
+        report.jobs,
+        campaign.spec().cells().len(),
+        campaign.dir().join(REPORT).display()
+    );
+    if report.failures.is_empty() {
+        println!("no failures");
+    } else {
+        println!("{} failure capsule(s):", report.failures.len());
+        for path in &report.failures {
+            println!("  {path}");
+        }
+    }
+    // One line per cell: outcome counts plus headline latency.
+    if let Some(cells) = report.json.get("cells").and_then(Json::as_arr) {
+        for cell in cells {
+            let params = cell.get("params");
+            let fmt = |key: &str| {
+                params
+                    .and_then(|p| p.get(key))
+                    .map(|v| match v {
+                        Json::Str(s) => s.clone(),
+                        other => other.render(),
+                    })
+                    .unwrap_or_default()
+            };
+            let mean_latency = cell
+                .get("metrics")
+                .and_then(|m| m.get("latency_s"))
+                .and_then(|l| l.get("mean"))
+                .and_then(Json::as_num)
+                .unwrap_or(f64::NAN);
+            let complete = cell
+                .get("outcomes")
+                .and_then(|o| o.get("complete"))
+                .and_then(Json::as_num)
+                .unwrap_or(0.0);
+            let jobs = cell.get("jobs").and_then(Json::as_num).unwrap_or(0.0);
+            println!(
+                "  {} {} loss={}ppm fault={} attacker={}: {}/{} complete, mean latency {:.1} s",
+                fmt("scheme"),
+                fmt("topology"),
+                fmt("loss_ppm"),
+                fmt("fault"),
+                fmt("attacker"),
+                complete,
+                jobs,
+                mean_latency,
+            );
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let campaign = open_campaign()?;
+
+    if let Some(id) = arg_value("--export-job") {
+        let job: usize = id
+            .parse()
+            .map_err(|e| format!("bad --export-job {id}: {e}"))?;
+        let mut capsule = campaign.job_capsule(job)?;
+        // Execute the job once to pin its digest, so `replay --replay`
+        // has something to verify against.
+        let run = replay_capsule(&capsule, &capsule.engine.clone(), capsule.shards)?;
+        capsule.digests.push(EngineDigest {
+            engine: run.engine,
+            shards: run.shards,
+            digest: run.digest,
+        });
+        print!("{}", capsule.to_jsonl());
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let threads = configured_threads();
+    let kill_after = match arg_value("--kill-after") {
+        Some(v) => Some(
+            v.parse::<usize>()
+                .map_err(|e| format!("bad --kill-after {v}: {e}"))?,
+        ),
+        None => None,
+    };
+    let total = campaign.total_jobs();
+    let already = campaign.completed()?.len();
+    println!(
+        "campaign {:?}: {total} jobs ({} cells x {} seeds), {already} already logged, {threads} thread(s)",
+        campaign.spec().name,
+        campaign.spec().cells().len(),
+        campaign.spec().seeds,
+    );
+
+    match campaign.run(threads, kill_after)? {
+        Some(report) => {
+            print_summary(&campaign, &report);
+            Ok(ExitCode::SUCCESS)
+        }
+        None => {
+            let done = campaign.completed()?.len();
+            println!(
+                "stopped after --kill-after: {done}/{total} jobs logged in {}; \
+                 finish with: campaign --resume {}",
+                campaign.dir().join(JOB_LOG).display(),
+                campaign.dir().display(),
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("campaign: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

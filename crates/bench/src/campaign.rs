@@ -1,0 +1,796 @@
+//! Checkpointed Monte-Carlo campaign engine.
+//!
+//! A campaign is a fleet of simulation jobs — the full product grid of a
+//! [`CampaignSpec`] — executed by a work-stealing pool and aggregated
+//! *streamingly*: per grid cell, online mean/variance ([`Welford`]) and
+//! P² quantile sketches, so memory stays O(cells) no matter how many
+//! runs the grid names. Each job **is** a PR 5 replay capsule
+//! (seed × config × topology × fault plan × scenario tags), which buys
+//! three properties at once:
+//!
+//! * any job can be exported as a bit-exact reproducer *before* it runs
+//!   ([`Campaign::job_capsule`], via `SimBuilder::capsule`);
+//! * any job that ends diagnostically (stalled, invariant violated,
+//!   worker panicked) dumps a failure capsule under `failures/`,
+//!   immediately consumable by the `replay` binary; and
+//! * the campaign state on disk is nothing but a manifest plus an
+//!   append-only completion log — kill -9 at any instant loses at most
+//!   the jobs in flight.
+//!
+//! # On-disk layout
+//!
+//! ```text
+//! <dir>/manifest.json   # {"version":1,"spec":{…}} — the canonical spec
+//! <dir>/jobs.log        # JSONL, one completed job per line, appended+flushed
+//! <dir>/report.json     # per-cell aggregates; written only on completion
+//! <dir>/failures/       # job-<id>.jsonl failure capsules
+//! ```
+//!
+//! The manifest embeds the spec verbatim, so `--resume <dir>` needs no
+//! spec file and cannot drift from the grid the campaign started with.
+//! The log is tolerant of a torn final line (the kill -9 signature) and
+//! deduplicates job ids first-wins.
+//!
+//! # Determinism
+//!
+//! Job results are deterministic (each job's seed derives from its id),
+//! but workers complete them in schedule-dependent order, and the
+//! streaming estimators are order-*sensitive* in their low-order bits.
+//! The aggregator therefore applies results in **canonical job-id
+//! order** through a reorder buffer: out-of-order completions wait in a
+//! `BTreeMap` until the next id arrives. Final reports are byte-identical
+//! across `--threads 1/2/8` and across any kill/resume split.
+
+use crate::capsules::{campaign_params, lr_factory, seluge_factory, ScenarioTags};
+use crate::json::{parse_json, Json};
+use crate::runner::{matched_seluge_params, test_image, ExperimentMetrics};
+use crate::spec::{build_topology, fault_config, topology_nodes, CampaignSpec, CellParams};
+use lr_seluge::{Deployment, LrNode};
+use lrs_analysis::StreamingSummary;
+use lrs_crypto::puzzle::PuzzleKeyChain;
+use lrs_crypto::schnorr::Keypair;
+use lrs_deluge::attack::MaybeAdversary;
+use lrs_deluge::engine::{DisseminationNode, Scheme};
+use lrs_deluge::policy::{TxPolicy, UnionPolicy};
+use lrs_netsim::capsule::{Capsule, SEQUENTIAL_ENGINE, SHARDED_ENGINE};
+use lrs_netsim::fault::FaultPlan;
+use lrs_netsim::metrics::Metrics;
+use lrs_netsim::node::{NodeId, PacketKind};
+use lrs_netsim::sim::RunReport;
+use lrs_netsim::time::Duration;
+use lrs_netsim::violation::InvariantViolation;
+use lrs_netsim::SimBuilder;
+use lrs_seluge::{SelugeArtifacts, SelugeScheme};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Manifest file name inside a campaign directory.
+pub const MANIFEST: &str = "manifest.json";
+/// Completion-log file name (JSONL, append-only).
+pub const JOB_LOG: &str = "jobs.log";
+/// Consolidated report file name; exists only once every job finished.
+pub const REPORT: &str = "report.json";
+/// Subdirectory failure capsules land in.
+pub const FAILURE_DIR: &str = "failures";
+
+/// Manifest format version this code writes and accepts.
+pub const MANIFEST_VERSION: f64 = 1.0;
+
+/// Outcome labels in fixed report order (the order of
+/// [`Outcome`](lrs_netsim::sim::Outcome)'s variants).
+pub const OUTCOME_LABELS: [&str; 6] = [
+    "complete",
+    "timed_out",
+    "drained",
+    "stalled",
+    "invariant_violated",
+    "worker_panicked",
+];
+
+/// Outcome labels that dump a failure capsule.
+const DIAGNOSTIC_LABELS: [&str; 3] = ["stalled", "invariant_violated", "worker_panicked"];
+
+/// One completed job, as logged: the unit of checkpointing.
+///
+/// Metrics travel as an array in [`ExperimentMetrics::NAMES`] order;
+/// floats are rendered shortest-round-trip (NaN as `null`), so a logged
+/// record reparses to the exact bits the run produced — the property
+/// resume bit-identity rests on.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobRecord {
+    /// Global job id: `cell_index * seeds + repetition`.
+    pub job: usize,
+    /// Grid-cell index in canonical [`CampaignSpec::cells`] order.
+    pub cell: usize,
+    /// Simulator seed the job ran with.
+    pub seed: u64,
+    /// Outcome label (see [`OUTCOME_LABELS`]).
+    pub outcome: String,
+    /// Metric values in [`ExperimentMetrics::NAMES`] order.
+    pub metrics: [f64; 9],
+}
+
+impl JobRecord {
+    /// Whether this job ended diagnostically (and dumped a capsule).
+    pub fn is_failure(&self) -> bool {
+        DIAGNOSTIC_LABELS.contains(&self.outcome.as_str())
+    }
+
+    /// The record as one log line's JSON value.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("job".into(), Json::Num(self.job as f64)),
+            ("cell".into(), Json::Num(self.cell as f64)),
+            ("seed".into(), Json::Num(self.seed as f64)),
+            ("outcome".into(), Json::str(&self.outcome)),
+            (
+                "metrics".into(),
+                Json::Arr(self.metrics.iter().map(|&v| Json::Num(v)).collect()),
+            ),
+        ])
+    }
+
+    /// Parses one log line's JSON value.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let num = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_num)
+                .filter(|n| n.is_finite() && *n >= 0.0)
+                .ok_or_else(|| format!("job record is missing numeric {key:?}"))
+        };
+        let outcome = v
+            .get("outcome")
+            .and_then(Json::as_str)
+            .ok_or("job record is missing \"outcome\"")?
+            .to_string();
+        if !OUTCOME_LABELS.contains(&outcome.as_str()) {
+            return Err(format!("job record has unknown outcome {outcome:?}"));
+        }
+        let arr = v
+            .get("metrics")
+            .and_then(Json::as_arr)
+            .ok_or("job record is missing \"metrics\"")?;
+        if arr.len() != ExperimentMetrics::NAMES.len() {
+            return Err(format!(
+                "job record has {} metrics; expected {}",
+                arr.len(),
+                ExperimentMetrics::NAMES.len()
+            ));
+        }
+        let mut metrics = [0.0; 9];
+        for (slot, item) in metrics.iter_mut().zip(arr) {
+            *slot = item
+                .as_num()
+                .ok_or("job record metric is not a number or null")?;
+        }
+        Ok(JobRecord {
+            job: num("job")? as usize,
+            cell: num("cell")? as usize,
+            seed: num("seed")? as u64,
+            outcome,
+            metrics,
+        })
+    }
+}
+
+/// Per-cell streaming state: O(1) per metric, O(cells) total.
+struct CellAgg {
+    jobs: u64,
+    outcomes: [u64; 6],
+    metrics: Vec<StreamingSummary>,
+    failures: Vec<usize>,
+}
+
+impl CellAgg {
+    fn new() -> Self {
+        CellAgg {
+            jobs: 0,
+            outcomes: [0; 6],
+            metrics: (0..ExperimentMetrics::NAMES.len())
+                .map(|_| StreamingSummary::new())
+                .collect(),
+            failures: Vec::new(),
+        }
+    }
+}
+
+/// Canonical-order streaming aggregator.
+///
+/// Records may arrive in any order (workers race, resume replays the
+/// log); they are *applied* strictly in job-id order via a reorder
+/// buffer, so the final estimator state — and thus the rendered report —
+/// is independent of thread count and of where a crash split the run.
+struct Aggregator {
+    cells: Vec<CellAgg>,
+    pending: BTreeMap<usize, JobRecord>,
+    next: usize,
+}
+
+impl Aggregator {
+    fn new(cells: usize) -> Self {
+        Aggregator {
+            cells: (0..cells).map(|_| CellAgg::new()).collect(),
+            pending: BTreeMap::new(),
+            next: 0,
+        }
+    }
+
+    fn insert(&mut self, record: JobRecord) -> Result<(), String> {
+        if record.job < self.next || self.pending.contains_key(&record.job) {
+            return Err(format!("job {} aggregated twice", record.job));
+        }
+        self.pending.insert(record.job, record);
+        while let Some(record) = self.pending.remove(&self.next) {
+            self.apply(&record)?;
+            self.next += 1;
+        }
+        Ok(())
+    }
+
+    fn apply(&mut self, record: &JobRecord) -> Result<(), String> {
+        let cell = self
+            .cells
+            .get_mut(record.cell)
+            .ok_or_else(|| format!("job {} names cell {} out of range", record.job, record.cell))?;
+        cell.jobs += 1;
+        let idx = OUTCOME_LABELS
+            .iter()
+            .position(|&l| l == record.outcome)
+            .expect("outcome validated in from_json");
+        cell.outcomes[idx] += 1;
+        for (summary, &value) in cell.metrics.iter_mut().zip(&record.metrics) {
+            summary.push(value);
+        }
+        if record.is_failure() {
+            cell.failures.push(record.job);
+        }
+        Ok(())
+    }
+
+    fn applied(&self) -> usize {
+        self.next
+    }
+}
+
+/// Summary of a finished campaign, for callers of [`Campaign::run`].
+#[derive(Clone, Debug)]
+pub struct CampaignReport {
+    /// Total jobs aggregated (grid size).
+    pub jobs: usize,
+    /// Failure-capsule paths, one per diagnostic job, in job order.
+    pub failures: Vec<String>,
+    /// The rendered `report.json` document.
+    pub json: Json,
+}
+
+/// A campaign bound to its on-disk directory.
+pub struct Campaign {
+    spec: CampaignSpec,
+    cells: Vec<CellParams>,
+    dir: PathBuf,
+}
+
+impl Campaign {
+    /// Starts a fresh campaign: creates `<dir>` (and `failures/`) and
+    /// writes the manifest. Refuses a directory that already holds one —
+    /// that is what [`resume`](Self::resume) is for.
+    pub fn create(spec: CampaignSpec, dir: impl Into<PathBuf>) -> Result<Self, String> {
+        let dir = dir.into();
+        let manifest = dir.join(MANIFEST);
+        if manifest.exists() {
+            return Err(format!(
+                "{} already holds a campaign; resume it instead",
+                dir.display()
+            ));
+        }
+        fs::create_dir_all(dir.join(FAILURE_DIR))
+            .map_err(|e| format!("create {}: {e}", dir.display()))?;
+        let doc = Json::Obj(vec![
+            ("version".into(), Json::Num(MANIFEST_VERSION)),
+            ("spec".into(), spec.to_json()),
+        ]);
+        fs::write(&manifest, doc.render() + "\n")
+            .map_err(|e| format!("write {}: {e}", manifest.display()))?;
+        Ok(Campaign {
+            cells: spec.cells(),
+            spec,
+            dir,
+        })
+    }
+
+    /// Reopens the campaign in `<dir>` from its manifest. The embedded
+    /// spec is re-validated, so a hand-edited manifest fails loudly.
+    pub fn resume(dir: impl Into<PathBuf>) -> Result<Self, String> {
+        let dir = dir.into();
+        let manifest = dir.join(MANIFEST);
+        let text = fs::read_to_string(&manifest)
+            .map_err(|e| format!("read {}: {e}", manifest.display()))?;
+        let doc = parse_json(&text).map_err(|e| format!("{}: {e}", manifest.display()))?;
+        let version = doc.get("version").and_then(Json::as_num).unwrap_or(0.0);
+        if version != MANIFEST_VERSION {
+            return Err(format!(
+                "{}: manifest version {version} unsupported (want {MANIFEST_VERSION})",
+                manifest.display()
+            ));
+        }
+        let spec_doc = doc
+            .get("spec")
+            .ok_or_else(|| format!("{}: manifest has no spec", manifest.display()))?;
+        let spec = CampaignSpec::from_json(spec_doc)?;
+        fs::create_dir_all(dir.join(FAILURE_DIR))
+            .map_err(|e| format!("create {}: {e}", dir.display()))?;
+        Ok(Campaign {
+            cells: spec.cells(),
+            spec,
+            dir,
+        })
+    }
+
+    /// The campaign's spec (as embedded in the manifest).
+    pub fn spec(&self) -> &CampaignSpec {
+        &self.spec
+    }
+
+    /// The campaign directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Total jobs in the grid.
+    pub fn total_jobs(&self) -> usize {
+        self.cells.len() * self.spec.seeds as usize
+    }
+
+    /// The simulator seed job `id` runs with.
+    pub fn job_seed(&self, job: usize) -> u64 {
+        self.spec.seed_base + job as u64
+    }
+
+    /// Completed jobs from the log, deduplicated first-wins. A torn
+    /// final line (the kill -9 signature) is ignored; a corrupt line
+    /// anywhere *else* is an error — that is damage, not a crash.
+    pub fn completed(&self) -> Result<Vec<JobRecord>, String> {
+        let path = self.dir.join(JOB_LOG);
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(format!("read {}: {e}", path.display())),
+        };
+        let lines: Vec<&str> = text.lines().collect();
+        let mut seen = BTreeSet::new();
+        let mut records = Vec::new();
+        for (i, line) in lines.iter().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let parsed = parse_json(line).and_then(|v| JobRecord::from_json(&v));
+            match parsed {
+                Ok(record) => {
+                    if record.job >= self.total_jobs() {
+                        return Err(format!(
+                            "{}:{}: job {} outside this campaign's {} jobs",
+                            path.display(),
+                            i + 1,
+                            record.job,
+                            self.total_jobs()
+                        ));
+                    }
+                    if seen.insert(record.job) {
+                        records.push(record);
+                    }
+                }
+                Err(e) if i + 1 == lines.len() => {
+                    // Torn tail: the process died mid-append. The job
+                    // will simply re-run.
+                    eprintln!(
+                        "campaign: ignoring torn final log line ({} bytes): {e}",
+                        line.len()
+                    );
+                }
+                Err(e) => return Err(format!("{}:{}: {e}", path.display(), i + 1)),
+            }
+        }
+        Ok(records)
+    }
+
+    /// Runs (or resumes) the campaign on `threads` workers.
+    ///
+    /// `kill_after` caps how many *new* jobs this invocation executes
+    /// before stopping without a report — the crash-resume tests' way of
+    /// simulating a kill at a deterministic point. `None` runs to
+    /// completion, writes `report.json`, and returns the report;
+    /// `Some(k)` short of the remaining work returns `Ok(None)`.
+    pub fn run(
+        &self,
+        threads: usize,
+        kill_after: Option<usize>,
+    ) -> Result<Option<CampaignReport>, String> {
+        let total = self.total_jobs();
+        let logged = self.completed()?;
+        let mut done = BTreeSet::new();
+        let mut agg = Aggregator::new(self.cells.len());
+        for record in logged {
+            done.insert(record.job);
+            agg.insert(record)?;
+        }
+        let todo: Vec<usize> = (0..total).filter(|id| !done.contains(id)).collect();
+        let limit = kill_after.unwrap_or(todo.len()).min(todo.len());
+        let killed = limit < todo.len();
+
+        if limit > 0 {
+            let log_path = self.dir.join(JOB_LOG);
+            let mut log = fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&log_path)
+                .map_err(|e| format!("open {}: {e}", log_path.display()))?;
+            let next = AtomicUsize::new(0);
+            let workers = threads.max(1).min(limit);
+            let (tx, rx) = mpsc::channel::<JobRecord>();
+            std::thread::scope(|scope| -> Result<(), String> {
+                for _ in 0..workers {
+                    let tx = tx.clone();
+                    let (next, todo) = (&next, &todo);
+                    scope.spawn(move || loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= limit {
+                            break;
+                        }
+                        if tx.send(self.execute(todo[i])).is_err() {
+                            break;
+                        }
+                    });
+                }
+                drop(tx);
+                // Checkpoint-then-aggregate, one line per completion.
+                // The aggregator is fed the *reparsed* line, so the live
+                // path and the resume path see byte-for-byte the same
+                // values.
+                for record in rx {
+                    let line = record.to_json().render();
+                    log.write_all(line.as_bytes())
+                        .and_then(|_| log.write_all(b"\n"))
+                        .and_then(|_| log.flush())
+                        .map_err(|e| format!("append {}: {e}", log_path.display()))?;
+                    let reparsed = JobRecord::from_json(&parse_json(&line)?)?;
+                    agg.insert(reparsed)?;
+                }
+                Ok(())
+            })?;
+        }
+
+        if killed {
+            return Ok(None);
+        }
+        if agg.applied() != total {
+            return Err(format!(
+                "aggregated {} of {total} jobs; completion log has gaps",
+                agg.applied()
+            ));
+        }
+        let json = self.render_report(&agg);
+        let path = self.dir.join(REPORT);
+        fs::write(&path, json.render() + "\n")
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+        let failures = agg
+            .cells
+            .iter()
+            .flat_map(|c| c.failures.iter())
+            .map(|&job| self.failure_capsule_path(job))
+            .collect();
+        Ok(Some(CampaignReport {
+            jobs: total,
+            failures,
+            json,
+        }))
+    }
+
+    /// Renders the consolidated per-cell report. Deliberately excludes
+    /// wall-clock time and thread count, so the document is a pure
+    /// function of the aggregator state — the golden-file and
+    /// bit-identity tests diff it byte for byte.
+    fn render_report(&self, agg: &Aggregator) -> Json {
+        let cells = agg
+            .cells
+            .iter()
+            .zip(&self.cells)
+            .map(|(state, params)| {
+                let outcomes = OUTCOME_LABELS
+                    .iter()
+                    .zip(state.outcomes)
+                    .filter(|&(_, count)| count > 0)
+                    .map(|(&label, count)| (label.to_string(), Json::Num(count as f64)))
+                    .collect();
+                let metrics = ExperimentMetrics::NAMES
+                    .iter()
+                    .zip(&state.metrics)
+                    .map(|(&name, s)| {
+                        (
+                            name.to_string(),
+                            Json::Obj(vec![
+                                ("n".into(), Json::Num(s.moments.count() as f64)),
+                                ("mean".into(), Json::Num(s.moments.mean())),
+                                ("ci95".into(), Json::Num(s.moments.ci95())),
+                                ("p50".into(), Json::Num(s.p50.estimate())),
+                                ("p95".into(), Json::Num(s.p95.estimate())),
+                            ]),
+                        )
+                    })
+                    .collect();
+                let mut fields = vec![
+                    (
+                        "params".into(),
+                        Json::Obj(vec![
+                            ("scheme".into(), Json::str(&params.scheme)),
+                            ("topology".into(), Json::str(&params.topology)),
+                            ("loss_ppm".into(), Json::num(params.loss_ppm)),
+                            ("fault".into(), Json::str(&params.fault)),
+                            ("attacker".into(), Json::str(&params.attacker)),
+                        ]),
+                    ),
+                    ("jobs".into(), Json::Num(state.jobs as f64)),
+                    ("outcomes".into(), Json::Obj(outcomes)),
+                    ("metrics".into(), Json::Obj(metrics)),
+                ];
+                if !state.failures.is_empty() {
+                    fields.push((
+                        "failures".into(),
+                        Json::Arr(
+                            state
+                                .failures
+                                .iter()
+                                .map(|&job| Json::Num(job as f64))
+                                .collect(),
+                        ),
+                    ));
+                }
+                Json::Obj(fields)
+            })
+            .collect();
+        Json::Obj(vec![
+            ("campaign".into(), Json::str(&self.spec.name)),
+            ("jobs".into(), Json::Num(self.total_jobs() as f64)),
+            ("seeds".into(), Json::Num(self.spec.seeds as f64)),
+            ("cells".into(), Json::Arr(cells)),
+        ])
+    }
+
+    /// Where job `id`'s failure capsule lands if it ends diagnostically.
+    pub fn failure_capsule_path(&self, job: usize) -> String {
+        self.dir
+            .join(FAILURE_DIR)
+            .join(format!("job-{job:06}.jsonl"))
+            .display()
+            .to_string()
+    }
+
+    /// The scenario tags job `id` runs (and is capsule-tagged) with.
+    fn job_tags(&self, cell: &CellParams) -> Result<ScenarioTags, String> {
+        let mut tags = ScenarioTags::new(
+            &cell.scheme,
+            "campaign",
+            self.spec.image_bytes,
+            "campaign keys",
+        );
+        if cell.attacker == "storm" {
+            let nodes = topology_nodes(&cell.topology)?;
+            tags = tags.with_attacker(NodeId(nodes as u32 - 1));
+        }
+        Ok(tags)
+    }
+
+    /// Exports job `id` as a replay capsule *without running it*: the
+    /// exact seed, config, topology, fault plan, and scenario tags the
+    /// job executes, consumable by the `replay` binary.
+    pub fn job_capsule(&self, job: usize) -> Result<Capsule, String> {
+        if job >= self.total_jobs() {
+            return Err(format!(
+                "job {job} outside this campaign's {} jobs",
+                self.total_jobs()
+            ));
+        }
+        let cell = &self.cells[job / self.spec.seeds as usize];
+        let seed = self.job_seed(job);
+        let topology = build_topology(&cell.topology, seed)?;
+        let faults = FaultPlan::generate(
+            &fault_config(&cell.fault, Duration::from_secs(self.spec.max_sim_s))?,
+            &topology,
+            seed,
+        );
+        let (engine, shards) = self.job_engine(&cell.topology)?;
+        Ok(Capsule {
+            seed,
+            engine: engine.to_string(),
+            shards,
+            deadline: Duration::from_secs(self.spec.deadline_s),
+            config: self.spec.sim_config(cell.loss_ppm),
+            topology,
+            faults,
+            scenario: self.job_tags(cell)?.pairs(),
+            digests: Vec::new(),
+        })
+    }
+
+    /// Engine and shard count a job on `topology` runs with: `auto`
+    /// hands grids at/above the threshold to the sharded engine.
+    fn job_engine(&self, topology: &str) -> Result<(&'static str, usize), String> {
+        let nodes = topology_nodes(topology)?;
+        let sharded = match self.spec.engine.as_str() {
+            "sharded" => true,
+            "auto" => nodes >= self.spec.sharded_threshold,
+            _ => false,
+        };
+        if sharded {
+            Ok((SHARDED_ENGINE, self.spec.shards))
+        } else {
+            Ok((SEQUENTIAL_ENGINE, 1))
+        }
+    }
+
+    /// Executes one job to a loggable record.
+    ///
+    /// Spec and tokens were validated at parse time, so failures here
+    /// are I/O-free logic errors; panicking (not `Err`) is correct —
+    /// the job would never become retryable.
+    fn execute(&self, job: usize) -> JobRecord {
+        let cell = &self.cells[job / self.spec.seeds as usize];
+        let seed = self.job_seed(job);
+        let tags = self.job_tags(cell).expect("tags validated at parse time");
+        match cell.scheme.as_str() {
+            "lr-seluge" => {
+                let make = lr_factory(&tags).expect("campaign profile is registered");
+                self.run_job(job, cell, seed, &tags, make, lr_invariant(&tags))
+            }
+            "seluge" => {
+                let make = seluge_factory(&tags).expect("campaign profile is registered");
+                self.run_job(job, cell, seed, &tags, make, seluge_invariant(&tags))
+            }
+            other => unreachable!("scheme {other:?} validated at parse time"),
+        }
+    }
+
+    /// Scheme-generic single-job runner: builds the sim from the cell's
+    /// parameters, arms the flight recorder, runs on the engine
+    /// [`job_engine`](Self::job_engine) picked, and extracts metrics.
+    fn run_job<S, Pol, F, V>(
+        &self,
+        job: usize,
+        cell: &CellParams,
+        seed: u64,
+        tags: &ScenarioTags,
+        make: F,
+        invariant: V,
+    ) -> JobRecord
+    where
+        S: Scheme + 'static,
+        Pol: TxPolicy + 'static,
+        F: Fn(NodeId) -> MaybeAdversary<DisseminationNode<S, Pol>> + Sync,
+        V: Fn(&MaybeAdversary<DisseminationNode<S, Pol>>, NodeId) -> Result<(), InvariantViolation>
+            + Send
+            + Sync
+            + 'static,
+    {
+        let topology = build_topology(&cell.topology, seed).expect("validated at parse time");
+        let nodes = topology.len();
+        let faults = FaultPlan::generate(
+            &fault_config(&cell.fault, Duration::from_secs(self.spec.max_sim_s))
+                .expect("validated at parse time"),
+            &topology,
+            seed,
+        );
+        let deadline = Duration::from_secs(self.spec.deadline_s);
+        let (engine, shards) = self
+            .job_engine(&cell.topology)
+            .expect("validated at parse time");
+        let mut builder = SimBuilder::new(topology, seed, make)
+            .config(self.spec.sim_config(cell.loss_ppm))
+            .faults(faults)
+            .invariants(invariant)
+            .capsule_on_failure(self.failure_capsule_path(job));
+        for (key, value) in tags.pairs() {
+            builder = builder.scenario(key, value);
+        }
+
+        let (report, sig, rejects, metrics) = if engine == SHARDED_ENGINE {
+            let run = builder.shards(shards).run_sharded(deadline, |_, node| {
+                node.honest().map(|n| {
+                    let st = n.stats();
+                    (
+                        n.scheme().cost().signature_verifications as f64,
+                        (st.auth_rejects + st.mac_rejects) as f64,
+                    )
+                })
+            });
+            let (mut sig, mut rejects) = (0.0, 0.0);
+            for (s, r) in run.harvest.into_iter().flatten() {
+                sig += s;
+                rejects += r;
+            }
+            (run.report, sig, rejects, run.metrics)
+        } else {
+            let mut sim = builder.build();
+            let report = sim.run(deadline);
+            let (mut sig, mut rejects) = (0.0, 0.0);
+            for i in 0..nodes {
+                if let Some(n) = sim.node(NodeId(i as u32)).honest() {
+                    sig += n.scheme().cost().signature_verifications as f64;
+                    let st = n.stats();
+                    rejects += (st.auth_rejects + st.mac_rejects) as f64;
+                }
+            }
+            let metrics = sim.metrics().clone();
+            (report, sig, rejects, metrics)
+        };
+
+        JobRecord {
+            job,
+            cell: cell.index,
+            seed,
+            outcome: report.outcome.label().to_string(),
+            metrics: extract_metrics(&report, &metrics, sig, rejects),
+        }
+    }
+}
+
+/// Metric extraction shared by both engines, in
+/// [`ExperimentMetrics::NAMES`] order.
+fn extract_metrics(report: &RunReport, m: &Metrics, sig: f64, rejects: f64) -> [f64; 9] {
+    let em = ExperimentMetrics {
+        page_data_pkts: m.tx_packets(PacketKind::Data) as f64,
+        data_pkts: (m.tx_packets(PacketKind::Data)
+            + m.tx_packets(PacketKind::HashPage)
+            + m.tx_packets(PacketKind::Signature)) as f64,
+        snack_pkts: m.tx_packets(PacketKind::Snack) as f64,
+        adv_pkts: m.tx_packets(PacketKind::Adv) as f64,
+        total_bytes: m.total_tx_bytes() as f64,
+        latency_s: report.latency.map(|t| t.as_secs_f64()).unwrap_or(f64::NAN),
+        completed: if report.all_complete { 1.0 } else { 0.0 },
+        sig_verifications: sig,
+        auth_rejects: rejects,
+    };
+    let mut out = [0.0; 9];
+    for (slot, (_, value)) in out.iter_mut().zip(em.named()) {
+        *slot = value;
+    }
+    out
+}
+
+/// Per-delivery invariant check for LR-Seluge campaign jobs.
+fn lr_invariant(
+    tags: &ScenarioTags,
+) -> impl Fn(&MaybeAdversary<LrNode>, NodeId) -> Result<(), InvariantViolation> + Send + Sync {
+    let p = campaign_params(tags.image_len);
+    let image = test_image(tags.image_len);
+    let deployment = Deployment::new(&image, p, tags.key_context.as_bytes());
+    let artifacts = deployment.artifacts().clone();
+    move |node, _id| match node.honest() {
+        Some(n) => n.scheme().verify_invariants(&artifacts, &image),
+        None => Ok(()),
+    }
+}
+
+/// Per-delivery invariant check for Seluge campaign jobs.
+#[allow(clippy::type_complexity)]
+fn seluge_invariant(
+    tags: &ScenarioTags,
+) -> impl Fn(
+    &MaybeAdversary<DisseminationNode<SelugeScheme, UnionPolicy>>,
+    NodeId,
+) -> Result<(), InvariantViolation>
+       + Send
+       + Sync {
+    let sp = matched_seluge_params(&campaign_params(tags.image_len));
+    let image = test_image(tags.image_len);
+    let context = tags.key_context.as_bytes();
+    let kp = Keypair::from_seed(context);
+    let chain = PuzzleKeyChain::generate(context, sp.version as u32 + 4);
+    let artifacts = SelugeArtifacts::build(&image, sp, &kp, &chain);
+    move |node, _id| match node.honest() {
+        Some(n) => n.scheme().verify_invariants(&artifacts, &image),
+        None => Ok(()),
+    }
+}

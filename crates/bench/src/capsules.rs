@@ -32,8 +32,9 @@ use lrs_seluge::{SelugeArtifacts, SelugeScheme};
 
 /// Tag key: scheme under test (`lr-seluge` or `seluge`).
 pub const TAG_SCHEME: &str = "scheme";
-/// Tag key: parameter profile (`chaos` or `scale`), selecting both the
-/// parameter set and the test-image generator of the capture path.
+/// Tag key: parameter profile (`chaos`, `scale`, or `campaign`),
+/// selecting both the parameter set and the test-image generator of the
+/// capture path.
 pub const TAG_PROFILE: &str = "profile";
 /// Tag key: image length in bytes.
 pub const TAG_IMAGE_LEN: &str = "image_len";
@@ -71,6 +72,21 @@ pub fn scale_params(image_len: usize) -> LrSelugeParams {
     }
 }
 
+/// The campaign engine's LR-Seluge parameter set: the chaos code rate
+/// with a cheaper puzzle, sized for fleets of thousands of runs.
+pub fn campaign_params(image_len: usize) -> LrSelugeParams {
+    LrSelugeParams {
+        image_len,
+        k: 8,
+        n: 12,
+        payload_len: 56,
+        k0: 4,
+        n0: 8,
+        puzzle_strength: 2,
+        ..LrSelugeParams::default()
+    }
+}
+
 /// The scale sweep's historical test image (distinct from
 /// [`test_image`]; both generators are pinned here because a capsule
 /// must reproduce whichever image its capture path used).
@@ -82,18 +98,21 @@ fn profile_params(profile: &str, image_len: usize) -> Result<LrSelugeParams, Str
     match profile {
         "chaos" => Ok(chaos_params(image_len)),
         "scale" => Ok(scale_params(image_len)),
+        "campaign" => Ok(campaign_params(image_len)),
         other => Err(format!(
-            "unknown parameter profile {other:?}; this registry knows \"chaos\" and \"scale\""
+            "unknown parameter profile {other:?}; this registry knows \"chaos\", \"scale\", \
+             and \"campaign\""
         )),
     }
 }
 
 fn profile_image(profile: &str, len: usize) -> Result<Vec<u8>, String> {
     match profile {
-        "chaos" => Ok(test_image(len)),
+        "chaos" | "campaign" => Ok(test_image(len)),
         "scale" => Ok(scale_image(len)),
         other => Err(format!(
-            "unknown parameter profile {other:?}; this registry knows \"chaos\" and \"scale\""
+            "unknown parameter profile {other:?}; this registry knows \"chaos\", \"scale\", \
+             and \"campaign\""
         )),
     }
 }
@@ -130,7 +149,7 @@ pub fn storm_attacker(payload_len: usize, index_space: u16, version: u16) -> Att
 pub struct ScenarioTags {
     /// `lr-seluge` or `seluge`.
     pub scheme: String,
-    /// Parameter profile: `chaos` or `scale`.
+    /// Parameter profile: `chaos`, `scale`, or `campaign`.
     pub profile: String,
     /// Image length in bytes.
     pub image_len: usize,
@@ -213,7 +232,7 @@ impl ScenarioTags {
 }
 
 /// Reconstructs the LR-Seluge node population described by `tags`.
-fn lr_factory(
+pub fn lr_factory(
     tags: &ScenarioTags,
 ) -> Result<impl Fn(NodeId) -> MaybeAdversary<LrNode> + Sync, String> {
     let p = profile_params(&tags.profile, tags.image_len)?;
@@ -231,7 +250,7 @@ fn lr_factory(
 
 /// Reconstructs the Seluge node population described by `tags`.
 #[allow(clippy::type_complexity)]
-fn seluge_factory(
+pub fn seluge_factory(
     tags: &ScenarioTags,
 ) -> Result<
     impl Fn(NodeId) -> MaybeAdversary<DisseminationNode<SelugeScheme, UnionPolicy>> + Sync,

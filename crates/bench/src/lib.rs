@@ -17,23 +17,28 @@
 //! | `chaos`    | robustness     | Fault-intensity sweep with invariant checking and a watchdog demo |
 //! | `scale`    | engine         | Shard-scaling sweep of the parallel engine |
 //! | `replay`   | flight recorder| Capture, replay, and bisect run capsules (see `capsules`) |
+//! | `campaign` | fleets         | Checkpointed Monte-Carlo campaigns over a grid spec (see `campaign`) |
 //!
 //! Run any of them with `cargo run -p lrs-bench --release --bin <name>`.
 //! Each prints the paper-style series and writes a CSV next to it under
 //! `results/`.
 
+pub mod campaign;
 pub mod capsules;
 pub mod harness;
 pub mod json;
 pub mod runner;
+pub mod spec;
 pub mod stats;
 pub mod table;
 
+pub use campaign::{Campaign, CampaignReport};
 pub use harness::{configured_threads, parallel_map, sample_grid};
-pub use json::{stat_json, write_json, Json, JsonReport};
+pub use json::{parse_json, stat_json, write_json, Json, JsonReport};
 pub use runner::{
     aggregate, average, matched_seluge_params, run_deluge, run_lr, run_seluge, sample_seeds,
     ExperimentMetrics, RunSpec,
 };
+pub use spec::CampaignSpec;
 pub use stats::{summarize, Summary};
 pub use table::{write_csv, Table};

@@ -1,0 +1,622 @@
+//! Campaign grid specifications.
+//!
+//! A campaign is described by one small spec file — TOML (the flat
+//! `key = value` subset below) or JSON, auto-detected — that names the
+//! parameter grid: schemes × topologies × loss rates × fault plans ×
+//! attackers × seeds. [`CampaignSpec`] is the validated in-memory form;
+//! its [`to_json`](CampaignSpec::to_json) rendering is embedded
+//! verbatim in the campaign manifest so `campaign --resume <dir>` never
+//! needs the original spec file (or risks it having been edited).
+//!
+//! ```toml
+//! # mini Fig. 3 grid
+//! name = "fig3-mini"
+//! schemes = ["lr-seluge", "seluge"]
+//! topologies = ["star:10"]
+//! loss_ppm = [100000, 200000, 300000]
+//! seeds = 8
+//! ```
+//!
+//! Axis tokens are deliberately strings — `"star:10"`, `"grid:4"`,
+//! `"crash=0.5,flap=0.3"`, `"storm"` — so the grid stays a flat product
+//! of scalars that can be logged, diffed, and embedded in capsule tags
+//! without nested tables.
+
+use crate::json::{parse_json, Json};
+use lrs_netsim::fault::FaultConfig;
+use lrs_netsim::medium::MediumConfig;
+use lrs_netsim::sim::SimConfig;
+use lrs_netsim::time::Duration;
+use lrs_netsim::topology::Topology;
+
+/// Schemes the campaign engine can run.
+pub const SCHEMES: [&str; 2] = ["lr-seluge", "seluge"];
+
+/// A validated campaign grid specification.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CampaignSpec {
+    /// Campaign name; also the default output directory stem.
+    pub name: String,
+    /// Schemes under test (`lr-seluge`, `seluge`).
+    pub schemes: Vec<String>,
+    /// Topology tokens: `star:N` (one-hop cluster of N) or `grid:S`
+    /// (S×S multihop grid, tight 8 m spacing, per-job sampled links).
+    pub topologies: Vec<String>,
+    /// Application-layer loss rates in parts per million.
+    pub loss_ppm: Vec<u32>,
+    /// Fault-plan tokens: `none`, or comma-joined `crash=R` /
+    /// `flap=R` rates (e.g. `crash=0.5,flap=0.3`).
+    pub faults: Vec<String>,
+    /// Attacker tokens: `none`, or `storm` (the chaos sweep's bursty
+    /// bogus-data packet storm from the highest-id node).
+    pub attackers: Vec<String>,
+    /// Monte-Carlo repetitions per grid cell.
+    pub seeds: u64,
+    /// First simulator seed; job `s` of a cell runs seed
+    /// `seed_base + cell_index * seeds + s`.
+    pub seed_base: u64,
+    /// Image size in bytes (the `campaign` parameter profile).
+    pub image_bytes: usize,
+    /// Per-job wall deadline in virtual seconds.
+    pub deadline_s: u64,
+    /// Stall-watchdog window in virtual seconds.
+    pub stall_s: u64,
+    /// Hard virtual-time ceiling in seconds.
+    pub max_sim_s: u64,
+    /// Engine selection: `sequential`, `sharded`, or `auto` (sharded
+    /// at/above [`sharded_threshold`](Self::sharded_threshold) nodes).
+    pub engine: String,
+    /// Shard count when the sharded engine runs a job.
+    pub shards: usize,
+    /// Node count at which `auto` hands a job to the sharded engine.
+    pub sharded_threshold: usize,
+}
+
+impl CampaignSpec {
+    /// Parses and validates a spec from TOML or JSON text
+    /// (auto-detected: a document starting with `{` is JSON).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let doc = if text.trim_start().starts_with('{') {
+            parse_json(text)?
+        } else {
+            parse_toml_subset(text)?
+        };
+        Self::from_json(&doc)
+    }
+
+    /// Builds and validates a spec from a parsed document (spec file or
+    /// manifest-embedded copy).
+    pub fn from_json(doc: &Json) -> Result<Self, String> {
+        let name = req_str(doc, "name")?;
+        let spec = CampaignSpec {
+            name,
+            schemes: str_list(doc, "schemes", &["lr-seluge", "seluge"])?,
+            topologies: str_list(doc, "topologies", &["star:6"])?,
+            loss_ppm: num_list(doc, "loss_ppm", &[50_000.0])?
+                .into_iter()
+                .map(|v| v as u32)
+                .collect(),
+            faults: str_list(doc, "faults", &["none"])?,
+            attackers: str_list(doc, "attackers", &["none"])?,
+            seeds: opt_num(doc, "seeds", 8.0)? as u64,
+            seed_base: opt_num(doc, "seed_base", 1_000.0)? as u64,
+            image_bytes: opt_num(doc, "image_bytes", 1_024.0)? as usize,
+            deadline_s: opt_num(doc, "deadline_s", 3_600.0)? as u64,
+            stall_s: opt_num(doc, "stall_s", 400.0)? as u64,
+            max_sim_s: opt_num(doc, "max_sim_s", 3_000.0)? as u64,
+            engine: opt_str(doc, "engine", "auto")?,
+            shards: opt_num(doc, "shards", 4.0)? as usize,
+            sharded_threshold: opt_num(doc, "sharded_threshold", 64.0)? as usize,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("name must be non-empty".into());
+        }
+        for s in &self.schemes {
+            if !SCHEMES.contains(&s.as_str()) {
+                return Err(format!("unknown scheme {s:?}; known: {SCHEMES:?}"));
+            }
+        }
+        for t in &self.topologies {
+            let nodes = topology_nodes(t)?;
+            if nodes < 2 {
+                return Err(format!("topology {t:?} has {nodes} nodes; need at least 2"));
+            }
+        }
+        for &ppm in &self.loss_ppm {
+            if ppm >= 1_000_000 {
+                return Err(format!("loss_ppm {ppm} must be below 1000000 (100%)"));
+            }
+        }
+        for f in &self.faults {
+            fault_config(f, Duration::from_secs(self.max_sim_s))?;
+        }
+        for a in &self.attackers {
+            if a != "none" && a != "storm" {
+                return Err(format!(
+                    "unknown attacker {a:?}; known: \"none\", \"storm\""
+                ));
+            }
+        }
+        if self.seeds == 0 {
+            return Err("seeds must be at least 1".into());
+        }
+        if !["sequential", "sharded", "auto"].contains(&self.engine.as_str()) {
+            return Err(format!(
+                "unknown engine {:?}; use \"sequential\", \"sharded\", or \"auto\"",
+                self.engine
+            ));
+        }
+        if !(1..=64).contains(&self.shards) {
+            return Err(format!("shards must be in 1..=64, got {}", self.shards));
+        }
+        Ok(())
+    }
+
+    /// The canonical document embedded in the campaign manifest.
+    /// `from_json(to_json(spec)) == spec`, so resume re-validates the
+    /// exact grid the campaign started with.
+    pub fn to_json(&self) -> Json {
+        let strs = |xs: &[String]| Json::Arr(xs.iter().map(Json::str).collect());
+        Json::Obj(vec![
+            ("name".into(), Json::str(&self.name)),
+            ("schemes".into(), strs(&self.schemes)),
+            ("topologies".into(), strs(&self.topologies)),
+            (
+                "loss_ppm".into(),
+                Json::Arr(self.loss_ppm.iter().map(|&v| Json::num(v)).collect()),
+            ),
+            ("faults".into(), strs(&self.faults)),
+            ("attackers".into(), strs(&self.attackers)),
+            ("seeds".into(), Json::num(self.seeds as u32)),
+            ("seed_base".into(), Json::Num(self.seed_base as f64)),
+            ("image_bytes".into(), Json::Num(self.image_bytes as f64)),
+            ("deadline_s".into(), Json::Num(self.deadline_s as f64)),
+            ("stall_s".into(), Json::Num(self.stall_s as f64)),
+            ("max_sim_s".into(), Json::Num(self.max_sim_s as f64)),
+            ("engine".into(), Json::str(&self.engine)),
+            ("shards".into(), Json::num(self.shards as u32)),
+            (
+                "sharded_threshold".into(),
+                Json::Num(self.sharded_threshold as f64),
+            ),
+        ])
+    }
+
+    /// Enumerates the grid cells in canonical order: scheme (outermost)
+    /// → topology → loss → fault → attacker (innermost). This order is
+    /// load-bearing: cell indices, job ids, and seeds all derive from
+    /// it, and resume depends on it being stable.
+    pub fn cells(&self) -> Vec<CellParams> {
+        let mut cells = Vec::new();
+        for scheme in &self.schemes {
+            for topology in &self.topologies {
+                for &loss_ppm in &self.loss_ppm {
+                    for fault in &self.faults {
+                        for attacker in &self.attackers {
+                            cells.push(CellParams {
+                                index: cells.len(),
+                                scheme: scheme.clone(),
+                                topology: topology.clone(),
+                                loss_ppm,
+                                fault: fault.clone(),
+                                attacker: attacker.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// Total job count: cells × seeds.
+    pub fn job_count(&self) -> usize {
+        self.cells().len() * self.seeds as usize
+    }
+
+    /// The simulator configuration for a cell at `loss_ppm`.
+    pub fn sim_config(&self, loss_ppm: u32) -> SimConfig {
+        SimConfig {
+            medium: MediumConfig {
+                app_loss: loss_ppm as f64 / 1e6,
+                ..MediumConfig::default()
+            },
+            max_sim_time: Some(Duration::from_secs(self.max_sim_s)),
+            stall_window: Some(Duration::from_secs(self.stall_s)),
+            ..SimConfig::default()
+        }
+    }
+}
+
+/// One grid cell: every parameter except the seed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellParams {
+    /// Position in the canonical [`CampaignSpec::cells`] order.
+    pub index: usize,
+    /// Scheme under test.
+    pub scheme: String,
+    /// Topology token.
+    pub topology: String,
+    /// Application-layer loss in ppm.
+    pub loss_ppm: u32,
+    /// Fault-plan token.
+    pub fault: String,
+    /// Attacker token.
+    pub attacker: String,
+}
+
+/// Node count of a topology token (`star:N` → N, `grid:S` → S²).
+pub fn topology_nodes(token: &str) -> Result<usize, String> {
+    let (kind, arg) = token.split_once(':').ok_or_else(|| {
+        format!("bad topology token {token:?}; expected \"star:N\" or \"grid:S\"")
+    })?;
+    let n: usize = arg
+        .parse()
+        .map_err(|e| format!("bad topology size in {token:?}: {e}"))?;
+    match kind {
+        "star" => Ok(n),
+        "grid" => Ok(n * n),
+        other => Err(format!(
+            "unknown topology kind {other:?}; known: \"star\", \"grid\""
+        )),
+    }
+}
+
+/// Materializes a topology token. Grid links are sampled from `seed`,
+/// so each job sees its own link-quality draw (star links are perfect
+/// and seed-independent).
+pub fn build_topology(token: &str, seed: u64) -> Result<Topology, String> {
+    let (kind, arg) = token.split_once(':').ok_or("unreachable: validated")?;
+    let n: usize = arg.parse().map_err(|e| format!("{e}"))?;
+    match kind {
+        "star" => Ok(Topology::star(n)),
+        "grid" => Ok(Topology::grid(n, 8.0, seed)),
+        other => Err(format!("unknown topology kind {other:?}")),
+    }
+}
+
+/// Builds the [`FaultConfig`] a fault token describes, with `horizon`
+/// as the scheduling window. `none` yields the quiet default config;
+/// `crash=R` sets the crash rate (reboot after 30–120 s), `flap=R`
+/// the link-flap rate; both compose comma-joined.
+pub fn fault_config(token: &str, horizon: Duration) -> Result<FaultConfig, String> {
+    let mut config = FaultConfig {
+        horizon,
+        ..FaultConfig::default()
+    };
+    if token == "none" {
+        return Ok(config);
+    }
+    for part in token.split(',') {
+        let (key, value) = part
+            .split_once('=')
+            .ok_or_else(|| format!("bad fault token part {part:?}; expected key=rate"))?;
+        let rate: f64 = value
+            .parse()
+            .map_err(|e| format!("bad rate in fault token {part:?}: {e}"))?;
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(format!("fault rate {rate} in {part:?} outside [0, 1]"));
+        }
+        match key {
+            "crash" => {
+                config.crash_rate = rate;
+                config.reboot_after = Some((Duration::from_secs(30), Duration::from_secs(120)));
+            }
+            "flap" => {
+                config.link_flap_rate = rate;
+            }
+            other => {
+                return Err(format!(
+                    "unknown fault knob {other:?}; known: \"crash\", \"flap\""
+                ))
+            }
+        }
+    }
+    Ok(config)
+}
+
+/// Parses the flat TOML subset campaign specs use: `key = value` lines
+/// where a value is a `"string"`, a number, a boolean, or a (possibly
+/// multi-line) array of those; `#` starts a comment. Tables and nested
+/// arrays are rejected — the grid is deliberately flat.
+pub fn parse_toml_subset(text: &str) -> Result<Json, String> {
+    let mut fields: Vec<(String, Json)> = Vec::new();
+    let mut lines = text.lines().enumerate();
+    while let Some((lineno, raw)) = lines.next() {
+        let line = strip_comment(raw);
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(format!(
+                "line {}: tables are not supported; campaign specs are flat key = value",
+                lineno + 1
+            ));
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {}: expected key = value", lineno + 1))?;
+        let key = key.trim();
+        if key.is_empty() || !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return Err(format!("line {}: bad key {key:?}", lineno + 1));
+        }
+        // Accumulate continuation lines until brackets balance, so
+        // arrays can span lines like real TOML.
+        let mut value = value.trim().to_string();
+        while open_brackets(&value) > 0 {
+            let Some((_, next)) = lines.next() else {
+                return Err(format!("line {}: unterminated array", lineno + 1));
+            };
+            value.push(' ');
+            value.push_str(strip_comment(next).trim());
+        }
+        fields.push((key.to_string(), parse_toml_value(&value, lineno + 1)?));
+    }
+    Ok(Json::Obj(fields))
+}
+
+/// Strips a `#` comment, respecting `"…"` strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Net count of unclosed `[` outside strings.
+fn open_brackets(s: &str) -> i32 {
+    let mut depth = 0;
+    let mut in_str = false;
+    for c in s.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth
+}
+
+fn parse_toml_value(s: &str, lineno: usize) -> Result<Json, String> {
+    let s = s.trim();
+    if s.starts_with('[') {
+        if !s.ends_with(']') {
+            return Err(format!("line {lineno}: unterminated array"));
+        }
+        let inner = &s[1..s.len() - 1];
+        let mut items = Vec::new();
+        for part in split_toml_items(inner) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            if part.starts_with('[') {
+                return Err(format!("line {lineno}: nested arrays are not supported"));
+            }
+            items.push(parse_toml_value(part, lineno)?);
+        }
+        return Ok(Json::Arr(items));
+    }
+    if s.starts_with('"') {
+        // A scalar string is a one-item JSON document.
+        return parse_json(s).map_err(|e| format!("line {lineno}: bad string: {e}"));
+    }
+    match s {
+        "true" => return Ok(Json::Bool(true)),
+        "false" => return Ok(Json::Bool(false)),
+        _ => {}
+    }
+    // TOML allows 1_000_000 digit separators.
+    let cleaned: String = s.chars().filter(|&c| c != '_').collect();
+    cleaned
+        .parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("line {lineno}: bad value {s:?}"))
+}
+
+/// Splits array items on commas outside strings.
+fn split_toml_items(s: &str) -> Vec<&str> {
+    let mut items = Vec::new();
+    let mut in_str = false;
+    let mut start = 0;
+    for (i, c) in s.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            ',' if !in_str => {
+                items.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    items.push(&s[start..]);
+    items
+}
+
+fn req_str(doc: &Json, key: &str) -> Result<String, String> {
+    doc.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("spec is missing required string field {key:?}"))
+}
+
+fn opt_str(doc: &Json, key: &str, default: &str) -> Result<String, String> {
+    match doc.get(key) {
+        None => Ok(default.to_string()),
+        Some(v) => v
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| format!("spec field {key:?} must be a string")),
+    }
+}
+
+fn opt_num(doc: &Json, key: &str, default: f64) -> Result<f64, String> {
+    match doc.get(key) {
+        None => Ok(default),
+        Some(v) => match v.as_num() {
+            Some(n) if n.is_finite() && n >= 0.0 => Ok(n),
+            _ => Err(format!("spec field {key:?} must be a non-negative number")),
+        },
+    }
+}
+
+fn str_list(doc: &Json, key: &str, default: &[&str]) -> Result<Vec<String>, String> {
+    let Some(v) = doc.get(key) else {
+        return Ok(default.iter().map(|s| s.to_string()).collect());
+    };
+    let arr = v
+        .as_arr()
+        .ok_or_else(|| format!("spec field {key:?} must be an array of strings"))?;
+    if arr.is_empty() {
+        return Err(format!("spec field {key:?} must be non-empty"));
+    }
+    arr.iter()
+        .map(|item| {
+            item.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("spec field {key:?} must contain only strings"))
+        })
+        .collect()
+}
+
+fn num_list(doc: &Json, key: &str, default: &[f64]) -> Result<Vec<f64>, String> {
+    let Some(v) = doc.get(key) else {
+        return Ok(default.to_vec());
+    };
+    let arr = v
+        .as_arr()
+        .ok_or_else(|| format!("spec field {key:?} must be an array of numbers"))?;
+    if arr.is_empty() {
+        return Err(format!("spec field {key:?} must be non-empty"));
+    }
+    arr.iter()
+        .map(|item| match item.as_num() {
+            Some(n) if n.is_finite() && n >= 0.0 => Ok(n),
+            _ => Err(format!(
+                "spec field {key:?} must contain only non-negative numbers"
+            )),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINI: &str = r#"
+        # mini grid
+        name = "mini"
+        schemes = ["lr-seluge", "seluge"]
+        topologies = ["star:6"]   # one-hop
+        loss_ppm = [
+            50_000,  # 5%
+            200_000,
+        ]
+        seeds = 3
+    "#;
+
+    #[test]
+    fn toml_subset_parses_the_mini_grid() {
+        let spec = CampaignSpec::parse(MINI).unwrap();
+        assert_eq!(spec.name, "mini");
+        assert_eq!(spec.schemes, ["lr-seluge", "seluge"]);
+        assert_eq!(spec.loss_ppm, [50_000, 200_000]);
+        assert_eq!(spec.seeds, 3);
+        // Defaults fill the rest.
+        assert_eq!(spec.faults, ["none"]);
+        assert_eq!(spec.engine, "auto");
+        assert_eq!(spec.job_count(), 2 * 2 * 3);
+    }
+
+    #[test]
+    fn json_spec_and_manifest_round_trip() {
+        let spec = CampaignSpec::parse(MINI).unwrap();
+        let text = spec.to_json().render();
+        // A JSON spec document parses identically...
+        assert_eq!(CampaignSpec::parse(&text).unwrap(), spec);
+        // ...as does the manifest-embedded copy.
+        assert_eq!(
+            CampaignSpec::from_json(&parse_json(&text).unwrap()).unwrap(),
+            spec
+        );
+    }
+
+    #[test]
+    fn cell_order_is_canonical_and_indexed() {
+        let spec = CampaignSpec::parse(MINI).unwrap();
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 4);
+        for (i, cell) in cells.iter().enumerate() {
+            assert_eq!(cell.index, i);
+        }
+        // Scheme is the outermost axis, loss the innermost varying one.
+        assert_eq!(cells[0].scheme, "lr-seluge");
+        assert_eq!(cells[0].loss_ppm, 50_000);
+        assert_eq!(cells[1].loss_ppm, 200_000);
+        assert_eq!(cells[2].scheme, "seluge");
+    }
+
+    #[test]
+    fn bad_specs_are_rejected_with_context() {
+        for (text, needle) in [
+            ("schemes = [\"lr-seluge\"]", "missing required"),
+            ("name = \"x\"\nschemes = [\"bogus\"]", "unknown scheme"),
+            (
+                "name = \"x\"\ntopologies = [\"ring:5\"]",
+                "unknown topology",
+            ),
+            ("name = \"x\"\ntopologies = [\"star:1\"]", "at least 2"),
+            ("name = \"x\"\nloss_ppm = [1000000]", "below 1000000"),
+            ("name = \"x\"\nfaults = [\"crash=2.0\"]", "outside [0, 1]"),
+            (
+                "name = \"x\"\nfaults = [\"melt=0.5\"]",
+                "unknown fault knob",
+            ),
+            ("name = \"x\"\nattackers = [\"ddos\"]", "unknown attacker"),
+            ("name = \"x\"\nseeds = 0", "at least 1"),
+            ("name = \"x\"\nengine = \"quantum\"", "unknown engine"),
+            ("name = \"x\"\nshards = 65", "1..=64"),
+            ("[table]\nname = \"x\"", "tables are not supported"),
+            ("name = \"x\"\nloss_ppm = [[1]]", "nested arrays"),
+        ] {
+            let err = CampaignSpec::parse(text).unwrap_err();
+            assert!(err.contains(needle), "{text:?} gave {err:?}");
+        }
+    }
+
+    #[test]
+    fn fault_tokens_build_configs() {
+        let horizon = Duration::from_secs(3_000);
+        let quiet = fault_config("none", horizon).unwrap();
+        assert_eq!(quiet.crash_rate, 0.0);
+        assert_eq!(quiet.horizon, horizon);
+        let both = fault_config("crash=0.5,flap=0.3", horizon).unwrap();
+        assert_eq!(both.crash_rate, 0.5);
+        assert_eq!(both.link_flap_rate, 0.3);
+        assert!(both.reboot_after.is_some());
+    }
+
+    #[test]
+    fn topology_tokens_size_and_build() {
+        assert_eq!(topology_nodes("star:10").unwrap(), 10);
+        assert_eq!(topology_nodes("grid:4").unwrap(), 16);
+        assert_eq!(build_topology("star:10", 7).unwrap().len(), 10);
+        assert_eq!(build_topology("grid:3", 7).unwrap().len(), 9);
+        // Grid links are a per-seed draw; star links are not.
+        let a = build_topology("grid:3", 1).unwrap();
+        let b = build_topology("grid:3", 2).unwrap();
+        assert_ne!(a, b);
+    }
+}

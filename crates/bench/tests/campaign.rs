@@ -1,0 +1,149 @@
+//! Campaign-engine integration tests: crash-resume bit-identity,
+//! completion-log dedup, thread-count invariance, and job-capsule
+//! export — the guarantees that make a checkpointed Monte-Carlo fleet
+//! trustworthy.
+
+use lrs_bench::campaign::{Campaign, JOB_LOG, REPORT};
+use lrs_bench::capsules::replay_capsule;
+use lrs_bench::CampaignSpec;
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::PathBuf;
+
+/// A deliberately small grid that still spans both schemes and several
+/// cells, so the reorder buffer and per-cell aggregation actually work.
+const SPEC: &str = r#"
+name = "test-grid"
+schemes = ["lr-seluge", "seluge"]
+topologies = ["star:4"]
+loss_ppm = [100_000, 250_000]
+seeds = 2
+image_bytes = 512
+deadline_s = 3000
+"#;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lrs-campaign-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn spec() -> CampaignSpec {
+    CampaignSpec::parse(SPEC).expect("test spec parses")
+}
+
+fn run_full(name: &str, threads: usize) -> (PathBuf, Vec<u8>) {
+    let dir = scratch(name);
+    let campaign = Campaign::create(spec(), &dir).expect("create");
+    let report = campaign.run(threads, None).expect("run").expect("complete");
+    assert_eq!(report.jobs, campaign.total_jobs());
+    let bytes = fs::read(dir.join(REPORT)).expect("report written");
+    (dir, bytes)
+}
+
+#[test]
+fn crash_resume_is_bit_identical_and_never_reruns_jobs() {
+    let (_full_dir, full_report) = run_full("full", 1);
+
+    // Same spec, killed after 3 jobs: no report yet, 3 jobs logged.
+    let dir = scratch("killed");
+    let campaign = Campaign::create(spec(), &dir).expect("create");
+    let total = campaign.total_jobs();
+    assert!(campaign.run(1, Some(3)).expect("run").is_none());
+    assert!(!dir.join(REPORT).exists());
+    assert_eq!(campaign.completed().expect("log parses").len(), 3);
+
+    // Resume from the manifest alone (fresh handle, no spec file).
+    let resumed = Campaign::resume(&dir).expect("resume");
+    let report = resumed.run(1, None).expect("run").expect("completes");
+    assert_eq!(report.jobs, total);
+
+    // The final report is byte-identical to the uninterrupted run's.
+    assert_eq!(
+        fs::read(dir.join(REPORT)).expect("report"),
+        full_report,
+        "kill+resume changed the report bytes"
+    );
+
+    // Completion-log dedup: every job id appears exactly once — the
+    // resumed run skipped all logged jobs instead of re-executing them.
+    let log = fs::read_to_string(dir.join(JOB_LOG)).expect("log");
+    let ids: Vec<usize> = log
+        .lines()
+        .map(|line| {
+            lrs_bench::parse_json(line)
+                .ok()
+                .and_then(|v| v.get("job").and_then(|j| j.as_num()))
+                .expect("log line parses") as usize
+        })
+        .collect();
+    assert_eq!(ids.len(), total, "log should hold each job exactly once");
+    assert_eq!(
+        ids.iter().copied().collect::<BTreeSet<_>>().len(),
+        total,
+        "a job was executed (and logged) twice"
+    );
+}
+
+#[test]
+fn reports_are_identical_across_thread_counts() {
+    let (_d1, r1) = run_full("threads1", 1);
+    let (_d2, r2) = run_full("threads2", 2);
+    let (_d8, r8) = run_full("threads8", 8);
+    assert_eq!(r1, r2, "threads=2 changed the report bytes");
+    assert_eq!(r1, r8, "threads=8 changed the report bytes");
+}
+
+#[test]
+fn a_torn_log_tail_is_discarded_and_the_job_reruns() {
+    let (_full_dir, full_report) = run_full("torn-ref", 1);
+
+    let dir = scratch("torn");
+    let campaign = Campaign::create(spec(), &dir).expect("create");
+    assert!(campaign.run(1, Some(4)).expect("run").is_none());
+    // Simulate kill -9 mid-append: chop the last line in half.
+    let log_path = dir.join(JOB_LOG);
+    let log = fs::read_to_string(&log_path).expect("log");
+    let torn = &log[..log.len() - 30];
+    fs::write(&log_path, torn).expect("truncate");
+
+    let resumed = Campaign::resume(&dir).expect("resume");
+    // The torn record no longer counts as completed...
+    assert_eq!(resumed.completed().expect("tolerates torn tail").len(), 3);
+    // ...and the rerun restores a byte-identical report.
+    resumed.run(1, None).expect("run").expect("completes");
+    assert_eq!(fs::read(dir.join(REPORT)).expect("report"), full_report);
+}
+
+#[test]
+fn every_job_exports_as_a_replayable_capsule() {
+    let dir = scratch("export");
+    let campaign = Campaign::create(spec(), &dir).expect("create");
+    let report = campaign.run(1, None).expect("run").expect("completes");
+    let records = campaign.completed().expect("log");
+
+    // Export the first job of each scheme and re-execute it from the
+    // capsule alone: the outcome must match what the campaign logged.
+    for &job in &[0usize, campaign.total_jobs() - 1] {
+        let capsule = campaign.job_capsule(job).expect("export");
+        let run = replay_capsule(&capsule, &capsule.engine, capsule.shards).expect("replay");
+        let logged = records.iter().find(|r| r.job == job).expect("job logged");
+        assert_eq!(
+            run.report.outcome.label(),
+            logged.outcome,
+            "job {job} replayed to a different outcome"
+        );
+    }
+    let _ = report;
+}
+
+#[test]
+fn create_refuses_an_existing_campaign_dir() {
+    let dir = scratch("refuse");
+    Campaign::create(spec(), &dir).expect("create");
+    let err = match Campaign::create(spec(), &dir) {
+        Ok(_) => panic!("second create on the same dir should fail"),
+        Err(e) => e,
+    };
+    assert!(err.contains("resume"), "unhelpful error: {err}");
+}

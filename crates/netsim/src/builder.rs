@@ -157,6 +157,37 @@ impl<P, F> SimBuilder<P, F> {
         self.scenario.push((key.into(), value.to_string()));
         self
     }
+
+    /// Snapshots the configured (not yet run) simulation as a replay
+    /// [`Capsule`](crate::capsule::Capsule) with the given deadline: the
+    /// exact seed, config, topology, fault schedule, and scenario tags
+    /// this builder would execute, with no digests recorded. The engine
+    /// field follows the shard count — [`SHARDED_ENGINE`] above one
+    /// shard, [`SEQUENTIAL_ENGINE`] otherwise.
+    ///
+    /// This is how a job queue turns *any* pending job into a bit-exact
+    /// reproducer before it runs, not only after it fails.
+    ///
+    /// [`SEQUENTIAL_ENGINE`]: crate::capsule::SEQUENTIAL_ENGINE
+    /// [`SHARDED_ENGINE`]: crate::capsule::SHARDED_ENGINE
+    pub fn capsule(&self, deadline: Duration) -> crate::capsule::Capsule {
+        let engine = if self.shards > 1 {
+            crate::capsule::SHARDED_ENGINE
+        } else {
+            crate::capsule::SEQUENTIAL_ENGINE
+        };
+        crate::capsule::Capsule {
+            seed: self.seed,
+            engine: engine.to_string(),
+            shards: self.shards,
+            deadline,
+            config: self.config,
+            topology: self.topology.clone(),
+            faults: self.faults.clone(),
+            scenario: self.scenario.clone(),
+            digests: Vec::new(),
+        }
+    }
 }
 
 impl<P: Protocol + 'static, F: FnMut(NodeId) -> P> SimBuilder<P, F> {
@@ -254,6 +285,36 @@ mod tests {
         assert!(report.all_complete);
         assert!(sim.is_failed(NodeId(2)));
         assert!(sim.invariant_violation().is_none());
+    }
+
+    #[test]
+    fn capsule_snapshots_the_configured_run() {
+        let mut plan = FaultPlan::new();
+        plan.crash(NodeId(1), SimTime(7));
+        let builder: SimBuilder<Beacon, _> =
+            SimBuilder::new(Topology::star(3), 99, |_: NodeId| Beacon { heard: false })
+                .faults(plan.clone())
+                .scenario("scheme", "lr-seluge");
+        let capsule = builder.capsule(Duration::from_secs(30));
+        assert_eq!(capsule.seed, 99);
+        assert_eq!(capsule.engine, crate::capsule::SEQUENTIAL_ENGINE);
+        assert_eq!(capsule.shards, 1);
+        assert_eq!(capsule.deadline, Duration::from_secs(30));
+        assert_eq!(capsule.faults, plan);
+        assert_eq!(
+            capsule.scenario,
+            vec![("scheme".to_string(), "lr-seluge".to_string())]
+        );
+        assert!(capsule.digests.is_empty());
+        // The snapshot is engine-aware: above one shard it records the
+        // sharded engine.
+        let sharded = SimBuilder::<Beacon, _>::new(Topology::star(3), 99, |_: NodeId| Beacon {
+            heard: false,
+        })
+        .shards(4)
+        .capsule(Duration::from_secs(30));
+        assert_eq!(sharded.engine, crate::capsule::SHARDED_ENGINE);
+        assert_eq!(sharded.shards, 4);
     }
 
     #[test]

@@ -512,10 +512,7 @@ where
     // `trace_full` when collecting — so these are both empty otherwise.
     let merged: Vec<TraceEvent> = keyed.iter().map(|(_, _, event)| event.clone()).collect();
 
-    let diagnostic = if matches!(
-        outcome,
-        Outcome::Stalled | Outcome::InvariantViolated | Outcome::WorkerPanicked
-    ) {
+    let diagnostic = if outcome.is_diagnostic() {
         diags.sort_by_key(|d| d.node.0);
         let mut recent = merge_keyed_traces(rings);
         let keep = config.diag_events.min(recent.len());
@@ -546,10 +543,7 @@ where
         latency,
         diagnostic,
     };
-    if matches!(
-        report.outcome,
-        Outcome::Stalled | Outcome::InvariantViolated | Outcome::WorkerPanicked
-    ) {
+    if report.outcome.is_diagnostic() {
         if let Some(spec) = capsule_spec.as_ref() {
             let digest = if plan.collect {
                 RunDigest::compute(&report, &metrics, &merged, Some(&keyed))

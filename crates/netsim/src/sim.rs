@@ -76,6 +76,17 @@ impl Outcome {
             Outcome::WorkerPanicked => "worker_panicked",
         }
     }
+
+    /// Whether this outcome is diagnostic — the run ended abnormally
+    /// (stall, invariant violation, worker panic) rather than by a
+    /// normal terminal condition. Diagnostic outcomes are the ones the
+    /// flight recorder dumps failure capsules for.
+    pub fn is_diagnostic(self) -> bool {
+        matches!(
+            self,
+            Outcome::Stalled | Outcome::InvariantViolated | Outcome::WorkerPanicked
+        )
+    }
 }
 
 /// One node's state snapshot inside a [`DiagnosticDump`].
@@ -932,6 +943,24 @@ mod tests {
     use super::*;
     use crate::builder::SimBuilder;
     use crate::node::{PacketKind, TimerId};
+
+    #[test]
+    fn diagnostic_outcomes_are_exactly_the_capsule_dump_triggers() {
+        for outcome in [
+            Outcome::Complete,
+            Outcome::TimedOut,
+            Outcome::Drained,
+            Outcome::Stalled,
+            Outcome::InvariantViolated,
+            Outcome::WorkerPanicked,
+        ] {
+            let expected = matches!(
+                outcome,
+                Outcome::Stalled | Outcome::InvariantViolated | Outcome::WorkerPanicked
+            );
+            assert_eq!(outcome.is_diagnostic(), expected, "{}", outcome.label());
+        }
+    }
 
     /// Node 0 pings every second; others count pings.
     struct Pinger {

@@ -1,9 +1,42 @@
 #!/bin/bash
-# Regenerates every figure/table at paper scale. Run from the repo root.
+# Regenerates every figure/table at paper scale, then runs the
+# robustness suites (chaos sweep, shard-scaling sweep, flight-recorder
+# and campaign gates). Run from the repo root; extra args are forwarded
+# to the figure/table bins (e.g. --quick).
 set -e
 cd "$(dirname "$0")"
 mkdir -p results
+
+echo "=== build ==="
+cargo build --workspace --release
+
 for bin in fig3 fig4 fig5 fig6 imgsize ablation overhead attack table2_3; do
   echo "=== $bin ==="
   ./target/release/$bin "$@" | tee results/$bin.txt
 done
+
+# Fault-intensity sweep with invariant checking and the stall watchdog;
+# --capsule arms the flight recorder so any stall or invariant
+# violation dumps a replayable capsule into results/capsules.
+echo "=== chaos ==="
+./target/release/chaos --capsule results/capsules "$@" | tee results/chaos.txt
+
+# Shard-scaling sweep; asserts sharded metrics are shard-count
+# invariant and writes results/scale.json.
+echo "=== scale ==="
+./target/release/scale --capsule results/capsules "$@" | tee results/scale.txt
+
+# Flight-recorder gate: capture both schemes, replay across engines and
+# shard counts, verify digest bit-identity.
+echo "=== replay ==="
+./target/release/replay --smoke | tee results/replay.txt
+
+# Campaign gate: the built-in 24-job checkpointed Monte-Carlo grid,
+# including a kill + resume cycle to exercise crash recovery. The final
+# report must match the committed golden byte-for-byte.
+echo "=== campaign ==="
+rm -rf results/campaign-smoke
+./target/release/campaign --smoke --kill-after 6 | tee results/campaign.txt
+./target/release/campaign --resume results/campaign-smoke | tee -a results/campaign.txt
+diff results/campaign-smoke/report.json results/campaign_smoke_golden.json \
+  && echo "campaign report matches the committed golden"
