@@ -19,6 +19,8 @@
 //! campaign --export-job <id> (--spec <file> | --resume <dir>)
 //!     Print job <id> as a replay capsule (JSONL) without running it —
 //!     any grid point is a bit-exact reproducer for the `replay` bin.
+//!     With --spec the grid is built in memory: no campaign directory
+//!     is created or required.
 //!
 //! campaign --smoke [--kill-after K]
 //!     CI gate: a built-in 24-job grid (both schemes × two loss rates ×
@@ -60,10 +62,7 @@ fn arg_flag(flag: &str) -> bool {
     std::env::args().any(|a| a == flag)
 }
 
-fn open_campaign() -> Result<Campaign, String> {
-    if let Some(dir) = arg_value("--resume") {
-        return Campaign::resume(dir);
-    }
+fn parse_spec() -> Result<CampaignSpec, String> {
     let (text, source) = if arg_flag("--smoke") {
         (SMOKE_SPEC.to_string(), "built-in smoke grid".to_string())
     } else if let Some(path) = arg_value("--spec") {
@@ -74,11 +73,29 @@ fn open_campaign() -> Result<Campaign, String> {
              [--out <dir>] [--threads N] [--kill-after K] [--export-job <id>]"
             .to_string());
     };
-    let spec = CampaignSpec::parse(&text).map_err(|e| format!("{source}: {e}"))?;
+    CampaignSpec::parse(&text).map_err(|e| format!("{source}: {e}"))
+}
+
+fn open_campaign() -> Result<Campaign, String> {
+    if let Some(dir) = arg_value("--resume") {
+        return Campaign::resume(dir);
+    }
+    let spec = parse_spec()?;
     let dir = arg_value("--out")
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("results").join(format!("campaign-{}", spec.name)));
     Campaign::create(spec, dir)
+}
+
+/// The campaign for `--export-job`: exporting is a pure function of
+/// the grid, so a `--spec`/`--smoke` invocation builds the campaign in
+/// memory — it must not create (or collide with) an on-disk campaign
+/// directory as a side effect. `--resume` still reads the manifest.
+fn export_campaign() -> Result<Campaign, String> {
+    if let Some(dir) = arg_value("--resume") {
+        return Campaign::resume(dir);
+    }
+    Ok(Campaign::offline(parse_spec()?, PathBuf::new()))
 }
 
 fn print_summary(campaign: &Campaign, report: &CampaignReport) {
@@ -138,9 +155,8 @@ fn print_summary(campaign: &Campaign, report: &CampaignReport) {
 }
 
 fn run() -> Result<ExitCode, String> {
-    let campaign = open_campaign()?;
-
     if let Some(id) = arg_value("--export-job") {
+        let campaign = export_campaign()?;
         let job: usize = id
             .parse()
             .map_err(|e| format!("bad --export-job {id}: {e}"))?;
@@ -157,6 +173,7 @@ fn run() -> Result<ExitCode, String> {
         return Ok(ExitCode::SUCCESS);
     }
 
+    let campaign = open_campaign()?;
     let threads = configured_threads();
     let kill_after = match arg_value("--kill-after") {
         Some(v) => Some(

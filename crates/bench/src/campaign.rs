@@ -29,7 +29,8 @@
 //! The manifest embeds the spec verbatim, so `--resume <dir>` needs no
 //! spec file and cannot drift from the grid the campaign started with.
 //! The log is tolerant of a torn final line (the kill -9 signature) and
-//! deduplicates job ids first-wins.
+//! deduplicates job ids first-wins; before appending, a resumed run
+//! truncates any torn tail so a new record is never glued onto it.
 //!
 //! # Determinism
 //!
@@ -63,7 +64,7 @@ use lrs_netsim::SimBuilder;
 use lrs_seluge::{SelugeArtifacts, SelugeScheme};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
-use std::io::Write as _;
+use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -295,11 +296,21 @@ impl Campaign {
         ]);
         fs::write(&manifest, doc.render() + "\n")
             .map_err(|e| format!("write {}: {e}", manifest.display()))?;
-        Ok(Campaign {
+        Ok(Self::offline(spec, dir))
+    }
+
+    /// Binds a campaign to `dir` purely in memory — no directory, no
+    /// manifest, nothing on disk. For spec-only operations like
+    /// `--export-job`, where creating (or colliding with) an on-disk
+    /// campaign would be a side effect, not a feature. Running an
+    /// offline campaign works but checkpoints into a `dir` that was
+    /// never initialized; use [`create`](Self::create) for that.
+    pub fn offline(spec: CampaignSpec, dir: impl Into<PathBuf>) -> Self {
+        Campaign {
             cells: spec.cells(),
             spec,
-            dir,
-        })
+            dir: dir.into(),
+        }
     }
 
     /// Reopens the campaign in `<dir>` from its manifest. The embedded
@@ -397,6 +408,58 @@ impl Campaign {
         Ok(records)
     }
 
+    /// Truncates a torn final log line (one with no trailing newline —
+    /// the kill -9 mid-append signature) back to the end of the last
+    /// complete line. [`completed`](Self::completed) merely *tolerates*
+    /// a torn tail; before appending it must be removed, or the first
+    /// new record would be glued onto it, turning a recoverable torn
+    /// tail into a permanently corrupt mid-file line.
+    fn repair_log_tail(&self) -> Result<(), String> {
+        let path = self.dir.join(JOB_LOG);
+        let mut file = match fs::OpenOptions::new().read(true).write(true).open(&path) {
+            Ok(file) => file,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(format!("open {}: {e}", path.display())),
+        };
+        let len = file
+            .metadata()
+            .map_err(|e| format!("stat {}: {e}", path.display()))?
+            .len();
+        if len == 0 {
+            return Ok(());
+        }
+        // Scan backwards in chunks for the last newline; everything
+        // after it is the torn tail. Log lines are short, so the first
+        // chunk almost always settles it.
+        let mut keep = 0;
+        let mut end = len;
+        while end > 0 {
+            let start = end.saturating_sub(4096);
+            let mut buf = vec![0u8; (end - start) as usize];
+            file.seek(SeekFrom::Start(start))
+                .and_then(|_| file.read_exact(&mut buf))
+                .map_err(|e| format!("read {}: {e}", path.display()))?;
+            if end == len && buf.last() == Some(&b'\n') {
+                return Ok(());
+            }
+            if let Some(i) = buf.iter().rposition(|&b| b == b'\n') {
+                keep = start + i as u64 + 1;
+                break;
+            }
+            end = start;
+        }
+        eprintln!(
+            "campaign: truncating torn {}-byte tail of {} before appending",
+            len - keep,
+            path.display()
+        );
+        file.set_len(keep)
+            .map_err(|e| format!("truncate {}: {e}", path.display()))?;
+        file.sync_data()
+            .map_err(|e| format!("sync {}: {e}", path.display()))?;
+        Ok(())
+    }
+
     /// Runs (or resumes) the campaign on `threads` workers.
     ///
     /// `kill_after` caps how many *new* jobs this invocation executes
@@ -422,6 +485,7 @@ impl Campaign {
         let killed = limit < todo.len();
 
         if limit > 0 {
+            self.repair_log_tail()?;
             let log_path = self.dir.join(JOB_LOG);
             let mut log = fs::OpenOptions::new()
                 .create(true)

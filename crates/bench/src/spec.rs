@@ -361,14 +361,37 @@ pub fn parse_toml_subset(text: &str) -> Result<Json, String> {
     Ok(Json::Obj(fields))
 }
 
+/// Yields `(byte_index, char, inside_string)` over `s`, tracking `"…"`
+/// string state with backslash escapes — the same string grammar
+/// [`parse_json`] accepts, so the structural scanners below never
+/// mistake an escaped `\"` for a string boundary (and thus a `#`, `,`,
+/// or bracket inside a string for structure). Quote characters
+/// themselves report as in-string.
+fn scan_strings(s: &str) -> impl Iterator<Item = (usize, char, bool)> + '_ {
+    let mut in_str = false;
+    let mut escaped = false;
+    s.char_indices().map(move |(i, c)| {
+        let was_in = in_str;
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+        } else if c == '"' {
+            in_str = true;
+        }
+        (i, c, was_in || in_str)
+    })
+}
+
 /// Strips a `#` comment, respecting `"…"` strings.
 fn strip_comment(line: &str) -> &str {
-    let mut in_str = false;
-    for (i, c) in line.char_indices() {
-        match c {
-            '"' => in_str = !in_str,
-            '#' if !in_str => return &line[..i],
-            _ => {}
+    for (i, c, in_str) in scan_strings(line) {
+        if c == '#' && !in_str {
+            return &line[..i];
         }
     }
     line
@@ -377,10 +400,8 @@ fn strip_comment(line: &str) -> &str {
 /// Net count of unclosed `[` outside strings.
 fn open_brackets(s: &str) -> i32 {
     let mut depth = 0;
-    let mut in_str = false;
-    for c in s.chars() {
+    for (_, c, in_str) in scan_strings(s) {
         match c {
-            '"' => in_str = !in_str,
             '[' if !in_str => depth += 1,
             ']' if !in_str => depth -= 1,
             _ => {}
@@ -429,16 +450,11 @@ fn parse_toml_value(s: &str, lineno: usize) -> Result<Json, String> {
 /// Splits array items on commas outside strings.
 fn split_toml_items(s: &str) -> Vec<&str> {
     let mut items = Vec::new();
-    let mut in_str = false;
     let mut start = 0;
-    for (i, c) in s.char_indices() {
-        match c {
-            '"' => in_str = !in_str,
-            ',' if !in_str => {
-                items.push(&s[start..i]);
-                start = i + 1;
-            }
-            _ => {}
+    for (i, c, in_str) in scan_strings(s) {
+        if c == ',' && !in_str {
+            items.push(&s[start..i]);
+            start = i + 1;
         }
     }
     items.push(&s[start..]);
@@ -594,6 +610,29 @@ mod tests {
             let err = CampaignSpec::parse(text).unwrap_err();
             assert!(err.contains(needle), "{text:?} gave {err:?}");
         }
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_confuse_the_scanners() {
+        // `\"` inside a string must not toggle string state, so the
+        // `#`, `,`, and `]` that follow stay part of the value instead
+        // of being read as comment/separator/close-bracket.
+        let doc = parse_toml_subset(
+            "name = \"a\\\"b # not a comment\"\nxs = [\"c,\\\"d\", \"e]f\"]  # real comment",
+        )
+        .unwrap();
+        assert_eq!(
+            doc.get("name").and_then(Json::as_str),
+            Some("a\"b # not a comment")
+        );
+        let xs: Vec<&str> = doc
+            .get("xs")
+            .and_then(Json::as_arr)
+            .expect("xs is an array")
+            .iter()
+            .filter_map(Json::as_str)
+            .collect();
+        assert_eq!(xs, ["c,\"d", "e]f"]);
     }
 
     #[test]

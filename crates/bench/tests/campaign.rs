@@ -108,11 +108,36 @@ fn a_torn_log_tail_is_discarded_and_the_job_reruns() {
     fs::write(&log_path, torn).expect("truncate");
 
     let resumed = Campaign::resume(&dir).expect("resume");
-    // The torn record no longer counts as completed...
+    // The torn record no longer counts as completed.
     assert_eq!(resumed.completed().expect("tolerates torn tail").len(), 3);
+    // Append one job onto the torn log: the tail must be truncated
+    // first, not glued onto — gluing would leave a corrupt *mid-file*
+    // line that poisons every later read of the log.
+    assert!(resumed.run(1, Some(1)).expect("run").is_none());
+    let second = Campaign::resume(&dir).expect("second resume");
+    assert_eq!(
+        second
+            .completed()
+            .expect("log stays parseable after append")
+            .len(),
+        4
+    );
     // ...and the rerun restores a byte-identical report.
-    resumed.run(1, None).expect("run").expect("completes");
+    second.run(1, None).expect("run").expect("completes");
     assert_eq!(fs::read(dir.join(REPORT)).expect("report"), full_report);
+}
+
+#[test]
+fn export_from_a_spec_touches_nothing_on_disk() {
+    let dir = scratch("offline");
+    let campaign = Campaign::offline(spec(), &dir);
+    let capsule = campaign.job_capsule(0).expect("export");
+    assert_eq!(capsule.seed, campaign.job_seed(0));
+    assert!(
+        !dir.exists(),
+        "offline export created {} as a side effect",
+        dir.display()
+    );
 }
 
 #[test]
