@@ -19,9 +19,11 @@ use lr_seluge::GreedyRoundRobinPolicy;
 use lrs_crypto::merkle::MerkleTree;
 use lrs_crypto::schnorr::Keypair;
 use lrs_crypto::sha256::sha256;
+use lrs_crypto::sha256_mb::{sha256_batch, ShaKernel};
 use lrs_deluge::policy::{TxPolicy, UnionPolicy};
 use lrs_deluge::wire::BitVec;
-use lrs_erasure::gf256::{slice_mul_add_assign, slice_mul_add_assign_scalar, Gf};
+use lrs_erasure::gf256::{slice_mul_add_assign, Gf};
+use lrs_erasure::kernel::Kernel;
 use lrs_erasure::matrix::Matrix;
 use lrs_erasure::{ErasureCode, ReedSolomon};
 use lrs_netsim::node::NodeId;
@@ -94,6 +96,14 @@ fn bench_sha256() {
             black_box(sha256(black_box(&data)));
         });
     }
+    // Multi-buffer hashing: 8 independent 1 KiB messages per call. The
+    // interesting comparison is against 8x `sha256/1024B` — the batch
+    // amortises the message schedule across lanes.
+    let msgs: Vec<Vec<u8>> = (0..8).map(|i| vec![i as u8; 1024]).collect();
+    let refs: Vec<&[u8]> = msgs.iter().map(|m| m.as_slice()).collect();
+    bench("sha256/batch8_1024B", (8 * 1024) as u64, || {
+        black_box(sha256_batch(black_box(&refs)));
+    });
 }
 
 fn bench_gf_kernels() {
@@ -110,9 +120,24 @@ fn bench_gf_kernels() {
         bench(&format!("gf/mul_slice_{label}"), size as u64, || {
             slice_mul_add_assign(black_box(&mut dst), black_box(coeff), black_box(&src));
         });
-        bench(&format!("gf/mul_slice_scalar_{label}"), size as u64, || {
-            slice_mul_add_assign_scalar(black_box(&mut dst), black_box(coeff), black_box(&src));
-        });
+        // Every kernel this CPU can run, pinned explicitly — the
+        // dispatched entry above shows what production code gets; these
+        // isolate each implementation for cross-kernel comparison (the
+        // `scalar` row doubles as the pre-SIMD reference).
+        for k in Kernel::supported() {
+            bench(
+                &format!("gf/mul_slice_{}_{label}", k.name()),
+                size as u64,
+                || {
+                    lrs_erasure::kernel::mul_add_assign(
+                        black_box(k),
+                        black_box(&mut dst),
+                        black_box(coeff),
+                        black_box(&src),
+                    );
+                },
+            );
+        }
     }
 }
 
@@ -265,6 +290,11 @@ fn main() {
         .position(|a| a == "--json")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    println!(
+        "gf kernel: {} (LRS_GF_KERNEL to force)   sha kernel: {} (LRS_SHA_KERNEL to force)",
+        Kernel::active().name(),
+        ShaKernel::active().name(),
+    );
     println!(
         "{:<32} {:>17} {:>16}",
         "benchmark", "median latency", "throughput"

@@ -2,6 +2,11 @@
 //!
 //! Usage: `probe [N] [seed] [p] [--trace=FILE.jsonl]`
 //!
+//! `probe --kernels` prints the GF(256) and SHA-256 kernels this CPU
+//! supports, which one runtime dispatch selected, and the env knobs
+//! (`LRS_GF_KERNEL` / `LRS_SHA_KERNEL`) that force a choice — then
+//! exits. Scripts use it to record the compute configuration of a run.
+//!
 //! With `--trace=FILE`, every simulator event (tx/rx/loss-with-cause,
 //! timers, completions, protocol notes) is streamed to `FILE` as JSON
 //! Lines, and a closing `"ev":"metrics"` summary line is appended.
@@ -22,6 +27,27 @@ use lrs_netsim::SimBuilder;
 use std::io::Write as _;
 
 fn main() {
+    if std::env::args().any(|a| a == "--kernels") {
+        let gf: Vec<&str> = lrs_erasure::kernel::Kernel::supported()
+            .into_iter()
+            .map(|k| k.name())
+            .collect();
+        let sha: Vec<&str> = lrs_crypto::sha256_mb::ShaKernel::supported()
+            .into_iter()
+            .map(|k| k.name())
+            .collect();
+        println!(
+            "gf256 kernels: [{}] active={} (force with LRS_GF_KERNEL)",
+            gf.join(", "),
+            lrs_erasure::kernel::Kernel::active().name()
+        );
+        println!(
+            "sha256 kernels: [{}] active={} (force with LRS_SHA_KERNEL)",
+            sha.join(", "),
+            lrs_crypto::sha256_mb::ShaKernel::active().name()
+        );
+        return;
+    }
     let positional: Vec<String> = std::env::args()
         .skip(1)
         .filter(|a| !a.starts_with("--"))

@@ -194,8 +194,12 @@ pub fn run_lr(spec: &RunSpec, params: LrSelugeParams, seed: u64) -> ExperimentMe
     };
     // One digest memo per run: a broadcast hashed by one receiver is
     // served from memory at the others (per-node `hashes` counters are
-    // unaffected; hits land in `memoized_hashes`).
+    // unaffected; hits land in `memoized_hashes`). The base-station
+    // artifacts enumerate every predetermined packet, so the memo is
+    // warmed up front in multi-buffer batches instead of filling
+    // packet-by-packet on first reception.
     let digests = lr_seluge::scheme::PacketDigestCache::default();
+    deployment.warm_digest_cache(&digests);
     let mut sim = SimBuilder::new(spec.topology.clone(), seed, |id| {
         deployment.node_cached(id, NodeId(0), &digests)
     })
@@ -229,6 +233,7 @@ pub fn run_seluge(spec: &RunSpec, params: SelugeParams, seed: u64) -> Experiment
     };
     let engine = spec.engine;
     let digests = lrs_seluge::scheme::PacketDigestCache::default();
+    artifacts.warm_digest_cache(&digests);
     let mut sim = SimBuilder::new(spec.topology.clone(), seed, |id| {
         let scheme = if id == NodeId(0) {
             SelugeScheme::base(&artifacts, kp.public(), puzzle)

@@ -133,6 +133,14 @@ impl Deployment {
         )
     }
 
+    /// Pre-fills a per-run packet-digest memo from the preprocessed
+    /// artifacts (see [`LrArtifacts::warm_digest_cache`]): all
+    /// predetermined packet hashes are computed in multi-buffer batches
+    /// up front, so receivers hit warm entries from the first packet.
+    pub fn warm_digest_cache(&self, cache: &PacketDigestCache) {
+        self.artifacts.warm_digest_cache(cache);
+    }
+
     fn make_scheme(&self, id: NodeId, base_id: NodeId) -> LrScheme {
         if id == base_id {
             LrScheme::base(&self.artifacts, self.pubkey, self.puzzle)

@@ -11,7 +11,6 @@
 //! signed (with a message-specific puzzle as weak authenticator).
 
 use crate::code::PageCode;
-use crate::packet_hash;
 use crate::params::{LrSelugeParams, ParamError};
 use lrs_crypto::hash::Digest;
 use lrs_crypto::merkle::MerkleTree;
@@ -92,10 +91,11 @@ impl LrArtifacts {
                 .map(|c| c.to_vec())
                 .collect();
             let encoded = code.encode(&blocks).expect("consistent shapes");
-            next_hashes = encoded
+            // All n per-page packet hashes are independent: one batch
+            // through the multi-buffer SHA-256 kernels.
+            next_hashes = crate::packet_hash_batch(params.version, item, &encoded)
                 .iter()
-                .enumerate()
-                .flat_map(|(j, e)| packet_hash(params.version, item, j as u16, e).0)
+                .flat_map(|h| h.0)
                 .collect();
             page_inputs[i] = input;
             page_packets[i] = encoded;
@@ -238,11 +238,31 @@ impl LrArtifacts {
         let input = self.page_input(i);
         &input[self.params.page_capacity()..]
     }
+
+    /// Pre-fills a run's packet-digest memo with the hash image of every
+    /// predetermined data packet, computed one multi-buffer batch per
+    /// page. Receivers then verify even first-contact packets against
+    /// warm entries; per-node `hashes` cost counters are unaffected
+    /// (hits land in `memoized_hashes`, exactly as with lazy fills).
+    pub fn warm_digest_cache(&self, cache: &crate::scheme::PacketDigestCache) {
+        for (i, packets) in self.page_packets.iter().enumerate() {
+            let item = (i + 2) as u16;
+            let hashes = crate::packet_hash_batch(self.params.version, item, packets);
+            cache.warm(
+                packets
+                    .iter()
+                    .zip(hashes)
+                    .enumerate()
+                    .map(|(j, (p, h))| ((self.params.version, item, j as u16), p.as_slice(), h)),
+            );
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::packet_hash;
     use lrs_crypto::hash::HASH_IMAGE_LEN;
     use lrs_erasure::ReedSolomon;
 

@@ -4,8 +4,11 @@
 
 use lrs_crypto::bignum::U256;
 use lrs_crypto::ec::{fadd, finv, fmul, fsub, generator, mul_generator, Jacobian};
+use lrs_crypto::hash::{hash_image, hash_image_batch};
 use lrs_crypto::merkle::MerkleTree;
 use lrs_crypto::schnorr::Keypair;
+use lrs_crypto::sha256::sha256;
+use lrs_crypto::sha256_mb::{sha256_batch, sha256_batch_parts_with, ShaKernel};
 use lrs_rng::DetRng;
 
 fn u256_small(rng: &mut DetRng) -> U256 {
@@ -140,4 +143,88 @@ fn merkle_accepts_honest_rejects_flipped() {
 #[test]
 fn generator_is_fixed_point_of_one() {
     assert_eq!(mul_generator(&U256::ONE), generator());
+}
+
+#[test]
+fn sha256_batch_matches_sequential_on_every_kernel() {
+    // Random batches of random-length multi-part messages: every
+    // supported multi-buffer kernel must produce exactly the digests
+    // the one-at-a-time hasher produces, for every message, in order.
+    let mut rng = DetRng::seed_from_u64(0x6d62_7368);
+    for trial in 0..24 {
+        let batch_len = match trial {
+            0 => 0,
+            1 => 1,
+            _ => rng.gen_range(2usize..30),
+        };
+        let msgs: Vec<Vec<u8>> = (0..batch_len)
+            .map(|_| {
+                // Lengths straddle the 64-byte block and 55/56-byte
+                // padding boundaries, plus larger multi-block messages.
+                let len = match rng.gen_range(0usize..4) {
+                    0 => rng.gen_range(0usize..9),
+                    1 => rng.gen_range(50usize..70),
+                    2 => rng.gen_range(118usize..130),
+                    _ => rng.gen_range(0usize..1500),
+                };
+                let mut m = vec![0u8; len];
+                rng.fill_bytes(&mut m);
+                m
+            })
+            .collect();
+        let refs: Vec<&[u8]> = msgs.iter().map(|m| m.as_slice()).collect();
+        let expect: Vec<_> = refs.iter().map(|m| sha256(m)).collect();
+
+        assert_eq!(sha256_batch(&refs), expect, "active kernel, trial {trial}");
+        for kernel in ShaKernel::supported() {
+            // Single-part messages.
+            let wrapped: Vec<[&[u8]; 1]> = refs.iter().map(|m| [*m]).collect();
+            assert_eq!(
+                sha256_batch_parts_with(kernel, &wrapped),
+                expect,
+                "kernel {} trial {trial}",
+                kernel.name()
+            );
+            // The same messages re-split into random parts must hash
+            // identically (streamed padding, no concatenation).
+            let split: Vec<Vec<&[u8]>> = refs
+                .iter()
+                .map(|m| {
+                    let cut = if m.is_empty() {
+                        0
+                    } else {
+                        rng.gen_range(0usize..m.len())
+                    };
+                    vec![&m[..cut], &m[cut..]]
+                })
+                .collect();
+            assert_eq!(
+                sha256_batch_parts_with(kernel, &split),
+                expect,
+                "split parts, kernel {} trial {trial}",
+                kernel.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn hash_image_batch_matches_hash_image() {
+    let mut rng = DetRng::seed_from_u64(0x6869_6221);
+    let version = 7u32.to_be_bytes();
+    let msgs: Vec<(Vec<u8>, [u8; 2])> = (0..17)
+        .map(|i| {
+            let mut payload = vec![0u8; rng.gen_range(10usize..90)];
+            rng.fill_bytes(&mut payload);
+            (payload, (i as u16).to_be_bytes())
+        })
+        .collect();
+    let parts: Vec<[&[u8]; 3]> = msgs
+        .iter()
+        .map(|(payload, idx)| [&version[..], &idx[..], payload.as_slice()])
+        .collect();
+    let batched = hash_image_batch(&parts);
+    for (p, b) in parts.iter().zip(&batched) {
+        assert_eq!(hash_image(p), *b);
+    }
 }

@@ -7,7 +7,12 @@
 //! microcontrollers.
 
 /// A GF(2⁸) field element.
+///
+/// `repr(transparent)` guarantees `Gf` has the exact layout of `u8`, so
+/// slices of field elements (matrix rows) can be reinterpreted as byte
+/// slices and routed through the [`crate::kernel`] slice kernels.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Debug, PartialOrd, Ord)]
+#[repr(transparent)]
 pub struct Gf(pub u8);
 
 /// Log/exp tables for the field, built once.
@@ -152,77 +157,81 @@ pub(crate) fn mul_row(coeff: Gf) -> &'static [u8; 256] {
     &mul_table().rows[coeff.0 as usize]
 }
 
-/// XORs `src` into `dst` (vector addition over GF(256)).
+/// 4-bit split tables for the shuffle kernels: for each coefficient `c`,
+/// 32 bytes laid out as `lo ‖ hi` with `lo[i] = c · i` and
+/// `hi[i] = c · (i << 4)`, so `c · b = lo[b & 0xf] ⊕ hi[b >> 4]`
+/// (distributivity over the nibble split of `b`). Each 16-byte half is
+/// exactly one `PSHUFB` lookup table. 8 KiB total, built lazily from the
+/// full multiplication table.
+#[cfg_attr(not(target_arch = "x86_64"), allow(dead_code))]
+struct NibTable {
+    rows: Box<[[u8; 32]; 256]>,
+}
+
+#[cfg_attr(not(target_arch = "x86_64"), allow(dead_code))]
+fn nib_table() -> &'static NibTable {
+    use std::sync::OnceLock;
+    static NIB: OnceLock<NibTable> = OnceLock::new();
+    NIB.get_or_init(|| {
+        let mul = &mul_table().rows;
+        let mut rows = vec![[0u8; 32]; 256].into_boxed_slice();
+        for (c, row) in rows.iter_mut().enumerate() {
+            for i in 0..16 {
+                row[i] = mul[c][i];
+                row[16 + i] = mul[c][i << 4];
+            }
+        }
+        let rows: Box<[[u8; 32]; 256]> = rows.try_into().expect("256 rows");
+        NibTable { rows }
+    })
+}
+
+/// The low/high nibble lookup tables for `coeff` (`lo` in bytes 0..16,
+/// `hi` in bytes 16..32).
+#[inline]
+#[cfg_attr(not(target_arch = "x86_64"), allow(dead_code))]
+pub(crate) fn nib_row(coeff: Gf) -> &'static [u8; 32] {
+    &nib_table().rows[coeff.0 as usize]
+}
+
+/// XORs `src` into `dst` (vector addition over GF(256)), via the
+/// process-wide kernel selected by [`crate::kernel::Kernel::active`].
 ///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
 pub fn slice_add_assign(dst: &mut [u8], src: &[u8]) {
-    assert_eq!(dst.len(), src.len(), "slice length mismatch");
-    for (d, s) in dst.iter_mut().zip(src) {
-        *d ^= s;
-    }
+    crate::kernel::add_assign(crate::kernel::Kernel::active(), dst, src);
 }
 
 /// Adds `coeff * src` into `dst` (the row operation of RS encoding and
-/// Gaussian elimination), via the per-coefficient multiplication row.
+/// Gaussian elimination), via the process-wide kernel selected by
+/// [`crate::kernel::Kernel::active`].
 ///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
 pub fn slice_mul_add_assign(dst: &mut [u8], coeff: Gf, src: &[u8]) {
-    assert_eq!(dst.len(), src.len(), "slice length mismatch");
-    if coeff.0 == 0 {
-        return;
-    }
-    if coeff.0 == 1 {
-        slice_add_assign(dst, src);
-        return;
-    }
-    let row = mul_row(coeff);
-    // Unrolled 8-byte chunks keep the single-row lookups pipelined.
-    let mut d_chunks = dst.chunks_exact_mut(8);
-    let mut s_chunks = src.chunks_exact(8);
-    for (d, s) in d_chunks.by_ref().zip(s_chunks.by_ref()) {
-        d[0] ^= row[s[0] as usize];
-        d[1] ^= row[s[1] as usize];
-        d[2] ^= row[s[2] as usize];
-        d[3] ^= row[s[3] as usize];
-        d[4] ^= row[s[4] as usize];
-        d[5] ^= row[s[5] as usize];
-        d[6] ^= row[s[6] as usize];
-        d[7] ^= row[s[7] as usize];
-    }
-    for (d, s) in d_chunks
-        .into_remainder()
-        .iter_mut()
-        .zip(s_chunks.remainder())
-    {
-        *d ^= row[*s as usize];
-    }
+    crate::kernel::mul_add_assign(crate::kernel::Kernel::active(), dst, coeff, src);
+}
+
+/// Adds `Σ coeffs[i] * srcs[i]` into `dst` — one whole generator-row
+/// product, fused so kernel dispatch and table setup are paid once per
+/// output row rather than once per source (see
+/// [`crate::kernel::mul_add_accumulate`]).
+///
+/// # Panics
+///
+/// Panics if `coeffs` and `srcs` have different lengths or any source
+/// length differs from `dst`'s.
+pub fn slice_mul_add_accumulate(dst: &mut [u8], coeffs: &[Gf], srcs: &[&[u8]]) {
+    crate::kernel::mul_add_accumulate(crate::kernel::Kernel::active(), dst, coeffs, srcs);
 }
 
 /// Multiplies every byte of `buf` by `coeff` in place, via the
-/// per-coefficient multiplication row.
+/// process-wide kernel selected by [`crate::kernel::Kernel::active`].
 pub fn slice_scale(buf: &mut [u8], coeff: Gf) {
-    if coeff.0 == 1 {
-        return;
-    }
-    let row = mul_row(coeff);
-    let mut chunks = buf.chunks_exact_mut(8);
-    for b in chunks.by_ref() {
-        b[0] = row[b[0] as usize];
-        b[1] = row[b[1] as usize];
-        b[2] = row[b[2] as usize];
-        b[3] = row[b[3] as usize];
-        b[4] = row[b[4] as usize];
-        b[5] = row[b[5] as usize];
-        b[6] = row[b[6] as usize];
-        b[7] = row[b[7] as usize];
-    }
-    for b in chunks.into_remainder() {
-        *b = row[*b as usize];
-    }
+    crate::kernel::scale(crate::kernel::Kernel::active(), buf, coeff);
 }
 
 /// Scalar reference implementation of [`slice_mul_add_assign`] (the
@@ -324,6 +333,22 @@ mod tests {
     #[should_panic(expected = "division by zero")]
     fn div_by_zero_panics() {
         let _ = Gf(5).div(Gf::ZERO);
+    }
+
+    #[test]
+    #[cfg(target_arch = "x86_64")]
+    fn nibble_split_reconstructs_full_table() {
+        for c in 0..=255u8 {
+            let nib = nib_row(Gf(c));
+            let (lo, hi) = nib.split_at(16);
+            for b in 0..=255u8 {
+                assert_eq!(
+                    lo[(b & 0x0f) as usize] ^ hi[(b >> 4) as usize],
+                    Gf(c).mul(Gf(b)).0,
+                    "c={c} b={b}"
+                );
+            }
+        }
     }
 
     #[test]

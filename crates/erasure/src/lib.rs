@@ -36,6 +36,7 @@
 //! ```
 
 pub mod gf256;
+pub mod kernel;
 pub mod lt;
 pub mod matrix;
 pub mod rs;

@@ -3,8 +3,25 @@
 //! Used to build the systematic Reed-Solomon generator matrix and to
 //! invert the received-row submatrix during decoding.
 
-use crate::gf256::{mul_row, Gf};
+use crate::gf256::{slice_mul_add_assign, slice_scale, Gf};
 use crate::CodeError;
+
+/// Reinterprets a row of field elements as raw bytes so row operations
+/// can go through the dispatched slice kernels. Sound because `Gf` is
+/// `repr(transparent)` over `u8`.
+#[inline]
+fn row_bytes_mut(row: &mut [Gf]) -> &mut [u8] {
+    // SAFETY: `Gf` is `#[repr(transparent)]` over `u8`, so the slices
+    // have identical layout, and the lifetime is inherited from `row`.
+    unsafe { std::slice::from_raw_parts_mut(row.as_mut_ptr() as *mut u8, row.len()) }
+}
+
+/// Shared-reference variant of [`row_bytes_mut`].
+#[inline]
+fn row_bytes(row: &[Gf]) -> &[u8] {
+    // SAFETY: as in `row_bytes_mut`.
+    unsafe { std::slice::from_raw_parts(row.as_ptr() as *const u8, row.len()) }
+}
 
 /// A dense row-major matrix over GF(256).
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -182,13 +199,7 @@ impl Matrix {
     }
 
     fn scale_row(&mut self, r: usize, factor: Gf) {
-        if factor == Gf::ONE {
-            return;
-        }
-        let row = mul_row(factor);
-        for v in self.row_mut(r) {
-            *v = Gf(row[v.0 as usize]);
-        }
+        slice_scale(row_bytes_mut(self.row_mut(r)), factor);
     }
 
     /// row[dst] += factor * row[src]
@@ -196,11 +207,8 @@ impl Matrix {
         if factor == Gf::ZERO {
             return;
         }
-        let row = mul_row(factor);
         let (d, s) = self.two_rows_mut(dst, src);
-        for (dv, sv) in d.iter_mut().zip(s.iter()) {
-            dv.0 ^= row[sv.0 as usize];
-        }
+        slice_mul_add_assign(row_bytes_mut(d), factor, row_bytes(s));
     }
 }
 

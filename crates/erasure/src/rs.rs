@@ -12,7 +12,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, PoisonError};
 
-use crate::gf256::{slice_mul_add_assign, Gf};
+use crate::gf256::{slice_mul_add_accumulate, Gf};
 use crate::matrix::Matrix;
 use crate::{check_decode_input, CodeError, ErasureCode};
 
@@ -189,13 +189,12 @@ impl ErasureCode for ReedSolomon {
         let mut out = Vec::with_capacity(self.n);
         // Systematic part: identity rows.
         out.extend(blocks.iter().cloned());
-        // Parity part.
+        // Parity part: each parity row is one fused generator-row
+        // product over all k sources.
+        let srcs: Vec<&[u8]> = blocks.iter().map(|b| b.as_slice()).collect();
         for r in self.k..self.n {
-            let row = self.gen_row(r);
             let mut acc = vec![0u8; block_len];
-            for (c, coeff) in row.iter().enumerate() {
-                slice_mul_add_assign(&mut acc, *coeff, &blocks[c]);
-            }
+            slice_mul_add_accumulate(&mut acc, self.gen_row(r), &srcs);
             out.push(acc);
         }
         Ok(out)
@@ -223,12 +222,11 @@ impl ErasureCode for ReedSolomon {
 
         let indices: Vec<usize> = chosen.iter().map(|(idx, _)| *idx).collect();
         let inv = self.inverse_for(&indices);
+        let srcs: Vec<&[u8]> = chosen.iter().map(|(_, data)| *data).collect();
         let mut out = Vec::with_capacity(self.k);
         for r in 0..self.k {
             let mut acc = vec![0u8; block_len];
-            for (c, (_, data)) in chosen.iter().enumerate() {
-                slice_mul_add_assign(&mut acc, inv.get(r, c), data);
-            }
+            slice_mul_add_accumulate(&mut acc, inv.row(r), &srcs);
             out.push(acc);
         }
         Ok(out)
@@ -263,10 +261,9 @@ impl ErasureCode for ReedSolomon {
 
         let indices: Vec<usize> = chosen.iter().map(|(idx, _)| *idx).collect();
         let inv = self.inverse_for(&indices);
+        let srcs: Vec<&[u8]> = chosen.iter().map(|(_, data)| *data).collect();
         for (r, acc) in out.chunks_exact_mut(block_len).enumerate() {
-            for (c, (_, data)) in chosen.iter().enumerate() {
-                slice_mul_add_assign(acc, inv.get(r, c), data);
-            }
+            slice_mul_add_accumulate(acc, inv.row(r), &srcs);
         }
         Ok(())
     }

@@ -115,6 +115,35 @@ impl<D: Copy> DigestCache<D> {
             .or_insert_with(|| (payload.to_vec(), digest));
     }
 
+    /// Pre-fills the cache from an iterator of
+    /// `((version, item, index), payload, digest)` entries — the
+    /// batch-hash fill path. A run that knows its packets up front
+    /// (the base-station artifacts enumerate every predetermined
+    /// packet) can compute all digests in one multi-buffer batch and
+    /// warm the cache once instead of hashing packet-by-packet on
+    /// first reception.
+    ///
+    /// Uses the same first-writer-wins and capacity rules as
+    /// [`DigestCache::insert`] and, like it, never touches the
+    /// hit/miss counters — warming changes where digests come from,
+    /// never how many logical hashes the schemes count.
+    pub fn warm<'a, I>(&self, entries: I)
+    where
+        D: 'a,
+        I: IntoIterator<Item = ((u16, u16, u16), &'a [u8], D)>,
+    {
+        let mut inner = self.inner.borrow_mut();
+        for ((version, item, index), payload, digest) in entries {
+            if inner.map.len() >= inner.capacity {
+                return;
+            }
+            inner
+                .map
+                .entry((version, item, index))
+                .or_insert_with(|| (payload.to_vec(), digest));
+        }
+    }
+
     /// `(hits, misses)` counters since creation.
     pub fn counters(&self) -> (u64, u64) {
         let inner = self.inner.borrow();

@@ -5,7 +5,6 @@
 //! `i+1` appended; the hashes of page 1's packets form the hash page
 //! `M0`, protected by a Merkle tree whose root is signed.
 
-use crate::packet_hash;
 use lrs_crypto::hash::{Digest, HASH_IMAGE_LEN};
 use lrs_crypto::merkle::MerkleTree;
 use lrs_crypto::puzzle::{PuzzleKeyChain, PuzzleSolution};
@@ -137,10 +136,11 @@ impl SelugeArtifacts {
                 payload.extend_from_slice(next_hash);
                 packets.push(payload);
             }
-            next_hashes = packets
+            // All per-page packet hashes are independent: one batch
+            // through the multi-buffer SHA-256 kernels.
+            next_hashes = crate::packet_hash_batch(params.version, item, &packets)
                 .iter()
-                .enumerate()
-                .map(|(j, p)| packet_hash(params.version, item, j as u16, p).0)
+                .map(|h| h.0)
                 .collect();
             page_packets[i] = packets;
         }
@@ -261,11 +261,31 @@ impl SelugeArtifacts {
     pub fn page_packet(&self, i: u16, j: u16) -> &[u8] {
         &self.page_packets[i as usize][j as usize]
     }
+
+    /// Pre-fills a run's packet-digest memo with the hash image of every
+    /// predetermined data packet, computed one multi-buffer batch per
+    /// page. Receivers then verify even first-contact packets against
+    /// warm entries; per-node `hashes` cost counters are unaffected
+    /// (hits land in `memoized_hashes`, exactly as with lazy fills).
+    pub fn warm_digest_cache(&self, cache: &crate::scheme::PacketDigestCache) {
+        for (i, packets) in self.page_packets.iter().enumerate() {
+            let item = (i + 2) as u16;
+            let hashes = crate::packet_hash_batch(self.params.version, item, packets);
+            cache.warm(
+                packets
+                    .iter()
+                    .zip(hashes)
+                    .enumerate()
+                    .map(|(j, (p, h))| ((self.params.version, item, j as u16), p.as_slice(), h)),
+            );
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::packet_hash;
 
     fn small_params() -> SelugeParams {
         SelugeParams {

@@ -10,6 +10,13 @@ mkdir -p results
 echo "=== build ==="
 cargo build --workspace --release
 
+# Record the compute configuration: which GF(256) and SHA-256 kernels
+# this CPU supports and which ones runtime dispatch selected. Results
+# are bit-identical across kernels, but throughput/runtime comparisons
+# between recorded runs need to know the ISA they measured on.
+echo "=== kernels ==="
+./target/release/probe --kernels | tee results/kernels.txt
+
 for bin in fig3 fig4 fig5 fig6 imgsize ablation overhead attack table2_3; do
   echo "=== $bin ==="
   ./target/release/$bin "$@" | tee results/$bin.txt
