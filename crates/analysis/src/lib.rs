@@ -30,4 +30,4 @@ pub mod streaming;
 pub use binomial::binomial_pmf;
 pub use lr::{ack_lr_exact_single, ack_lr_expected_data_packets, AckLrModel};
 pub use seluge::{seluge_expected_data_packets, seluge_expected_heterogeneous};
-pub use streaming::{P2Quantile, StreamingSummary, Welford};
+pub use streaming::{Extrema, P2Quantile, StreamingSummary, Welford};

@@ -279,8 +279,73 @@ impl P2Quantile {
     }
 }
 
+/// Streaming min/max tracker with the same NaN-skipping policy as
+/// [`Welford`]. Unlike P², the extrema of a stream are exact and
+/// order-independent, so this fold agrees bit-for-bit with a batch
+/// `min`/`max` over the finite samples in any order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Extrema {
+    n: u64,
+    skipped: u64,
+    min: f64,
+    max: f64,
+}
+
+impl Extrema {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        Extrema::default()
+    }
+
+    /// Folds one sample in. Non-finite samples are counted in
+    /// [`skipped`](Self::skipped) and otherwise ignored.
+    pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            self.skipped += 1;
+            return;
+        }
+        if self.n == 0 {
+            self.min = x;
+            self.max = x;
+        } else {
+            self.min = self.min.min(x);
+            self.max = self.max.max(x);
+        }
+        self.n += 1;
+    }
+
+    /// Number of finite samples folded in.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of non-finite samples skipped.
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    /// Smallest finite sample (`NaN` when empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest finite sample (`NaN` when empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+}
+
 /// The per-(cell × metric) streaming state a campaign keeps: mean,
-/// variance, 95 % CI, median, and 95th percentile, in O(1) memory.
+/// variance, 95 % CI, median, 95th percentile, and exact extrema, in
+/// O(1) memory.
 #[derive(Clone, Debug, PartialEq)]
 pub struct StreamingSummary {
     /// Online mean/variance.
@@ -289,6 +354,8 @@ pub struct StreamingSummary {
     pub p50: P2Quantile,
     /// 95th-percentile estimator.
     pub p95: P2Quantile,
+    /// Exact min/max — the degradation report's worst-case column.
+    pub extrema: Extrema,
 }
 
 impl StreamingSummary {
@@ -298,14 +365,16 @@ impl StreamingSummary {
             moments: Welford::new(),
             p50: P2Quantile::new(0.5),
             p95: P2Quantile::new(0.95),
+            extrema: Extrema::new(),
         }
     }
 
-    /// Folds one sample into all three estimators.
+    /// Folds one sample into all four estimators.
     pub fn push(&mut self, x: f64) {
         self.moments.push(x);
         self.p50.push(x);
         self.p95.push(x);
+        self.extrema.push(x);
     }
 
     /// Number of finite samples folded in.
@@ -429,6 +498,23 @@ mod tests {
     #[should_panic(expected = "out of (0, 1)")]
     fn p2_rejects_degenerate_quantile() {
         let _ = P2Quantile::new(1.0);
+    }
+
+    #[test]
+    fn extrema_track_exact_bounds_and_skip_non_finite() {
+        let mut e = Extrema::new();
+        assert!(e.min().is_nan() && e.max().is_nan());
+        for x in [3.0, f64::NAN, -1.5, 3.0, f64::INFINITY, 0.0] {
+            e.push(x);
+        }
+        assert_eq!(e.count(), 4);
+        assert_eq!(e.skipped(), 2);
+        assert_eq!(e.min(), -1.5);
+        assert_eq!(e.max(), 3.0);
+        // A singleton stream has min == max.
+        let mut s = Extrema::new();
+        s.push(-7.25);
+        assert_eq!((s.min(), s.max()), (-7.25, -7.25));
     }
 
     #[test]

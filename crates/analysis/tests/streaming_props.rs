@@ -11,7 +11,7 @@
 //! 0/1), and mixtures — rather than adversarial point-mass pathologies
 //! P² makes no claims about.
 
-use lrs_analysis::streaming::{P2Quantile, StreamingSummary, Welford, P2_RANK_TOLERANCE};
+use lrs_analysis::streaming::{Extrema, P2Quantile, StreamingSummary, Welford, P2_RANK_TOLERANCE};
 use lrs_rng::DetRng;
 
 /// One random run-metric sequence, shaped like a campaign cell's
@@ -216,6 +216,43 @@ fn p2_estimate_stays_within_observed_range() {
                 est >= lo && est <= hi,
                 "estimate {est} outside [{lo}, {hi}]"
             );
+        }
+    }
+}
+
+/// Streaming extrema agree *bit-for-bit* with the batch min/max over
+/// the finite samples, in any arrival order — unlike P², exactness
+/// rather than tolerance is the contract.
+#[test]
+fn extrema_match_batch_exactly_in_any_order() {
+    let mut rng = DetRng::seed_from_u64(0xE1_72E4A);
+    for case in 0..200 {
+        let len = rng.gen_range(1usize..1_000);
+        let mut xs = metric_sequence(&mut rng, len);
+        for x in xs.iter_mut() {
+            if rng.gen_bool(0.1) {
+                *x = f64::NAN;
+            }
+        }
+        let mut fwd = Extrema::new();
+        let mut rev = Extrema::new();
+        for &x in &xs {
+            fwd.push(x);
+        }
+        for &x in xs.iter().rev() {
+            rev.push(x);
+        }
+        assert_eq!(fwd, rev, "case {case}: order changed the extrema");
+        let finite: Vec<f64> = xs.iter().copied().filter(|v| v.is_finite()).collect();
+        assert_eq!(fwd.count(), finite.len() as u64);
+        assert_eq!(fwd.skipped(), (xs.len() - finite.len()) as u64);
+        if finite.is_empty() {
+            assert!(fwd.min().is_nan() && fwd.max().is_nan());
+        } else {
+            let lo = finite.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            assert_eq!(fwd.min().to_bits(), lo.to_bits(), "case {case}");
+            assert_eq!(fwd.max().to_bits(), hi.to_bits(), "case {case}");
         }
     }
 }

@@ -10,30 +10,47 @@
 //! 3. **Denial-of-receipt** by a compromised insider: without the
 //!    §IV-E budget the victim keeps serving; with the per-neighbor
 //!    budget its extra transmissions are capped.
+//!
+//! Attackers are built from single-entry [`AttackPlan`]s through the
+//! shared capsule registry (`lrs_bench::capsules`), so `--capsule <dir>`
+//! arms the flight recorder: any LR-Seluge flood run that ends in a
+//! diagnostic outcome drops a replay capsule whose scenario tags carry
+//! the full plan.
 
-use lr_seluge::{Deployment, LrSelugeParams};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use lr_seluge::Deployment;
+use lrs_bench::capsules::{attack_params, lr_attacker_profile, ScenarioTags};
 use lrs_bench::runner::test_image;
 use lrs_bench::{configured_threads, sample_grid, stat_json, write_csv, write_json, Json, Table};
-use lrs_deluge::attack::{AttackKind, Attacker, MaybeAdversary};
+use lrs_deluge::attack::{Attacker, AttackerProfile, MaybeAdversary};
 use lrs_deluge::engine::{DisseminationNode, EngineConfig, Scheme};
 use lrs_deluge::image::{DelugeImage, DelugeScheme, ImageParams};
 use lrs_deluge::policy::UnionPolicy;
+use lrs_netsim::attack::{AttackEntry, AttackPlan, AttackVector};
 use lrs_netsim::medium::MediumConfig;
 use lrs_netsim::node::NodeId;
 use lrs_netsim::sim::SimConfig;
-
-use lrs_netsim::time::Duration;
+use lrs_netsim::time::{Duration, SimTime};
 use lrs_netsim::topology::Topology;
 use lrs_netsim::SimBuilder;
 
 const N_HONEST: usize = 10;
 
-fn params(image_len: usize) -> LrSelugeParams {
-    LrSelugeParams {
-        image_len,
-        puzzle_strength: 10,
-        ..LrSelugeParams::default()
-    }
+/// Single-entry plan placing one attacker at the star's last leaf.
+fn single_attacker_plan(vector: AttackVector, interval: Duration) -> AttackPlan {
+    let mut plan = AttackPlan::new();
+    plan.push(AttackEntry {
+        node: NodeId((N_HONEST + 1) as u32),
+        vector,
+        at: SimTime(0),
+        interval,
+        burst: None,
+        target: NodeId(0),
+        spoof_pool: (N_HONEST + 2) as u32,
+    });
+    plan
 }
 
 /// One flood run's observables, as floats for summarizing over seeds.
@@ -66,47 +83,65 @@ impl FloodOutcome {
     }
 }
 
-/// Runs LR-Seluge with one attacker node.
+/// Runs LR-Seluge with one plan-driven attacker node. When
+/// `capsule_dir` is set and the run uses the registry's default engine
+/// configuration (no §IV-E budget), the flight recorder is armed with
+/// "attack"-profile scenario tags so a diagnostic outcome dumps a
+/// bit-replayable capsule.
 fn run_lr_under_attack(
     image_len: usize,
-    kind: AttackKind,
+    vector: AttackVector,
     interval: Duration,
     budget: Option<u32>,
     seed: u64,
-) -> FloodOutcome {
-    let p = params(image_len);
+    capsule_dir: Option<&Path>,
+) -> Result<FloodOutcome, String> {
+    let p = attack_params(image_len);
     let image = test_image(image_len);
     let engine = EngineConfig {
         per_neighbor_item_budget: budget,
         ..EngineConfig::default()
     };
     let deployment = Deployment::new(&image, p, b"attack keys").with_engine_config(engine);
-    let insider_key = deployment.cluster_key().clone();
+    let profile = lr_attacker_profile(&p, Some(deployment.cluster_key().clone()));
+    let plan = single_attacker_plan(vector, interval);
     let attacker_id = NodeId((N_HONEST + 1) as u32);
-    let mut sim = SimBuilder::new(Topology::star(N_HONEST + 2), seed, |id| {
-        if id == attacker_id {
-            let a = match &kind {
-                AttackKind::DenialOfReceipt { .. } => {
-                    Attacker::insider(kind.clone(), interval, p.version, insider_key.clone())
-                }
-                other => Attacker::outsider(other.clone(), interval, p.version),
-            };
-            MaybeAdversary::Attacker(a)
-        } else {
-            MaybeAdversary::Honest(deployment.node(id, NodeId(0)))
+    let mut builder = SimBuilder::new(Topology::star(N_HONEST + 2), seed, |id| {
+        match plan.entry_for(id) {
+            Some(entry) => MaybeAdversary::Attacker(Attacker::from_plan_entry(entry, &profile)),
+            None => MaybeAdversary::Honest(deployment.node(id, NodeId(0))),
         }
     })
     .config(SimConfig {
         medium: MediumConfig::default(),
         ..SimConfig::default()
-    })
-    .build();
+    });
+    // Budgeted runs deviate from the registry's default engine
+    // configuration, so only unbudgeted runs are capsule-armed.
+    if let (Some(dir), None) = (capsule_dir, budget) {
+        let name = format!(
+            "attack-{}-{}ms-seed{}.jsonl",
+            vector.label(),
+            interval.as_micros() / 1_000,
+            seed,
+        );
+        let tags = ScenarioTags::new("lr-seluge", "attack", image_len, "attack keys")
+            .with_attack_plan(plan.clone());
+        builder = builder.capsule_on_failure(dir.join(name));
+        for (key, value) in tags.pairs() {
+            builder = builder.scenario(key, value);
+        }
+    }
+    let mut sim = builder.build();
     let report = sim.run(Duration::from_secs(20_000));
     let mut wrong = 0usize;
     let mut rejects = 0u64;
     let mut sig_verifs = 0u64;
     for i in 1..=N_HONEST as u32 {
-        let node = sim.node(NodeId(i)).honest().expect("honest node");
+        let node = sim
+            .node(NodeId(i))
+            .honest()
+            .ok_or_else(|| format!("node {i} should be honest but is not"))?;
         match node.scheme().image() {
             Some(got) if got == image => {}
             _ => wrong += 1,
@@ -115,18 +150,26 @@ fn run_lr_under_attack(
         rejects += st.auth_rejects + st.mac_rejects + st.out_of_order_drops;
         sig_verifs += node.scheme().cost().signature_verifications;
     }
-    let injected = sim.node(attacker_id).attacker().expect("attacker").injected;
-    FloodOutcome {
+    let injected = sim
+        .node(attacker_id)
+        .attacker()
+        .ok_or_else(|| format!("node {} should be the attacker but is not", attacker_id.0))?
+        .injected;
+    Ok(FloodOutcome {
         injected: injected as f64,
         complete: if report.all_complete { 1.0 } else { 0.0 },
         wrong: wrong as f64,
         rejects: rejects as f64,
         sig_verifs: sig_verifs as f64,
-    }
+    })
 }
 
 /// The same bogus-data flood against plain Deluge.
-fn run_deluge_under_attack(image_len: usize, interval: Duration, seed: u64) -> FloodOutcome {
+fn run_deluge_under_attack(
+    image_len: usize,
+    interval: Duration,
+    seed: u64,
+) -> Result<FloodOutcome, String> {
     let ip = ImageParams {
         version: 1,
         image_len,
@@ -140,29 +183,34 @@ fn run_deluge_under_attack(image_len: usize, interval: Duration, seed: u64) -> F
         authenticate_control: false,
         ..EngineConfig::default()
     };
+    // Plain Deluge has no signatures or puzzles; only the bogus-data
+    // fields of the profile are ever read.
+    let profile = AttackerProfile {
+        payload_len: ip.payload_len,
+        index_space: ip.packets_per_page,
+        sig_body_len: 0,
+        n_bits: 0,
+        version: ip.version,
+        cluster_key: None,
+    };
+    let plan = single_attacker_plan(AttackVector::BogusData, interval);
     let attacker_id = NodeId((N_HONEST + 1) as u32);
     let mut sim = SimBuilder::new(Topology::star(N_HONEST + 2), seed, |id| {
-        if id == attacker_id {
-            MaybeAdversary::Attacker(Attacker::outsider(
-                AttackKind::BogusData {
-                    payload_len: ip.payload_len,
-                    index_space: ip.packets_per_page,
-                },
-                interval,
-                1,
-            ))
-        } else {
-            let scheme = if id == NodeId(0) {
-                DelugeScheme::base(&deluge_image)
-            } else {
-                DelugeScheme::receiver(ip)
-            };
-            MaybeAdversary::Honest(DisseminationNode::new(
-                scheme,
-                UnionPolicy::new(),
-                key.clone(),
-                engine,
-            ))
+        match plan.entry_for(id) {
+            Some(entry) => MaybeAdversary::Attacker(Attacker::from_plan_entry(entry, &profile)),
+            None => {
+                let scheme = if id == NodeId(0) {
+                    DelugeScheme::base(&deluge_image)
+                } else {
+                    DelugeScheme::receiver(ip)
+                };
+                MaybeAdversary::Honest(DisseminationNode::new(
+                    scheme,
+                    UnionPolicy::new(),
+                    key.clone(),
+                    engine,
+                ))
+            }
         }
     })
     .config(SimConfig {
@@ -173,48 +221,49 @@ fn run_deluge_under_attack(image_len: usize, interval: Duration, seed: u64) -> F
     let report = sim.run(Duration::from_secs(20_000));
     let mut wrong = 0usize;
     for i in 1..=N_HONEST as u32 {
-        let node = sim.node(NodeId(i)).honest().expect("honest node");
+        let node = sim
+            .node(NodeId(i))
+            .honest()
+            .ok_or_else(|| format!("node {i} should be honest but is not"))?;
         match node.scheme().image() {
             Some(got) if got == image => {}
             _ => wrong += 1,
         }
     }
-    let injected = sim.node(attacker_id).attacker().expect("attacker").injected;
-    FloodOutcome {
+    let injected = sim
+        .node(attacker_id)
+        .attacker()
+        .ok_or_else(|| format!("node {} should be the attacker but is not", attacker_id.0))?
+        .injected;
+    Ok(FloodOutcome {
         injected: injected as f64,
         complete: if report.all_complete { 1.0 } else { 0.0 },
         wrong: wrong as f64,
         rejects: f64::NAN,
         sig_verifs: f64::NAN,
-    }
+    })
 }
 
 /// Runs the insider denial-of-receipt attack; returns the victim base
 /// station's (data packets sent, budget rejections).
-fn run_denial_of_receipt(image_len: usize, budget: Option<u32>, seed: u64) -> (u64, u64) {
-    let p = params(image_len);
+fn run_denial_of_receipt(
+    image_len: usize,
+    budget: Option<u32>,
+    seed: u64,
+) -> Result<(u64, u64), String> {
+    let p = attack_params(image_len);
     let image = test_image(image_len);
     let engine = EngineConfig {
         per_neighbor_item_budget: budget,
         ..EngineConfig::default()
     };
     let deployment = Deployment::new(&image, p, b"attack keys").with_engine_config(engine);
-    let insider_key = deployment.cluster_key().clone();
-    let attacker_id = NodeId((N_HONEST + 1) as u32);
+    let profile = lr_attacker_profile(&p, Some(deployment.cluster_key().clone()));
+    let plan = single_attacker_plan(AttackVector::DenialOfReceipt, Duration::from_millis(250));
     let mut sim = SimBuilder::new(Topology::star(N_HONEST + 2), seed, |id| {
-        if id == attacker_id {
-            MaybeAdversary::Attacker(Attacker::insider(
-                AttackKind::DenialOfReceipt {
-                    target: NodeId(0),
-                    item: 2,
-                    n_bits: p.n as usize,
-                },
-                Duration::from_millis(250),
-                p.version,
-                insider_key.clone(),
-            ))
-        } else {
-            MaybeAdversary::Honest(deployment.node(id, NodeId(0)))
+        match plan.entry_for(id) {
+            Some(entry) => MaybeAdversary::Attacker(Attacker::from_plan_entry(entry, &profile)),
+            None => MaybeAdversary::Honest(deployment.node(id, NodeId(0))),
         }
     })
     .config(SimConfig {
@@ -225,8 +274,11 @@ fn run_denial_of_receipt(image_len: usize, budget: Option<u32>, seed: u64) -> (u
     // Fixed observation window: the unbounded variant is a total DoS and
     // would otherwise run to any deadline.
     let _ = sim.run(Duration::from_secs(2_000));
-    let base = sim.node(NodeId(0)).honest().expect("base");
-    (base.stats().data_sent, base.stats().budget_rejections)
+    let base = sim
+        .node(NodeId(0))
+        .honest()
+        .ok_or("the base station should be honest but is not")?;
+    Ok((base.stats().data_sent, base.stats().budget_rejections))
 }
 
 /// A flood scenario row: (label, scheme).
@@ -254,12 +306,34 @@ impl Scenario {
     }
 }
 
-fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("attack: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    // `--capsule <dir>` arms the flight recorder on the LR-Seluge flood
+    // runs: any diagnostic outcome drops a replay capsule into <dir>,
+    // loadable by the `replay` binary.
+    let capsule_dir: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--capsule")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+    if let Some(dir) = &capsule_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    }
     let seeds: u64 = if quick { 1 } else { 3 };
     let threads = configured_threads();
     let image_len = if quick { 4 * 1024 } else { 20 * 1024 };
-    let p = params(image_len);
+    let p = attack_params(image_len);
 
     println!(
         "Attack resilience, one-hop, N = {N_HONEST} honest receivers + 1 attacker (seeds = {seeds}, threads = {threads})\n"
@@ -274,25 +348,22 @@ fn main() {
     let grid = sample_grid(&scenarios, seeds, threads, |sc, seed| match *sc {
         Scenario::LrBogus { interval_ms } => run_lr_under_attack(
             image_len,
-            AttackKind::BogusData {
-                payload_len: p.payload_len,
-                index_space: p.n,
-            },
+            AttackVector::BogusData,
             Duration::from_millis(interval_ms),
             None,
             seed,
+            capsule_dir.as_deref(),
         ),
         Scenario::DelugeBogus { interval_ms } => {
             run_deluge_under_attack(image_len, Duration::from_millis(interval_ms), seed)
         }
         Scenario::ForgedSig { interval_ms } => run_lr_under_attack(
             image_len,
-            AttackKind::ForgedSignature {
-                body_len: lr_seluge::LrArtifacts::signature_body_len(),
-            },
+            AttackVector::ForgedSignature,
             Duration::from_millis(interval_ms),
             None,
             seed,
+            capsule_dir.as_deref(),
         ),
     });
 
@@ -306,18 +377,29 @@ fn main() {
         "sig_verifs",
     ]);
     let mut rows = Vec::new();
-    for (sc, samples) in scenarios.iter().zip(&grid) {
+    for (sc, results) in scenarios.iter().zip(grid) {
+        let samples = results.into_iter().collect::<Result<Vec<_>, _>>()?;
         // Security invariants hold per seed, not just on average.
-        for o in samples {
+        for o in &samples {
             match sc {
                 Scenario::LrBogus { .. } => {
-                    assert_eq!(o.wrong, 0.0, "LR-Seluge must never store forged data");
+                    if o.wrong != 0.0 {
+                        return Err(format!(
+                            "LR-Seluge stored forged data under {} ({} wrong images)",
+                            sc.label(),
+                            o.wrong
+                        ));
+                    }
                 }
                 Scenario::ForgedSig { .. } => {
-                    assert_eq!(
-                        o.sig_verifs, N_HONEST as f64,
-                        "puzzle must limit each node to one expensive verification"
-                    );
+                    if o.sig_verifs != N_HONEST as f64 {
+                        return Err(format!(
+                            "puzzle must limit each node to one expensive verification; \
+                             saw {} under {}",
+                            o.sig_verifs,
+                            sc.label()
+                        ));
+                    }
                 }
                 Scenario::DelugeBogus { .. } => {}
             }
@@ -364,11 +446,11 @@ fn main() {
     println!("Denial-of-receipt (insider SNACK flood at the base station):");
     let budgets = [None, Some(3 * p.n as u32)];
     let dor_grid = sample_grid(&budgets, seeds, threads, |&budget, seed| {
-        let (data, rej) = run_denial_of_receipt(image_len, budget, seed);
-        (data as f64, rej as f64)
+        run_denial_of_receipt(image_len, budget, seed).map(|(data, rej)| (data as f64, rej as f64))
     });
     let mut dor = Table::new(vec!["budget", "victim_data_pkts", "budget_rejections"]);
-    for (budget, samples) in budgets.iter().zip(&dor_grid) {
+    for (budget, results) in budgets.iter().zip(dor_grid) {
+        let samples = results.into_iter().collect::<Result<Vec<_>, _>>()?;
         let data: Vec<f64> = samples.iter().map(|s| s.0).collect();
         let rej: Vec<f64> = samples.iter().map(|s| s.1).collect();
         dor.row(vec![
@@ -396,6 +478,12 @@ fn main() {
     println!("{}", dor.render());
 
     println!("{}", t.render());
+    if let Some(dir) = &capsule_dir {
+        println!(
+            "flight recorder armed: diagnostic flood runs dump capsules to {}",
+            dir.display()
+        );
+    }
     println!("wrote {}", write_csv("attack", &t));
     let report = Json::Obj(vec![
         ("experiment".into(), Json::str("attack")),
@@ -404,4 +492,5 @@ fn main() {
         ("rows".into(), Json::Arr(rows)),
     ]);
     println!("wrote {}", write_json("attack", &report));
+    Ok(())
 }

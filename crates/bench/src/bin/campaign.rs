@@ -127,12 +127,13 @@ fn print_summary(campaign: &Campaign, report: &CampaignReport) {
                     })
                     .unwrap_or_default()
             };
-            let mean_latency = cell
-                .get("metrics")
-                .and_then(|m| m.get("latency_s"))
-                .and_then(|l| l.get("mean"))
-                .and_then(Json::as_num)
-                .unwrap_or(f64::NAN);
+            let mean_of = |metric: &str| {
+                cell.get("metrics")
+                    .and_then(|m| m.get(metric))
+                    .and_then(|l| l.get("mean"))
+                    .and_then(Json::as_num)
+                    .unwrap_or(f64::NAN)
+            };
             let complete = cell
                 .get("outcomes")
                 .and_then(|o| o.get("complete"))
@@ -140,7 +141,8 @@ fn print_summary(campaign: &Campaign, report: &CampaignReport) {
                 .unwrap_or(0.0);
             let jobs = cell.get("jobs").and_then(Json::as_num).unwrap_or(0.0);
             println!(
-                "  {} {} loss={}ppm fault={} attacker={}: {}/{} complete, mean latency {:.1} s",
+                "  {} {} loss={}ppm fault={} attacker={}: {}/{} complete, mean latency {:.1} s, \
+                 completion {:.2}, verify-ops/node {:.1}",
                 fmt("scheme"),
                 fmt("topology"),
                 fmt("loss_ppm"),
@@ -148,7 +150,9 @@ fn print_summary(campaign: &Campaign, report: &CampaignReport) {
                 fmt("attacker"),
                 complete,
                 jobs,
-                mean_latency,
+                mean_of("latency_s"),
+                mean_of("completion_frac"),
+                mean_of("verify_inflation"),
             );
         }
     }

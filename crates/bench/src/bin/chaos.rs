@@ -27,6 +27,7 @@ use lrs_crypto::schnorr::Keypair;
 use lrs_deluge::attack::MaybeAdversary;
 use lrs_deluge::engine::{DisseminationNode, EngineConfig};
 use lrs_deluge::policy::UnionPolicy;
+use lrs_netsim::energy::EnergyModel;
 use lrs_netsim::fault::{FaultConfig, FaultPlan};
 use lrs_netsim::node::NodeId;
 use lrs_netsim::sim::Outcome;
@@ -78,9 +79,12 @@ struct ChaosOutcome {
     injected: f64,
     stalled: f64,
     violations: f64,
+    /// Whole-network radio energy under the default CC1000 model, in
+    /// joules — the graceful-degradation drain axis.
+    energy_j: f64,
 }
 
-const METRIC_NAMES: [&str; 7] = [
+const METRIC_NAMES: [&str; 8] = [
     "complete",
     "unfinished_nodes",
     "latency_s",
@@ -88,10 +92,11 @@ const METRIC_NAMES: [&str; 7] = [
     "injected",
     "stalled",
     "violations",
+    "energy_j",
 ];
 
 impl ChaosOutcome {
-    fn fields(&self) -> [f64; 7] {
+    fn fields(&self) -> [f64; 8] {
         [
             self.complete,
             self.unfinished,
@@ -100,6 +105,7 @@ impl ChaosOutcome {
             self.injected,
             self.stalled,
             self.violations,
+            self.energy_j,
         ]
     }
 
@@ -158,6 +164,7 @@ fn outcome_from(
     injected: u64,
     violations: u64,
     unfinished: usize,
+    energy_j: f64,
 ) -> ChaosOutcome {
     ChaosOutcome {
         complete: if report.outcome == Outcome::Complete && unfinished == 0 {
@@ -175,6 +182,7 @@ fn outcome_from(
             0.0
         },
         violations: violations as f64,
+        energy_j,
     }
 }
 
@@ -233,7 +241,15 @@ fn run_lr_chaos(
     } else {
         0
     };
-    outcome_from(&report, sim.reboots(), injected, violations, unfinished)
+    let energy_j = sim.energy().total_joules(&EnergyModel::default());
+    outcome_from(
+        &report,
+        sim.reboots(),
+        injected,
+        violations,
+        unfinished,
+        energy_j,
+    )
 }
 
 /// Runs Seluge under the same fault plan and its invariant checker.
@@ -305,7 +321,15 @@ fn run_seluge_chaos(
     } else {
         0
     };
-    outcome_from(&report, sim.reboots(), injected, violations, unfinished)
+    let energy_j = sim.energy().total_joules(&EnergyModel::default());
+    outcome_from(
+        &report,
+        sim.reboots(),
+        injected,
+        violations,
+        unfinished,
+        energy_j,
+    )
 }
 
 fn run_scenario(
@@ -435,6 +459,7 @@ fn main() {
         "reboots",
         "stalled",
         "violations",
+        "energy_j",
     ]);
     let mut rows = Vec::new();
     for (sc, samples) in scenarios.iter().zip(&grid) {
@@ -479,6 +504,7 @@ fn main() {
             cell(3),
             cell(5),
             cell(6),
+            cell(7),
         ]);
         let metrics: Vec<(String, Json)> = METRIC_NAMES
             .iter()

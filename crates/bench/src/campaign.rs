@@ -45,7 +45,9 @@
 use crate::capsules::{campaign_params, lr_factory, seluge_factory, ScenarioTags};
 use crate::json::{parse_json, Json};
 use crate::runner::{matched_seluge_params, test_image, ExperimentMetrics};
-use crate::spec::{build_topology, fault_config, topology_nodes, CampaignSpec, CellParams};
+use crate::spec::{
+    attack_config, build_topology, fault_config, topology_nodes, CampaignSpec, CellParams,
+};
 use lr_seluge::{Deployment, LrNode};
 use lrs_analysis::StreamingSummary;
 use lrs_crypto::puzzle::PuzzleKeyChain;
@@ -53,12 +55,15 @@ use lrs_crypto::schnorr::Keypair;
 use lrs_deluge::attack::MaybeAdversary;
 use lrs_deluge::engine::{DisseminationNode, Scheme};
 use lrs_deluge::policy::{TxPolicy, UnionPolicy};
+use lrs_netsim::attack::AttackPlan;
 use lrs_netsim::capsule::{Capsule, SEQUENTIAL_ENGINE, SHARDED_ENGINE};
+use lrs_netsim::energy::EnergyModel;
 use lrs_netsim::fault::FaultPlan;
 use lrs_netsim::metrics::Metrics;
-use lrs_netsim::node::{NodeId, PacketKind};
+use lrs_netsim::node::{NodeId, PacketKind, Protocol};
 use lrs_netsim::sim::RunReport;
 use lrs_netsim::time::Duration;
+use lrs_netsim::topology::Topology;
 use lrs_netsim::violation::InvariantViolation;
 use lrs_netsim::SimBuilder;
 use lrs_seluge::{SelugeArtifacts, SelugeScheme};
@@ -112,7 +117,7 @@ pub struct JobRecord {
     /// Outcome label (see [`OUTCOME_LABELS`]).
     pub outcome: String,
     /// Metric values in [`ExperimentMetrics::NAMES`] order.
-    pub metrics: [f64; 9],
+    pub metrics: [f64; ExperimentMetrics::NAMES.len()],
 }
 
 impl JobRecord {
@@ -162,7 +167,7 @@ impl JobRecord {
                 ExperimentMetrics::NAMES.len()
             ));
         }
-        let mut metrics = [0.0; 9];
+        let mut metrics = [0.0; ExperimentMetrics::NAMES.len()];
         for (slot, item) in metrics.iter_mut().zip(arr) {
             *slot = item
                 .as_num()
@@ -581,6 +586,8 @@ impl Campaign {
                                 ("ci95".into(), Json::Num(s.moments.ci95())),
                                 ("p50".into(), Json::Num(s.p50.estimate())),
                                 ("p95".into(), Json::Num(s.p95.estimate())),
+                                ("min".into(), Json::Num(s.extrema.min())),
+                                ("max".into(), Json::Num(s.extrema.max())),
                             ]),
                         )
                     })
@@ -633,7 +640,15 @@ impl Campaign {
     }
 
     /// The scenario tags job `id` runs (and is capsule-tagged) with.
-    fn job_tags(&self, cell: &CellParams) -> Result<ScenarioTags, String> {
+    /// Plan-token attackers get a seeded [`AttackPlan`] generated over
+    /// the job's topology, so the tag pins the exact adversary placement
+    /// the job executed.
+    fn job_tags(
+        &self,
+        cell: &CellParams,
+        seed: u64,
+        topology: &Topology,
+    ) -> Result<ScenarioTags, String> {
         let mut tags = ScenarioTags::new(
             &cell.scheme,
             "campaign",
@@ -641,8 +656,9 @@ impl Campaign {
             "campaign keys",
         );
         if cell.attacker == "storm" {
-            let nodes = topology_nodes(&cell.topology)?;
-            tags = tags.with_attacker(NodeId(nodes as u32 - 1));
+            tags = tags.with_attacker(NodeId(topology.len() as u32 - 1));
+        } else if let Some(config) = attack_config(&cell.attacker)? {
+            tags = tags.with_attack_plan(AttackPlan::generate(&config, topology, seed));
         }
         Ok(tags)
     }
@@ -666,6 +682,7 @@ impl Campaign {
             seed,
         );
         let (engine, shards) = self.job_engine(&cell.topology)?;
+        let scenario = self.job_tags(cell, seed, &topology)?.pairs();
         Ok(Capsule {
             seed,
             engine: engine.to_string(),
@@ -674,7 +691,7 @@ impl Campaign {
             config: self.spec.sim_config(cell.loss_ppm),
             topology,
             faults,
-            scenario: self.job_tags(cell)?.pairs(),
+            scenario,
             digests: Vec::new(),
         })
     }
@@ -703,15 +720,26 @@ impl Campaign {
     fn execute(&self, job: usize) -> JobRecord {
         let cell = &self.cells[job / self.spec.seeds as usize];
         let seed = self.job_seed(job);
-        let tags = self.job_tags(cell).expect("tags validated at parse time");
+        let topology = build_topology(&cell.topology, seed).expect("validated at parse time");
+        let tags = self
+            .job_tags(cell, seed, &topology)
+            .expect("tags validated at parse time");
         match cell.scheme.as_str() {
             "lr-seluge" => {
                 let make = lr_factory(&tags).expect("campaign profile is registered");
-                self.run_job(job, cell, seed, &tags, make, lr_invariant(&tags))
+                self.run_job(job, cell, seed, &tags, topology, make, lr_invariant(&tags))
             }
             "seluge" => {
                 let make = seluge_factory(&tags).expect("campaign profile is registered");
-                self.run_job(job, cell, seed, &tags, make, seluge_invariant(&tags))
+                self.run_job(
+                    job,
+                    cell,
+                    seed,
+                    &tags,
+                    topology,
+                    make,
+                    seluge_invariant(&tags),
+                )
             }
             other => unreachable!("scheme {other:?} validated at parse time"),
         }
@@ -720,12 +748,14 @@ impl Campaign {
     /// Scheme-generic single-job runner: builds the sim from the cell's
     /// parameters, arms the flight recorder, runs on the engine
     /// [`job_engine`](Self::job_engine) picked, and extracts metrics.
+    #[allow(clippy::too_many_arguments)]
     fn run_job<S, Pol, F, V>(
         &self,
         job: usize,
         cell: &CellParams,
         seed: u64,
         tags: &ScenarioTags,
+        topology: Topology,
         make: F,
         invariant: V,
     ) -> JobRecord
@@ -738,7 +768,6 @@ impl Campaign {
             + Sync
             + 'static,
     {
-        let topology = build_topology(&cell.topology, seed).expect("validated at parse time");
         let nodes = topology.len();
         let faults = FaultPlan::generate(
             &fault_config(&cell.fault, Duration::from_secs(self.spec.max_sim_s))
@@ -759,35 +788,28 @@ impl Campaign {
             builder = builder.scenario(key, value);
         }
 
-        let (report, sig, rejects, metrics) = if engine == SHARDED_ENGINE {
-            let run = builder.shards(shards).run_sharded(deadline, |_, node| {
-                node.honest().map(|n| {
-                    let st = n.stats();
-                    (
-                        n.scheme().cost().signature_verifications as f64,
-                        (st.auth_rejects + st.mac_rejects) as f64,
-                    )
-                })
-            });
-            let (mut sig, mut rejects) = (0.0, 0.0);
-            for (s, r) in run.harvest.into_iter().flatten() {
-                sig += s;
-                rejects += r;
+        let (report, totals, metrics, energy_j) = if engine == SHARDED_ENGINE {
+            let run = builder
+                .shards(shards)
+                .run_sharded(deadline, |_, node| node.honest().map(harvest_node));
+            let mut totals = HarvestTotals::default();
+            for h in run.harvest.into_iter().flatten() {
+                totals.add(h);
             }
-            (run.report, sig, rejects, run.metrics)
+            let energy_j = run.energy.total_joules(&EnergyModel::default());
+            (run.report, totals, run.metrics, energy_j)
         } else {
             let mut sim = builder.build();
             let report = sim.run(deadline);
-            let (mut sig, mut rejects) = (0.0, 0.0);
+            let mut totals = HarvestTotals::default();
             for i in 0..nodes {
                 if let Some(n) = sim.node(NodeId(i as u32)).honest() {
-                    sig += n.scheme().cost().signature_verifications as f64;
-                    let st = n.stats();
-                    rejects += (st.auth_rejects + st.mac_rejects) as f64;
+                    totals.add(harvest_node(n));
                 }
             }
+            let energy_j = sim.energy().total_joules(&EnergyModel::default());
             let metrics = sim.metrics().clone();
-            (report, sig, rejects, metrics)
+            (report, totals, metrics, energy_j)
         };
 
         JobRecord {
@@ -795,14 +817,55 @@ impl Campaign {
             cell: cell.index,
             seed,
             outcome: report.outcome.label().to_string(),
-            metrics: extract_metrics(&report, &metrics, sig, rejects),
+            metrics: extract_metrics(&report, &metrics, &totals, energy_j),
         }
+    }
+}
+
+/// Per-honest-node observables harvested after a run: signature
+/// verifications, authentication rejections, verification operations
+/// (hashes + puzzle checks + signature verifications), and completion
+/// (1.0 / 0.0). Attackers are excluded — degradation is measured over
+/// the honest population only.
+fn harvest_node<S: Scheme, Pol: TxPolicy>(n: &DisseminationNode<S, Pol>) -> (f64, f64, f64, f64) {
+    let cost = n.scheme().cost();
+    let st = n.stats();
+    (
+        cost.signature_verifications as f64,
+        (st.auth_rejects + st.mac_rejects) as f64,
+        (cost.hashes + cost.puzzle_checks + cost.signature_verifications) as f64,
+        if n.is_complete() { 1.0 } else { 0.0 },
+    )
+}
+
+/// Network-wide totals of [`harvest_node`] over the honest population.
+#[derive(Clone, Copy, Debug, Default)]
+struct HarvestTotals {
+    honest: f64,
+    sig: f64,
+    rejects: f64,
+    verify_ops: f64,
+    complete: f64,
+}
+
+impl HarvestTotals {
+    fn add(&mut self, (sig, rejects, verify_ops, complete): (f64, f64, f64, f64)) {
+        self.honest += 1.0;
+        self.sig += sig;
+        self.rejects += rejects;
+        self.verify_ops += verify_ops;
+        self.complete += complete;
     }
 }
 
 /// Metric extraction shared by both engines, in
 /// [`ExperimentMetrics::NAMES`] order.
-fn extract_metrics(report: &RunReport, m: &Metrics, sig: f64, rejects: f64) -> [f64; 9] {
+fn extract_metrics(
+    report: &RunReport,
+    m: &Metrics,
+    totals: &HarvestTotals,
+    energy_j: f64,
+) -> [f64; ExperimentMetrics::NAMES.len()] {
     let em = ExperimentMetrics {
         page_data_pkts: m.tx_packets(PacketKind::Data) as f64,
         data_pkts: (m.tx_packets(PacketKind::Data)
@@ -813,10 +876,21 @@ fn extract_metrics(report: &RunReport, m: &Metrics, sig: f64, rejects: f64) -> [
         total_bytes: m.total_tx_bytes() as f64,
         latency_s: report.latency.map(|t| t.as_secs_f64()).unwrap_or(f64::NAN),
         completed: if report.all_complete { 1.0 } else { 0.0 },
-        sig_verifications: sig,
-        auth_rejects: rejects,
+        sig_verifications: totals.sig,
+        auth_rejects: totals.rejects,
+        completion_frac: if totals.honest > 0.0 {
+            totals.complete / totals.honest
+        } else {
+            f64::NAN
+        },
+        verify_inflation: if totals.honest > 0.0 {
+            totals.verify_ops / totals.honest
+        } else {
+            f64::NAN
+        },
+        energy_j,
     };
-    let mut out = [0.0; 9];
+    let mut out = [0.0; ExperimentMetrics::NAMES.len()];
     for (slot, (_, value)) in out.iter_mut().zip(em.named()) {
         *slot = value;
     }

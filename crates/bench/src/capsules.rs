@@ -12,13 +12,14 @@
 //! [`bisect_capsule_shards`], and [`bisect_capsule_engines`].
 
 use crate::runner::{matched_seluge_params, test_image};
-use lr_seluge::{Deployment, LrNode, LrSelugeParams};
+use lr_seluge::{Deployment, LrArtifacts, LrNode, LrSelugeParams};
 use lrs_crypto::cluster::ClusterKey;
 use lrs_crypto::puzzle::{Puzzle, PuzzleKeyChain};
 use lrs_crypto::schnorr::Keypair;
-use lrs_deluge::attack::{AttackKind, Attacker, MaybeAdversary};
+use lrs_deluge::attack::{AttackKind, Attacker, AttackerProfile, MaybeAdversary};
 use lrs_deluge::engine::{DisseminationNode, EngineConfig};
 use lrs_deluge::policy::UnionPolicy;
+use lrs_netsim::attack::AttackPlan;
 use lrs_netsim::capsule::{SEQUENTIAL_ENGINE, SHARDED_ENGINE};
 use lrs_netsim::medium::MediumConfig;
 use lrs_netsim::node::NodeId;
@@ -43,6 +44,11 @@ pub const TAG_IMAGE_LEN: &str = "image_len";
 pub const TAG_KEY_CONTEXT: &str = "key_context";
 /// Tag key: node id of the packet-storm attacker, when one ran.
 pub const TAG_ATTACKER: &str = "attacker";
+/// Tag key: the serialized [`AttackPlan`] (entry JSONs joined by `;`)
+/// that placed plan-driven adversaries, when one ran. Replay rebuilds
+/// the exact attacker population from this tag alone — the plan, like
+/// the fault schedule, is data, not code.
+pub const TAG_ATTACK_PLAN: &str = "attack_plan";
 
 /// The chaos sweep's LR-Seluge parameter set.
 pub fn chaos_params(image_len: usize) -> LrSelugeParams {
@@ -94,25 +100,36 @@ pub fn scale_image(len: usize) -> Vec<u8> {
     (0..len).map(|i| (i * 31 % 251) as u8).collect()
 }
 
+/// The attack bin's LR-Seluge parameter set: defaults with a strong
+/// (2⁻¹⁰) puzzle, so forged-signature floods are visibly absorbed.
+pub fn attack_params(image_len: usize) -> LrSelugeParams {
+    LrSelugeParams {
+        image_len,
+        puzzle_strength: 10,
+        ..LrSelugeParams::default()
+    }
+}
+
 fn profile_params(profile: &str, image_len: usize) -> Result<LrSelugeParams, String> {
     match profile {
         "chaos" => Ok(chaos_params(image_len)),
         "scale" => Ok(scale_params(image_len)),
         "campaign" => Ok(campaign_params(image_len)),
+        "attack" => Ok(attack_params(image_len)),
         other => Err(format!(
             "unknown parameter profile {other:?}; this registry knows \"chaos\", \"scale\", \
-             and \"campaign\""
+             \"campaign\", and \"attack\""
         )),
     }
 }
 
 fn profile_image(profile: &str, len: usize) -> Result<Vec<u8>, String> {
     match profile {
-        "chaos" | "campaign" => Ok(test_image(len)),
+        "chaos" | "campaign" | "attack" => Ok(test_image(len)),
         "scale" => Ok(scale_image(len)),
         other => Err(format!(
             "unknown parameter profile {other:?}; this registry knows \"chaos\", \"scale\", \
-             and \"campaign\""
+             \"campaign\", and \"attack\""
         )),
     }
 }
@@ -157,6 +174,8 @@ pub struct ScenarioTags {
     pub key_context: String,
     /// Packet-storm attacker node, if one ran.
     pub attacker: Option<NodeId>,
+    /// Plan-driven adversary schedule, if one ran.
+    pub attack_plan: Option<AttackPlan>,
 }
 
 impl ScenarioTags {
@@ -168,6 +187,7 @@ impl ScenarioTags {
             image_len,
             key_context: key_context.to_string(),
             attacker: None,
+            attack_plan: None,
         }
     }
 
@@ -177,17 +197,27 @@ impl ScenarioTags {
         self
     }
 
+    /// Attaches a plan-driven adversary schedule. Plan entries take
+    /// precedence over the storm attacker at overlapping node ids.
+    pub fn with_attack_plan(mut self, plan: AttackPlan) -> Self {
+        self.attack_plan = Some(plan);
+        self
+    }
+
     /// Writes these tags onto a [`CapsuleSpec`].
     pub fn apply(&self, spec: CapsuleSpec) -> CapsuleSpec {
-        let spec = spec
+        let mut spec = spec
             .tag(TAG_SCHEME, &self.scheme)
             .tag(TAG_PROFILE, &self.profile)
             .tag(TAG_IMAGE_LEN, self.image_len)
             .tag(TAG_KEY_CONTEXT, &self.key_context);
-        match self.attacker {
-            Some(id) => spec.tag(TAG_ATTACKER, id.0),
-            None => spec,
+        if let Some(id) = self.attacker {
+            spec = spec.tag(TAG_ATTACKER, id.0);
         }
+        if let Some(plan) = &self.attack_plan {
+            spec = spec.tag(TAG_ATTACK_PLAN, plan.to_tag());
+        }
+        spec
     }
 
     /// The raw key/value pairs, for direct [`Capsule`] construction.
@@ -221,13 +251,48 @@ impl ScenarioTags {
             )),
             None => None,
         };
+        let attack_plan = match capsule.scenario_value(TAG_ATTACK_PLAN) {
+            Some(v) => {
+                Some(AttackPlan::from_tag(v).ok_or_else(|| format!("bad attack_plan tag {v:?}"))?)
+            }
+            None => None,
+        };
         Ok(ScenarioTags {
             scheme,
             profile,
             image_len,
             key_context,
             attacker,
+            attack_plan,
         })
+    }
+}
+
+/// The [`AttackerProfile`] matching an LR-Seluge parameter set. Pass
+/// the deployment's cluster key to let insider vectors use it.
+pub fn lr_attacker_profile(p: &LrSelugeParams, cluster_key: Option<ClusterKey>) -> AttackerProfile {
+    AttackerProfile {
+        payload_len: p.payload_len,
+        index_space: p.n,
+        sig_body_len: LrArtifacts::signature_body_len(),
+        n_bits: p.n as usize,
+        version: p.version,
+        cluster_key,
+    }
+}
+
+/// The [`AttackerProfile`] matching a Seluge parameter set.
+pub fn seluge_attacker_profile(
+    sp: &lrs_seluge::SelugeParams,
+    cluster_key: Option<ClusterKey>,
+) -> AttackerProfile {
+    AttackerProfile {
+        payload_len: sp.data_payload_len(),
+        index_space: sp.packets_per_page,
+        sig_body_len: SelugeArtifacts::signature_body_len(),
+        n_bits: sp.packets_per_page as usize,
+        version: sp.version,
+        cluster_key,
     }
 }
 
@@ -238,9 +303,13 @@ pub fn lr_factory(
     let p = profile_params(&tags.profile, tags.image_len)?;
     let image = profile_image(&tags.profile, tags.image_len)?;
     let deployment = Deployment::new(&image, p, tags.key_context.as_bytes());
+    let profile = lr_attacker_profile(&p, Some(deployment.cluster_key().clone()));
     let attacker = tags.attacker;
+    let plan = tags.attack_plan.clone();
     Ok(move |id: NodeId| {
-        if Some(id) == attacker {
+        if let Some(entry) = plan.as_ref().and_then(|pl| pl.entry_for(id)) {
+            MaybeAdversary::Attacker(Attacker::from_plan_entry(entry, &profile))
+        } else if Some(id) == attacker {
             MaybeAdversary::Attacker(storm_attacker(p.payload_len, p.n, p.version))
         } else {
             MaybeAdversary::Honest(deployment.node(id, NodeId(0)))
@@ -265,9 +334,13 @@ pub fn seluge_factory(
     let puzzle = Puzzle::new(chain.anchor(), sp.puzzle_strength);
     let key = ClusterKey::derive(context, 0);
     let pubkey = kp.public();
+    let profile = seluge_attacker_profile(&sp, Some(key.clone()));
     let attacker = tags.attacker;
+    let plan = tags.attack_plan.clone();
     Ok(move |id: NodeId| {
-        if Some(id) == attacker {
+        if let Some(entry) = plan.as_ref().and_then(|pl| pl.entry_for(id)) {
+            MaybeAdversary::Attacker(Attacker::from_plan_entry(entry, &profile))
+        } else if Some(id) == attacker {
             MaybeAdversary::Attacker(storm_attacker(
                 sp.data_payload_len(),
                 sp.packets_per_page,
@@ -377,8 +450,20 @@ mod tests {
 
     #[test]
     fn tags_round_trip_through_a_spec() {
-        let tags =
-            ScenarioTags::new("lr-seluge", "chaos", 2048, "chaos keys").with_attacker(NodeId(9));
+        use lrs_netsim::attack::{AttackConfig, AttackVector};
+        let plan = AttackPlan::generate(
+            &AttackConfig {
+                vector: AttackVector::SpoofedDenialOfReceipt,
+                attackers: 2,
+                burst: Some((Duration::from_secs(2), Duration::from_secs(5))),
+                ..AttackConfig::default()
+            },
+            &lrs_netsim::Topology::star(8),
+            7,
+        );
+        let tags = ScenarioTags::new("lr-seluge", "chaos", 2048, "chaos keys")
+            .with_attacker(NodeId(9))
+            .with_attack_plan(plan);
         let pairs = tags.pairs();
         let capsule = Capsule {
             seed: 1,

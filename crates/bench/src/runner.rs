@@ -41,12 +41,22 @@ pub struct ExperimentMetrics {
     pub sig_verifications: f64,
     /// Network-wide authentication rejections (data + control).
     pub auth_rejects: f64,
+    /// Fraction of nodes that completed — the graceful-degradation
+    /// outcome, meaningful even when `completed` is 0.
+    pub completion_frac: f64,
+    /// Mean verification operations (hashes + puzzle checks + signature
+    /// verifications) per node. Under a flood this quantifies how much
+    /// extra checking the adversary extracted from each victim.
+    pub verify_inflation: f64,
+    /// Total radio energy across all nodes in joules (default
+    /// CC1000-class model) — the adversary's energy-drain yield.
+    pub energy_j: f64,
 }
 
 impl ExperimentMetrics {
     /// Stable metric names, in reporting order. These are the CSV/JSON
     /// column keys; renaming one is a result-schema change.
-    pub const NAMES: [&'static str; 9] = [
+    pub const NAMES: [&'static str; 12] = [
         "page_data_pkts",
         "data_pkts",
         "snack_pkts",
@@ -56,10 +66,13 @@ impl ExperimentMetrics {
         "completed",
         "sig_verifications",
         "auth_rejects",
+        "completion_frac",
+        "verify_inflation",
+        "energy_j",
     ];
 
     /// The metrics as `(name, value)` pairs, in [`Self::NAMES`] order.
-    pub fn named(&self) -> [(&'static str, f64); 9] {
+    pub fn named(&self) -> [(&'static str, f64); 12] {
         [
             ("page_data_pkts", self.page_data_pkts),
             ("data_pkts", self.data_pkts),
@@ -70,6 +83,9 @@ impl ExperimentMetrics {
             ("completed", self.completed),
             ("sig_verifications", self.sig_verifications),
             ("auth_rejects", self.auth_rejects),
+            ("completion_frac", self.completion_frac),
+            ("verify_inflation", self.verify_inflation),
+            ("energy_j", self.energy_j),
         ]
     }
 
@@ -96,6 +112,9 @@ impl ExperimentMetrics {
         self.completed += other.completed;
         self.sig_verifications += other.sig_verifications;
         self.auth_rejects += other.auth_rejects;
+        self.completion_frac += other.completion_frac;
+        self.verify_inflation += other.verify_inflation;
+        self.energy_j += other.energy_j;
     }
 
     fn scale(&mut self, f: f64) {
@@ -108,6 +127,9 @@ impl ExperimentMetrics {
         self.completed *= f;
         self.sig_verifications *= f;
         self.auth_rejects *= f;
+        self.completion_frac *= f;
+        self.verify_inflation *= f;
+        self.energy_j *= f;
     }
 }
 
@@ -161,15 +183,24 @@ where
     P: lrs_deluge::policy::TxPolicy,
 {
     let m = sim.metrics();
+    let n = sim.topology().len();
     let mut sig_verifications = 0.0;
     let mut auth_rejects = 0.0;
-    for i in 0..sim.topology().len() {
+    let mut verify_ops = 0.0;
+    for i in 0..n {
         let node = sim.node(NodeId(i as u32));
-        sig_verifications += node.scheme().cost().signature_verifications as f64;
+        let cost = node.scheme().cost();
+        sig_verifications += cost.signature_verifications as f64;
+        verify_ops += (cost.hashes + cost.puzzle_checks + cost.signature_verifications) as f64;
         let st = node.stats();
         auth_rejects += (st.auth_rejects + st.mac_rejects) as f64;
     }
     ExperimentMetrics {
+        completion_frac: m.completion_fraction(n),
+        verify_inflation: verify_ops / n as f64,
+        energy_j: sim
+            .energy()
+            .total_joules(&lrs_netsim::energy::EnergyModel::default()),
         page_data_pkts: m.tx_packets(PacketKind::Data) as f64,
         data_pkts: (m.tx_packets(PacketKind::Data)
             + m.tx_packets(PacketKind::HashPage)
@@ -382,6 +413,9 @@ mod tests {
         assert!(lr.total_bytes > 0.0);
         assert!(lr.latency_s.is_finite());
         assert_eq!(lr.sig_verifications, 3.0);
+        assert_eq!(lr.completion_frac, 1.0);
+        assert!(lr.verify_inflation > 0.0);
+        assert!(lr.energy_j > 0.0);
 
         let s = run_seluge(&spec, matched_seluge_params(&tiny_lr()), 1);
         assert_eq!(s.completed, 1.0);

@@ -23,6 +23,7 @@
 //! without nested tables.
 
 use crate::json::{parse_json, Json};
+use lrs_netsim::attack::{AttackConfig, AttackVector};
 use lrs_netsim::fault::FaultConfig;
 use lrs_netsim::medium::MediumConfig;
 use lrs_netsim::sim::SimConfig;
@@ -44,11 +45,17 @@ pub struct CampaignSpec {
     pub topologies: Vec<String>,
     /// Application-layer loss rates in parts per million.
     pub loss_ppm: Vec<u32>,
-    /// Fault-plan tokens: `none`, or comma-joined `crash=R` /
-    /// `flap=R` rates (e.g. `crash=0.5,flap=0.3`).
+    /// Fault-plan tokens: `none`, or comma-joined knobs covering the
+    /// full §7 fault vocabulary — `crash=R` (optionally with
+    /// `reboot=lo-hi` seconds), `flap=R`, `degrade=R`, `drift=ppm` —
+    /// e.g. `crash=0.5,reboot=10-60,flap=0.3`. See [`fault_config`].
     pub faults: Vec<String>,
-    /// Attacker tokens: `none`, or `storm` (the chaos sweep's bursty
-    /// bogus-data packet storm from the highest-id node).
+    /// Attacker tokens: `none`, `storm` (the chaos sweep's legacy
+    /// bursty bogus-data packet storm from the highest-id node), or a
+    /// comma-joined [`attack_config`] token naming one of the five §7
+    /// vectors with a packets-per-second rate — `bogus=R`, `forgesig=R`,
+    /// `forgeadv=R`, `dor=R`, `spoofdor=R` — composable with
+    /// `burst=on-off` duty cycles and `n=K` attacker counts.
     pub attackers: Vec<String>,
     /// Monte-Carlo repetitions per grid cell.
     pub seeds: u64,
@@ -136,11 +143,7 @@ impl CampaignSpec {
             fault_config(f, Duration::from_secs(self.max_sim_s))?;
         }
         for a in &self.attackers {
-            if a != "none" && a != "storm" {
-                return Err(format!(
-                    "unknown attacker {a:?}; known: \"none\", \"storm\""
-                ));
-            }
+            attack_config(a)?;
         }
         if self.seeds == 0 {
             return Err("seeds must be at least 1".into());
@@ -280,10 +283,54 @@ pub fn build_topology(token: &str, seed: u64) -> Result<Topology, String> {
     }
 }
 
+/// Parses a probability knob value, shared by the fault rates.
+fn parse_rate(part: &str, value: &str) -> Result<f64, String> {
+    let rate: f64 = value
+        .parse()
+        .map_err(|e| format!("bad rate in fault token {part:?}: {e}"))?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!("fault rate {rate} in {part:?} outside [0, 1]"));
+    }
+    Ok(rate)
+}
+
+/// Parses a `lo-hi` seconds range (both sides positive f64).
+fn parse_secs_range(part: &str, value: &str) -> Result<(Duration, Duration), String> {
+    let (lo, hi) = value
+        .split_once('-')
+        .ok_or_else(|| format!("bad range in {part:?}; expected lo-hi seconds"))?;
+    let lo: f64 = lo
+        .parse()
+        .map_err(|e| format!("bad range in {part:?}: {e}"))?;
+    let hi: f64 = hi
+        .parse()
+        .map_err(|e| format!("bad range in {part:?}: {e}"))?;
+    if !(lo.is_finite() && hi.is_finite()) || lo <= 0.0 || hi < lo {
+        return Err(format!(
+            "bad range in {part:?}; need 0 < lo <= hi, got {lo}-{hi}"
+        ));
+    }
+    Ok((secs_to_duration(lo), secs_to_duration(hi)))
+}
+
+fn secs_to_duration(s: f64) -> Duration {
+    Duration::from_micros((s * 1e6).round() as u64)
+}
+
+fn duration_to_secs(d: Duration) -> f64 {
+    d.as_micros() as f64 / 1e6
+}
+
 /// Builds the [`FaultConfig`] a fault token describes, with `horizon`
 /// as the scheduling window. `none` yields the quiet default config;
-/// `crash=R` sets the crash rate (reboot after 30–120 s), `flap=R`
-/// the link-flap rate; both compose comma-joined.
+/// comma-joined knobs cover the full fault vocabulary:
+///
+/// * `crash=R` — per-node crash probability. Reboot window defaults to
+///   30–120 s; override with `reboot=lo-hi` (seconds). A `crash=0`
+///   schedules no reboots at all.
+/// * `flap=R` — per-link flap probability.
+/// * `degrade=R` — per-link asymmetric degradation probability.
+/// * `drift=ppm` — per-node clock-drift amplitude in ppm (0..=500000).
 pub fn fault_config(token: &str, horizon: Duration) -> Result<FaultConfig, String> {
     let mut config = FaultConfig {
         horizon,
@@ -292,32 +339,188 @@ pub fn fault_config(token: &str, horizon: Duration) -> Result<FaultConfig, Strin
     if token == "none" {
         return Ok(config);
     }
+    let mut reboot: Option<(Duration, Duration)> = None;
     for part in token.split(',') {
         let (key, value) = part
             .split_once('=')
-            .ok_or_else(|| format!("bad fault token part {part:?}; expected key=rate"))?;
-        let rate: f64 = value
-            .parse()
-            .map_err(|e| format!("bad rate in fault token {part:?}: {e}"))?;
-        if !(0.0..=1.0).contains(&rate) {
-            return Err(format!("fault rate {rate} in {part:?} outside [0, 1]"));
-        }
+            .ok_or_else(|| format!("bad fault token part {part:?}; expected key=value"))?;
         match key {
-            "crash" => {
-                config.crash_rate = rate;
-                config.reboot_after = Some((Duration::from_secs(30), Duration::from_secs(120)));
-            }
-            "flap" => {
-                config.link_flap_rate = rate;
+            "crash" => config.crash_rate = parse_rate(part, value)?,
+            "reboot" => reboot = Some(parse_secs_range(part, value)?),
+            "flap" => config.link_flap_rate = parse_rate(part, value)?,
+            "degrade" => config.degrade_rate = parse_rate(part, value)?,
+            "drift" => {
+                let ppm: u32 = value
+                    .parse()
+                    .map_err(|e| format!("bad drift ppm in {part:?}: {e}"))?;
+                if ppm > 500_000 {
+                    return Err(format!("drift ppm {ppm} in {part:?} above 500000"));
+                }
+                config.drift_ppm = ppm;
             }
             other => {
                 return Err(format!(
-                    "unknown fault knob {other:?}; known: \"crash\", \"flap\""
+                    "unknown fault knob {other:?}; known: \"crash\", \"reboot\", \
+                     \"flap\", \"degrade\", \"drift\""
                 ))
             }
         }
     }
+    if reboot.is_some() && config.crash_rate == 0.0 {
+        return Err(format!(
+            "fault token {token:?} sets a reboot window without crash > 0"
+        ));
+    }
+    // Crashed nodes reboot (default window 30–120 s); with no crashes
+    // there is nothing to reboot, so the window stays unset.
+    config.reboot_after = if config.crash_rate > 0.0 {
+        Some(reboot.unwrap_or((Duration::from_secs(30), Duration::from_secs(120))))
+    } else {
+        None
+    };
     Ok(config)
+}
+
+/// Renders a [`FaultConfig`] back into the canonical token
+/// [`fault_config`] parses. `fault_config(canonical_fault_token(c), h)`
+/// reproduces `c` exactly (for configs expressible in the grammar —
+/// i.e. those `fault_config` itself produces), and the canonical token
+/// is a fixed point of the round trip.
+pub fn canonical_fault_token(config: &FaultConfig) -> String {
+    let mut parts = Vec::new();
+    if config.crash_rate > 0.0 {
+        parts.push(format!("crash={}", config.crash_rate));
+        if let Some((lo, hi)) = config.reboot_after {
+            parts.push(format!(
+                "reboot={}-{}",
+                duration_to_secs(lo),
+                duration_to_secs(hi)
+            ));
+        }
+    }
+    if config.link_flap_rate > 0.0 {
+        parts.push(format!("flap={}", config.link_flap_rate));
+    }
+    if config.degrade_rate > 0.0 {
+        parts.push(format!("degrade={}", config.degrade_rate));
+    }
+    if config.drift_ppm > 0 {
+        parts.push(format!("drift={}", config.drift_ppm));
+    }
+    if parts.is_empty() {
+        "none".into()
+    } else {
+        parts.join(",")
+    }
+}
+
+/// Maximum injection rate an attacker token may ask for (packets/s).
+pub const MAX_ATTACK_RATE: f64 = 100.0;
+
+/// Maximum attacker count per cell (`n=K`).
+pub const MAX_ATTACKERS: u32 = 16;
+
+fn unknown_attacker(token: &str) -> String {
+    let labels: Vec<&str> = AttackVector::ALL.iter().map(|v| v.label()).collect();
+    format!(
+        "unknown attacker {token:?}; known: \"none\", \"storm\", or comma-joined \
+         knobs {labels:?} (=rate pkts/s), \"burst=on-off\" (seconds), \"n=K\""
+    )
+}
+
+/// Builds the [`AttackConfig`] an attacker token describes, or `None`
+/// for the tokens that do not drive the plan-based adversary engine:
+/// `none` (no attacker) and `storm` (the legacy hard-coded bursty
+/// storm, handled by the scenario registry directly).
+///
+/// Plan tokens are comma-joined knobs. Exactly one must name a vector
+/// (`bogus=R`, `forgesig=R`, `forgeadv=R`, `dor=R`, `spoofdor=R`, with
+/// `R` an injection rate in packets per second, `0 < R <=`
+/// [`MAX_ATTACK_RATE`]); `burst=on-off` (seconds) adds a packet-storm
+/// duty cycle and `n=K` places `K` attackers (1..=[`MAX_ATTACKERS`]).
+pub fn attack_config(token: &str) -> Result<Option<AttackConfig>, String> {
+    if token == "none" || token == "storm" {
+        return Ok(None);
+    }
+    let mut config = AttackConfig::default();
+    let mut vector: Option<AttackVector> = None;
+    for part in token.split(',') {
+        let Some((key, value)) = part.split_once('=') else {
+            return Err(unknown_attacker(part));
+        };
+        if let Some(v) = AttackVector::from_label(key) {
+            if vector.replace(v).is_some() {
+                return Err(format!(
+                    "attacker token {token:?} names more than one vector"
+                ));
+            }
+            let rate: f64 = value
+                .parse()
+                .map_err(|e| format!("bad rate in attacker token {part:?}: {e}"))?;
+            if !rate.is_finite() || rate <= 0.0 || rate > MAX_ATTACK_RATE {
+                return Err(format!(
+                    "attack rate {rate} in {part:?} outside (0, {MAX_ATTACK_RATE}]"
+                ));
+            }
+            config.interval = Duration::from_micros((1e6 / rate).round() as u64);
+            continue;
+        }
+        match key {
+            "burst" => {
+                let (on, off) = value
+                    .split_once('-')
+                    .ok_or_else(|| format!("bad burst in {part:?}; expected on-off seconds"))?;
+                let on: f64 = on
+                    .parse()
+                    .map_err(|e| format!("bad burst in {part:?}: {e}"))?;
+                let off: f64 = off
+                    .parse()
+                    .map_err(|e| format!("bad burst in {part:?}: {e}"))?;
+                if !(on.is_finite() && off.is_finite()) || on <= 0.0 || off <= 0.0 {
+                    return Err(format!(
+                        "bad burst in {part:?}; need on > 0 and off > 0, got {on}-{off}"
+                    ));
+                }
+                config.burst = Some((secs_to_duration(on), secs_to_duration(off)));
+            }
+            "n" => {
+                let n: u32 = value
+                    .parse()
+                    .map_err(|e| format!("bad attacker count in {part:?}: {e}"))?;
+                if !(1..=MAX_ATTACKERS).contains(&n) {
+                    return Err(format!(
+                        "attacker count {n} in {part:?} outside 1..={MAX_ATTACKERS}"
+                    ));
+                }
+                config.attackers = n;
+            }
+            _ => return Err(unknown_attacker(part)),
+        }
+    }
+    let Some(vector) = vector else {
+        return Err(format!("attacker token {token:?} names no vector knob"));
+    };
+    config.vector = vector;
+    Ok(Some(config))
+}
+
+/// Renders an [`AttackConfig`] back into the canonical token
+/// [`attack_config`] parses: `attack_config(canonical_attack_token(c))`
+/// reproduces `c` exactly for configs the grammar can express.
+pub fn canonical_attack_token(config: &AttackConfig) -> String {
+    let rate = 1e6 / config.interval.as_micros() as f64;
+    let mut token = format!("{}={}", config.vector.label(), rate);
+    if let Some((on, off)) = config.burst {
+        token.push_str(&format!(
+            ",burst={}-{}",
+            duration_to_secs(on),
+            duration_to_secs(off)
+        ));
+    }
+    if config.attackers != 1 {
+        token.push_str(&format!(",n={}", config.attackers));
+    }
+    token
 }
 
 /// Parses the flat TOML subset campaign specs use: `key = value` lines
@@ -644,7 +847,126 @@ mod tests {
         let both = fault_config("crash=0.5,flap=0.3", horizon).unwrap();
         assert_eq!(both.crash_rate, 0.5);
         assert_eq!(both.link_flap_rate, 0.3);
-        assert!(both.reboot_after.is_some());
+        assert_eq!(
+            both.reboot_after,
+            Some((Duration::from_secs(30), Duration::from_secs(120)))
+        );
+        // The full vocabulary, with an explicit reboot window.
+        let all = fault_config(
+            "crash=0.25,reboot=5-20.5,flap=0.1,degrade=0.75,drift=150000",
+            horizon,
+        )
+        .unwrap();
+        assert_eq!(all.crash_rate, 0.25);
+        assert_eq!(
+            all.reboot_after,
+            Some((Duration::from_secs(5), Duration::from_micros(20_500_000)))
+        );
+        assert_eq!(all.degrade_rate, 0.75);
+        assert_eq!(all.drift_ppm, 150_000);
+        // crash=0 means nobody crashes, so nobody reboots either.
+        let no_crash = fault_config("crash=0,flap=0.2", horizon).unwrap();
+        assert_eq!(no_crash.reboot_after, None);
+    }
+
+    #[test]
+    fn bad_fault_tokens_are_rejected() {
+        let horizon = Duration::from_secs(100);
+        for (token, needle) in [
+            ("crash", "expected key=value"),
+            ("reboot=10-60", "without crash"),
+            ("crash=0,reboot=10-60", "without crash"),
+            ("crash=0.5,reboot=60", "expected lo-hi"),
+            ("crash=0.5,reboot=60-10", "0 < lo <= hi"),
+            ("crash=0.5,reboot=0-10", "0 < lo <= hi"),
+            ("drift=abc", "bad drift ppm"),
+            ("drift=900000", "above 500000"),
+            ("degrade=1.5", "outside [0, 1]"),
+        ] {
+            let err = fault_config(token, horizon).unwrap_err();
+            assert!(err.contains(needle), "{token:?} gave {err:?}");
+        }
+    }
+
+    #[test]
+    fn fault_tokens_round_trip_through_canonical_form() {
+        let horizon = Duration::from_secs(3_000);
+        for token in [
+            "none",
+            "crash=0.5",
+            "crash=0.5,reboot=10-60",
+            "crash=0.125,reboot=2.5-7.25,flap=0.3,degrade=0.99,drift=200000",
+            "flap=1",
+            "degrade=0.001",
+            "drift=42",
+        ] {
+            let config = fault_config(token, horizon).unwrap();
+            let canonical = canonical_fault_token(&config);
+            let reparsed = fault_config(&canonical, horizon).unwrap();
+            assert_eq!(reparsed, config, "{token:?} → {canonical:?}");
+            // The canonical form is a fixed point.
+            assert_eq!(canonical_fault_token(&reparsed), canonical);
+        }
+    }
+
+    #[test]
+    fn attack_tokens_build_configs() {
+        // Legacy tokens bypass the plan engine.
+        assert_eq!(attack_config("none").unwrap(), None);
+        assert_eq!(attack_config("storm").unwrap(), None);
+        let c = attack_config("bogus=4").unwrap().unwrap();
+        assert_eq!(c.vector, AttackVector::BogusData);
+        assert_eq!(c.interval, Duration::from_millis(250));
+        assert_eq!(c.attackers, 1);
+        assert_eq!(c.burst, None);
+        let c = attack_config("spoofdor=0.5,burst=2-8,n=3")
+            .unwrap()
+            .unwrap();
+        assert_eq!(c.vector, AttackVector::SpoofedDenialOfReceipt);
+        assert_eq!(c.interval, Duration::from_secs(2));
+        assert_eq!(
+            c.burst,
+            Some((Duration::from_secs(2), Duration::from_secs(8)))
+        );
+        assert_eq!(c.attackers, 3);
+    }
+
+    #[test]
+    fn bad_attack_tokens_are_rejected() {
+        for (token, needle) in [
+            ("ddos", "unknown attacker"),
+            ("blizzard=4", "unknown attacker"),
+            ("burst=2-8", "names no vector knob"),
+            ("bogus=4,dor=2", "more than one vector"),
+            ("bogus=0", "outside (0, 100]"),
+            ("bogus=200", "outside (0, 100]"),
+            ("bogus=nope", "bad rate"),
+            ("dor=2,burst=5", "expected on-off"),
+            ("dor=2,burst=0-5", "on > 0"),
+            ("dor=2,n=0", "outside 1..=16"),
+            ("dor=2,n=99", "outside 1..=16"),
+        ] {
+            let err = attack_config(token).unwrap_err();
+            assert!(err.contains(needle), "{token:?} gave {err:?}");
+        }
+    }
+
+    #[test]
+    fn attack_tokens_round_trip_through_canonical_form() {
+        for token in [
+            "bogus=4",
+            "forgesig=10",
+            "forgeadv=0.25",
+            "dor=2,burst=1.5-3",
+            "spoofdor=100,burst=2-0.5,n=16",
+            "bogus=0.001,n=2",
+        ] {
+            let config = attack_config(token).unwrap().unwrap();
+            let canonical = canonical_attack_token(&config);
+            let reparsed = attack_config(&canonical).unwrap().unwrap();
+            assert_eq!(reparsed, config, "{token:?} → {canonical:?}");
+            assert_eq!(canonical_attack_token(&reparsed), canonical);
+        }
     }
 
     #[test]

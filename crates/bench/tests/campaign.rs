@@ -5,7 +5,14 @@
 
 use lrs_bench::campaign::{Campaign, JOB_LOG, REPORT};
 use lrs_bench::capsules::replay_capsule;
-use lrs_bench::CampaignSpec;
+use lrs_bench::spec::{attack_config, canonical_attack_token, canonical_fault_token, fault_config};
+use lrs_bench::{CampaignSpec, ExperimentMetrics};
+use lrs_netsim::capsule::{Capsule, SEQUENTIAL_ENGINE, SHARDED_ENGINE};
+use lrs_netsim::fault::{FaultEvent, FaultPlan};
+use lrs_netsim::node::NodeId;
+use lrs_netsim::shrink::shrink_fault_plan;
+use lrs_netsim::sim::Outcome;
+use lrs_netsim::time::{Duration, SimTime};
 use std::collections::BTreeSet;
 use std::fs;
 use std::path::PathBuf;
@@ -160,6 +167,260 @@ fn every_job_exports_as_a_replayable_capsule() {
         );
     }
     let _ = report;
+}
+
+/// The §7 adversary grid: every attack vector crossed with every fault
+/// family, single-seeded to stay CI-sized.
+const ATTACK_SPEC: &str = r#"
+name = "attack-fault"
+schemes = ["lr-seluge"]
+topologies = ["star:4"]
+loss_ppm = [100_000]
+faults = ["crash=0.6,reboot=5-20", "flap=0.4", "degrade=0.6", "drift=200000"]
+attackers = ["bogus=4", "forgesig=4", "forgeadv=4", "dor=2", "spoofdor=2"]
+seeds = 1
+image_bytes = 512
+deadline_s = 1200
+stall_s = 300
+max_sim_s = 1200
+"#;
+
+fn attack_spec() -> CampaignSpec {
+    CampaignSpec::parse(ATTACK_SPEC).expect("attack spec parses")
+}
+
+fn metric_index(name: &str) -> usize {
+    ExperimentMetrics::NAMES
+        .iter()
+        .position(|n| *n == name)
+        .expect("known metric")
+}
+
+#[test]
+fn fault_and_attacker_tokens_survive_canonicalization() {
+    // Parse → canonical string → parse must be the identity for every
+    // token family: that is what makes manifests and capsule tags
+    // stable spellings rather than whatever the user typed.
+    let horizon = Duration::from_secs(600);
+    for token in [
+        "none",
+        "crash=0.5",
+        "crash=0.5,reboot=10-60",
+        "flap=0.25",
+        "degrade=0.75",
+        "drift=150000",
+        "crash=0.3,reboot=5-20,flap=0.2,degrade=0.1,drift=40000",
+    ] {
+        let config = fault_config(token, horizon).expect("fault token parses");
+        let canonical = canonical_fault_token(&config);
+        let reparsed = fault_config(&canonical, horizon).expect("canonical form parses");
+        assert_eq!(reparsed, config, "fault token {token:?} drifted");
+    }
+    for token in [
+        "bogus=4",
+        "forgesig=2.5",
+        "forgeadv=1",
+        "dor=2,burst=3-9",
+        "spoofdor=2,n=3,burst=1-4",
+        "bogus=8,n=2",
+    ] {
+        let config = attack_config(token)
+            .expect("attack token parses")
+            .expect("a vector token yields a config");
+        let canonical = canonical_attack_token(&config);
+        let reparsed = attack_config(&canonical)
+            .expect("canonical form parses")
+            .expect("canonical form yields a config");
+        assert_eq!(reparsed, config, "attack token {token:?} drifted");
+    }
+}
+
+#[test]
+fn specs_with_malformed_fault_or_attacker_tokens_are_rejected() {
+    for (field, value) in [
+        ("faults", "reboot=10-60"),           // reboot without crash
+        ("faults", "crash=1.5"),              // rate out of range
+        ("faults", "warp=0.5"),               // unknown knob
+        ("faults", "crash=0.5,reboot=60-10"), // inverted window
+        ("attackers", "bogus=0"),             // zero rate
+        ("attackers", "bogus=4,dor=2"),       // two vectors in one token
+        ("attackers", "burst=3-9"),           // no vector knob
+        ("attackers", "bogus=4,n=99"),        // attacker count over the cap
+        ("attackers", "evil=1"),              // unknown knob
+    ] {
+        let spec = format!("name = \"bad\"\nschemes = [\"lr-seluge\"]\n{field} = [\"{value}\"]\n");
+        assert!(
+            CampaignSpec::parse(&spec).is_err(),
+            "{field} token {value:?} should be rejected at parse time"
+        );
+    }
+}
+
+#[test]
+fn attack_fault_sweep_completes_with_zero_violations() {
+    let dir = scratch("attack-sweep");
+    let campaign = Campaign::create(attack_spec(), &dir).expect("create");
+    let report = campaign.run(2, None).expect("run").expect("completes");
+    assert_eq!(report.jobs, campaign.total_jobs());
+
+    let completion = metric_index("completion_frac");
+    let inflation = metric_index("verify_inflation");
+    let energy = metric_index("energy_j");
+    for record in campaign.completed().expect("log") {
+        assert_ne!(
+            record.outcome, "invariant_violated",
+            "job {} leaked unauthenticated bytes into a page buffer",
+            record.job
+        );
+        let frac = record.metrics[completion];
+        assert!(
+            (0.0..=1.0).contains(&frac),
+            "job {}: completion fraction {frac} out of range",
+            record.job
+        );
+        assert!(
+            record.metrics[inflation].is_finite() && record.metrics[inflation] >= 0.0,
+            "job {}: verification inflation must be a finite count per node",
+            record.job
+        );
+        assert!(
+            record.metrics[energy] > 0.0,
+            "job {}: a run that exchanged packets drained energy",
+            record.job
+        );
+    }
+
+    // The streaming report carries the degradation axes per cell.
+    let json = fs::read_to_string(dir.join(REPORT)).expect("report");
+    for key in ["completion_frac", "verify_inflation", "energy_j"] {
+        assert!(
+            json.contains(&format!("\"{key}\"")),
+            "report.json lost the {key} aggregate"
+        );
+    }
+}
+
+#[test]
+fn attacked_jobs_replay_bit_identically_on_both_engines() {
+    let campaign = Campaign::offline(attack_spec(), PathBuf::new());
+    // One job per attacker family: the attacker axis is innermost in
+    // the canonical cell order, so consecutive jobs walk the vectors.
+    for job in 0..5 {
+        let capsule = campaign.job_capsule(job).expect("export");
+        let seq = replay_capsule(&capsule, SEQUENTIAL_ENGINE, 1).expect("sequential replay");
+        let sharded = replay_capsule(&capsule, SHARDED_ENGINE, 2).expect("sharded replay");
+        // Each engine reproduces itself bit-for-bit...
+        let seq2 = replay_capsule(&capsule, SEQUENTIAL_ENGINE, 1).expect("sequential again");
+        let sharded2 = replay_capsule(&capsule, SHARDED_ENGINE, 2).expect("sharded again");
+        assert_eq!(
+            seq.digest, seq2.digest,
+            "job {job}: sequential replay is not bit-identical under attack"
+        );
+        assert_eq!(
+            sharded.digest, sharded2.digest,
+            "job {job}: sharded replay is not bit-identical under attack"
+        );
+        // ...and the engines agree on the verdict. (Their event orders
+        // and timings differ by design — see `bisect_capsule_engines` —
+        // so cross-engine bit-identity is per-engine digest fidelity,
+        // the same contract the `replay` bin verifies.)
+        assert_eq!(
+            seq.report.outcome, sharded.report.outcome,
+            "job {job}: engines disagree on the outcome"
+        );
+    }
+}
+
+#[test]
+fn an_attacked_capsule_shrinks_via_ddmin() {
+    let campaign = Campaign::offline(attack_spec(), PathBuf::new());
+    let mut capsule = campaign.job_capsule(0).expect("export");
+
+    // Overwrite the fault schedule with one that provably breaks the
+    // run — partition the base station from every receiver before
+    // dissemination starts, which trips the stall watchdog (crashing
+    // nodes would not do: a crashed node is excluded from the
+    // completion predicate) — plus noise events ddmin should strip.
+    let mut plan = FaultPlan::new();
+    for node in 1..capsule.topology.len() as u32 {
+        plan.push(FaultEvent::LinkDown {
+            from: NodeId(0),
+            to: NodeId(node),
+            at: SimTime(1_000_000),
+        });
+        plan.push(FaultEvent::LinkDown {
+            from: NodeId(node),
+            to: NodeId(0),
+            at: SimTime(1_000_000),
+        });
+    }
+    for node in 1..capsule.topology.len() as u32 {
+        plan.push(FaultEvent::Reboot {
+            node: NodeId(node),
+            at: SimTime(3_000_000),
+        });
+    }
+    capsule.faults = plan.clone();
+
+    let fails = |plan: &FaultPlan| {
+        let mut candidate = capsule.clone();
+        candidate.faults = plan.clone();
+        replay_capsule(&candidate, SEQUENTIAL_ENGINE, 1)
+            .map(|run| run.report.outcome != Outcome::Complete)
+            .unwrap_or(false)
+    };
+    assert!(fails(&plan), "the seeded fault plan must break the run");
+
+    let (minimal, stats) = shrink_fault_plan(&plan, fails);
+    assert!(
+        minimal.len() < plan.len(),
+        "ddmin failed to strip any of the noise events"
+    );
+    assert!(fails(&minimal), "the shrunk plan no longer reproduces");
+    assert_eq!(stats.from, plan.len());
+    assert_eq!(stats.to, minimal.len());
+}
+
+#[test]
+fn an_attacked_run_that_stalls_dumps_a_replayable_failure_capsule() {
+    // Near-total loss: no page traffic survives, so the stall watchdog
+    // trips deterministically while the attack plan is active.
+    let spec = CampaignSpec::parse(
+        r#"
+name = "attack-stall"
+schemes = ["lr-seluge"]
+topologies = ["star:4"]
+loss_ppm = [990_000]
+faults = ["none"]
+attackers = ["bogus=4"]
+seeds = 1
+image_bytes = 512
+deadline_s = 600
+stall_s = 60
+max_sim_s = 600
+"#,
+    )
+    .expect("stall spec parses");
+    let dir = scratch("attack-stall");
+    let campaign = Campaign::create(spec, &dir).expect("create");
+    let report = campaign.run(1, None).expect("run").expect("completes");
+    assert!(
+        !report.failures.is_empty(),
+        "a stalled attacked job must dump a failure capsule"
+    );
+
+    let path = PathBuf::from(&report.failures[0]);
+    assert!(path.exists(), "missing failure capsule {}", path.display());
+    let capsule = Capsule::load(&path).expect("failure capsule loads");
+    let seq = replay_capsule(&capsule, SEQUENTIAL_ENGINE, 1).expect("sequential replay");
+    let seq2 = replay_capsule(&capsule, SEQUENTIAL_ENGINE, 1).expect("sequential again");
+    let sharded = replay_capsule(&capsule, SHARDED_ENGINE, 2).expect("sharded replay");
+    assert_eq!(seq.report.outcome, Outcome::Stalled);
+    assert_eq!(seq.report.outcome, sharded.report.outcome);
+    assert_eq!(
+        seq.digest, seq2.digest,
+        "the failure capsule must replay bit-identically"
+    );
 }
 
 #[test]

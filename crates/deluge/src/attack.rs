@@ -9,8 +9,14 @@
 
 use crate::wire::{BitVec, Message};
 use lrs_crypto::cluster::ClusterKey;
+use lrs_netsim::attack::{AttackEntry, AttackVector};
 use lrs_netsim::node::{Context, NodeId, PacketKind, Protocol, TimerId};
 use lrs_netsim::time::Duration;
+
+/// The item a plan-built denial-of-receipt attacker requests (the first
+/// code page under LR-Seluge's item numbering) — matching the attack
+/// bin's historical choice so plan-driven runs reproduce it.
+pub const DOR_ITEM: u16 = 2;
 
 /// What the attacker injects.
 #[derive(Clone, Debug)]
@@ -76,6 +82,26 @@ pub struct Attacker {
     pub injected: u64,
 }
 
+/// Scheme-specific constants an [`AttackPlan`](lrs_netsim::attack::AttackPlan)
+/// entry needs to become a live [`Attacker`]: the plan itself stores only
+/// scheme-agnostic placement and timing, so the same plan drives both the
+/// LR-Seluge and Seluge factories.
+#[derive(Clone, Debug)]
+pub struct AttackerProfile {
+    /// Data-payload length to mimic in bogus packets.
+    pub payload_len: usize,
+    /// Packet index space bogus data draws from.
+    pub index_space: u16,
+    /// Signature body length forged signatures mimic.
+    pub sig_body_len: usize,
+    /// SNACK bit-vector width (the item's packet count).
+    pub n_bits: usize,
+    /// Image version the attacker claims.
+    pub version: u16,
+    /// Cluster key, granted to insider vectors when present.
+    pub cluster_key: Option<ClusterKey>,
+}
+
 const TIMER_INJECT: TimerId = TimerId(9);
 
 impl Attacker {
@@ -107,6 +133,46 @@ impl Attacker {
     pub fn with_burst(mut self, on: Duration, off: Duration) -> Self {
         self.burst = Some((on, off));
         self
+    }
+
+    /// Builds the attacker an [`AttackEntry`] describes, using
+    /// `profile`'s scheme constants. Insider vectors get the cluster key
+    /// when the profile carries one; an entry demanding insider power
+    /// without a key degrades to an outsider, whose denial-of-receipt
+    /// SNACKs are forged without the cluster MAC and inject nothing —
+    /// the graceful outcome, not a panic.
+    pub fn from_plan_entry(entry: &AttackEntry, profile: &AttackerProfile) -> Self {
+        let kind = match entry.vector {
+            AttackVector::BogusData => AttackKind::BogusData {
+                payload_len: profile.payload_len,
+                index_space: profile.index_space,
+            },
+            AttackVector::ForgedSignature => AttackKind::ForgedSignature {
+                body_len: profile.sig_body_len,
+            },
+            AttackVector::ForgedAdv => AttackKind::ForgedAdv,
+            AttackVector::DenialOfReceipt => AttackKind::DenialOfReceipt {
+                target: entry.target,
+                item: DOR_ITEM,
+                n_bits: profile.n_bits,
+            },
+            AttackVector::SpoofedDenialOfReceipt => AttackKind::SpoofedDenialOfReceipt {
+                target: entry.target,
+                item: DOR_ITEM,
+                n_bits: profile.n_bits,
+                spoof_pool: entry.spoof_pool.max(1),
+            },
+        };
+        let attacker = match (&profile.cluster_key, entry.vector.requires_insider()) {
+            (Some(key), true) => {
+                Attacker::insider(kind, entry.interval, profile.version, key.clone())
+            }
+            _ => Attacker::outsider(kind, entry.interval, profile.version),
+        };
+        match entry.burst {
+            Some((on, off)) => attacker.with_burst(on, off),
+            None => attacker,
+        }
     }
 
     /// Whether the duty cycle allows injecting at `now`.
@@ -332,6 +398,85 @@ mod tests {
         // No duty cycle: always active.
         let b = Attacker::outsider(AttackKind::ForgedAdv, Duration::from_millis(50), 1);
         assert!(b.burst_active(SimTime(123_456_789)));
+    }
+
+    fn profile(key: Option<ClusterKey>) -> AttackerProfile {
+        AttackerProfile {
+            payload_len: 48,
+            index_space: 24,
+            sig_body_len: 64,
+            n_bits: 24,
+            version: 1,
+            cluster_key: key,
+        }
+    }
+
+    fn entry(vector: AttackVector) -> AttackEntry {
+        AttackEntry {
+            node: NodeId(7),
+            vector,
+            at: lrs_netsim::time::SimTime(0),
+            interval: Duration::from_millis(250),
+            burst: None,
+            target: NodeId(3),
+            spoof_pool: 0,
+        }
+    }
+
+    #[test]
+    fn plan_entry_builds_matching_kind_and_burst() {
+        let mut e = entry(AttackVector::BogusData);
+        e.burst = Some((Duration::from_secs(2), Duration::from_secs(5)));
+        let a = Attacker::from_plan_entry(&e, &profile(None));
+        assert!(matches!(
+            a.kind,
+            AttackKind::BogusData {
+                payload_len: 48,
+                index_space: 24
+            }
+        ));
+        assert_eq!(
+            a.burst,
+            Some((Duration::from_secs(2), Duration::from_secs(5)))
+        );
+        assert_eq!(a.interval, Duration::from_millis(250));
+        assert!(a.key.is_none());
+
+        let a = Attacker::from_plan_entry(&entry(AttackVector::ForgedSignature), &profile(None));
+        assert!(matches!(
+            a.kind,
+            AttackKind::ForgedSignature { body_len: 64 }
+        ));
+    }
+
+    #[test]
+    fn insider_vectors_take_the_key_and_outsiders_never_do() {
+        let key = ClusterKey::derive(b"test", 0);
+        let a = Attacker::from_plan_entry(
+            &entry(AttackVector::DenialOfReceipt),
+            &profile(Some(key.clone())),
+        );
+        assert!(a.key.is_some());
+        assert!(matches!(
+            a.kind,
+            AttackKind::DenialOfReceipt {
+                target: NodeId(3),
+                item: DOR_ITEM,
+                n_bits: 24,
+            }
+        ));
+        // Outsider vectors never receive the key, even when available.
+        let a = Attacker::from_plan_entry(&entry(AttackVector::ForgedAdv), &profile(Some(key)));
+        assert!(a.key.is_none());
+        // A keyless profile degrades insider vectors to outsiders.
+        let a =
+            Attacker::from_plan_entry(&entry(AttackVector::SpoofedDenialOfReceipt), &profile(None));
+        assert!(a.key.is_none());
+        // A zero spoof pool is clamped so the modulus never divides by 0.
+        assert!(matches!(
+            a.kind,
+            AttackKind::SpoofedDenialOfReceipt { spoof_pool: 1, .. }
+        ));
     }
 
     #[test]

@@ -1,0 +1,466 @@
+//! Deterministic, replayable attack schedules.
+//!
+//! An [`AttackPlan`] is the adversary-side sibling of
+//! [`FaultPlan`](crate::fault::FaultPlan): a schedule of
+//! [`AttackEntry`]s naming which nodes behave adversarially, what they
+//! inject ([`AttackVector`]), at what rate, under which duty cycle, and
+//! against which victim. Plans are either hand-built through
+//! [`AttackPlan::push`] or generated from an [`AttackConfig`] with
+//! [`AttackPlan::generate`], which draws attacker placement from its own
+//! `DetRng` stream. Like the fault layer, the attack layer never touches
+//! the medium's or the nodes' RNGs, so an empty plan leaves a run
+//! bit-identical to one with no attack layer at all, and any plan is
+//! reproducible from `(config, topology, seed)`.
+//!
+//! The netsim crate deliberately knows nothing about *how* a vector is
+//! mounted — protocol crates map entries onto concrete adversarial
+//! nodes (`lrs-deluge`'s `Attacker::from_plan_entry`). What lives here
+//! is the schedule itself and its serial forms: JSONL
+//! ([`AttackPlan::to_jsonl`] / [`from_jsonl`](AttackPlan::from_jsonl))
+//! for files, and a single-line tag form ([`AttackPlan::to_tag`] /
+//! [`from_tag`](AttackPlan::from_tag)) that travels inside a replay
+//! capsule's scenario tags, so an attacked failure capsule replays
+//! bit-identically and ddmin-shrinks like any other.
+
+use crate::fault::{json_str_field, json_u64_field};
+use crate::node::NodeId;
+use crate::time::{Duration, SimTime};
+use crate::topology::Topology;
+use lrs_rng::DetRng;
+
+/// What an adversarial node injects — the five §III/§IV-E attack kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AttackVector {
+    /// Data packets with plausible headers and random payloads.
+    BogusData,
+    /// Forged signature packets, to force expensive verifications.
+    ForgedSignature,
+    /// Forged advertisements claiming a huge level.
+    ForgedAdv,
+    /// Denial-of-receipt: an insider repeatedly SNACKs a victim with an
+    /// all-ones bit vector.
+    DenialOfReceipt,
+    /// Denial-of-receipt with source spoofing, rotating forged sender
+    /// ids to evade per-neighbor budgets.
+    SpoofedDenialOfReceipt,
+}
+
+impl AttackVector {
+    /// Every vector, in stable declaration order.
+    pub const ALL: [AttackVector; 5] = [
+        AttackVector::BogusData,
+        AttackVector::ForgedSignature,
+        AttackVector::ForgedAdv,
+        AttackVector::DenialOfReceipt,
+        AttackVector::SpoofedDenialOfReceipt,
+    ];
+
+    /// The vector's stable wire/spec label.
+    pub fn label(self) -> &'static str {
+        match self {
+            AttackVector::BogusData => "bogus",
+            AttackVector::ForgedSignature => "forgesig",
+            AttackVector::ForgedAdv => "forgeadv",
+            AttackVector::DenialOfReceipt => "dor",
+            AttackVector::SpoofedDenialOfReceipt => "spoofdor",
+        }
+    }
+
+    /// Parses a [`label`](Self::label) back to its vector.
+    pub fn from_label(label: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|v| v.label() == label)
+    }
+
+    /// Whether the vector needs the cluster key (a compromised insider):
+    /// denial-of-receipt SNACKs must carry a valid cluster MAC to be
+    /// served at all.
+    pub fn requires_insider(self) -> bool {
+        matches!(
+            self,
+            AttackVector::DenialOfReceipt | AttackVector::SpoofedDenialOfReceipt
+        )
+    }
+}
+
+/// One adversarial node's schedule: where it sits, what it injects, how
+/// fast, and under which duty cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AttackEntry {
+    /// The node that behaves adversarially.
+    pub node: NodeId,
+    /// What it injects.
+    pub vector: AttackVector,
+    /// When injection may begin.
+    pub at: SimTime,
+    /// Injection period.
+    pub interval: Duration,
+    /// Optional packet-storm duty cycle `(on, off)`.
+    pub burst: Option<(Duration, Duration)>,
+    /// Victim of targeted vectors (denial-of-receipt); ignored by
+    /// broadcast vectors.
+    pub target: NodeId,
+    /// Pool of honest ids a spoofing attacker rotates through.
+    pub spoof_pool: u32,
+}
+
+impl AttackEntry {
+    /// Renders the entry as one JSON object in trace-event shape
+    /// (`"t"` in microseconds of virtual time).
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            r#"{{"t":{},"ev":"attack_{}","node":{},"interval_us":{},"target":{},"pool":{}"#,
+            self.at.as_micros(),
+            self.vector.label(),
+            self.node.0,
+            self.interval.as_micros(),
+            self.target.0,
+            self.spoof_pool,
+        );
+        if let Some((on, off)) = self.burst {
+            out.push_str(&format!(
+                r#","on_us":{},"off_us":{}"#,
+                on.as_micros(),
+                off.as_micros()
+            ));
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses one entry from its [`to_json`](Self::to_json) form.
+    /// Returns `None` on any malformed or unknown input.
+    pub fn from_json(line: &str) -> Option<Self> {
+        let ev = json_str_field(line, "ev")?;
+        let vector = AttackVector::from_label(ev.strip_prefix("attack_")?)?;
+        let burst = match (
+            json_u64_field(line, "on_us"),
+            json_u64_field(line, "off_us"),
+        ) {
+            (Some(on), Some(off)) => Some((Duration::from_micros(on), Duration::from_micros(off))),
+            (None, None) => None,
+            _ => return None,
+        };
+        Some(AttackEntry {
+            node: NodeId(json_u64_field(line, "node")? as u32),
+            vector,
+            at: SimTime(json_u64_field(line, "t")?),
+            interval: Duration::from_micros(json_u64_field(line, "interval_us")?),
+            burst,
+            target: NodeId(json_u64_field(line, "target")? as u32),
+            spoof_pool: json_u64_field(line, "pool")? as u32,
+        })
+    }
+}
+
+/// Knobs for [`AttackPlan::generate`]. Placement is drawn from the seed
+/// passed to `generate`, never from wall-clock state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AttackConfig {
+    /// What the attackers inject.
+    pub vector: AttackVector,
+    /// How many attackers to place (capped at the eligible node count).
+    pub attackers: u32,
+    /// Injection period.
+    pub interval: Duration,
+    /// Optional packet-storm duty cycle `(on, off)`.
+    pub burst: Option<(Duration, Duration)>,
+    /// Victim of targeted vectors (default: the base station).
+    pub target: NodeId,
+    /// Spoof-pool size; `0` resolves to the topology size at generation.
+    pub spoof_pool: u32,
+    /// Node ids below this are never attackers (protects the base
+    /// station and the victim's role as an honest node).
+    pub protect_first: u32,
+}
+
+impl Default for AttackConfig {
+    /// One bogus-data attacker at 4 packets/s, no duty cycle, targeting
+    /// the base, placed anywhere but node 0.
+    fn default() -> Self {
+        AttackConfig {
+            vector: AttackVector::BogusData,
+            attackers: 1,
+            interval: Duration::from_millis(250),
+            burst: None,
+            target: NodeId(0),
+            spoof_pool: 0,
+            protect_first: 1,
+        }
+    }
+}
+
+/// A deterministic attack schedule, sorted by `(start time, node)`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AttackPlan {
+    entries: Vec<AttackEntry>,
+}
+
+impl AttackPlan {
+    /// An empty plan: every node honest.
+    pub fn new() -> Self {
+        AttackPlan::default()
+    }
+
+    /// Appends one entry (kept sorted by start time then node id).
+    pub fn push(&mut self, entry: AttackEntry) {
+        self.entries.push(entry);
+        self.entries.sort_by_key(|e| (e.at, e.node.0));
+    }
+
+    /// The scheduled entries, sorted.
+    pub fn entries(&self) -> &[AttackEntry] {
+        &self.entries
+    }
+
+    /// The entry for `node`, if it is an attacker.
+    pub fn entry_for(&self, node: NodeId) -> Option<&AttackEntry> {
+        self.entries.iter().find(|e| e.node == node)
+    }
+
+    /// Number of scheduled attackers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Generates a plan from `config` for `topology`, drawing attacker
+    /// placement from a `DetRng` seeded with `seed` (a stream distinct
+    /// from the fault generator's). Same inputs, same plan — byte for
+    /// byte. Placement is a partial Fisher–Yates draw over the
+    /// unprotected ids; the chosen set is emitted in ascending node
+    /// order so the plan is canonical.
+    pub fn generate(config: &AttackConfig, topology: &Topology, seed: u64) -> Self {
+        let mut rng = DetRng::seed_from_u64(seed ^ 0x00AD_7E55_A21E_u64);
+        let mut plan = AttackPlan::new();
+        let n = topology.len() as u32;
+        let mut eligible: Vec<u32> = (config.protect_first.min(n)..n).collect();
+        let count = (config.attackers as usize).min(eligible.len());
+        for k in 0..count {
+            let j = rng.gen_range(k as u64..eligible.len() as u64) as usize;
+            eligible.swap(k, j);
+        }
+        let mut chosen = eligible[..count].to_vec();
+        chosen.sort_unstable();
+        let spoof_pool = if config.spoof_pool == 0 {
+            n
+        } else {
+            config.spoof_pool
+        };
+        for id in chosen {
+            plan.push(AttackEntry {
+                node: NodeId(id),
+                vector: config.vector,
+                at: SimTime::ZERO,
+                interval: config.interval,
+                burst: config.burst,
+                target: config.target,
+                spoof_pool,
+            });
+        }
+        plan
+    }
+
+    /// Serializes the plan to JSON Lines (one entry per line).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for entry in &self.entries {
+            out.push_str(&entry.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a plan back from [`to_jsonl`](Self::to_jsonl) output.
+    /// Returns `None` if any non-blank line fails to parse.
+    pub fn from_jsonl(text: &str) -> Option<Self> {
+        let mut plan = AttackPlan::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            plan.push(AttackEntry::from_json(line)?);
+        }
+        Some(plan)
+    }
+
+    /// The plan as a single line — entry JSON objects joined by `;`
+    /// (which never occurs inside them) — the form that travels in a
+    /// capsule scenario tag.
+    pub fn to_tag(&self) -> String {
+        self.entries
+            .iter()
+            .map(AttackEntry::to_json)
+            .collect::<Vec<_>>()
+            .join(";")
+    }
+
+    /// Parses a plan back from [`to_tag`](Self::to_tag) output.
+    pub fn from_tag(tag: &str) -> Option<Self> {
+        let mut plan = AttackPlan::new();
+        for part in tag.split(';') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            plan.push(AttackEntry::from_json(part)?);
+        }
+        Some(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_entry(vector: AttackVector) -> AttackEntry {
+        AttackEntry {
+            node: NodeId(5),
+            vector,
+            at: SimTime(17),
+            interval: Duration::from_millis(250),
+            burst: Some((Duration::from_secs(5), Duration::from_secs(15))),
+            target: NodeId(0),
+            spoof_pool: 12,
+        }
+    }
+
+    #[test]
+    fn every_vector_round_trips_through_json() {
+        for vector in AttackVector::ALL {
+            for burst in [None, Some((Duration::from_secs(2), Duration::from_secs(7)))] {
+                let entry = AttackEntry {
+                    burst,
+                    ..sample_entry(vector)
+                };
+                let json = entry.to_json();
+                assert_eq!(AttackEntry::from_json(&json), Some(entry), "{json}");
+            }
+        }
+    }
+
+    #[test]
+    fn labels_round_trip_and_insider_set_is_exact() {
+        for vector in AttackVector::ALL {
+            assert_eq!(AttackVector::from_label(vector.label()), Some(vector));
+        }
+        assert_eq!(AttackVector::from_label("melt"), None);
+        let insiders: Vec<&str> = AttackVector::ALL
+            .into_iter()
+            .filter(|v| v.requires_insider())
+            .map(|v| v.label())
+            .collect();
+        assert_eq!(insiders, ["dor", "spoofdor"]);
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert_eq!(
+            AttackEntry::from_json(r#"{"t":5,"ev":"fault_crash","node":1}"#),
+            None
+        );
+        assert_eq!(
+            AttackEntry::from_json(r#"{"t":5,"ev":"attack_melt","node":1}"#),
+            None
+        );
+        // A burst needs both halves of the duty cycle.
+        assert_eq!(
+            AttackEntry::from_json(
+                r#"{"t":0,"ev":"attack_bogus","node":2,"interval_us":100,"target":0,"pool":4,"on_us":7}"#
+            ),
+            None
+        );
+        assert_eq!(AttackEntry::from_json("not json"), None);
+        assert!(AttackPlan::from_jsonl("{}\n").is_none());
+        assert!(AttackPlan::from_tag("{}").is_none());
+    }
+
+    #[test]
+    fn generate_is_deterministic_and_respects_protection() {
+        let topo = Topology::star(8);
+        let config = AttackConfig {
+            attackers: 3,
+            protect_first: 2,
+            ..AttackConfig::default()
+        };
+        let a = AttackPlan::generate(&config, &topo, 42);
+        let b = AttackPlan::generate(&config, &topo, 42);
+        let c = AttackPlan::generate(&config, &topo, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds should place differently");
+        assert_eq!(a.len(), 3);
+        let mut nodes: Vec<u32> = a.entries().iter().map(|e| e.node.0).collect();
+        assert!(nodes.iter().all(|&id| id >= 2));
+        let sorted = {
+            nodes.sort_unstable();
+            nodes.clone()
+        };
+        assert_eq!(
+            a.entries().iter().map(|e| e.node.0).collect::<Vec<_>>(),
+            sorted,
+            "canonical plans list attackers in ascending node order"
+        );
+        nodes.dedup();
+        assert_eq!(nodes.len(), 3, "attacker placement must be distinct");
+    }
+
+    #[test]
+    fn generate_caps_attackers_and_resolves_spoof_pool() {
+        let topo = Topology::star(4);
+        let config = AttackConfig {
+            vector: AttackVector::SpoofedDenialOfReceipt,
+            attackers: 99,
+            spoof_pool: 0,
+            ..AttackConfig::default()
+        };
+        let plan = AttackPlan::generate(&config, &topo, 1);
+        assert_eq!(plan.len(), 3, "only unprotected nodes can attack");
+        assert!(plan.entries().iter().all(|e| e.spoof_pool == 4));
+    }
+
+    #[test]
+    fn plan_jsonl_and_tag_round_trips_are_exact() {
+        let topo = Topology::star(9);
+        let config = AttackConfig {
+            vector: AttackVector::DenialOfReceipt,
+            attackers: 4,
+            burst: Some((Duration::from_secs(5), Duration::from_secs(15))),
+            ..AttackConfig::default()
+        };
+        let plan = AttackPlan::generate(&config, &topo, 5);
+        assert!(!plan.is_empty());
+        let jsonl = plan.to_jsonl();
+        assert_eq!(AttackPlan::from_jsonl(&jsonl), Some(plan.clone()));
+        let tag = plan.to_tag();
+        assert!(!tag.contains('\n'));
+        assert_eq!(AttackPlan::from_tag(&tag), Some(plan.clone()));
+        assert_eq!(AttackPlan::from_tag(&tag).unwrap().to_tag(), tag);
+        assert_eq!(AttackPlan::from_tag(""), Some(AttackPlan::new()));
+    }
+
+    #[test]
+    fn push_keeps_entries_sorted_and_lookup_works() {
+        let mut plan = AttackPlan::new();
+        plan.push(AttackEntry {
+            at: SimTime(500),
+            node: NodeId(9),
+            ..sample_entry(AttackVector::BogusData)
+        });
+        plan.push(AttackEntry {
+            at: SimTime(100),
+            node: NodeId(3),
+            ..sample_entry(AttackVector::ForgedAdv)
+        });
+        let times: Vec<u64> = plan.entries().iter().map(|e| e.at.as_micros()).collect();
+        assert_eq!(times, vec![100, 500]);
+        assert_eq!(
+            plan.entry_for(NodeId(9)).map(|e| e.vector),
+            Some(AttackVector::BogusData)
+        );
+        assert!(plan.entry_for(NodeId(1)).is_none());
+    }
+}

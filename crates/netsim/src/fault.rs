@@ -227,7 +227,7 @@ pub(crate) fn json_str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
 /// Knobs for [`FaultPlan::generate`]. Rates are per-horizon
 /// probabilities; all sampling is driven by the seed passed to
 /// `generate`, never by wall-clock state.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct FaultConfig {
     /// Probability that each eligible node crashes once in the horizon.
     pub crash_rate: f64,

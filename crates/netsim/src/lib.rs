@@ -25,6 +25,9 @@
 //!   asymmetric-degradation, and clock-drift faults; the simulator's
 //!   stall watchdog and per-delivery invariant hooks turn livelocks and
 //!   protocol violations into structured diagnostics instead of hangs.
+//! * [`attack`] is the adversary-side sibling of [`fault`]: seeded,
+//!   replayable schedules of adversarial-node placement and behaviour,
+//!   serialized into capsule scenario tags.
 //!
 //! * [`builder`] provides the fluent [`SimBuilder`] entry point, and
 //!   [`shard`] a conservatively-synchronized parallel engine that
@@ -67,6 +70,7 @@
 //! assert!(report.all_complete);
 //! ```
 
+pub mod attack;
 pub mod builder;
 pub mod capsule;
 pub mod digest;
@@ -87,6 +91,7 @@ pub mod trace;
 pub mod trickle;
 pub mod violation;
 
+pub use attack::{AttackConfig, AttackEntry, AttackPlan, AttackVector};
 pub use builder::SimBuilder;
 pub use capsule::{Capsule, CapsuleError, CapsuleSpec, EngineDigest, RunDigest};
 pub use event::OrderKey;

@@ -17,10 +17,16 @@ cargo build --workspace --release
 echo "=== kernels ==="
 ./target/release/probe --kernels | tee results/kernels.txt
 
-for bin in fig3 fig4 fig5 fig6 imgsize ablation overhead attack table2_3; do
+for bin in fig3 fig4 fig5 fig6 imgsize ablation overhead table2_3; do
   echo "=== $bin ==="
   ./target/release/$bin "$@" | tee results/$bin.txt
 done
+
+# Attack-resilience suite; --capsule arms the flight recorder on the
+# LR-Seluge flood runs, whose plan-driven adversaries come from the
+# shared capsule registry.
+echo "=== attack ==="
+./target/release/attack --capsule results/capsules "$@" | tee results/attack.txt
 
 # Fault-intensity sweep with invariant checking and the stall watchdog;
 # --capsule arms the flight recorder so any stall or invariant
@@ -47,3 +53,14 @@ rm -rf results/campaign-smoke
 ./target/release/campaign --resume results/campaign-smoke | tee -a results/campaign.txt
 diff results/campaign-smoke/report.json results/campaign_smoke_golden.json \
   && echo "campaign report matches the committed golden"
+
+# Adversary-campaign gate: plan-driven attackers crossed with
+# crash/reboot faults on both schemes; attacked cells report the
+# graceful-degradation axes (completion_frac, verify_inflation,
+# energy_j) and the report must match its committed golden.
+echo "=== attack campaign ==="
+rm -rf results/campaign-attack-mini
+./target/release/campaign --spec examples/campaign/attack-mini.toml \
+  --out results/campaign-attack-mini | tee results/campaign_attack.txt
+diff results/campaign-attack-mini/report.json results/campaign_attack_golden.json \
+  && echo "attack campaign report matches the committed golden"
