@@ -23,7 +23,7 @@ use std::process::ExitCode;
 use lr_seluge::Deployment;
 use lrs_bench::capsules::{attack_params, lr_attacker_profile, ScenarioTags};
 use lrs_bench::runner::test_image;
-use lrs_bench::{configured_threads, sample_grid, stat_json, write_csv, write_json, Json, Table};
+use lrs_bench::{sample_grid, stat_json, write_csv, write_json, Json, Table};
 use lrs_deluge::attack::{Attacker, AttackerProfile, MaybeAdversary};
 use lrs_deluge::engine::{DisseminationNode, EngineConfig, Scheme};
 use lrs_deluge::image::{DelugeImage, DelugeScheme, ImageParams};
@@ -316,22 +316,30 @@ fn main() -> ExitCode {
     }
 }
 
+const FLAGS: &[lrs_bench::cli::Flag] = &[
+    lrs_bench::cli::flag("--quick", "one seed and a smaller image"),
+    lrs_bench::cli::valued(
+        "--capsule",
+        "arm the flight recorder on the LR-Seluge flood runs; capsules land in <dir>",
+    ),
+    lrs_bench::cli::valued(
+        "--threads",
+        "worker threads (default: LRS_THREADS or all cores)",
+    ),
+];
+
 fn run() -> Result<(), String> {
-    let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick");
+    let cli = lrs_bench::Cli::parse("attack", FLAGS).map_err(|e| e.to_string())?;
+    let quick = cli.quick();
     // `--capsule <dir>` arms the flight recorder on the LR-Seluge flood
     // runs: any diagnostic outcome drops a replay capsule into <dir>,
     // loadable by the `replay` binary.
-    let capsule_dir: Option<PathBuf> = args
-        .iter()
-        .position(|a| a == "--capsule")
-        .and_then(|i| args.get(i + 1))
-        .map(PathBuf::from);
+    let capsule_dir: Option<PathBuf> = cli.capsule_dir();
     if let Some(dir) = &capsule_dir {
         std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
     }
     let seeds: u64 = if quick { 1 } else { 3 };
-    let threads = configured_threads();
+    let threads = cli.threads().map_err(|e| e.to_string())?;
     let image_len = if quick { 4 * 1024 } else { 20 * 1024 };
     let p = attack_params(image_len);
 

@@ -33,7 +33,7 @@
 
 use lrs_bench::campaign::{Campaign, CampaignReport, JOB_LOG, REPORT};
 use lrs_bench::capsules::replay_capsule;
-use lrs_bench::{configured_threads, CampaignSpec, Json};
+use lrs_bench::{CampaignSpec, Cli, Json};
 use lrs_netsim::capsule::EngineDigest;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -51,37 +51,50 @@ image_bytes = 768
 deadline_s = 3000
 "#;
 
-fn arg_value(flag: &str) -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1).cloned())
-}
+const FLAGS: &[lrs_bench::cli::Flag] = &[
+    lrs_bench::cli::flag("--smoke", "CI gate: the built-in 24-job grid"),
+    lrs_bench::cli::valued("--spec", "start a campaign from a TOML/JSON grid spec"),
+    lrs_bench::cli::valued(
+        "--resume",
+        "reopen a campaign directory and run the remainder",
+    ),
+    lrs_bench::cli::valued(
+        "--out",
+        "campaign directory (default: results/campaign-<name>)",
+    ),
+    lrs_bench::cli::valued(
+        "--threads",
+        "worker threads (default: LRS_THREADS or all cores)",
+    ),
+    lrs_bench::cli::valued("--kill-after", "stop (without a report) after K new jobs"),
+    lrs_bench::cli::valued(
+        "--export-job",
+        "print job <id> as a replay capsule and exit",
+    ),
+];
 
-fn arg_flag(flag: &str) -> bool {
-    std::env::args().any(|a| a == flag)
-}
-
-fn parse_spec() -> Result<CampaignSpec, String> {
-    let (text, source) = if arg_flag("--smoke") {
+fn parse_spec(cli: &Cli) -> Result<CampaignSpec, String> {
+    let (text, source) = if cli.smoke() {
         (SMOKE_SPEC.to_string(), "built-in smoke grid".to_string())
-    } else if let Some(path) = arg_value("--spec") {
-        let text = std::fs::read_to_string(&path).map_err(|e| format!("read spec {path}: {e}"))?;
-        (text, path)
+    } else if let Some(path) = cli.value("--spec") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read spec {path}: {e}"))?;
+        (text, path.to_string())
     } else {
-        return Err("usage: campaign --spec <file> | --resume <dir> | --smoke \
-             [--out <dir>] [--threads N] [--kill-after K] [--export-job <id>]"
-            .to_string());
+        return Err(format!(
+            "no grid given; pass --spec, --resume, or --smoke\n{}",
+            cli.usage()
+        ));
     };
     CampaignSpec::parse(&text).map_err(|e| format!("{source}: {e}"))
 }
 
-fn open_campaign() -> Result<Campaign, String> {
-    if let Some(dir) = arg_value("--resume") {
+fn open_campaign(cli: &Cli) -> Result<Campaign, String> {
+    if let Some(dir) = cli.value("--resume") {
         return Campaign::resume(dir);
     }
-    let spec = parse_spec()?;
-    let dir = arg_value("--out")
+    let spec = parse_spec(cli)?;
+    let dir = cli
+        .value("--out")
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("results").join(format!("campaign-{}", spec.name)));
     Campaign::create(spec, dir)
@@ -91,11 +104,11 @@ fn open_campaign() -> Result<Campaign, String> {
 /// the grid, so a `--spec`/`--smoke` invocation builds the campaign in
 /// memory — it must not create (or collide with) an on-disk campaign
 /// directory as a side effect. `--resume` still reads the manifest.
-fn export_campaign() -> Result<Campaign, String> {
-    if let Some(dir) = arg_value("--resume") {
+fn export_campaign(cli: &Cli) -> Result<Campaign, String> {
+    if let Some(dir) = cli.value("--resume") {
         return Campaign::resume(dir);
     }
-    Ok(Campaign::offline(parse_spec()?, PathBuf::new()))
+    Ok(Campaign::offline(parse_spec(cli)?, PathBuf::new()))
 }
 
 fn print_summary(campaign: &Campaign, report: &CampaignReport) {
@@ -159,11 +172,12 @@ fn print_summary(campaign: &Campaign, report: &CampaignReport) {
 }
 
 fn run() -> Result<ExitCode, String> {
-    if let Some(id) = arg_value("--export-job") {
-        let campaign = export_campaign()?;
-        let job: usize = id
-            .parse()
-            .map_err(|e| format!("bad --export-job {id}: {e}"))?;
+    let cli = Cli::parse("campaign", FLAGS).map_err(|e| e.to_string())?;
+    if let Some(job) = cli
+        .parsed::<usize>("--export-job")
+        .map_err(|e| e.to_string())?
+    {
+        let campaign = export_campaign(&cli)?;
         let mut capsule = campaign.job_capsule(job)?;
         // Execute the job once to pin its digest, so `replay --replay`
         // has something to verify against.
@@ -177,15 +191,11 @@ fn run() -> Result<ExitCode, String> {
         return Ok(ExitCode::SUCCESS);
     }
 
-    let campaign = open_campaign()?;
-    let threads = configured_threads();
-    let kill_after = match arg_value("--kill-after") {
-        Some(v) => Some(
-            v.parse::<usize>()
-                .map_err(|e| format!("bad --kill-after {v}: {e}"))?,
-        ),
-        None => None,
-    };
+    let campaign = open_campaign(&cli)?;
+    let threads = cli.threads().map_err(|e| e.to_string())?;
+    let kill_after = cli
+        .parsed::<usize>("--kill-after")
+        .map_err(|e| e.to_string())?;
     let total = campaign.total_jobs();
     let already = campaign.completed()?.len();
     println!(

@@ -20,7 +20,7 @@ use lrs_bench::capsules::{
     chaos_params as params, chaos_sim_config as sim_config, storm_attacker, ScenarioTags,
 };
 use lrs_bench::runner::{matched_seluge_params, test_image};
-use lrs_bench::{configured_threads, sample_grid, stat_json, write_csv, write_json, Json, Table};
+use lrs_bench::{sample_grid, stat_json, write_csv, write_json, Json, Table};
 use lrs_crypto::cluster::ClusterKey;
 use lrs_crypto::puzzle::{Puzzle, PuzzleKeyChain};
 use lrs_crypto::schnorr::Keypair;
@@ -393,19 +393,36 @@ fn watchdog_demo(image_len: usize, capsule_dir: Option<&Path>) -> String {
     dump.to_json()
 }
 
-fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let quick = std::env::args().any(|a| a == "--quick");
+const FLAGS: &[lrs_bench::cli::Flag] = &[
+    lrs_bench::cli::flag("--smoke", "reduced grid with fixed seeds for CI"),
+    lrs_bench::cli::flag("--quick", "trimmed seeds for local iteration"),
+    lrs_bench::cli::valued(
+        "--capsule",
+        "arm the flight recorder; diagnostic runs dump replay capsules into <dir>",
+    ),
+    lrs_bench::cli::valued(
+        "--threads",
+        "worker threads (default: LRS_THREADS or all cores)",
+    ),
+];
+
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("chaos: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), lrs_bench::CliError> {
+    let cli = lrs_bench::Cli::parse("chaos", FLAGS)?;
+    let (smoke, quick) = (cli.smoke(), cli.quick());
     // `--capsule <dir>` arms the flight recorder: any run that ends in
     // a diagnostic outcome drops a replay capsule into <dir>, loadable
     // by `cargo run -p lrs-bench --bin replay -- --replay <file>`.
-    let capsule_dir: Option<PathBuf> = {
-        let args: Vec<String> = std::env::args().collect();
-        args.iter()
-            .position(|a| a == "--capsule")
-            .and_then(|i| args.get(i + 1))
-            .map(PathBuf::from)
-    };
+    let capsule_dir: Option<PathBuf> = cli.capsule_dir();
     let seeds: u64 = if smoke || quick { 2 } else { 5 };
     let image_len = if smoke {
         2 * 1024
@@ -414,7 +431,7 @@ fn main() {
     } else {
         8 * 1024
     };
-    let threads = configured_threads();
+    let threads = cli.threads()?;
 
     println!(
         "Chaos sweep, one-hop star, N = {} honest + base (+storm attacker), image = {} KiB, seeds = {seeds}, threads = {threads}\n",
@@ -560,4 +577,5 @@ fn main() {
     ]);
     println!("wrote {}", write_json("chaos", &report));
     println!("all invariant and watchdog assertions held");
+    Ok(())
 }

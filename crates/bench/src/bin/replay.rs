@@ -35,6 +35,7 @@
 use lrs_bench::capsules::{
     bisect_capsule_engines, bisect_capsule_shards, chaos_sim_config, replay_capsule, ScenarioTags,
 };
+use lrs_bench::Cli;
 use lrs_netsim::capsule::{SEQUENTIAL_ENGINE, SHARDED_ENGINE};
 use lrs_netsim::fault::FaultPlan;
 use lrs_netsim::node::NodeId;
@@ -48,16 +49,33 @@ use std::process::ExitCode;
 /// base station + 8 honest receivers + one spare).
 const CAPTURE_NODES: usize = 10;
 
-fn arg_value(flag: &str) -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1).cloned())
-}
-
-fn arg_flag(flag: &str) -> bool {
-    std::env::args().any(|a| a == flag)
-}
+const FLAGS: &[lrs_bench::cli::Flag] = &[
+    lrs_bench::cli::valued(
+        "--capture",
+        "run a demo scenario and save a capsule to <path>",
+    ),
+    lrs_bench::cli::valued("--scheme", "captured scheme: lr-seluge (default) or seluge"),
+    lrs_bench::cli::valued("--seed", "capture seed (default 7)"),
+    lrs_bench::cli::valued("--image-bytes", "captured image size (default 2048)"),
+    lrs_bench::cli::valued(
+        "--replay",
+        "load capsule <path>, re-execute, verify its digest",
+    ),
+    lrs_bench::cli::valued("--engine", "replay engine: sequential or sharded"),
+    lrs_bench::cli::valued("--shards", "shard count (replay) or pair like 1,4 (bisect)"),
+    lrs_bench::cli::valued(
+        "--bisect",
+        "replay capsule <path> at two shard counts and diff",
+    ),
+    lrs_bench::cli::flag(
+        "--engines",
+        "bisect sequential vs sharded event orders instead",
+    ),
+    lrs_bench::cli::flag(
+        "--smoke",
+        "CI gate: capture + replay both schemes, assert lockstep",
+    ),
+];
 
 /// Builds and captures a demo scenario: a chaos-profile run with a
 /// small deterministic fault plan, digested on both engines.
@@ -144,13 +162,16 @@ fn replay_and_verify(capsule: &Capsule, engine: &str, shards: usize) -> Result<R
     }
 }
 
-fn cmd_replay(path: &PathBuf) -> Result<(), String> {
+fn cmd_replay(cli: &Cli, path: &PathBuf) -> Result<(), String> {
     let capsule = Capsule::load(path).map_err(|e| format!("loading {path:?}: {e}"))?;
-    let engine = arg_value("--engine").unwrap_or_else(|| capsule.engine.clone());
-    let shards = match arg_value("--shards") {
-        Some(s) => s.parse().map_err(|e| format!("bad --shards: {e}"))?,
-        None => capsule.shards,
-    };
+    let engine = cli
+        .value("--engine")
+        .map(str::to_string)
+        .unwrap_or_else(|| capsule.engine.clone());
+    let shards = cli
+        .parsed::<usize>("--shards")
+        .map_err(|e| e.to_string())?
+        .unwrap_or(capsule.shards);
     println!(
         "capsule: seed {}, captured on {} @ {} shard(s), {} nodes, {} fault events",
         capsule.seed,
@@ -162,9 +183,9 @@ fn cmd_replay(path: &PathBuf) -> Result<(), String> {
     replay_and_verify(&capsule, &engine, shards).map(|_| ())
 }
 
-fn cmd_bisect(path: &PathBuf) -> Result<(), String> {
+fn cmd_bisect(cli: &Cli, path: &PathBuf) -> Result<(), String> {
     let capsule = Capsule::load(path).map_err(|e| format!("loading {path:?}: {e}"))?;
-    if arg_flag("--engines") {
+    if cli.flag("--engines") {
         match bisect_capsule_engines(&capsule)? {
             Some(div) => println!(
                 "sequential and sharded event orders part ways (expected by design):\n{div}"
@@ -173,7 +194,7 @@ fn cmd_bisect(path: &PathBuf) -> Result<(), String> {
         }
         return Ok(());
     }
-    let spec = arg_value("--shards").unwrap_or_else(|| "1,4".to_string());
+    let spec = cli.value("--shards").unwrap_or("1,4");
     let (a, b) = spec
         .split_once(',')
         .and_then(|(a, b)| Some((a.trim().parse().ok()?, b.trim().parse().ok()?)))
@@ -212,32 +233,30 @@ fn cmd_smoke() -> Result<(), String> {
 }
 
 fn run() -> Result<(), String> {
-    if let Some(path) = arg_value("--capture") {
-        let scheme = arg_value("--scheme").unwrap_or_else(|| "lr-seluge".to_string());
-        let seed = match arg_value("--seed") {
-            Some(s) => s.parse().map_err(|e| format!("bad --seed: {e}"))?,
-            None => 7,
-        };
-        let image_len = match arg_value("--image-bytes") {
-            Some(s) => s.parse().map_err(|e| format!("bad --image-bytes: {e}"))?,
-            None => 2 * 1024,
-        };
+    let cli = Cli::parse("replay", FLAGS).map_err(|e| e.to_string())?;
+    if let Some(path) = cli.value("--capture") {
+        let scheme = cli.value("--scheme").unwrap_or("lr-seluge").to_string();
+        let seed = cli
+            .parsed_or::<u64>("--seed", 7)
+            .map_err(|e| e.to_string())?;
+        let image_len = cli
+            .parsed_or::<usize>("--image-bytes", 2 * 1024)
+            .map_err(|e| e.to_string())?;
         return capture(&PathBuf::from(path), &scheme, seed, image_len);
     }
-    if let Some(path) = arg_value("--replay") {
-        return cmd_replay(&PathBuf::from(path));
+    if let Some(path) = cli.value("--replay") {
+        return cmd_replay(&cli, &PathBuf::from(path));
     }
-    if let Some(path) = arg_value("--bisect") {
-        return cmd_bisect(&PathBuf::from(path));
+    if let Some(path) = cli.value("--bisect") {
+        return cmd_bisect(&cli, &PathBuf::from(path));
     }
-    if arg_flag("--smoke") {
+    if cli.smoke() {
         return cmd_smoke();
     }
-    Err(
-        "no mode given; use --capture <path>, --replay <path>, --bisect <path>, or --smoke \
-         (see the module docs at the top of replay.rs)"
-            .to_string(),
-    )
+    Err(format!(
+        "no mode given; use --capture <path>, --replay <path>, --bisect <path>, or --smoke\n{}",
+        cli.usage()
+    ))
 }
 
 fn main() -> ExitCode {

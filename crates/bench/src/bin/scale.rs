@@ -122,17 +122,27 @@ fn run_seluge(side: usize, shards: usize, capsule_dir: Option<&Path>) -> CaseRun
     summarize(run, start.elapsed().as_secs_f64())
 }
 
-fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let quick = std::env::args().any(|a| a == "--quick");
+const FLAGS: &[lrs_bench::cli::Flag] = &[
+    lrs_bench::cli::flag("--smoke", "CI gate: 20x20 grid at 1 and 2 shards"),
+    lrs_bench::cli::flag("--quick", "the 32x32 grid only"),
+    lrs_bench::cli::valued("--capsule", "arm the flight recorder on every run"),
+];
+
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("scale: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), lrs_bench::CliError> {
+    let cli = lrs_bench::Cli::parse("scale", FLAGS)?;
+    let (smoke, quick) = (cli.smoke(), cli.quick());
     // `--capsule <dir>`: arm the flight recorder on every run.
-    let capsule_dir: Option<PathBuf> = {
-        let args: Vec<String> = std::env::args().collect();
-        args.iter()
-            .position(|a| a == "--capsule")
-            .and_then(|i| args.get(i + 1))
-            .map(PathBuf::from)
-    };
+    let capsule_dir: Option<PathBuf> = cli.capsule_dir();
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -256,4 +266,5 @@ fn main() {
     if smoke {
         println!("scale smoke: 2-shard metrics identical to 1-shard metrics");
     }
+    Ok(())
 }

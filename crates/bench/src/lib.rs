@@ -25,6 +25,7 @@
 
 pub mod campaign;
 pub mod capsules;
+pub mod cli;
 pub mod harness;
 pub mod json;
 pub mod runner;
@@ -33,6 +34,7 @@ pub mod stats;
 pub mod table;
 
 pub use campaign::{Campaign, CampaignReport};
+pub use cli::{Cli, CliError};
 pub use harness::{configured_threads, parallel_map, sample_grid};
 pub use json::{parse_json, stat_json, write_json, Json, JsonReport};
 pub use runner::{

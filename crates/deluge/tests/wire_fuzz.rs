@@ -90,6 +90,139 @@ fn data_roundtrip() {
     }
 }
 
+/// One exemplar of every message kind, for the exhaustive adversarial
+/// sweeps below.
+fn exemplars() -> Vec<Message> {
+    let key = ClusterKey::derive(b"fuzz", 4);
+    let mut bits = BitVec::zeros(48);
+    bits.set(0, true);
+    bits.set(47, true);
+    let mut tag = [0u8; 4];
+    tag.copy_from_slice(&[9, 9, 9, 9][..]);
+    vec![
+        Message::adv(&key, NodeId(7), 3, 5),
+        Message::snack(&key, NodeId(1), NodeId(2), 3, 4, bits.clone()),
+        Message::snack(&key, NodeId(1), NodeId(2), 3, 4, bits).with_pairwise_mac(MacTag(tag)),
+        Message::Data {
+            version: 3,
+            item: 2,
+            index: 17,
+            payload: vec![0xA5; 72],
+        },
+        Message::Signature {
+            version: 3,
+            body: vec![1, 2, 3, 4, 5],
+        },
+    ]
+}
+
+/// Truncation at EVERY byte offset of every message kind is rejected:
+/// each encoding consumes its full length exactly, so any strict prefix
+/// must parse to `None` (and never panic).
+#[test]
+fn every_prefix_of_every_kind_is_rejected() {
+    for m in exemplars() {
+        let bytes = m.to_bytes();
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                Message::from_bytes(&bytes[..cut]),
+                None,
+                "prefix of length {cut}/{} parsed for {m:?}",
+                bytes.len()
+            );
+        }
+        assert_eq!(Message::from_bytes(&bytes), Some(m));
+    }
+}
+
+/// Every possible kind-tag byte on every message body: unknown tags are
+/// rejected outright; a known-but-different tag re-frames the bytes and
+/// must either fail to parse or parse cleanly — never panic. Anything
+/// that does parse must re-encode to exactly the input (the wire format
+/// has one canonical encoding per message).
+#[test]
+fn flipped_kind_tags_never_panic_and_stay_canonical() {
+    for m in exemplars() {
+        let bytes = m.to_bytes();
+        for tag in 0u8..=255 {
+            let mut flipped = bytes.clone();
+            flipped[0] = tag;
+            match Message::from_bytes(&flipped) {
+                None => {}
+                Some(reframed) => assert_eq!(reframed.to_bytes(), flipped),
+            }
+        }
+    }
+}
+
+/// Length fields claiming more bytes than the datagram carries are
+/// rejected; in-range corruptions leave trailing bytes, which the
+/// parser also rejects.
+#[test]
+fn oversized_length_fields_are_rejected() {
+    // Data packet: the payload-length u16 lives at bytes 7..9.
+    let data = Message::Data {
+        version: 1,
+        item: 2,
+        index: 3,
+        payload: vec![0x55; 40],
+    }
+    .to_bytes();
+    for claimed in [41u16, 64, 1024, u16::MAX] {
+        let mut bytes = data.clone();
+        bytes[7..9].copy_from_slice(&claimed.to_be_bytes());
+        assert_eq!(Message::from_bytes(&bytes), None, "claimed {claimed}");
+    }
+    // Undersized claims leave trailing garbage: also rejected.
+    let mut bytes = data.clone();
+    bytes[7..9].copy_from_slice(&10u16.to_be_bytes());
+    assert_eq!(Message::from_bytes(&bytes), None);
+
+    // Signature packet: the body-length u16 lives at bytes 3..5.
+    let sig = Message::Signature {
+        version: 1,
+        body: vec![7; 16],
+    }
+    .to_bytes();
+    for claimed in [17u16, 4096, u16::MAX] {
+        let mut bytes = sig.clone();
+        bytes[3..5].copy_from_slice(&claimed.to_be_bytes());
+        assert_eq!(Message::from_bytes(&bytes), None, "claimed {claimed}");
+    }
+
+    // SNACK: the bit-count u16 lives at bytes 13..15; an oversized
+    // claim pushes the MAC read past the end of the datagram.
+    let key = ClusterKey::derive(b"fuzz", 5);
+    let snack = Message::snack(&key, NodeId(1), NodeId(2), 1, 0, BitVec::ones(32)).to_bytes();
+    for claimed in [u16::MAX, 1024, 33] {
+        let mut bytes = snack.clone();
+        bytes[13..15].copy_from_slice(&claimed.to_be_bytes());
+        assert_eq!(Message::from_bytes(&bytes), None, "claimed {claimed}");
+    }
+}
+
+/// Anything the parser accepts re-encodes to exactly the bytes it was
+/// parsed from: there are no two wire encodings of one message, so a
+/// cache or dedup layer keyed on bytes cannot be split by an attacker.
+#[test]
+fn accepted_byte_strings_are_canonical() {
+    let mut rng = DetRng::seed_from_u64(0x6361_6e6f);
+    let mut accepted = 0u32;
+    for _ in 0..4096 {
+        let len = rng.gen_range(1usize..64);
+        let mut bytes = vec![0u8; len];
+        rng.fill_bytes(&mut bytes);
+        // Bias toward valid tags so some parses succeed.
+        bytes[0] = rng.gen_range(0u32..6) as u8;
+        if let Some(m) = Message::from_bytes(&bytes) {
+            accepted += 1;
+            assert_eq!(m.to_bytes(), bytes);
+        }
+    }
+    // The generator must actually exercise the Some arm.
+    assert!(accepted > 0, "no random input parsed; generator too weak");
+}
+
 /// Bit-flipping a MACed control packet either fails to parse or fails
 /// the MAC — it is never accepted as authentic.
 #[test]

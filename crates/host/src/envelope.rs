@@ -1,0 +1,148 @@
+//! The transport-layer envelope for protocol packets.
+//!
+//! Between processes a protocol packet travels as
+//!
+//! ```text
+//! +-------+---------+------+------------+---------+---------+
+//! | magic | version | kind | from (u32) | len u16 | payload |
+//! |  4 B  |   1 B   | 1 B  |    BE      |   BE    |  len B  |
+//! +-------+---------+------+------------+---------+---------+
+//! ```
+//!
+//! The payload is the exact `Message` encoding the protocol asked to
+//! broadcast — the same bytes the simulator delivers in-process. The
+//! envelope exists **only** at the transport layer: it is stripped
+//! before `Protocol::on_packet`, so packet digests (and with them every
+//! sim golden and capsule replay) are independent of the framing. The
+//! explicit `len` rejects datagrams truncated or padded in flight, and
+//! `decode_frame` is total — any malformed input returns `None`, never
+//! panics — because UDP peers are untrusted.
+
+use crate::node::{NodeId, PacketKind};
+
+/// Envelope magic: identifies LR-Seluge swarm traffic.
+pub const MAGIC: [u8; 4] = *b"LRSW";
+/// Envelope version; bumped on any framing change.
+pub const VERSION: u8 = 1;
+/// Fixed header length in bytes.
+pub const HEADER_LEN: usize = 4 + 1 + 1 + 4 + 2;
+/// Maximum payload length carried by one frame.
+pub const MAX_PAYLOAD: usize = u16::MAX as usize;
+
+/// A decoded envelope: who sent it, what metric class, and the raw
+/// protocol packet bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame<'a> {
+    /// The sending node.
+    pub from: NodeId,
+    /// Metric classification (mirrors the simulator's per-kind counters).
+    pub kind: PacketKind,
+    /// The protocol packet, exactly as the sender's protocol encoded it.
+    pub payload: &'a [u8],
+}
+
+fn kind_tag(kind: PacketKind) -> u8 {
+    match kind {
+        PacketKind::Adv => 1,
+        PacketKind::Snack => 2,
+        PacketKind::Data => 3,
+        PacketKind::HashPage => 4,
+        PacketKind::Signature => 5,
+    }
+}
+
+fn tag_kind(tag: u8) -> Option<PacketKind> {
+    Some(match tag {
+        1 => PacketKind::Adv,
+        2 => PacketKind::Snack,
+        3 => PacketKind::Data,
+        4 => PacketKind::HashPage,
+        5 => PacketKind::Signature,
+        _ => return None,
+    })
+}
+
+/// Wraps a protocol packet in the transport envelope.
+///
+/// # Panics
+///
+/// Panics if `payload` exceeds [`MAX_PAYLOAD`]; protocol packets are
+/// radio-sized (well under a kilobyte), so this indicates a bug.
+pub fn encode_frame(from: NodeId, kind: PacketKind, payload: &[u8]) -> Vec<u8> {
+    assert!(payload.len() <= MAX_PAYLOAD, "oversized frame payload");
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(kind_tag(kind));
+    out.extend_from_slice(&from.0.to_be_bytes());
+    out.extend_from_slice(&(payload.len() as u16).to_be_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Parses a datagram into a [`Frame`]. Returns `None` for anything that
+/// is not a well-formed envelope: wrong magic or version, unknown kind
+/// tag, or a length field that disagrees with the datagram size.
+pub fn decode_frame(bytes: &[u8]) -> Option<Frame<'_>> {
+    if bytes.len() < HEADER_LEN || bytes[..4] != MAGIC || bytes[4] != VERSION {
+        return None;
+    }
+    let kind = tag_kind(bytes[5])?;
+    let from = NodeId(u32::from_be_bytes([bytes[6], bytes[7], bytes[8], bytes[9]]));
+    let len = u16::from_be_bytes([bytes[10], bytes[11]]) as usize;
+    let payload = &bytes[HEADER_LEN..];
+    if payload.len() != len {
+        return None;
+    }
+    Some(Frame {
+        from,
+        kind,
+        payload,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_kinds() {
+        for kind in PacketKind::ALL {
+            let payload = vec![0xA5; 37];
+            let frame = encode_frame(NodeId(12), kind, &payload);
+            let decoded = decode_frame(&frame).expect("round trip");
+            assert_eq!(decoded.from, NodeId(12));
+            assert_eq!(decoded.kind, kind);
+            assert_eq!(decoded.payload, &payload[..]);
+        }
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let frame = encode_frame(NodeId(0), PacketKind::Adv, &[]);
+        let decoded = decode_frame(&frame).expect("round trip");
+        assert!(decoded.payload.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        let good = encode_frame(NodeId(3), PacketKind::Data, b"payload");
+        // Truncation at every prefix length.
+        for cut in 0..good.len() {
+            assert!(decode_frame(&good[..cut]).is_none(), "cut={cut}");
+        }
+        // Wrong magic / version / kind tag.
+        for (idx, label) in [(0, "magic"), (4, "version"), (5, "kind")] {
+            let mut bad = good.clone();
+            bad[idx] ^= 0xFF;
+            assert!(decode_frame(&bad).is_none(), "corrupt {label}");
+        }
+        // Length field disagreeing with the datagram (both directions).
+        let mut short_len = good.clone();
+        short_len[11] = short_len[11].wrapping_sub(1);
+        assert!(decode_frame(&short_len).is_none());
+        let mut padded = good.clone();
+        padded.push(0);
+        assert!(decode_frame(&padded).is_none());
+    }
+}

@@ -1,0 +1,127 @@
+//! A generation-checked timer wheel for real-time hosts.
+//!
+//! Mirrors the simulator's `set_timer`/`cancel_timer` semantics exactly:
+//! every arm of a [`TimerId`] bumps that timer's generation and enqueues
+//! an expiration stamped with it; cancel bumps the generation without
+//! enqueueing. An expiration whose stamp no longer matches the current
+//! generation is stale — superseded by a later arm or a cancel — and is
+//! discarded when popped. Only the latest arm ever fires.
+
+use crate::node::TimerId;
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Pending timer expirations for one node.
+#[derive(Default)]
+pub struct TimerWheel {
+    /// Current generation per timer id; stale heap entries carry an
+    /// older stamp.
+    gens: HashMap<u32, u64>,
+    /// Min-heap of (deadline, timer, generation stamp).
+    heap: BinaryHeap<Reverse<(SimTime, u32, u64)>>,
+}
+
+impl TimerWheel {
+    /// An empty wheel.
+    pub fn new() -> Self {
+        TimerWheel::default()
+    }
+
+    /// Arms (or re-arms) `timer` to fire at `deadline`; any previously
+    /// pending expiration of the same timer becomes stale.
+    pub fn arm(&mut self, timer: TimerId, deadline: SimTime) {
+        let gen = self.gens.entry(timer.0).or_insert(0);
+        *gen += 1;
+        self.heap.push(Reverse((deadline, timer.0, *gen)));
+    }
+
+    /// Cancels `timer` (no-op if not armed).
+    pub fn cancel(&mut self, timer: TimerId) {
+        *self.gens.entry(timer.0).or_insert(0) += 1;
+    }
+
+    /// The earliest live deadline, if any (stale entries are pruned).
+    pub fn next_deadline(&mut self) -> Option<SimTime> {
+        while let Some(Reverse((deadline, timer, gen))) = self.heap.peek().copied() {
+            if self.gens.get(&timer) == Some(&gen) {
+                return Some(deadline);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Pops the earliest live expiration with `deadline <= now`.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<TimerId> {
+        while let Some(Reverse((deadline, timer, gen))) = self.heap.peek().copied() {
+            if self.gens.get(&timer) != Some(&gen) {
+                self.heap.pop();
+                continue;
+            }
+            if deadline > now {
+                return None;
+            }
+            self.heap.pop();
+            return Some(TimerId(timer));
+        }
+        None
+    }
+
+    /// Whether any live expiration is pending.
+    pub fn is_empty(&mut self) -> bool {
+        self.next_deadline().is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latest_arm_wins() {
+        let mut w = TimerWheel::new();
+        w.arm(TimerId(3), SimTime(100));
+        w.arm(TimerId(3), SimTime(500));
+        // The first arm is stale: nothing is due at its deadline.
+        assert_eq!(w.pop_due(SimTime(100)), None);
+        assert_eq!(w.pop_due(SimTime(499)), None);
+        assert_eq!(w.pop_due(SimTime(500)), Some(TimerId(3)));
+        assert_eq!(w.pop_due(SimTime(10_000)), None);
+    }
+
+    #[test]
+    fn cancel_invalidates() {
+        let mut w = TimerWheel::new();
+        w.arm(TimerId(1), SimTime(50));
+        w.cancel(TimerId(1));
+        assert_eq!(w.pop_due(SimTime(1_000)), None);
+        assert!(w.is_empty());
+        // Re-arming after cancel fires normally.
+        w.arm(TimerId(1), SimTime(2_000));
+        assert_eq!(w.pop_due(SimTime(2_000)), Some(TimerId(1)));
+    }
+
+    #[test]
+    fn independent_timers_fire_in_deadline_order() {
+        let mut w = TimerWheel::new();
+        w.arm(TimerId(2), SimTime(300));
+        w.arm(TimerId(1), SimTime(100));
+        w.arm(TimerId(0), SimTime(200));
+        assert_eq!(w.next_deadline(), Some(SimTime(100)));
+        assert_eq!(w.pop_due(SimTime(1_000)), Some(TimerId(1)));
+        assert_eq!(w.pop_due(SimTime(1_000)), Some(TimerId(0)));
+        assert_eq!(w.pop_due(SimTime(1_000)), Some(TimerId(2)));
+        assert_eq!(w.pop_due(SimTime(1_000)), None);
+    }
+
+    #[test]
+    fn next_deadline_skips_stale() {
+        let mut w = TimerWheel::new();
+        w.arm(TimerId(0), SimTime(10));
+        w.arm(TimerId(0), SimTime(900));
+        w.arm(TimerId(5), SimTime(400));
+        w.cancel(TimerId(5));
+        assert_eq!(w.next_deadline(), Some(SimTime(900)));
+    }
+}

@@ -1,7 +1,7 @@
 //! Fluent simulation construction.
 //!
-//! [`SimBuilder`] replaces the positional [`Simulator::new`] constructor
-//! plus the post-hoc `set_trace` / `set_invariant_checker` /
+//! [`SimBuilder`] replaced the retired positional `Simulator::new`
+//! constructor plus the post-hoc `set_trace` / `set_invariant_checker` /
 //! `inject_faults` mutation dance with one chainable entry point:
 //!
 //! ```
@@ -315,6 +315,23 @@ mod tests {
         .capsule(Duration::from_secs(30));
         assert_eq!(sharded.engine, crate::capsule::SHARDED_ENGINE);
         assert_eq!(sharded.shards, 4);
+    }
+
+    #[test]
+    fn default_build_matches_explicit_default_config() {
+        // Successor of the retired `Simulator::new` equivalence test:
+        // the builder's implicit defaults and an explicitly supplied
+        // `SimConfig::default()` must construct identical simulators.
+        let implicit = SimBuilder::new(Topology::star(4), 7, |_| Beacon { heard: false })
+            .build()
+            .run(Duration::from_secs(60));
+        let explicit = SimBuilder::new(Topology::star(4), 7, |_| Beacon { heard: false })
+            .config(SimConfig::default())
+            .build()
+            .run(Duration::from_secs(60));
+        assert_eq!(implicit.final_time, explicit.final_time);
+        assert_eq!(implicit.latency, explicit.latency);
+        assert!(implicit.all_complete && explicit.all_complete);
     }
 
     #[test]

@@ -1,232 +1,10 @@
 //! Node identities, the protocol trait, and the execution context.
 //!
-//! Dissemination protocols (Deluge, Seluge, LR-Seluge) are written
-//! against [`Protocol`]; the simulator delivers packets and timer
-//! expirations, and the protocol reacts by broadcasting packets and
-//! (re)arming timers through the [`Context`].
+//! The contract lives in `lrs-host`: protocols written against
+//! [`Protocol`] are host-agnostic, and this simulator is one of two
+//! drivers (the other being `lrs_host::host::Host`, a real-time socket
+//! loop). This module re-exports the contract under its historical
+//! simulator paths; see the crate root for the simulator-side
+//! semantics of each [`Action`].
 
-use crate::time::{Duration, SimTime};
-use lrs_rng::DetRng;
-
-/// A node identifier (index into the topology's node list).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
-pub struct NodeId(pub u32);
-
-impl NodeId {
-    /// The index as usize.
-    pub fn index(self) -> usize {
-        self.0 as usize
-    }
-}
-
-impl std::fmt::Display for NodeId {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "n{}", self.0)
-    }
-}
-
-/// A protocol-chosen timer identifier. Re-arming the same id replaces the
-/// pending expiration (only the latest arm fires).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-pub struct TimerId(pub u32);
-
-/// Classification of packets for the metric counters (the paper reports
-/// data, SNACK, and advertisement counts separately, plus the signature
-/// packet).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub enum PacketKind {
-    /// Periodic Trickle advertisement.
-    Adv,
-    /// Selective-NACK request.
-    Snack,
-    /// Code-image data packet.
-    Data,
-    /// Hash-page (`M0`) packet.
-    HashPage,
-    /// The signed Merkle-root packet.
-    Signature,
-}
-
-impl PacketKind {
-    /// All kinds, for iteration in reports.
-    pub const ALL: [PacketKind; 5] = [
-        PacketKind::Adv,
-        PacketKind::Snack,
-        PacketKind::Data,
-        PacketKind::HashPage,
-        PacketKind::Signature,
-    ];
-
-    /// Short label for tables.
-    pub fn label(self) -> &'static str {
-        match self {
-            PacketKind::Adv => "adv",
-            PacketKind::Snack => "snack",
-            PacketKind::Data => "data",
-            PacketKind::HashPage => "hashpage",
-            PacketKind::Signature => "sig",
-        }
-    }
-}
-
-/// Actions a protocol can request; collected by the [`Context`] and
-/// executed by the simulator after the handler returns.
-#[derive(Debug)]
-pub(crate) enum Action {
-    Broadcast { kind: PacketKind, data: Vec<u8> },
-    SetTimer { timer: TimerId, delay: Duration },
-    CancelTimer { timer: TimerId },
-    Note { label: &'static str, a: u64, b: u64 },
-}
-
-/// The environment handed to every protocol callback.
-pub struct Context<'a> {
-    /// Current virtual time.
-    pub now: SimTime,
-    /// The node being executed.
-    pub id: NodeId,
-    pub(crate) rng: &'a mut DetRng,
-    pub(crate) actions: &'a mut Vec<Action>,
-    /// Airtime per byte, for protocols that pace their transmissions.
-    pub(crate) us_per_byte: u64,
-    pub(crate) per_packet_overhead_us: u64,
-}
-
-impl<'a> Context<'a> {
-    /// Broadcasts a packet to all one-hop neighbors.
-    ///
-    /// The transmission is subject to CSMA deferral, airtime, collisions,
-    /// per-link loss, and the application-layer drop probability.
-    pub fn broadcast(&mut self, kind: PacketKind, data: Vec<u8>) {
-        self.actions.push(Action::Broadcast { kind, data });
-    }
-
-    /// Arms (or re-arms) timer `timer` to fire after `delay`.
-    pub fn set_timer(&mut self, timer: TimerId, delay: Duration) {
-        self.actions.push(Action::SetTimer { timer, delay });
-    }
-
-    /// Cancels a pending timer (no-op if not armed).
-    pub fn cancel_timer(&mut self, timer: TimerId) {
-        self.actions.push(Action::CancelTimer { timer });
-    }
-
-    /// This node's deterministic random stream.
-    pub fn rng(&mut self) -> &mut DetRng {
-        self.rng
-    }
-
-    /// Emits a protocol-level trace annotation (SNACK round, page
-    /// completion, scheduler decision, …). Purely observational: the
-    /// event reaches an attached [`TraceSink`](crate::trace::TraceSink)
-    /// and is otherwise dropped, so noting never changes a run.
-    pub fn note(&mut self, label: &'static str, a: u64, b: u64) {
-        self.actions.push(Action::Note { label, a, b });
-    }
-
-    /// Time a packet of `bytes` occupies the channel.
-    pub fn airtime(&self, bytes: usize) -> Duration {
-        Duration::from_micros(self.per_packet_overhead_us + self.us_per_byte * bytes as u64)
-    }
-}
-
-/// A per-node protocol state machine.
-///
-/// Implementations must be deterministic given the [`Context`] RNG; the
-/// simulator guarantees reproducible runs for a fixed seed.
-pub trait Protocol {
-    /// Called once at time zero.
-    fn on_init(&mut self, ctx: &mut Context<'_>);
-
-    /// Called when a packet is received (after all loss processes).
-    fn on_packet(&mut self, ctx: &mut Context<'_>, from: NodeId, data: &[u8]);
-
-    /// Called when an armed timer fires.
-    fn on_timer(&mut self, ctx: &mut Context<'_>, timer: TimerId);
-
-    /// Whether this node has finished its dissemination goal; the
-    /// simulator records the first time this becomes true and can stop
-    /// early once every node is complete.
-    fn is_complete(&self) -> bool;
-
-    /// Called when the node restarts after a crash fault. The protocol
-    /// must drop whatever its model considers volatile RAM state and
-    /// resume from what survives in "flash". The default treats the
-    /// whole protocol as flash-resident and simply re-runs
-    /// [`on_init`](Self::on_init).
-    fn on_reboot(&mut self, ctx: &mut Context<'_>) {
-        self.on_init(ctx);
-    }
-
-    /// A monotone-per-node goodput indicator for the simulator's stall
-    /// watchdog: any genuine forward progress (a buffered packet, a
-    /// completed page) must eventually increase it. The default only
-    /// distinguishes incomplete from complete.
-    fn progress(&self) -> u64 {
-        u64::from(self.is_complete())
-    }
-
-    /// One-line state description (page/packet bit-vectors and the
-    /// like) included in the watchdog's diagnostic dump. Empty by
-    /// default.
-    fn diagnostic(&self) -> String {
-        String::new()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn airtime_formula() {
-        let mut rng = DetRng::seed_from_u64(0);
-        let mut actions = Vec::new();
-        let ctx = Context {
-            now: SimTime::ZERO,
-            id: NodeId(0),
-            rng: &mut rng,
-            actions: &mut actions,
-            us_per_byte: 416,
-            per_packet_overhead_us: 1000,
-        };
-        assert_eq!(ctx.airtime(36), Duration::from_micros(1000 + 36 * 416));
-    }
-
-    #[test]
-    fn actions_queue_in_order() {
-        let mut rng = DetRng::seed_from_u64(0);
-        let mut actions = Vec::new();
-        let mut ctx = Context {
-            now: SimTime::ZERO,
-            id: NodeId(1),
-            rng: &mut rng,
-            actions: &mut actions,
-            us_per_byte: 1,
-            per_packet_overhead_us: 0,
-        };
-        ctx.broadcast(PacketKind::Adv, vec![1]);
-        ctx.set_timer(TimerId(7), Duration::from_secs(1));
-        ctx.cancel_timer(TimerId(7));
-        assert_eq!(actions.len(), 3);
-        assert!(matches!(actions[0], Action::Broadcast { .. }));
-        assert!(matches!(
-            actions[1],
-            Action::SetTimer {
-                timer: TimerId(7),
-                ..
-            }
-        ));
-        assert!(matches!(
-            actions[2],
-            Action::CancelTimer { timer: TimerId(7) }
-        ));
-    }
-
-    #[test]
-    fn packet_kind_labels() {
-        for kind in PacketKind::ALL {
-            assert!(!kind.label().is_empty());
-        }
-    }
-}
+pub use lrs_host::node::{Action, Context, NodeId, PacketKind, Protocol, TimerId};

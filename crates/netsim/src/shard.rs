@@ -1006,14 +1006,14 @@ where
         let mut actions = Vec::new();
         {
             let cfg = &self.plan.config.medium;
-            let mut ctx = Context {
-                now: self.now,
-                id: NodeId(i as u32),
-                rng: self.rngs[i].as_mut().expect("local ctx rng"),
-                actions: &mut actions,
-                us_per_byte: cfg.us_per_byte,
-                per_packet_overhead_us: cfg.per_packet_overhead_us,
-            };
+            let mut ctx = Context::new(
+                self.now,
+                NodeId(i as u32),
+                self.rngs[i].as_mut().expect("local ctx rng"),
+                &mut actions,
+                cfg.us_per_byte,
+                cfg.per_packet_overhead_us,
+            );
             f(&mut node, &mut ctx);
         }
         if !self.complete[i] && node.is_complete() {

@@ -258,24 +258,9 @@ pub struct Simulator<P: Protocol> {
 }
 
 impl<P: Protocol> Simulator<P> {
-    /// Builds a simulator; `make_node` constructs the protocol instance
-    /// for each node id.
-    #[deprecated(
-        since = "0.4.0",
-        note = "use lrs_netsim::SimBuilder, which also configures tracing, \
-                invariants, fault plans, and sharding fluently"
-    )]
-    pub fn new(
-        topology: Topology,
-        config: SimConfig,
-        seed: u64,
-        make_node: impl FnMut(NodeId) -> P,
-    ) -> Self {
-        Self::from_parts(topology, config, seed, make_node)
-    }
-
-    /// Non-deprecated constructor backing both the shim above and
-    /// [`SimBuilder::build`](crate::builder::SimBuilder::build).
+    /// Constructor backing
+    /// [`SimBuilder::build`](crate::builder::SimBuilder::build), the
+    /// sole public way to obtain a simulator.
     pub(crate) fn from_parts(
         topology: Topology,
         config: SimConfig,
@@ -843,14 +828,14 @@ impl<P: Protocol> Simulator<P> {
         let mut actions = Vec::new();
         {
             let cfg = self.medium.config();
-            let mut ctx = Context {
-                now: self.now,
-                id: NodeId(i as u32),
-                rng: &mut self.rngs[i],
-                actions: &mut actions,
-                us_per_byte: cfg.us_per_byte,
-                per_packet_overhead_us: cfg.per_packet_overhead_us,
-            };
+            let mut ctx = Context::new(
+                self.now,
+                NodeId(i as u32),
+                &mut self.rngs[i],
+                &mut actions,
+                cfg.us_per_byte,
+                cfg.per_packet_overhead_us,
+            );
             f(&mut node, &mut ctx);
         }
         // Completion check before re-inserting.
@@ -1002,20 +987,6 @@ mod tests {
         })
         .config(config)
         .build()
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructor_still_matches_builder() {
-        let mut legacy = Simulator::new(Topology::star(4), SimConfig::default(), 7, |id| Pinger {
-            is_source: id == NodeId(0),
-            pings_heard: 0,
-            goal: 3,
-        });
-        let legacy_report = legacy.run(Duration::from_secs(60));
-        let builder_report = pinger_sim(7).run(Duration::from_secs(60));
-        assert_eq!(legacy_report.final_time, builder_report.final_time);
-        assert_eq!(legacy_report.latency, builder_report.latency);
     }
 
     #[test]

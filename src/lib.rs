@@ -13,11 +13,14 @@
 //! * [`lrs_analysis`] — the paper's §V analytical models.
 //! * [`lrs_bench`] — experiment runners behind every figure and table.
 
+pub mod swarm;
+
 pub use lr_seluge;
 pub use lrs_analysis;
 pub use lrs_bench;
 pub use lrs_crypto;
 pub use lrs_deluge;
 pub use lrs_erasure;
+pub use lrs_host;
 pub use lrs_netsim;
 pub use lrs_seluge;

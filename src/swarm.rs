@@ -1,0 +1,553 @@
+//! Shared plumbing for the `node` and `swarm` binaries and the
+//! loopback host tests.
+//!
+//! A swarm run is "the paper's experiment, but real": dozens–hundreds
+//! of OS processes, each wrapping the identical `Protocol` state
+//! machine the simulator drives, exchanging enveloped `Message` bytes
+//! over localhost UDP through a seeded lossy proxy. This module holds
+//! everything both sides must agree on:
+//!
+//! * [`SwarmScenario`] — the deterministic recipe (scheme, parameter
+//!   profile, image length, key context, seed) from which every process
+//!   independently reconstructs the same keys, artifacts, and expected
+//!   image, exactly as the capsule registry does for sim replays.
+//! * [`SwarmNode`] — a scheme-erased protocol node plus the artifacts
+//!   needed to self-check the sim's invariants (final image identity,
+//!   authenticated-only buffering) at the end of a run.
+//! * [`NodeReport`] / [`CONTROL_QUIT`] — the line-oriented control
+//!   protocol between node processes and the swarm harness.
+//! * [`LossyLinks`] — the proxy's seeded loss model: uniform
+//!   drop/duplicate/reorder ppm composed with per-directed-link
+//!   asymmetry expressed in the simulator's `FaultPlan` vocabulary
+//!   (`Degrade`/`LinkDown`/`LinkUp`).
+
+use lr_seluge::deployment::{Deployment, LrNode};
+use lr_seluge::LrSelugeParams;
+use lrs_bench::capsules::{
+    attack_params, campaign_params, chaos_params, scale_image, scale_params,
+};
+use lrs_bench::runner::{matched_seluge_params, test_image};
+use lrs_crypto::cluster::ClusterKey;
+use lrs_crypto::puzzle::{Puzzle, PuzzleKeyChain};
+use lrs_crypto::schnorr::Keypair;
+use lrs_crypto::sha256::sha256;
+use lrs_deluge::engine::{DisseminationNode, EngineConfig};
+use lrs_deluge::policy::UnionPolicy;
+use lrs_host::node::{Context, NodeId, Protocol, TimerId};
+use lrs_host::time::SimTime;
+use lrs_netsim::fault::{FaultEvent, FaultPlan, PPM_ONE};
+use lrs_rng::DetRng;
+use lrs_seluge::{SelugeArtifacts, SelugeScheme};
+use std::collections::HashMap;
+
+/// Which dissemination scheme a swarm runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SchemeKind {
+    /// The paper's protocol.
+    LrSeluge,
+    /// The fixed-packet baseline.
+    Seluge,
+}
+
+impl SchemeKind {
+    /// Parses a scheme name as used on the command line.
+    pub fn parse(s: &str) -> Option<SchemeKind> {
+        match s {
+            "lr-seluge" | "lr" => Some(SchemeKind::LrSeluge),
+            "seluge" => Some(SchemeKind::Seluge),
+            _ => None,
+        }
+    }
+
+    /// Canonical name.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchemeKind::LrSeluge => "lr-seluge",
+            SchemeKind::Seluge => "seluge",
+        }
+    }
+}
+
+/// The deterministic recipe every process reconstructs its world from.
+///
+/// Mirrors the capsule registry's scenario tags: the same (profile,
+/// image_len, key_context) triple produces bit-identical keys,
+/// artifacts, and images here and in sim replays.
+#[derive(Clone, Debug)]
+pub struct SwarmScenario {
+    /// Scheme under test.
+    pub scheme: SchemeKind,
+    /// Parameter profile from the capsule registry ("chaos", "scale",
+    /// "campaign", "attack").
+    pub profile: String,
+    /// Image length in bytes.
+    pub image_len: usize,
+    /// Key-derivation context string.
+    pub key_context: String,
+    /// Seed for host RNG streams and the proxy loss model.
+    pub seed: u64,
+}
+
+impl SwarmScenario {
+    /// The LR-Seluge parameter set for this profile.
+    pub fn params(&self) -> Result<LrSelugeParams, String> {
+        match self.profile.as_str() {
+            "chaos" => Ok(chaos_params(self.image_len)),
+            "scale" => Ok(scale_params(self.image_len)),
+            "campaign" => Ok(campaign_params(self.image_len)),
+            "attack" => Ok(attack_params(self.image_len)),
+            other => Err(format!(
+                "unknown parameter profile {other:?}; known: chaos, scale, campaign, attack"
+            )),
+        }
+    }
+
+    /// The image being disseminated.
+    pub fn image(&self) -> Result<Vec<u8>, String> {
+        match self.profile.as_str() {
+            "chaos" | "campaign" | "attack" => Ok(test_image(self.image_len)),
+            "scale" => Ok(scale_image(self.image_len)),
+            other => Err(format!("unknown parameter profile {other:?}")),
+        }
+    }
+
+    /// Hex SHA-256 of the image — what every completed node must hold.
+    pub fn expected_digest(&self) -> Result<String, String> {
+        Ok(sha256(&self.image()?).to_hex())
+    }
+
+    /// Builds the protocol node for `id` (node 0 is the base station).
+    pub fn build_node(&self, id: NodeId) -> Result<SwarmNode, String> {
+        let params = self.params()?;
+        let image = self.image()?;
+        let context = self.key_context.as_bytes();
+        match self.scheme {
+            SchemeKind::LrSeluge => {
+                let deployment = Deployment::try_new(&image, params, context)
+                    .map_err(|e| format!("deployment: {e}"))?;
+                let node = deployment.node(id, NodeId(0));
+                Ok(SwarmNode::Lr { node, deployment })
+            }
+            SchemeKind::Seluge => {
+                let sp = matched_seluge_params(&params);
+                let kp = Keypair::from_seed(context);
+                let chain = PuzzleKeyChain::generate(context, sp.version as u32 + 4);
+                let artifacts = SelugeArtifacts::build(&image, sp, &kp, &chain);
+                let puzzle = Puzzle::new(chain.anchor(), sp.puzzle_strength);
+                let key = ClusterKey::derive(context, 0);
+                let scheme = if id == NodeId(0) {
+                    SelugeScheme::base(&artifacts, kp.public(), puzzle)
+                } else {
+                    SelugeScheme::receiver(sp, kp.public(), puzzle)
+                };
+                let node = DisseminationNode::new(
+                    scheme,
+                    UnionPolicy::new(),
+                    key,
+                    EngineConfig::default(),
+                );
+                Ok(SwarmNode::Seluge { node, artifacts })
+            }
+        }
+    }
+}
+
+/// A scheme-erased protocol node bundled with the artifacts needed to
+/// re-run the sim checker's invariants locally.
+// One SwarmNode exists per process (or per loopback host thread), so
+// the variant size gap is irrelevant; boxing would only add noise.
+#[allow(clippy::large_enum_variant)]
+pub enum SwarmNode {
+    /// LR-Seluge node plus its deployment (source of `LrArtifacts`).
+    Lr {
+        /// The protocol state machine.
+        node: LrNode,
+        /// Deployment artifacts for invariant checking.
+        deployment: Deployment,
+    },
+    /// Seluge node plus its build artifacts.
+    Seluge {
+        /// The protocol state machine.
+        node: DisseminationNode<SelugeScheme, UnionPolicy>,
+        /// Build artifacts for invariant checking.
+        artifacts: SelugeArtifacts,
+    },
+}
+
+impl SwarmNode {
+    /// Self-check: completion, the sim checker's per-node invariants
+    /// (buffered content must be authenticated content), and the hex
+    /// digest of the reassembled image when complete.
+    pub fn status(&self, expected_image: &[u8]) -> NodeStatus {
+        let (complete, invariants_ok, image) = match self {
+            SwarmNode::Lr { node, deployment } => (
+                node.is_complete(),
+                node.scheme()
+                    .verify_invariants(deployment.artifacts(), expected_image)
+                    .is_ok(),
+                node.scheme().image(),
+            ),
+            SwarmNode::Seluge { node, artifacts } => (
+                node.is_complete(),
+                node.scheme()
+                    .verify_invariants(artifacts, expected_image)
+                    .is_ok(),
+                node.scheme().image(),
+            ),
+        };
+        NodeStatus {
+            complete,
+            invariants_ok,
+            digest: image.map(|img| sha256(&img).to_hex()),
+        }
+    }
+}
+
+impl Protocol for SwarmNode {
+    fn on_init(&mut self, ctx: &mut Context<'_>) {
+        match self {
+            SwarmNode::Lr { node, .. } => node.on_init(ctx),
+            SwarmNode::Seluge { node, .. } => node.on_init(ctx),
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut Context<'_>, from: NodeId, data: &[u8]) {
+        match self {
+            SwarmNode::Lr { node, .. } => node.on_packet(ctx, from, data),
+            SwarmNode::Seluge { node, .. } => node.on_packet(ctx, from, data),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, timer: TimerId) {
+        match self {
+            SwarmNode::Lr { node, .. } => node.on_timer(ctx, timer),
+            SwarmNode::Seluge { node, .. } => node.on_timer(ctx, timer),
+        }
+    }
+
+    fn is_complete(&self) -> bool {
+        match self {
+            SwarmNode::Lr { node, .. } => node.is_complete(),
+            SwarmNode::Seluge { node, .. } => node.is_complete(),
+        }
+    }
+
+    fn on_reboot(&mut self, ctx: &mut Context<'_>) {
+        match self {
+            SwarmNode::Lr { node, .. } => node.on_reboot(ctx),
+            SwarmNode::Seluge { node, .. } => node.on_reboot(ctx),
+        }
+    }
+
+    fn progress(&self) -> u64 {
+        match self {
+            SwarmNode::Lr { node, .. } => node.progress(),
+            SwarmNode::Seluge { node, .. } => node.progress(),
+        }
+    }
+
+    fn diagnostic(&self) -> String {
+        match self {
+            SwarmNode::Lr { node, .. } => node.diagnostic(),
+            SwarmNode::Seluge { node, .. } => node.diagnostic(),
+        }
+    }
+}
+
+/// Result of a node's self-check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeStatus {
+    /// Whether dissemination finished.
+    pub complete: bool,
+    /// Whether the sim checker's invariants hold.
+    pub invariants_ok: bool,
+    /// Hex SHA-256 of the reassembled image, once complete.
+    pub digest: Option<String>,
+}
+
+/// Datagram the harness sends to stop a node process.
+pub const CONTROL_QUIT: &[u8] = b"lrs-swarm quit";
+
+/// One status line a node process reports to the harness's control
+/// socket. Line-oriented `key=value` text so a torn or foreign datagram
+/// parses to `None` rather than corrupting the harness state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeReport {
+    /// Reporting node.
+    pub id: u32,
+    /// Whether dissemination finished.
+    pub complete: bool,
+    /// Whether the sim checker's invariants hold.
+    pub invariants_ok: bool,
+    /// Hex image digest when complete.
+    pub digest: Option<String>,
+    /// Frames handed to the transport.
+    pub tx_frames: u64,
+    /// Frames delivered to the protocol.
+    pub rx_frames: u64,
+    /// Datagrams rejected at the envelope.
+    pub rx_rejected: u64,
+}
+
+impl NodeReport {
+    /// Serializes to one control-protocol line.
+    pub fn encode(&self) -> String {
+        format!(
+            "lrs-swarm report id={} complete={} invariants={} digest={} tx={} rx={} rejected={}",
+            self.id,
+            u8::from(self.complete),
+            u8::from(self.invariants_ok),
+            self.digest.as_deref().unwrap_or("-"),
+            self.tx_frames,
+            self.rx_frames,
+            self.rx_rejected,
+        )
+    }
+
+    /// Parses a control-protocol line; `None` for anything malformed.
+    pub fn parse(line: &str) -> Option<NodeReport> {
+        let rest = line.strip_prefix("lrs-swarm report ")?;
+        let mut fields = HashMap::new();
+        for part in rest.split_whitespace() {
+            let (k, v) = part.split_once('=')?;
+            fields.insert(k, v);
+        }
+        let flag = |k: &str| -> Option<bool> {
+            match *fields.get(k)? {
+                "0" => Some(false),
+                "1" => Some(true),
+                _ => None,
+            }
+        };
+        Some(NodeReport {
+            id: fields.get("id")?.parse().ok()?,
+            complete: flag("complete")?,
+            invariants_ok: flag("invariants")?,
+            digest: match *fields.get("digest")? {
+                "-" => None,
+                hex => Some(hex.to_string()),
+            },
+            tx_frames: fields.get("tx")?.parse().ok()?,
+            rx_frames: fields.get("rx")?.parse().ok()?,
+            rx_rejected: fields.get("rejected")?.parse().ok()?,
+        })
+    }
+}
+
+/// What the proxy does with one packet on one directed link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Delivery {
+    /// Copies to forward (0 = dropped, 2 = duplicated).
+    pub copies: u8,
+    /// Whether to hold this packet briefly so it overtakes nothing —
+    /// i.e., deliver it out of order.
+    pub reorder: bool,
+}
+
+/// The proxy's seeded loss model.
+///
+/// Composes three processes per directed link, mirroring the
+/// simulator's vocabulary:
+///
+/// 1. uniform i.i.d. drop/duplicate/reorder ppm (the paper's `p` knob),
+/// 2. `FaultPlan::degrade(from, to, ppm, at)` — from `at` onward the
+///    link keeps only `ppm`/1e6 of deliveries (one direction only ⇒
+///    asymmetric link),
+/// 3. `FaultPlan::link_down` / `link_up` outages.
+///
+/// Node-side events in the plan (crash, reboot, clock drift) are not a
+/// proxy concern and are ignored.
+pub struct LossyLinks {
+    drop_ppm: u32,
+    dup_ppm: u32,
+    reorder_ppm: u32,
+    /// Remaining plan events, soonest last (popped as time passes).
+    pending: Vec<FaultEvent>,
+    /// Per-directed-link delivery scale (absent = [`PPM_ONE`]).
+    degrade: HashMap<(u32, u32), u32>,
+    /// Per-directed-link outage flag.
+    down: HashMap<(u32, u32), bool>,
+    rng: DetRng,
+}
+
+impl LossyLinks {
+    /// Builds the model. `plan` events are applied as [`advance`]
+    /// passes their timestamps (virtual time, like the simulator).
+    ///
+    /// [`advance`]: LossyLinks::advance
+    pub fn new(drop_ppm: u32, dup_ppm: u32, reorder_ppm: u32, plan: &FaultPlan, seed: u64) -> Self {
+        assert!(drop_ppm < PPM_ONE, "drop_ppm must leave some deliveries");
+        let mut pending = plan.events().to_vec();
+        // events() is sorted soonest-first; pop from the back.
+        pending.reverse();
+        LossyLinks {
+            drop_ppm,
+            dup_ppm,
+            reorder_ppm,
+            pending,
+            degrade: HashMap::new(),
+            down: HashMap::new(),
+            rng: DetRng::seed_from_u64(seed ^ 0x4C52_5357_4C4F_5353),
+        }
+    }
+
+    /// Applies every plan event with timestamp ≤ `now`.
+    pub fn advance(&mut self, now: SimTime) {
+        while let Some(event) = self.pending.last() {
+            if event.at() > now {
+                break;
+            }
+            let event = self.pending.pop().expect("checked non-empty");
+            match event {
+                FaultEvent::LinkDown { from, to, .. } => {
+                    self.down.insert((from.0, to.0), true);
+                }
+                FaultEvent::LinkUp { from, to, .. } => {
+                    self.down.insert((from.0, to.0), false);
+                }
+                FaultEvent::Degrade { from, to, ppm, .. } => {
+                    self.degrade.insert((from.0, to.0), ppm);
+                }
+                // Node-side faults are not the proxy's job.
+                FaultEvent::Crash { .. }
+                | FaultEvent::Reboot { .. }
+                | FaultEvent::ClockDrift { .. } => {}
+            }
+        }
+    }
+
+    /// Rolls the dice for one packet on the directed link `from → to`.
+    pub fn verdict(&mut self, from: NodeId, to: NodeId) -> Delivery {
+        if self.down.get(&(from.0, to.0)).copied().unwrap_or(false) {
+            return Delivery {
+                copies: 0,
+                reorder: false,
+            };
+        }
+        let scale = self
+            .degrade
+            .get(&(from.0, to.0))
+            .copied()
+            .unwrap_or(PPM_ONE);
+        // Survive the uniform drop AND the link's degradation scale.
+        let keep_ppm = ((PPM_ONE - self.drop_ppm) as u64 * scale as u64 / PPM_ONE as u64) as u32;
+        if self.rng.gen_range(0..u64::from(PPM_ONE)) >= u64::from(keep_ppm) {
+            return Delivery {
+                copies: 0,
+                reorder: false,
+            };
+        }
+        let copies = if self.rng.gen_range(0..u64::from(PPM_ONE)) < u64::from(self.dup_ppm) {
+            2
+        } else {
+            1
+        };
+        let reorder = self.rng.gen_range(0..u64::from(PPM_ONE)) < u64::from(self.reorder_ppm);
+        Delivery { copies, reorder }
+    }
+}
+
+/// A seeded plan degrading a fraction of directed links from time zero
+/// — the swarm's default per-link asymmetry. Each ordered pair `(i, j)`
+/// is independently selected with probability `link_frac_ppm`/1e6 and,
+/// if selected, keeps only `keep_ppm`/1e6 of its deliveries; the
+/// reverse direction is rolled separately, so most degraded links are
+/// asymmetric, exactly like the simulator's degrade vocabulary.
+pub fn asymmetry_plan(nodes: u32, link_frac_ppm: u32, keep_ppm: u32, seed: u64) -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    let mut rng = DetRng::seed_from_u64(seed ^ 0x4153_594D_504C_414E);
+    for i in 0..nodes {
+        for j in 0..nodes {
+            if i != j && rng.gen_range(0..u64::from(PPM_ONE)) < u64::from(link_frac_ppm) {
+                plan.degrade(NodeId(i), NodeId(j), keep_ppm, SimTime::ZERO);
+            }
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips() {
+        for digest in [None, Some("ab12".to_string())] {
+            let report = NodeReport {
+                id: 17,
+                complete: digest.is_some(),
+                invariants_ok: true,
+                digest: digest.clone(),
+                tx_frames: 40,
+                rx_frames: 40,
+                rx_rejected: 2,
+            };
+            assert_eq!(NodeReport::parse(&report.encode()), Some(report));
+        }
+        assert_eq!(NodeReport::parse("lrs-swarm quit"), None);
+        assert_eq!(NodeReport::parse("garbage"), None);
+        assert_eq!(NodeReport::parse("lrs-swarm report id=x"), None);
+    }
+
+    #[test]
+    fn lossy_links_honor_down_and_degrade() {
+        let mut plan = FaultPlan::new();
+        plan.push(FaultEvent::LinkDown {
+            from: NodeId(0),
+            to: NodeId(1),
+            at: SimTime(5),
+        });
+        plan.degrade(NodeId(2), NodeId(3), 0, SimTime::ZERO);
+        let mut links = LossyLinks::new(0, 0, 0, &plan, 1);
+        links.advance(SimTime::ZERO);
+        // Degraded-to-zero link never delivers; the down event is still
+        // in the future, so 0→1 delivers.
+        assert_eq!(links.verdict(NodeId(2), NodeId(3)).copies, 0);
+        assert_eq!(links.verdict(NodeId(0), NodeId(1)).copies, 1);
+        links.advance(SimTime(5));
+        assert_eq!(links.verdict(NodeId(0), NodeId(1)).copies, 0);
+        // Asymmetric: the reverse direction is untouched.
+        assert_eq!(links.verdict(NodeId(1), NodeId(0)).copies, 1);
+    }
+
+    #[test]
+    fn lossy_links_drop_rate_is_plausible() {
+        let mut links = LossyLinks::new(100_000, 0, 0, &FaultPlan::new(), 7);
+        let delivered = (0..10_000)
+            .filter(|_| links.verdict(NodeId(0), NodeId(1)).copies > 0)
+            .count();
+        // 10% drop ±2% over 10k rolls.
+        assert!((8_800..=9_200).contains(&delivered), "{delivered}");
+    }
+
+    #[test]
+    fn scenario_is_deterministic_across_reconstructions() {
+        let scenario = SwarmScenario {
+            scheme: SchemeKind::LrSeluge,
+            profile: "campaign".into(),
+            image_len: 512,
+            key_context: "swarm test".into(),
+            seed: 9,
+        };
+        let a = scenario.expected_digest().expect("digest");
+        let b = scenario.expected_digest().expect("digest");
+        assert_eq!(a, b);
+        // Both schemes construct nodes for the same scenario.
+        assert!(scenario.build_node(NodeId(0)).is_ok());
+        let seluge = SwarmScenario {
+            scheme: SchemeKind::Seluge,
+            ..scenario
+        };
+        assert!(seluge.build_node(NodeId(1)).is_ok());
+    }
+
+    #[test]
+    fn asymmetry_plan_is_seeded_and_directional() {
+        let a = asymmetry_plan(16, 100_000, 500_000, 3);
+        let b = asymmetry_plan(16, 100_000, 500_000, 3);
+        assert_eq!(a.events().len(), b.events().len());
+        assert!(!a.events().is_empty(), "some links degraded");
+        // Expect roughly 10% of 240 directed links.
+        assert!(a.events().len() < 60);
+    }
+}
