@@ -23,11 +23,16 @@
 //! w.h.p. while `n(1−p) ≥ k'`, i.e. up to `p = 1/3`.
 
 pub mod binomial;
+pub mod compare;
 pub mod lr;
 pub mod seluge;
 pub mod streaming;
 
 pub use binomial::binomial_pmf;
+pub use compare::{
+    benjamini_hochberg, bh_adjusted_p, ci95_overlap, cohens_d, student_t_cdf,
+    student_t_two_sided_p, welch_t, SampleStats, WelchTest,
+};
 pub use lr::{ack_lr_exact_single, ack_lr_expected_data_packets, AckLrModel};
 pub use seluge::{seluge_expected_data_packets, seluge_expected_heterogeneous};
 pub use streaming::{Extrema, P2Quantile, StreamingSummary, Welford};

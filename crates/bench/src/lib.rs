@@ -18,6 +18,7 @@
 //! | `scale`    | engine         | Shard-scaling sweep of the parallel engine |
 //! | `replay`   | flight recorder| Capture, replay, and bisect run capsules (see `capsules`) |
 //! | `campaign` | fleets         | Checkpointed Monte-Carlo campaigns over a grid spec (see `campaign`) |
+//! | `campdiff` | regression gate| Statistical diff of two campaign reports (see `diff`) |
 //!
 //! Run any of them with `cargo run -p lrs-bench --release --bin <name>`.
 //! Each prints the paper-style series and writes a CSV next to it under
@@ -26,6 +27,7 @@
 pub mod campaign;
 pub mod capsules;
 pub mod cli;
+pub mod diff;
 pub mod harness;
 pub mod json;
 pub mod runner;
@@ -35,6 +37,7 @@ pub mod table;
 
 pub use campaign::{Campaign, CampaignReport};
 pub use cli::{Cli, CliError};
+pub use diff::{diff_reports, CellKey, DiffReport, ReportDoc, Verdict};
 pub use harness::{configured_threads, parallel_map, sample_grid};
 pub use json::{parse_json, stat_json, write_json, Json, JsonReport};
 pub use runner::{

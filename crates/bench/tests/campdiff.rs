@@ -1,0 +1,253 @@
+//! Integration tests for the cross-campaign diff engine: the exact
+//! properties the CI regression gate relies on, exercised through the
+//! library (`lrs_bench::diff`) on both synthetic reports and the
+//! committed campaign smoke golden.
+
+use lrs_bench::diff::{diff_reports, higher_is_better, ReportDoc, Verdict, DEFAULT_ALPHA};
+
+/// Path to the committed golden, relative to the workspace root the
+/// test runs from (`CARGO_MANIFEST_DIR` is crates/bench).
+fn golden_path() -> String {
+    format!(
+        "{}/../../results/campaign_smoke_golden.json",
+        env!("CARGO_MANIFEST_DIR")
+    )
+}
+
+/// One synthetic metric row: (name, n, mean, ci95).
+type SynthMetric<'a> = (&'a str, u64, f64, f64);
+/// One synthetic cell: (scheme, loss_ppm, metrics).
+type SynthCell<'a> = (&'a str, u32, &'a [SynthMetric<'a>]);
+
+/// Builds a small synthetic report: `cells` of (scheme, loss_ppm),
+/// each metric rendered from explicit (n, mean, ci95).
+fn synth_report(name: &str, cells: &[SynthCell]) -> ReportDoc {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"campaign\":\"{name}\",\"jobs\":{},\"seeds\":3,\"cells\":[",
+        cells.len() * 3
+    ));
+    for (i, (scheme, loss, metrics)) in cells.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"params\":{{\"scheme\":\"{scheme}\",\"topology\":\"star:6\",\
+             \"loss_ppm\":{loss},\"fault\":\"none\",\"attacker\":\"none\"}},\
+             \"jobs\":3,\"outcomes\":{{\"complete\":3}},\"metrics\":{{"
+        ));
+        for (j, (metric, n, mean, ci95)) in metrics.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{metric}\":{{\"n\":{n},\"mean\":{mean},\"ci95\":{ci95},\
+                 \"p50\":{mean},\"p95\":{mean}}}"
+            ));
+        }
+        out.push_str("}}");
+    }
+    out.push_str("]}");
+    ReportDoc::parse(&out).unwrap_or_else(|e| panic!("synthetic report invalid: {e}"))
+}
+
+#[test]
+fn golden_self_diff_is_clean() {
+    let golden = ReportDoc::load(&golden_path()).expect("golden loads");
+    assert_eq!(golden.cells.len(), 8, "smoke grid is 8 cells");
+    let diff = diff_reports(&golden, &golden, DEFAULT_ALPHA).unwrap();
+    assert_eq!(diff.cells.len(), 8);
+    assert!(diff.a_only_cells.is_empty() && diff.b_only_cells.is_empty());
+    assert_eq!(diff.significant(), 0, "self-diff must be clean");
+    assert_eq!(diff.regressions(), 0);
+    for cell in &diff.cells {
+        assert_eq!(cell.verdict, Verdict::NoChange);
+        for m in &cell.metrics {
+            assert_eq!(m.delta, 0.0, "{}: {}", cell.key, m.name);
+            if let Some(t) = &m.test {
+                assert_eq!(t.p, 1.0, "identical groups give p = 1");
+            }
+        }
+    }
+}
+
+#[test]
+fn injected_perturbation_is_flagged_as_regression() {
+    let golden = ReportDoc::load(&golden_path()).expect("golden loads");
+    let mut perturbed = golden.clone();
+    // verify_inflation has zero variance in the golden, so any mean
+    // shift yields p = 0 and survives BH regardless of grid size —
+    // the same deterministic detection the CI gate relies on.
+    let hit = perturbed.inject("verify_inflation", 1.25);
+    assert_eq!(hit, 8, "every smoke cell carries verify_inflation");
+    let diff = diff_reports(&golden, &perturbed, DEFAULT_ALPHA).unwrap();
+    assert_eq!(diff.regressions(), 8, "one regression per cell");
+    assert_eq!(diff.improvements(), 0);
+    for cell in &diff.cells {
+        assert_eq!(cell.verdict, Verdict::Regression);
+        let m = cell
+            .metrics
+            .iter()
+            .find(|m| m.name == "verify_inflation")
+            .unwrap();
+        assert!(m.significant && m.q == 0.0 && !m.ci_overlap);
+        assert!(m.delta > 0.0);
+    }
+    // The same shift downward on a lower-is-better metric is an
+    // improvement, not a regression.
+    let mut better = golden.clone();
+    better.inject("verify_inflation", 0.8);
+    let diff = diff_reports(&golden, &better, DEFAULT_ALPHA).unwrap();
+    assert_eq!(diff.regressions(), 0);
+    assert_eq!(diff.improvements(), 8);
+}
+
+#[test]
+fn polarity_flips_the_verdict_for_completion_metrics() {
+    assert!(higher_is_better("completed"));
+    assert!(!higher_is_better("latency_s"));
+    let metrics_a: &[(&str, u64, f64, f64)] = &[("completed", 3, 1.0, 0.0)];
+    let metrics_b: &[(&str, u64, f64, f64)] = &[("completed", 3, 0.5, 0.0)];
+    let a = synth_report("a", &[("lr-seluge", 50_000, metrics_a)]);
+    let b = synth_report("b", &[("lr-seluge", 50_000, metrics_b)]);
+    // completed dropped: higher-is-better, so this is a regression.
+    let diff = diff_reports(&a, &b, DEFAULT_ALPHA).unwrap();
+    assert_eq!(diff.regressions(), 1);
+    // And the reverse direction is an improvement.
+    let diff = diff_reports(&b, &a, DEFAULT_ALPHA).unwrap();
+    assert_eq!(diff.regressions(), 0);
+    assert_eq!(diff.improvements(), 1);
+}
+
+#[test]
+fn asymmetric_grids_diff_over_the_intersection() {
+    let m: &[(&str, u64, f64, f64)] = &[("data_pkts", 3, 50.0, 4.0)];
+    let a = synth_report("a", &[("lr-seluge", 50_000, m), ("lr-seluge", 200_000, m)]);
+    let b = synth_report("b", &[("lr-seluge", 50_000, m), ("seluge", 50_000, m)]);
+    let diff = diff_reports(&a, &b, DEFAULT_ALPHA).unwrap();
+    assert_eq!(diff.cells.len(), 1, "only the shared cell pairs");
+    assert_eq!(diff.cells[0].key.loss_ppm, 50_000);
+    assert_eq!(diff.a_only_cells.len(), 1);
+    assert_eq!(diff.a_only_cells[0].loss_ppm, 200_000);
+    assert_eq!(diff.b_only_cells.len(), 1);
+    assert_eq!(diff.b_only_cells[0].scheme, "seluge");
+    assert_eq!(diff.significant(), 0);
+}
+
+#[test]
+fn legacy_nine_metric_reports_pair_against_twelve_metric_reports() {
+    // The 9-metric era lacked completion_frac / verify_inflation /
+    // energy_j and the min/max extrema fields.
+    let legacy: &[(&str, u64, f64, f64)] = &[
+        ("page_data_pkts", 3, 40.0, 5.0),
+        ("data_pkts", 3, 48.0, 6.0),
+        ("snack_pkts", 3, 19.0, 1.0),
+        ("adv_pkts", 3, 2.0, 1.0),
+        ("total_bytes", 3, 4200.0, 300.0),
+        ("latency_s", 3, 2.6, 0.4),
+        ("completed", 3, 1.0, 0.0),
+        ("sig_verifications", 3, 5.0, 0.0),
+        ("auth_rejects", 3, 0.0, 0.0),
+    ];
+    let a = synth_report("legacy", &[("lr-seluge", 50_000, legacy)]);
+    let b = ReportDoc::load(&golden_path()).expect("golden loads");
+    assert!(a.cells[0].metrics.iter().all(|(_, m)| m.min.is_none()));
+    let diff = diff_reports(&a, &b, DEFAULT_ALPHA).unwrap();
+    assert_eq!(diff.cells.len(), 1, "the one legacy cell pairs");
+    let cell = &diff.cells[0];
+    assert_eq!(
+        cell.metrics.len(),
+        9,
+        "intersection is the 9 shared metrics"
+    );
+    assert_eq!(
+        cell.b_only_metrics,
+        vec!["completion_frac", "verify_inflation", "energy_j"]
+    );
+    assert!(cell.a_only_metrics.is_empty());
+}
+
+#[test]
+fn mismatched_seed_counts_still_test() {
+    // n = 3 vs n = 12 with a decisive shift: Welch handles unequal n
+    // (and unequal variance) without any balancing assumption.
+    let small: &[(&str, u64, f64, f64)] = &[("latency_s", 3, 2.0, 0.1)];
+    let large: &[(&str, u64, f64, f64)] = &[("latency_s", 12, 8.0, 0.2)];
+    let a = synth_report("a", &[("lr-seluge", 50_000, small)]);
+    let b = synth_report("b", &[("lr-seluge", 50_000, large)]);
+    let diff = diff_reports(&a, &b, DEFAULT_ALPHA).unwrap();
+    let m = &diff.cells[0].metrics[0];
+    assert_eq!((m.a.n, m.b.n), (3, 12));
+    let t = m.test.as_ref().expect("both sides have n >= 2");
+    assert!(t.p < 1e-6, "6-sigma shift is decisive, p = {}", t.p);
+    assert_eq!(m.verdict, Verdict::Regression, "latency rose");
+}
+
+#[test]
+fn single_seed_cells_are_untestable_not_errors() {
+    let one: &[(&str, u64, f64, f64)] = &[("data_pkts", 1, 50.0, 0.0)];
+    let three: &[(&str, u64, f64, f64)] = &[("data_pkts", 3, 90.0, 2.0)];
+    let a = synth_report("a", &[("lr-seluge", 50_000, one)]);
+    let b = synth_report("b", &[("lr-seluge", 50_000, three)]);
+    let diff = diff_reports(&a, &b, DEFAULT_ALPHA).unwrap();
+    let m = &diff.cells[0].metrics[0];
+    assert!(m.test.is_none(), "n = 1 has no variance to test");
+    assert!(!m.significant);
+    assert_eq!(m.verdict, Verdict::NoChange);
+    assert_eq!(diff.comparisons, 0, "untestable pairs stay out of BH's m");
+    // The mean shift is still reported for the human table.
+    assert_eq!(m.delta, 40.0);
+}
+
+#[test]
+fn duplicate_cell_keys_are_rejected() {
+    let m: &[(&str, u64, f64, f64)] = &[("data_pkts", 3, 50.0, 4.0)];
+    let text = {
+        // Two cells with identical params.
+        let doc = synth_report("dup", &[("lr-seluge", 50_000, m)]);
+        let _ = doc;
+        let cell = "{\"params\":{\"scheme\":\"lr-seluge\",\"topology\":\"star:6\",\
+                     \"loss_ppm\":50000,\"fault\":\"none\",\"attacker\":\"none\"},\
+                     \"jobs\":3,\"outcomes\":{\"complete\":3},\"metrics\":{\
+                     \"data_pkts\":{\"n\":3,\"mean\":50,\"ci95\":4,\"p50\":50,\"p95\":50}}}";
+        format!("{{\"campaign\":\"dup\",\"jobs\":6,\"seeds\":3,\"cells\":[{cell},{cell}]}}")
+    };
+    let err = ReportDoc::parse(&text).unwrap_err();
+    assert!(err.contains("ambiguous"), "got: {err}");
+}
+
+#[test]
+fn malformed_reports_are_typed_errors() {
+    for (text, needle) in [
+        ("[]", "campaign"),
+        ("{\"campaign\":\"x\"}", "jobs"),
+        ("{\"campaign\":\"x\",\"jobs\":1,\"seeds\":1}", "cells"),
+        (
+            "{\"campaign\":\"x\",\"jobs\":1,\"seeds\":1,\"cells\":[{}]}",
+            "params",
+        ),
+    ] {
+        let err = ReportDoc::parse(text).unwrap_err();
+        assert!(err.contains(needle), "{text}: got {err:?}");
+    }
+}
+
+#[test]
+fn stalled_cells_with_null_means_are_untestable() {
+    // A metric whose every sample was non-finite renders as null; the
+    // parser maps that to NaN, which must flow through as untestable
+    // rather than poisoning BH or the verdicts.
+    let text = "{\"campaign\":\"stalled\",\"jobs\":3,\"seeds\":3,\"cells\":[\
+                {\"params\":{\"scheme\":\"lr-seluge\",\"topology\":\"star:6\",\
+                \"loss_ppm\":900000,\"fault\":\"none\",\"attacker\":\"none\"},\
+                \"jobs\":3,\"outcomes\":{\"stalled\":3},\"metrics\":{\
+                \"latency_s\":{\"n\":3,\"mean\":null,\"ci95\":null,\"p50\":null,\"p95\":null}}}]}";
+    let doc = ReportDoc::parse(text).unwrap();
+    assert!(doc.cells[0].metrics[0].1.mean.is_nan());
+    let diff = diff_reports(&doc, &doc, DEFAULT_ALPHA).unwrap();
+    let m = &diff.cells[0].metrics[0];
+    assert!(m.test.is_none(), "NaN means are untestable by policy");
+    assert!(m.q.is_nan() && !m.significant);
+    assert_eq!(m.verdict, Verdict::NoChange);
+    assert_eq!(diff.significant(), 0);
+}

@@ -64,3 +64,24 @@ rm -rf results/campaign-attack-mini
   --out results/campaign-attack-mini | tee results/campaign_attack.txt
 diff results/campaign-attack-mini/report.json results/campaign_attack_golden.json \
   && echo "attack campaign report matches the committed golden"
+
+# Statistical diff gate: the regenerated smoke report self-diffed
+# against the committed golden must show zero significant differences
+# (they are byte-identical, so this also smoke-tests campdiff itself),
+# and an injected perturbation must be flagged with exit code 2.
+echo "=== campdiff ==="
+./target/release/campdiff --a results/campaign_smoke_golden.json \
+  --b results/campaign-smoke/report.json \
+  --out results/campdiff-self.json | tee results/campdiff.txt
+set +e
+./target/release/campdiff --a results/campaign_smoke_golden.json \
+  --b results/campaign-smoke/report.json \
+  --inject verify_inflation=1.25 \
+  --out results/campdiff-injected.json | tee -a results/campdiff.txt
+campdiff_code=$?
+set -e
+if [ "$campdiff_code" -ne 2 ]; then
+  echo "campdiff missed the injected regression (exit $campdiff_code)" >&2
+  exit 1
+fi
+echo "campdiff gates passed: clean self-diff, injected regression flagged"

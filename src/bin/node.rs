@@ -97,7 +97,10 @@ fn run() -> Result<(), String> {
     let image = scenario.image()?;
     let protocol: SwarmNode = scenario.build_node(id)?;
 
-    let mut transport = UdpTransport::bind("127.0.0.1:0".parse().unwrap(), vec![proxy])
+    let any_port: SocketAddr = "127.0.0.1:0"
+        .parse()
+        .map_err(|e| format!("loopback bind address: {e}"))?;
+    let mut transport = UdpTransport::bind(any_port, vec![proxy])
         .map_err(|e| format!("binding data socket: {e}"))?;
     // Register with the proxy before any data flows so packets can
     // reach us from the first exchange; the proxy also refreshes its

@@ -22,10 +22,11 @@
 //! Writes `results/swarm.json`.
 
 use lr_seluge_repro::swarm::{
-    asymmetry_plan, Delivery, LossyLinks, NodeReport, SchemeKind, SwarmScenario, CONTROL_QUIT,
+    asymmetry_plan, LossyLinks, NodeReport, ReorderRelay, SchemeKind, SwarmScenario, CONTROL_QUIT,
 };
 use lrs_bench::{write_json, Cli, Json};
 use lrs_host::{decode_frame, NodeId, SimTime};
+use lrs_netsim::fault::PPM_ONE;
 use std::collections::HashMap;
 use std::net::{SocketAddr, UdpSocket};
 use std::process::{Child, Command, ExitCode, Stdio};
@@ -93,16 +94,16 @@ struct SwarmRun {
 /// the per-link loss model, and fans each frame out to every other
 /// registered node. Node addresses are learned from `hello` datagrams
 /// and refreshed from the envelope `from` field of data frames, so the
-/// map heals even if every hello is lost.
+/// map heals even if every hello is lost. Per-destination reordering
+/// (and the delivery of every granted copy, duplicate-of-a-reordered-
+/// frame included) is [`ReorderRelay`]'s job, unit-tested in the lib.
+///
+/// The socket's read timeout is configured by the caller before this
+/// thread starts, so the loop body has no panicking paths.
 fn proxy_loop(socket: UdpSocket, mut links: LossyLinks, time_scale: u64, stop: Arc<AtomicBool>) {
-    socket
-        .set_read_timeout(Some(Duration::from_millis(50)))
-        .expect("proxy read timeout");
     let epoch = Instant::now();
     let mut addrs: HashMap<u32, SocketAddr> = HashMap::new();
-    // One held-back frame per destination implements reordering: a held
-    // frame is released only after a later frame passes it.
-    let mut held: HashMap<u32, Vec<u8>> = HashMap::new();
+    let mut relay = ReorderRelay::new();
     let mut buf = [0u8; 2048];
     while !stop.load(Ordering::Relaxed) {
         let (n, src) = match socket.recv_from(&mut buf) {
@@ -110,11 +111,11 @@ fn proxy_loop(socket: UdpSocket, mut links: LossyLinks, time_scale: u64, stop: A
             Err(_) => {
                 // Idle tick: release anything held so reordering can
                 // only delay a frame briefly, never strand it.
-                for (dest, frame) in held.drain() {
+                relay.flush(|dest, frame| {
                     if let Some(addr) = addrs.get(&dest) {
-                        let _ = socket.send_to(&frame, addr);
+                        let _ = socket.send_to(frame, addr);
                     }
-                }
+                });
                 continue;
             }
         };
@@ -137,20 +138,10 @@ fn proxy_loop(socket: UdpSocket, mut links: LossyLinks, time_scale: u64, stop: A
             .map(|(id, addr)| (*id, *addr))
             .collect();
         for (dest, addr) in targets {
-            let Delivery { copies, reorder } = links.verdict(from, NodeId(dest));
-            if copies == 0 {
-                continue;
-            }
-            if reorder && !held.contains_key(&dest) {
-                held.insert(dest, datagram.to_vec());
-                continue;
-            }
-            for _ in 0..copies {
-                let _ = socket.send_to(datagram, addr);
-            }
-            if let Some(earlier) = held.remove(&dest) {
-                let _ = socket.send_to(&earlier, addr);
-            }
+            let verdict = links.verdict(from, NodeId(dest));
+            relay.apply(dest, datagram, verdict, |f| {
+                let _ = socket.send_to(f, addr);
+            });
         }
     }
 }
@@ -215,6 +206,9 @@ fn run_swarm(scenario: &SwarmScenario, cfg: &SwarmConfig) -> Result<SwarmRun, St
     let control_addr = control.local_addr().map_err(|e| e.to_string())?;
 
     let proxy = UdpSocket::bind("127.0.0.1:0").map_err(|e| format!("proxy socket: {e}"))?;
+    proxy
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .map_err(|e| format!("proxy socket: {e}"))?;
     let proxy_addr = proxy.local_addr().map_err(|e| e.to_string())?;
     let plan = asymmetry_plan(
         cfg.nodes,
@@ -395,6 +389,23 @@ fn run() -> Result<(), String> {
     };
     if cfg.nodes < 2 {
         return Err("need at least 2 nodes".to_string());
+    }
+    // LossyLinks asserts this; fail as a CLI error instead of a panic.
+    if cfg.drop_ppm >= PPM_ONE {
+        return Err(format!(
+            "--drop-ppm {} would drop everything; need < {PPM_ONE}",
+            cfg.drop_ppm
+        ));
+    }
+    for (name, ppm) in [
+        ("--dup-ppm", cfg.dup_ppm),
+        ("--reorder-ppm", cfg.reorder_ppm),
+        ("--asym-frac-ppm", cfg.asym_frac_ppm),
+        ("--asym-keep-ppm", cfg.asym_keep_ppm),
+    ] {
+        if ppm > PPM_ONE {
+            return Err(format!("{name} {ppm} exceeds {PPM_ONE} (= certainty)"));
+        }
     }
     let schemes: Vec<SchemeKind> = match cli.value("--scheme").unwrap_or("both") {
         "both" => vec![SchemeKind::LrSeluge, SchemeKind::Seluge],

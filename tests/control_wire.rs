@@ -1,0 +1,127 @@
+//! Control-protocol wire robustness for the swarm harness, in the same
+//! fixed-seed fuzz style as `crates/deluge/tests/wire_fuzz.rs`: the
+//! harness parses `NodeReport` lines off an open UDP socket, so the
+//! parser must round-trip everything `encode` can emit, reject
+//! corruption (duplicate keys, malformed digests), and never panic on
+//! arbitrary text.
+
+use lr_seluge_repro::swarm::NodeReport;
+use lrs_crypto::sha256::sha256;
+use lrs_rng::DetRng;
+
+fn arbitrary_report(rng: &mut DetRng) -> NodeReport {
+    let complete = rng.gen_bool(0.5);
+    // A digest is only ever present alongside completion, and is
+    // always the 64-lowercase-hex output of sha256::to_hex.
+    let digest = if complete && rng.gen_bool(0.8) {
+        let mut image = vec![0u8; rng.gen_range(1usize..64)];
+        rng.fill_bytes(&mut image);
+        Some(sha256(&image).to_hex())
+    } else {
+        None
+    };
+    NodeReport {
+        id: rng.gen_range(0u64..1 << 32) as u32,
+        complete,
+        invariants_ok: rng.gen_bool(0.9),
+        digest,
+        tx_frames: rng.gen_range(0u64..1 << 48),
+        rx_frames: rng.gen_range(0u64..1 << 48),
+        rx_rejected: rng.gen_range(0u64..1 << 16),
+    }
+}
+
+/// Every encodable report parses back to itself.
+#[test]
+fn report_encode_parse_round_trips() {
+    let mut rng = DetRng::seed_from_u64(0x7265_706f_7274);
+    for case in 0..512 {
+        let report = arbitrary_report(&mut rng);
+        let line = report.encode();
+        assert_eq!(
+            NodeReport::parse(&line),
+            Some(report),
+            "case {case}: {line}"
+        );
+    }
+}
+
+/// Appending a duplicate of any key to a valid line makes it
+/// unparseable — a datagram that states a field twice is corrupt, and
+/// "last wins" would let a mangled retransmission flip `complete` or
+/// `invariants` silently.
+#[test]
+fn duplicated_fields_are_rejected() {
+    let mut rng = DetRng::seed_from_u64(0x6475_7073);
+    for _ in 0..128 {
+        let line = arbitrary_report(&mut rng).encode();
+        let fields: Vec<&str> = line
+            .strip_prefix("lrs-swarm report ")
+            .expect("encode emits the prefix")
+            .split_whitespace()
+            .collect();
+        for field in &fields {
+            let corrupted = format!("{line} {field}");
+            assert_eq!(NodeReport::parse(&corrupted), None, "dup {field:?}");
+        }
+    }
+}
+
+/// Mutating any single character of a valid digest to a non-lowercase-
+/// hex byte makes the line unparseable, as do truncated/extended ones.
+#[test]
+fn malformed_digests_are_rejected() {
+    let digest = sha256(b"control wire").to_hex();
+    let line = |d: &str| {
+        format!("lrs-swarm report id=3 complete=1 invariants=1 digest={d} tx=9 rx=9 rejected=0")
+    };
+    assert!(NodeReport::parse(&line(&digest)).is_some());
+    for (i, bad_char) in [(0, 'G'), (31, 'Z'), (63, '!'), (10, 'A')] {
+        let mut mutated: Vec<char> = digest.chars().collect();
+        mutated[i] = bad_char;
+        let mutated: String = mutated.into_iter().collect();
+        assert_eq!(NodeReport::parse(&line(&mutated)), None, "{mutated}");
+    }
+    assert_eq!(NodeReport::parse(&line(&digest[..63])), None, "truncated");
+    assert_eq!(
+        NodeReport::parse(&line(&format!("{digest}0"))),
+        None,
+        "extended"
+    );
+    assert_eq!(
+        NodeReport::parse(&line(&digest.to_uppercase())),
+        None,
+        "uppercase"
+    );
+}
+
+/// Arbitrary text never panics the parser (it reads raw datagrams).
+#[test]
+fn parser_never_panics_on_arbitrary_text() {
+    let mut rng = DetRng::seed_from_u64(0x6c69_6e65);
+    let alphabet: Vec<char> = "abcdefghijklmnopqrstuvwxyz0123456789=- _\t"
+        .chars()
+        .collect();
+    for _ in 0..512 {
+        let len = rng.gen_range(0usize..120);
+        let mut line = String::from("lrs-swarm report ");
+        for _ in 0..len {
+            line.push(alphabet[rng.gen_range(0u64..alphabet.len() as u64) as usize]);
+        }
+        let _ = NodeReport::parse(&line);
+    }
+    // And truncations of a valid line parse to None or Some, no panics.
+    let valid = NodeReport {
+        id: 1,
+        complete: false,
+        invariants_ok: true,
+        digest: None,
+        tx_frames: 10,
+        rx_frames: 20,
+        rx_rejected: 0,
+    }
+    .encode();
+    for cut in 0..valid.len() {
+        let _ = NodeReport::parse(&valid[..cut]);
+    }
+}

@@ -2,6 +2,16 @@
 //! schemes: a fixed seed must produce identical metrics, final images,
 //! and merged trace order at every shard count, and PR 3's chaos and
 //! invariant machinery must keep working under sharding.
+//!
+//! Two tiers. The default (tier-1) tests cover both schemes on a 10×10
+//! grid at shard counts {1, 2, 4} plus the 8×8 chaos scenario — every
+//! shard boundary case (single shard, even split, more shards than
+//! convenient) in a few seconds. The original full-size 20×20 sweeps
+//! with shard count 8 are `#[ignore]`d and run by a dedicated CI job:
+//!
+//! ```text
+//! cargo test --release --test sharding -- --ignored
+//! ```
 
 use lr_seluge::{Deployment, LrSelugeParams};
 use lrs_bench::matched_seluge_params;
@@ -19,7 +29,11 @@ use lrs_netsim::SimBuilder;
 use lrs_seluge::preprocess::SelugeArtifacts;
 use lrs_seluge::scheme::SelugeScheme;
 
-const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Fast-core shard counts: 1 (the reference), one even split, one
+/// split finer than the grid's row structure.
+const FAST_SHARDS: [usize; 3] = [1, 2, 4];
+/// Full-sweep shard counts, the original tier: adds the 8-way split.
+const FULL_SHARDS: [usize; 4] = [1, 2, 4, 8];
 
 fn small_lr(image_len: usize) -> LrSelugeParams {
     LrSelugeParams {
@@ -105,17 +119,18 @@ fn run_seluge_sharded(
     })
 }
 
-#[test]
-fn lr_seluge_is_shard_count_independent_on_20x20_grid() {
-    let baseline = run_lr_sharded(20, 42, 1, FaultPlan::new(), false);
+/// Runs the LR-Seluge grid at every shard count and asserts bit
+/// identity with the single-shard baseline.
+fn assert_lr_shard_independent(grid_side: usize, seed: u64, shard_counts: &[usize]) {
+    let baseline = run_lr_sharded(grid_side, seed, 1, FaultPlan::new(), false);
     assert_eq!(baseline.report.outcome, Outcome::Complete);
     let image = test_image(1024);
     for (complete, img) in &baseline.harvest {
         assert!(complete);
         assert_eq!(img.as_deref(), Some(&image[..]));
     }
-    for shards in &SHARD_COUNTS[1..] {
-        let run = run_lr_sharded(20, 42, *shards, FaultPlan::new(), false);
+    for shards in &shard_counts[1..] {
+        let run = run_lr_sharded(grid_side, seed, *shards, FaultPlan::new(), false);
         assert_eq!(run.report.outcome, Outcome::Complete, "@ {shards} shards");
         assert_eq!(
             run.report.final_time, baseline.report.final_time,
@@ -128,22 +143,44 @@ fn lr_seluge_is_shard_count_independent_on_20x20_grid() {
     }
 }
 
-#[test]
-fn seluge_is_shard_count_independent_on_20x20_grid() {
-    let baseline = run_seluge_sharded(20, 7, 1);
+/// Seluge twin of [`assert_lr_shard_independent`].
+fn assert_seluge_shard_independent(grid_side: usize, seed: u64, shard_counts: &[usize]) {
+    let baseline = run_seluge_sharded(grid_side, seed, 1);
     assert_eq!(baseline.report.outcome, Outcome::Complete);
     let image = test_image(1024);
     for (complete, img) in &baseline.harvest {
         assert!(complete);
         assert_eq!(img.as_deref(), Some(&image[..]));
     }
-    for shards in &SHARD_COUNTS[1..] {
-        let run = run_seluge_sharded(20, 7, *shards);
+    for shards in &shard_counts[1..] {
+        let run = run_seluge_sharded(grid_side, seed, *shards);
         assert_eq!(run.report.outcome, Outcome::Complete, "@ {shards} shards");
         assert_eq!(run.metrics, baseline.metrics, "metrics @ {shards} shards");
         assert_eq!(run.harvest, baseline.harvest, "images @ {shards} shards");
         assert_eq!(run.trace, baseline.trace, "trace order @ {shards} shards");
     }
+}
+
+#[test]
+fn lr_seluge_is_shard_count_independent_on_10x10_grid() {
+    assert_lr_shard_independent(10, 42, &FAST_SHARDS);
+}
+
+#[test]
+fn seluge_is_shard_count_independent_on_10x10_grid() {
+    assert_seluge_shard_independent(10, 7, &FAST_SHARDS);
+}
+
+#[test]
+#[ignore = "full-size sweep; run by the CI sharding-full job (--ignored)"]
+fn lr_seluge_is_shard_count_independent_on_20x20_grid_full() {
+    assert_lr_shard_independent(20, 42, &FULL_SHARDS);
+}
+
+#[test]
+#[ignore = "full-size sweep; run by the CI sharding-full job (--ignored)"]
+fn seluge_is_shard_count_independent_on_20x20_grid_full() {
+    assert_seluge_shard_independent(20, 7, &FULL_SHARDS);
 }
 
 #[test]
